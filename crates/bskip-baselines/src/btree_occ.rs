@@ -1,0 +1,799 @@
+//! A concurrent B+-tree with classical optimistic concurrency control.
+//!
+//! This is the stand-in for the tlx/BP-tree-based "concurrent B+-tree (OBT)"
+//! of the paper's evaluation.  Its concurrency control is the classical OCC
+//! scheme the paper describes in Section 5.2:
+//!
+//! * **Optimistic pass** (the common case): descend from the root holding
+//!   reader locks hand-over-hand, take a *writer* lock only on the leaf, and
+//!   insert there if it has room.
+//! * **Pessimistic pass** (the retire): if the leaf is full the operation
+//!   releases everything, goes back to the root — taking the tree-level
+//!   lock in *write* mode, which is what blocks every other operation — and
+//!   descends again with writer locks, splitting full nodes preemptively on
+//!   the way down.
+//!
+//! The number of pessimistic retires is exported as the
+//! `root_write_locks` statistic; the paper reports ~26 K of them for the
+//! B+-tree during the YCSB load phase versus 7 for the B-skiplist, and they
+//! are the reason for the B+-tree's worse tail latency (Figure 8).
+//!
+//! Leaves are chained left-to-right so range scans (YCSB workload E) can
+//! stream across leaf nodes with hand-over-hand read locks.
+//!
+//! Removals delete from the leaf without rebalancing (underflowing leaves
+//! are tolerated); the paper's workloads never delete.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_sync::{RawRwSpinLock, RelaxedCounter};
+
+/// Payload of a node: values in leaves, children in internal nodes.
+enum Payload<K, V, const F: usize> {
+    /// Values aligned with `keys`.
+    Leaf([MaybeUninit<V>; F]),
+    /// `first_child` covers keys below `keys[0]`; `children[i]` covers keys
+    /// in `[keys[i], keys[i+1])`.
+    Internal {
+        first_child: *mut Node<K, V, F>,
+        children: [*mut Node<K, V, F>; F],
+    },
+}
+
+/// Guarded interior of a node.
+struct Inner<K, V, const F: usize> {
+    len: usize,
+    keys: [MaybeUninit<K>; F],
+    payload: Payload<K, V, F>,
+    /// Right neighbour at the leaf level (null elsewhere / at the end).
+    next_leaf: *mut Node<K, V, F>,
+}
+
+/// A B+-tree node with up to `F` keys.
+#[repr(align(64))]
+struct Node<K, V, const F: usize> {
+    lock: RawRwSpinLock,
+    is_leaf: bool,
+    inner: UnsafeCell<Inner<K, V, F>>,
+}
+
+impl<K: Copy + Ord, V: Copy, const F: usize> Node<K, V, F> {
+    fn alloc_leaf() -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            lock: RawRwSpinLock::new(),
+            is_leaf: true,
+            inner: UnsafeCell::new(Inner {
+                len: 0,
+                keys: [const { MaybeUninit::uninit() }; F],
+                payload: Payload::Leaf([const { MaybeUninit::uninit() }; F]),
+                next_leaf: ptr::null_mut(),
+            }),
+        }))
+    }
+
+    fn alloc_internal(first_child: *mut Self) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            lock: RawRwSpinLock::new(),
+            is_leaf: false,
+            inner: UnsafeCell::new(Inner {
+                len: 0,
+                keys: [const { MaybeUninit::uninit() }; F],
+                payload: Payload::Internal {
+                    first_child,
+                    children: [ptr::null_mut(); F],
+                },
+                next_leaf: ptr::null_mut(),
+            }),
+        }))
+    }
+
+    /// # Safety: caller must hold the node's lock (shared or exclusive).
+    unsafe fn inner(&self) -> &Inner<K, V, F> {
+        &*self.inner.get()
+    }
+
+    /// # Safety: caller must hold the node's lock exclusively.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn inner_mut(&self) -> &mut Inner<K, V, F> {
+        &mut *self.inner.get()
+    }
+
+    /// Number of keys strictly less than `key`.
+    ///
+    /// # Safety: caller must hold the node's lock.
+    unsafe fn lower_bound(&self, key: &K) -> usize {
+        let inner = self.inner();
+        let mut lo = 0;
+        let mut hi = inner.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if inner.keys[mid].assume_init_ref() < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Number of keys less than or equal to `key`.
+    ///
+    /// # Safety: caller must hold the node's lock.
+    unsafe fn upper_bound(&self, key: &K) -> usize {
+        let inner = self.inner();
+        let mut lo = 0;
+        let mut hi = inner.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if inner.keys[mid].assume_init_ref() <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Child to follow when searching for `key`.
+    ///
+    /// # Safety: caller must hold the node's lock; node must be internal.
+    unsafe fn child_for(&self, key: &K) -> *mut Self {
+        let slot = self.upper_bound(key);
+        match &self.inner().payload {
+            Payload::Internal {
+                first_child,
+                children,
+            } => {
+                if slot == 0 {
+                    *first_child
+                } else {
+                    children[slot - 1]
+                }
+            }
+            Payload::Leaf(_) => unreachable!("child_for on a leaf"),
+        }
+    }
+}
+
+/// A concurrent B+-tree with optimistic concurrency control.
+///
+/// `F` is the number of keys per node; the default of 64 matches the
+/// paper's 1024-byte B+-tree nodes for 16-byte key-value pairs.
+///
+/// # Example
+///
+/// ```
+/// use bskip_baselines::OccBTree;
+/// use bskip_index::ConcurrentIndex;
+///
+/// let tree: OccBTree<u64, u64> = OccBTree::new();
+/// tree.insert(10, 100);
+/// assert_eq!(tree.get(&10), Some(100));
+/// assert_eq!(tree.root_write_locks(), 0); // no split has retired to the root yet
+/// ```
+pub struct OccBTree<K, V, const F: usize = 64> {
+    /// Tree-level lock guarding the root pointer: readers hold it shared
+    /// just long enough to lock the root node; pessimistic writers hold it
+    /// exclusively ("the root write lock").
+    tree_lock: RawRwSpinLock,
+    root: AtomicPtr<Node<K, V, F>>,
+    len: AtomicUsize,
+    root_write_locks: RelaxedCounter,
+}
+
+// SAFETY: node state is only accessed under per-node locks (plus the tree
+// lock for the root pointer), so sharing across threads is sound whenever
+// keys and values are shareable.
+unsafe impl<K: IndexKey, V: IndexValue, const F: usize> Send for OccBTree<K, V, F> {}
+unsafe impl<K: IndexKey, V: IndexValue, const F: usize> Sync for OccBTree<K, V, F> {}
+
+impl<K: IndexKey, V: IndexValue, const F: usize> Default for OccBTree<K, V, F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        assert!(F >= 4, "fanout must be at least 4");
+        OccBTree {
+            tree_lock: RawRwSpinLock::new(),
+            root: AtomicPtr::new(Node::alloc_leaf()),
+            len: AtomicUsize::new(0),
+            root_write_locks: RelaxedCounter::new(),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many operations retired to the root and took the tree-level lock
+    /// in write mode (the statistic reported in Section 5.2 of the paper).
+    pub fn root_write_locks(&self) -> u64 {
+        self.root_write_locks.get()
+    }
+
+    /// Resets the root-write-lock counter (between benchmark phases).
+    pub fn reset_root_write_locks(&self) {
+        self.root_write_locks.reset();
+    }
+
+    /// Locks the root node in shared mode and returns it (the tree lock is
+    /// held only for the duration of the root acquisition).
+    ///
+    /// # Safety: internal; relies on nodes never being freed while shared.
+    unsafe fn acquire_root_shared(&self) -> *mut Node<K, V, F> {
+        self.tree_lock.lock_shared();
+        let root = self.root.load(Ordering::Acquire);
+        (*root).lock.lock_shared();
+        self.tree_lock.unlock_shared();
+        root
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        // SAFETY: hand-over-hand read locking from the root to the leaf.
+        unsafe {
+            let mut node = self.acquire_root_shared();
+            while !(*node).is_leaf {
+                let child = (*node).child_for(key);
+                (*child).lock.lock_shared();
+                (*node).lock.unlock_shared();
+                node = child;
+            }
+            let slot = (*node).lower_bound(key);
+            let inner = (*node).inner();
+            let result = if slot < inner.len && inner.keys[slot].assume_init_ref() == key {
+                match &inner.payload {
+                    Payload::Leaf(values) => Some(values[slot].assume_init()),
+                    Payload::Internal { .. } => unreachable!(),
+                }
+            } else {
+                None
+            };
+            (*node).lock.unlock_shared();
+            result
+        }
+    }
+
+    /// Range scan: visits up to `len` pairs with keys `>= start` in order.
+    pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        // SAFETY: HOH read locking down to the leaf and along the leaf chain.
+        unsafe {
+            let mut node = self.acquire_root_shared();
+            while !(*node).is_leaf {
+                let child = (*node).child_for(start);
+                (*child).lock.lock_shared();
+                (*node).lock.unlock_shared();
+                node = child;
+            }
+            let mut slot = (*node).lower_bound(start);
+            let mut visited = 0;
+            loop {
+                let inner = (*node).inner();
+                let values = match &inner.payload {
+                    Payload::Leaf(values) => values,
+                    Payload::Internal { .. } => unreachable!(),
+                };
+                while slot < inner.len && visited < len {
+                    let key = inner.keys[slot].assume_init();
+                    let value = values[slot].assume_init();
+                    visit(&key, &value);
+                    visited += 1;
+                    slot += 1;
+                }
+                if visited == len {
+                    break;
+                }
+                let next = inner.next_leaf;
+                if next.is_null() {
+                    break;
+                }
+                (*next).lock.lock_shared();
+                (*node).lock.unlock_shared();
+                node = next;
+                slot = 0;
+            }
+            (*node).lock.unlock_shared();
+            visited
+        }
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        // Optimistic pass: reader locks down, writer lock on the leaf.
+        // SAFETY: HOH locking; leaf mutations only under its write lock.
+        unsafe {
+            self.tree_lock.lock_shared();
+            let root = self.root.load(Ordering::Acquire);
+            if (*root).is_leaf {
+                (*root).lock.lock_exclusive();
+            } else {
+                (*root).lock.lock_shared();
+            }
+            self.tree_lock.unlock_shared();
+            let mut node = root;
+            while !(*node).is_leaf {
+                let child = (*node).child_for(&key);
+                if (*child).is_leaf {
+                    (*child).lock.lock_exclusive();
+                } else {
+                    (*child).lock.lock_shared();
+                }
+                (*node).lock.unlock_shared();
+                node = child;
+            }
+            // `node` is the leaf, write-locked.
+            let slot = (*node).lower_bound(&key);
+            let inner = (*node).inner_mut();
+            if slot < inner.len && inner.keys[slot].assume_init_ref() == &key {
+                let values = match &mut inner.payload {
+                    Payload::Leaf(values) => values,
+                    Payload::Internal { .. } => unreachable!(),
+                };
+                let old = values[slot].assume_init();
+                values[slot] = MaybeUninit::new(value);
+                (*node).lock.unlock_exclusive();
+                return Some(old);
+            }
+            if inner.len < F {
+                insert_into_leaf(inner, slot, key, value);
+                (*node).lock.unlock_exclusive();
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            // Leaf is full: retire to the root and go pessimistic.
+            (*node).lock.unlock_exclusive();
+        }
+        self.insert_pessimistic(key, value)
+    }
+
+    /// The pessimistic retry: take the tree lock in write mode and descend
+    /// with writer locks, splitting full nodes preemptively.
+    fn insert_pessimistic(&self, key: K, value: V) -> Option<V> {
+        self.root_write_locks.incr();
+        // SAFETY: every node on the descent path is locked exclusively
+        // before being read or modified; newly allocated nodes are private
+        // until their parent (also exclusively locked) publishes them.
+        unsafe {
+            self.tree_lock.lock_exclusive();
+            let mut root = self.root.load(Ordering::Acquire);
+            (*root).lock.lock_exclusive();
+            if (*root).inner().len == F {
+                // Split the root: the old root becomes the left half.
+                let (right, separator) = split_node(root);
+                let new_root = Node::alloc_internal(root);
+                {
+                    let inner = (*new_root).inner_mut();
+                    inner.keys[0] = MaybeUninit::new(separator);
+                    match &mut inner.payload {
+                        Payload::Internal { children, .. } => children[0] = right,
+                        Payload::Leaf(_) => unreachable!(),
+                    }
+                    inner.len = 1;
+                }
+                self.root.store(new_root, Ordering::Release);
+                (*new_root).lock.lock_exclusive();
+                (*root).lock.unlock_exclusive();
+                root = new_root;
+            }
+            self.tree_lock.unlock_exclusive();
+
+            // Descend with writer latch crabbing; every full child is split
+            // before we step into it, so parents always have room.
+            let mut node = root;
+            while !(*node).is_leaf {
+                let child = (*node).child_for(&key);
+                (*child).lock.lock_exclusive();
+                let child = if (*child).inner().len == F {
+                    let (right, separator) = split_node(child);
+                    let position = (*node).lower_bound(&separator);
+                    insert_child(&mut *(*node).inner_mut(), position, separator, right);
+                    if key >= separator {
+                        (*child).lock.unlock_exclusive();
+                        (*right).lock.lock_exclusive();
+                        right
+                    } else {
+                        child
+                    }
+                } else {
+                    child
+                };
+                (*node).lock.unlock_exclusive();
+                node = child;
+            }
+            // Leaf with room guaranteed.
+            let slot = (*node).lower_bound(&key);
+            let inner = (*node).inner_mut();
+            let result = if slot < inner.len && inner.keys[slot].assume_init_ref() == &key {
+                let values = match &mut inner.payload {
+                    Payload::Leaf(values) => values,
+                    Payload::Internal { .. } => unreachable!(),
+                };
+                let old = values[slot].assume_init();
+                values[slot] = MaybeUninit::new(value);
+                Some(old)
+            } else {
+                insert_into_leaf(inner, slot, key, value);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                None
+            };
+            (*node).lock.unlock_exclusive();
+            result
+        }
+    }
+
+    /// Removes `key` from its leaf (no rebalancing), returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        // SAFETY: HOH locking with an exclusive lock on the leaf only.
+        unsafe {
+            self.tree_lock.lock_shared();
+            let root = self.root.load(Ordering::Acquire);
+            if (*root).is_leaf {
+                (*root).lock.lock_exclusive();
+            } else {
+                (*root).lock.lock_shared();
+            }
+            self.tree_lock.unlock_shared();
+            let mut node = root;
+            while !(*node).is_leaf {
+                let child = (*node).child_for(key);
+                if (*child).is_leaf {
+                    (*child).lock.lock_exclusive();
+                } else {
+                    (*child).lock.lock_shared();
+                }
+                (*node).lock.unlock_shared();
+                node = child;
+            }
+            let slot = (*node).lower_bound(key);
+            let inner = (*node).inner_mut();
+            let result = if slot < inner.len && inner.keys[slot].assume_init_ref() == key {
+                let len = inner.len;
+                let keys_ptr = inner.keys.as_mut_ptr();
+                ptr::copy(keys_ptr.add(slot + 1), keys_ptr.add(slot), len - slot - 1);
+                let values = match &mut inner.payload {
+                    Payload::Leaf(values) => values,
+                    Payload::Internal { .. } => unreachable!(),
+                };
+                let old = values[slot].assume_init();
+                let values_ptr = values.as_mut_ptr();
+                ptr::copy(values_ptr.add(slot + 1), values_ptr.add(slot), len - slot - 1);
+                inner.len -= 1;
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                Some(old)
+            } else {
+                None
+            };
+            (*node).lock.unlock_exclusive();
+            result
+        }
+    }
+}
+
+/// Inserts a key/value pair into a (non-full) leaf at `slot`.
+///
+/// # Safety: the caller holds the leaf's exclusive lock and `slot <= len < F`.
+unsafe fn insert_into_leaf<K, V, const F: usize>(
+    inner: &mut Inner<K, V, F>,
+    slot: usize,
+    key: K,
+    value: V,
+) {
+    debug_assert!(inner.len < F);
+    let len = inner.len;
+    let keys_ptr = inner.keys.as_mut_ptr();
+    ptr::copy(keys_ptr.add(slot), keys_ptr.add(slot + 1), len - slot);
+    inner.keys[slot] = MaybeUninit::new(key);
+    match &mut inner.payload {
+        Payload::Leaf(values) => {
+            let values_ptr = values.as_mut_ptr();
+            ptr::copy(values_ptr.add(slot), values_ptr.add(slot + 1), len - slot);
+            values[slot] = MaybeUninit::new(value);
+        }
+        Payload::Internal { .. } => unreachable!("insert_into_leaf on an internal node"),
+    }
+    inner.len += 1;
+}
+
+/// Inserts a separator key and right-child pointer into a (non-full)
+/// internal node at key position `slot`.
+///
+/// # Safety: the caller holds the node's exclusive lock and `slot <= len < F`.
+unsafe fn insert_child<K, V, const F: usize>(
+    inner: &mut Inner<K, V, F>,
+    slot: usize,
+    separator: K,
+    right: *mut Node<K, V, F>,
+) {
+    debug_assert!(inner.len < F);
+    let len = inner.len;
+    let keys_ptr = inner.keys.as_mut_ptr();
+    ptr::copy(keys_ptr.add(slot), keys_ptr.add(slot + 1), len - slot);
+    inner.keys[slot] = MaybeUninit::new(separator);
+    match &mut inner.payload {
+        Payload::Internal { children, .. } => {
+            children.copy_within(slot..len, slot + 1);
+            children[slot] = right;
+        }
+        Payload::Leaf(_) => unreachable!("insert_child on a leaf"),
+    }
+    inner.len += 1;
+}
+
+/// Splits a full node in half, returning the new right sibling and the
+/// separator key that should be inserted into the parent.
+///
+/// # Safety: the caller holds the node's exclusive lock; the new sibling is
+/// returned unlocked but is unreachable until the caller publishes it.
+unsafe fn split_node<K: Copy + Ord, V: Copy, const F: usize>(
+    node: *mut Node<K, V, F>,
+) -> (*mut Node<K, V, F>, K) {
+    let inner = (*node).inner_mut();
+    debug_assert_eq!(inner.len, F);
+    let half = F / 2;
+    let moved = F - half;
+    if (*node).is_leaf {
+        let right = Node::<K, V, F>::alloc_leaf();
+        let right_inner = (*right).inner_mut();
+        for offset in 0..moved {
+            right_inner.keys[offset] = MaybeUninit::new(inner.keys[half + offset].assume_init());
+        }
+        match (&mut inner.payload, &mut right_inner.payload) {
+            (Payload::Leaf(src), Payload::Leaf(dst)) => {
+                for offset in 0..moved {
+                    dst[offset] = MaybeUninit::new(src[half + offset].assume_init());
+                }
+            }
+            _ => unreachable!(),
+        }
+        right_inner.len = moved;
+        inner.len = half;
+        // Link the leaf chain.
+        right_inner.next_leaf = inner.next_leaf;
+        inner.next_leaf = right;
+        let separator = right_inner.keys[0].assume_init();
+        (right, separator)
+    } else {
+        // Internal split: the middle key moves up to the parent; its child
+        // becomes the right node's first child.
+        let separator = inner.keys[half].assume_init();
+        let (first_child, moved_children) = match &inner.payload {
+            Payload::Internal { children, .. } => {
+                (children[half], children[half + 1..F].to_vec())
+            }
+            Payload::Leaf(_) => unreachable!(),
+        };
+        let right = Node::<K, V, F>::alloc_internal(first_child);
+        let right_inner = (*right).inner_mut();
+        let moved_keys = F - half - 1;
+        for offset in 0..moved_keys {
+            right_inner.keys[offset] =
+                MaybeUninit::new(inner.keys[half + 1 + offset].assume_init());
+        }
+        match &mut right_inner.payload {
+            Payload::Internal { children, .. } => {
+                children[..moved_keys].copy_from_slice(&moved_children);
+            }
+            Payload::Leaf(_) => unreachable!(),
+        }
+        right_inner.len = moved_keys;
+        inner.len = half;
+        (right, separator)
+    }
+}
+
+impl<K, V, const F: usize> Drop for OccBTree<K, V, F> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` means no concurrent accessors; every node is
+        // reachable from the root exactly once.
+        unsafe {
+            let mut stack = vec![self.root.load(Ordering::Relaxed)];
+            while let Some(node) = stack.pop() {
+                if !(*node).is_leaf {
+                    let inner = &*(*node).inner.get();
+                    match &inner.payload {
+                        Payload::Internal {
+                            first_child,
+                            children,
+                        } => {
+                            stack.push(*first_child);
+                            for &child in &children[..inner.len] {
+                                stack.push(child);
+                            }
+                        }
+                        Payload::Leaf(_) => unreachable!(),
+                    }
+                }
+                drop(Box::from_raw(node));
+            }
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const F: usize> ConcurrentIndex<K, V> for OccBTree<K, V, F> {
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        OccBTree::insert(self, key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        OccBTree::get(self, key)
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        OccBTree::remove(self, key)
+    }
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        OccBTree::range(self, start, len, visit)
+    }
+    fn len(&self) -> usize {
+        OccBTree::len(self)
+    }
+    fn name(&self) -> &'static str {
+        "OCC B+-tree"
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats::new().with("root_write_locks", self.root_write_locks())
+    }
+    fn reset_stats(&self) {
+        self.reset_root_write_locks();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    type SmallTree = OccBTree<u64, u64, 8>;
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree = SmallTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.get(&5), None);
+        assert_eq!(tree.remove(&5), None);
+        assert_eq!(tree.range(&0, 10, &mut |_, _| panic!("empty")), 0);
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let tree = SmallTree::new();
+        assert_eq!(tree.insert(1, 10), None);
+        assert_eq!(tree.insert(2, 20), None);
+        assert_eq!(tree.insert(1, 11), Some(10));
+        assert_eq!(tree.get(&1), Some(11));
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.remove(&1), Some(11));
+        assert_eq!(tree.get(&1), None);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn splits_propagate_and_everything_stays_reachable() {
+        let tree = SmallTree::new();
+        for key in 0..5000u64 {
+            tree.insert(key, key * 2);
+        }
+        assert_eq!(tree.len(), 5000);
+        assert!(tree.root_write_locks() > 0, "splits must retire to the root");
+        for key in 0..5000u64 {
+            assert_eq!(tree.get(&key), Some(key * 2), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let tree = SmallTree::new();
+        let mut keys: Vec<u64> = (0..3000).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(3));
+        for &key in &keys {
+            tree.insert(key, !key);
+        }
+        for &key in &keys {
+            assert_eq!(tree.get(&key), Some(!key));
+        }
+        let mut scanned = Vec::new();
+        tree.range(&0, 5000, &mut |k, _| scanned.push(*k));
+        assert_eq!(scanned, (0..3000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scans_cross_leaf_boundaries() {
+        let tree = SmallTree::new();
+        for key in 0..200u64 {
+            tree.insert(key * 2, key);
+        }
+        let mut seen = Vec::new();
+        let count = tree.range(&101, 10, &mut |k, v| seen.push((*k, *v)));
+        assert_eq!(count, 10);
+        assert_eq!(seen[0], (102, 51));
+        assert_eq!(seen[9], (120, 60));
+    }
+
+    #[test]
+    fn differential_against_btreemap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let tree = SmallTree::new();
+        let mut oracle = BTreeMap::new();
+        for _ in 0..10_000 {
+            let key = rng.gen_range(0..2000u64);
+            match rng.gen_range(0..10) {
+                0..=6 => {
+                    let value = rng.gen::<u64>();
+                    assert_eq!(tree.insert(key, value), oracle.insert(key, value));
+                }
+                7..=8 => assert_eq!(tree.remove(&key), oracle.remove(&key)),
+                _ => assert_eq!(tree.get(&key), oracle.get(&key).copied()),
+            }
+        }
+        assert_eq!(tree.len(), oracle.len());
+        let mut scanned = Vec::new();
+        tree.range(&0, usize::MAX - 1, &mut |k, v| scanned.push((*k, *v)));
+        assert_eq!(scanned, oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let tree = Arc::new(OccBTree::<u64, u64, 16>::new());
+        let threads = 8u64;
+        let per_thread = 4000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let tree = Arc::clone(&tree);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let key = t * per_thread + i;
+                        tree.insert(key, key);
+                        // Read back a key inserted earlier by this thread.
+                        assert_eq!(tree.get(&key), Some(key));
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len() as u64, threads * per_thread);
+        for key in (0..threads * per_thread).step_by(131) {
+            assert_eq!(tree.get(&key), Some(key));
+        }
+        let mut previous = None;
+        let mut count = 0usize;
+        tree.range(&0, usize::MAX - 1, &mut |k, _| {
+            if let Some(p) = previous {
+                assert!(p < *k, "leaf chain out of order");
+            }
+            previous = Some(*k);
+            count += 1;
+        });
+        assert_eq!(count as u64, threads * per_thread);
+    }
+
+    #[test]
+    fn root_write_lock_counter_resets() {
+        let tree = SmallTree::new();
+        for key in 0..1000u64 {
+            tree.insert(key, key);
+        }
+        assert!(tree.root_write_locks() > 0);
+        tree.reset_root_write_locks();
+        assert_eq!(tree.root_write_locks(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline concurrent indices, re-implemented from scratch.
+//!
+//! The paper's evaluation (Section 5) compares the B-skiplist against five
+//! existing systems.  None of them is available as a Rust crate, so this
+//! crate re-implements each comparison system's *algorithmic skeleton*:
+//!
+//! | Paper system | This crate | Design |
+//! |---|---|---|
+//! | Facebook Folly `ConcurrentSkipList` | [`LockFreeSkipList`] | one element per node, towers of atomic `next` pointers, CAS insertion |
+//! | Java `ConcurrentSkipListMap` | [`LazySkipList`] | optimistic traversal + per-node locks with validation (Herlihy et al. style) |
+//! | No Hot Spot skiplist (NHS) | [`NhsSkipList`] | lock-free bottom lane, background thread rebuilds the index lanes |
+//! | tlx/BP-tree concurrent B+-tree (OBT) | [`OccBTree`] | reader-lock descent, writer-locked leaf, *retire to the root* with write locks on structural modification (classical OCC) |
+//! | Masstree | [`MasstreeLite`] | cache-line-sized internal nodes, version-validated optimistic reads, B+-tree leaves |
+//!
+//! All of them implement [`bskip_index::ConcurrentIndex`], so the YCSB
+//! driver and every experiment binary treats them uniformly.
+//!
+//! The goal is not to beat the original C++/Java systems on absolute
+//! numbers but to preserve the *shape* of the comparison: unblocked
+//! skiplists pay one cache line per element, the OCC B+-tree pays root
+//! retries on splits, and so on.  DESIGN.md documents this substitution.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod btree_occ;
+mod masstree_lite;
+mod skiplist_lazy;
+mod skiplist_lockfree;
+mod skiplist_nhs;
+
+pub use btree_occ::OccBTree;
+pub use masstree_lite::MasstreeLite;
+pub use skiplist_lazy::LazySkipList;
+pub use skiplist_lockfree::LockFreeSkipList;
+pub use skiplist_nhs::NhsSkipList;

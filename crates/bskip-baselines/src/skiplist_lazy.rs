@@ -1,0 +1,444 @@
+//! An optimistic, lock-based concurrent skiplist ("lazy skiplist").
+//!
+//! This follows the design of Herlihy, Lev, Luchangco and Shavit's *simple
+//! optimistic skiplist* — the algorithm family behind Folly's
+//! `ConcurrentSkipList`: traversals never take locks; insertions find the
+//! predecessors of the new tower at every level, lock those predecessors,
+//! *validate* that the snapshot is still accurate, and only then link the
+//! new tower.  A `fully_linked` flag makes a tower visible atomically and a
+//! `marked` flag implements logical deletion.
+//!
+//! Like the other unblocked skiplist baselines, every element lives in its
+//! own heap node, so point operations touch one cache line per visited
+//! element — the behaviour the B-skiplist is designed to avoid.
+//!
+//! Physical unlinking of deleted towers is deferred to drop time (the
+//! paper's YCSB workloads never delete).
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_sync::{Backoff, RawRwSpinLock, RwSpinLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_LEVELS: usize = 24;
+
+thread_local! {
+    static LAZY_RNG: std::cell::RefCell<SmallRng> =
+        std::cell::RefCell::new(SmallRng::from_entropy());
+}
+
+fn sample_height() -> usize {
+    LAZY_RNG.with(|rng| {
+        let mut rng = rng.borrow_mut();
+        let mut height = 1;
+        while height < MAX_LEVELS && rng.gen_bool(0.5) {
+            height += 1;
+        }
+        height
+    })
+}
+
+struct LazyNode<K, V> {
+    key: K,
+    value: RwSpinLock<V>,
+    /// Per-node mutex taken (exclusively) while this node's forward
+    /// pointers are being changed by an insertion that uses it as a
+    /// predecessor.
+    lock: RawRwSpinLock,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    next: Box<[AtomicPtr<LazyNode<K, V>>]>,
+}
+
+impl<K, V> LazyNode<K, V> {
+    fn new(key: K, value: V, height: usize) -> Box<Self> {
+        Box::new(LazyNode {
+            key,
+            value: RwSpinLock::new(value),
+            lock: RawRwSpinLock::new(),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+            next: (0..height)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        })
+    }
+}
+
+/// An optimistic lock-based concurrent skiplist with one element per node.
+///
+/// # Example
+///
+/// ```
+/// use bskip_baselines::LazySkipList;
+/// use bskip_index::ConcurrentIndex;
+///
+/// let list: LazySkipList<u64, u64> = LazySkipList::new();
+/// list.insert(5, 50);
+/// assert_eq!(list.get(&5), Some(50));
+/// ```
+pub struct LazySkipList<K, V> {
+    head: Box<[AtomicPtr<LazyNode<K, V>>]>,
+    /// Lock standing in for the head sentinel's per-node lock (used when a
+    /// new tower's predecessor at some level is the head itself).
+    head_lock: RawRwSpinLock,
+    len: AtomicUsize,
+}
+
+// SAFETY: nodes are mutated only through atomics, the per-node locks and
+// the value lock; nodes are never freed while the list is shared.
+unsafe impl<K: IndexKey, V: IndexValue> Send for LazySkipList<K, V> {}
+unsafe impl<K: IndexKey, V: IndexValue> Sync for LazySkipList<K, V> {}
+
+impl<K: IndexKey, V: IndexValue> Default for LazySkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        LazySkipList {
+            head: (0..MAX_LEVELS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            head_lock: RawRwSpinLock::new(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// # Safety: `pred`, when non-null, must point to a live node of
+    /// sufficient height.
+    unsafe fn slot(&self, pred: *mut LazyNode<K, V>, level: usize) -> &AtomicPtr<LazyNode<K, V>> {
+        if pred.is_null() {
+            &self.head[level]
+        } else {
+            &(*pred).next[level]
+        }
+    }
+
+    unsafe fn lock_of(&self, pred: *mut LazyNode<K, V>) -> &RawRwSpinLock {
+        if pred.is_null() {
+            &self.head_lock
+        } else {
+            &(*pred).lock
+        }
+    }
+
+    /// Optimistic (lock-free) search for the predecessors and successors of
+    /// `key` at every level.  Returns the highest level at which the key was
+    /// found, if any.
+    ///
+    /// # Safety: nodes are never freed while the list is shared.
+    unsafe fn find(
+        &self,
+        key: &K,
+        preds: &mut [*mut LazyNode<K, V>; MAX_LEVELS],
+        succs: &mut [*mut LazyNode<K, V>; MAX_LEVELS],
+    ) -> Option<usize> {
+        let mut found = None;
+        let mut pred: *mut LazyNode<K, V> = std::ptr::null_mut();
+        for level in (0..MAX_LEVELS).rev() {
+            let mut curr = self.slot(pred, level).load(Ordering::Acquire);
+            while !curr.is_null() && (*curr).key < *key {
+                pred = curr;
+                curr = (*curr).next[level].load(Ordering::Acquire);
+            }
+            if found.is_none() && !curr.is_null() && (*curr).key == *key {
+                found = Some(level);
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        found
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
+        // SAFETY: optimistic traversal over never-freed nodes.
+        unsafe {
+            let found = self.find(key, &mut preds, &mut succs)?;
+            let node = succs[found];
+            if (*node).fully_linked.load(Ordering::Acquire) && !(*node).marked.load(Ordering::Acquire)
+            {
+                Some(*(*node).value.read())
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value` with upsert semantics.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let height = sample_height();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut backoff = Backoff::new();
+        // SAFETY: lazy-skiplist protocol — predecessors are locked and
+        // validated before any pointer is written.
+        unsafe {
+            loop {
+                if let Some(found) = self.find(&key, &mut preds, &mut succs) {
+                    let node = succs[found];
+                    if (*node).marked.load(Ordering::Acquire) {
+                        // Logically deleted: revive it with the new value.
+                        let mut guard = (*node).value.write();
+                        *guard = value;
+                        drop(guard);
+                        if (*node).marked.swap(false, Ordering::AcqRel) {
+                            self.len.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
+                        return None;
+                    }
+                    if !(*node).fully_linked.load(Ordering::Acquire) {
+                        // Another insert of the same key is in flight: wait
+                        // for it to become visible, then update.
+                        backoff.snooze();
+                        continue;
+                    }
+                    let mut guard = (*node).value.write();
+                    let old = std::mem::replace(&mut *guard, value);
+                    return Some(old);
+                }
+
+                // Lock the predecessors bottom-up, skipping duplicates, and
+                // validate the snapshot.
+                let mut locked: Vec<*mut LazyNode<K, V>> = Vec::with_capacity(height);
+                let mut valid = true;
+                for level in 0..height {
+                    let pred = preds[level];
+                    if !locked.contains(&pred) {
+                        self.lock_of(pred).lock_exclusive();
+                        locked.push(pred);
+                    }
+                    let succ = succs[level];
+                    let pred_ok = pred.is_null() || !(*pred).marked.load(Ordering::Acquire);
+                    let succ_ok = succ.is_null() || !(*succ).marked.load(Ordering::Acquire);
+                    if !(pred_ok
+                        && succ_ok
+                        && self.slot(pred, level).load(Ordering::Acquire) == succ)
+                    {
+                        valid = false;
+                        break;
+                    }
+                }
+                if !valid {
+                    for pred in locked {
+                        self.lock_of(pred).unlock_exclusive();
+                    }
+                    backoff.snooze();
+                    continue;
+                }
+
+                let node = Box::into_raw(LazyNode::new(key, value, height));
+                for level in 0..height {
+                    (*node).next[level].store(succs[level], Ordering::Relaxed);
+                }
+                for level in 0..height {
+                    self.slot(preds[level], level).store(node, Ordering::Release);
+                }
+                (*node).fully_linked.store(true, Ordering::Release);
+                for pred in locked {
+                    self.lock_of(pred).unlock_exclusive();
+                }
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+    }
+
+    /// Logically removes `key`.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
+        // SAFETY: optimistic traversal over never-freed nodes.
+        unsafe {
+            let found = self.find(key, &mut preds, &mut succs)?;
+            let node = succs[found];
+            if !(*node).fully_linked.load(Ordering::Acquire) {
+                return None;
+            }
+            if (*node).marked.swap(true, Ordering::AcqRel) {
+                return None;
+            }
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            Some(*(*node).value.read())
+        }
+    }
+
+    /// Range scan over live keys `>= start`.
+    pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
+        // SAFETY: optimistic traversal over never-freed nodes.
+        unsafe {
+            self.find(start, &mut preds, &mut succs);
+            let mut curr = succs[0];
+            let mut visited = 0;
+            while !curr.is_null() && visited < len {
+                if (*curr).fully_linked.load(Ordering::Acquire)
+                    && !(*curr).marked.load(Ordering::Acquire)
+                {
+                    let value = *(*curr).value.read();
+                    visit(&(*curr).key, &value);
+                    visited += 1;
+                }
+                curr = (*curr).next[0].load(Ordering::Acquire);
+            }
+            visited
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> Drop for LazySkipList<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; every tower is on the bottom level once.
+        unsafe {
+            let mut curr = self.head[0].load(Ordering::Relaxed);
+            while !curr.is_null() {
+                let next = (*curr).next[0].load(Ordering::Relaxed);
+                drop(Box::from_raw(curr));
+                curr = next;
+            }
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LazySkipList<K, V> {
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        LazySkipList::insert(self, key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        LazySkipList::get(self, key)
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        LazySkipList::remove(self, key)
+    }
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        LazySkipList::range(self, start, len, visit)
+    }
+    fn len(&self) -> usize {
+        LazySkipList::len(self)
+    }
+    fn name(&self) -> &'static str {
+        "lazy skiplist"
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats::new().with("keys", self.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_update_remove() {
+        let list: LazySkipList<u64, u64> = LazySkipList::new();
+        assert_eq!(list.insert(1, 10), None);
+        assert_eq!(list.insert(1, 11), Some(10));
+        assert_eq!(list.get(&1), Some(11));
+        assert_eq!(list.remove(&1), Some(11));
+        assert_eq!(list.get(&1), None);
+        assert_eq!(list.remove(&1), None);
+        assert_eq!(list.len(), 0);
+        assert_eq!(list.insert(1, 12), None);
+        assert_eq!(list.get(&1), Some(12));
+    }
+
+    #[test]
+    fn bulk_insert_matches_reference() {
+        let list: LazySkipList<u64, u64> = LazySkipList::new();
+        let mut reference = BTreeMap::new();
+        for i in 0..3000u64 {
+            let key = (i * 2654435761) % 50_000;
+            assert_eq!(list.insert(key, i), reference.insert(key, i));
+        }
+        for (key, value) in &reference {
+            assert_eq!(list.get(key), Some(*value));
+        }
+        let mut scanned = Vec::new();
+        list.range(&0, usize::MAX - 1, &mut |k, v| scanned.push((*k, *v)));
+        assert_eq!(scanned, reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let list = Arc::new(LazySkipList::<u64, u64>::new());
+        let threads = 8u64;
+        let per_thread = 3000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let list = Arc::clone(&list);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Interleaved key space so threads contend on the
+                        // same regions.
+                        list.insert(i * threads + t, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len() as u64, threads * per_thread);
+        let mut previous = None;
+        let mut count = 0u64;
+        list.range(&0, usize::MAX - 1, &mut |k, _| {
+            if let Some(p) = previous {
+                assert!(p < *k);
+            }
+            previous = Some(*k);
+            count += 1;
+        });
+        assert_eq!(count, threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_mixed_read_write() {
+        let list = Arc::new(LazySkipList::<u64, u64>::new());
+        for key in 0..1000u64 {
+            list.insert(key, key);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let list = Arc::clone(&list);
+                scope.spawn(move || {
+                    for i in 0..5000u64 {
+                        let key = (i * 31 + t * 7) % 2000;
+                        if key % 3 == 0 {
+                            list.insert(key, key + 1);
+                        } else {
+                            let _ = list.get(&key);
+                        }
+                    }
+                });
+            }
+        });
+        // Everything originally inserted is still reachable.
+        for key in (0..1000u64).filter(|k| k % 3 != 0) {
+            assert_eq!(list.get(&key), Some(key));
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! A classic lock-free concurrent skiplist: one element per node.
+//!
+//! This is the stand-in for Facebook Folly's `ConcurrentSkipList` (and,
+//! structurally, for Java's `ConcurrentSkipListMap`): every element gets its
+//! own *tower* node with one atomic `next` pointer per level, towers are
+//! linked bottom-up with compare-and-swap, and readers traverse without any
+//! locks.  It is exactly the design whose cache behaviour the paper
+//! criticizes — a point lookup touches one cache line per visited element —
+//! which is what the Table 1 / Figure 1 experiments need to reproduce.
+//!
+//! Scope notes (matching the paper's evaluation):
+//!
+//! * Insertions and lookups are lock-free.  Values are updated in place
+//!   under a tiny per-node spinlock so `insert` can return the previous
+//!   value with upsert semantics.
+//! * `remove` is *logical*: the node is marked deleted and skipped by
+//!   queries; physical unlinking and reclamation happen when the list is
+//!   dropped.  The YCSB workloads used in the paper contain no deletes.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_sync::RwSpinLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum number of levels in a tower.  With promotion probability 1/2
+/// this supports far more elements than any benchmark in the repository.
+const MAX_LEVELS: usize = 24;
+
+thread_local! {
+    static TOWER_RNG: std::cell::RefCell<SmallRng> =
+        std::cell::RefCell::new(SmallRng::from_entropy());
+}
+
+/// Samples a tower height in `1..=MAX_LEVELS` with the traditional
+/// promotion probability of 1/2.
+fn sample_tower_height() -> usize {
+    TOWER_RNG.with(|rng| {
+        let mut rng = rng.borrow_mut();
+        let mut height = 1;
+        while height < MAX_LEVELS && rng.gen_bool(0.5) {
+            height += 1;
+        }
+        height
+    })
+}
+
+/// One element of the skiplist: a key, its value, and a tower of atomic
+/// forward pointers.
+struct Tower<K, V> {
+    key: K,
+    value: RwSpinLock<V>,
+    deleted: AtomicBool,
+    next: Box<[AtomicPtr<Tower<K, V>>]>,
+}
+
+impl<K, V> Tower<K, V> {
+    fn new(key: K, value: V, height: usize) -> Box<Self> {
+        let next = (0..height)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Tower {
+            key,
+            value: RwSpinLock::new(value),
+            deleted: AtomicBool::new(false),
+            next,
+        })
+    }
+}
+
+/// A lock-free concurrent skiplist with one element per node.
+///
+/// # Example
+///
+/// ```
+/// use bskip_baselines::LockFreeSkipList;
+/// use bskip_index::ConcurrentIndex;
+///
+/// let list: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+/// list.insert(3, 30);
+/// list.insert(1, 10);
+/// assert_eq!(list.get(&3), Some(30));
+/// assert_eq!(list.len(), 2);
+/// ```
+pub struct LockFreeSkipList<K, V> {
+    /// Head forward pointers, one per level (`null` = end of level).
+    head: Box<[AtomicPtr<Tower<K, V>>]>,
+    len: AtomicUsize,
+}
+
+// SAFETY: nodes are only mutated through atomics and the per-node value
+// lock; traversals never free memory while the list is shared.
+unsafe impl<K: IndexKey, V: IndexValue> Send for LockFreeSkipList<K, V> {}
+unsafe impl<K: IndexKey, V: IndexValue> Sync for LockFreeSkipList<K, V> {}
+
+impl<K: IndexKey, V: IndexValue> Default for LockFreeSkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> LockFreeSkipList<K, V> {
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        let head = (0..MAX_LEVELS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LockFreeSkipList {
+            head,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The forward-pointer slot following `pred` at `level` (`pred == null`
+    /// addresses the head).
+    ///
+    /// # Safety
+    ///
+    /// `pred`, when non-null, must point to a live tower of height > `level`.
+    unsafe fn slot(&self, pred: *mut Tower<K, V>, level: usize) -> &AtomicPtr<Tower<K, V>> {
+        if pred.is_null() {
+            &self.head[level]
+        } else {
+            &(*pred).next[level]
+        }
+    }
+
+    /// Computes, for every level, the last tower with key `< key` (`null`
+    /// meaning the head) and its successor at that level.
+    ///
+    /// # Safety
+    ///
+    /// Internal: relies on towers never being freed while the list is
+    /// shared.
+    unsafe fn find_preds(
+        &self,
+        key: &K,
+    ) -> (
+        [*mut Tower<K, V>; MAX_LEVELS],
+        [*mut Tower<K, V>; MAX_LEVELS],
+    ) {
+        let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
+        let mut pred: *mut Tower<K, V> = std::ptr::null_mut();
+        for level in (0..MAX_LEVELS).rev() {
+            let mut curr = self.slot(pred, level).load(Ordering::Acquire);
+            while !curr.is_null() && (*curr).key < *key {
+                pred = curr;
+                curr = (*curr).next[level].load(Ordering::Acquire);
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        (preds, succs)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        // SAFETY: towers are never freed while the list is shared.
+        unsafe {
+            let mut pred: *mut Tower<K, V> = std::ptr::null_mut();
+            for level in (0..MAX_LEVELS).rev() {
+                let mut curr = self.slot(pred, level).load(Ordering::Acquire);
+                while !curr.is_null() && (*curr).key < *key {
+                    pred = curr;
+                    curr = (*curr).next[level].load(Ordering::Acquire);
+                }
+                if !curr.is_null() && (*curr).key == *key {
+                    if (*curr).deleted.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    return Some(*(*curr).value.read());
+                }
+            }
+            None
+        }
+    }
+
+    /// Inserts `key → value`, returning the previous value when the key was
+    /// already present (upsert semantics).
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        // SAFETY: CAS-linking protocol described in the module docs.
+        unsafe {
+            loop {
+                let (mut preds, mut succs) = self.find_preds(&key);
+                // Key already present: update the value in place.
+                if !succs[0].is_null() && (*succs[0]).key == key {
+                    let node = succs[0];
+                    let old = {
+                        let mut guard = (*node).value.write();
+                        std::mem::replace(&mut *guard, value)
+                    };
+                    let was_deleted = (*node).deleted.swap(false, Ordering::AcqRel);
+                    if was_deleted {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    return Some(old);
+                }
+
+                let height = sample_tower_height();
+                let node = Box::into_raw(Tower::new(key, value, height));
+                (*node).next[0].store(succs[0], Ordering::Relaxed);
+                if self
+                    .slot(preds[0], 0)
+                    .compare_exchange(succs[0], node, Ordering::Release, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Lost the race at the bottom level: reclaim and retry.
+                    drop(Box::from_raw(node));
+                    continue;
+                }
+
+                // Linked at the bottom level; now link the upper levels.
+                for level in 1..height {
+                    loop {
+                        let succ = succs[level];
+                        (*node).next[level].store(succ, Ordering::Relaxed);
+                        if self
+                            .slot(preds[level], level)
+                            .compare_exchange(succ, node, Ordering::Release, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                        // The neighbourhood changed: recompute it.
+                        let (new_preds, new_succs) = self.find_preds(&key);
+                        preds = new_preds;
+                        succs = new_succs;
+                        if succs[level] == node {
+                            // Another retry already linked this level (cannot
+                            // happen for distinct keys, but keeps the loop
+                            // robust).
+                            break;
+                        }
+                    }
+                }
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+    }
+
+    /// Logically removes `key`, returning its value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        // SAFETY: towers are never freed while the list is shared.
+        unsafe {
+            let (_, succs) = self.find_preds(key);
+            let node = succs[0];
+            if node.is_null() || (*node).key != *key {
+                return None;
+            }
+            if (*node).deleted.swap(true, Ordering::AcqRel) {
+                return None; // already deleted
+            }
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            Some(*(*node).value.read())
+        }
+    }
+
+    /// Range scan: visits up to `len` live pairs with keys `>= start`.
+    pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        // SAFETY: towers are never freed while the list is shared.
+        unsafe {
+            let (_, succs) = self.find_preds(start);
+            let mut curr = succs[0];
+            let mut visited = 0;
+            while !curr.is_null() && visited < len {
+                if !(*curr).deleted.load(Ordering::Acquire) {
+                    let value = *(*curr).value.read();
+                    visit(&(*curr).key, &value);
+                    visited += 1;
+                }
+                curr = (*curr).next[0].load(Ordering::Acquire);
+            }
+            visited
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> Drop for LockFreeSkipList<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` means no concurrent accessors remain; every
+        // tower is reachable from the bottom level exactly once.
+        unsafe {
+            let mut curr = self.head[0].load(Ordering::Relaxed);
+            while !curr.is_null() {
+                let next = (*curr).next[0].load(Ordering::Relaxed);
+                drop(Box::from_raw(curr));
+                curr = next;
+            }
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LockFreeSkipList<K, V> {
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        LockFreeSkipList::insert(self, key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        LockFreeSkipList::get(self, key)
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        LockFreeSkipList::remove(self, key)
+    }
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        LockFreeSkipList::range(self, start, len, visit)
+    }
+    fn len(&self) -> usize {
+        LockFreeSkipList::len(self)
+    }
+    fn name(&self) -> &'static str {
+        "lock-free skiplist"
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats::new().with("keys", self.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn tower_heights_are_in_range() {
+        for _ in 0..1000 {
+            let height = sample_tower_height();
+            assert!((1..=MAX_LEVELS).contains(&height));
+        }
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let list: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+        assert_eq!(list.get(&1), None);
+        assert_eq!(list.insert(1, 10), None);
+        assert_eq!(list.insert(2, 20), None);
+        assert_eq!(list.insert(1, 11), Some(10));
+        assert_eq!(list.get(&1), Some(11));
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.remove(&1), Some(11));
+        assert_eq!(list.get(&1), None);
+        assert_eq!(list.remove(&1), None);
+        assert_eq!(list.len(), 1);
+        // Re-inserting a logically deleted key revives it.
+        assert_eq!(list.insert(1, 12), None);
+        assert_eq!(list.get(&1), Some(12));
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn sorted_scan_matches_reference() {
+        let list: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+        let mut reference = BTreeMap::new();
+        for i in 0..2000u64 {
+            let key = (i * 7919) % 10_000;
+            list.insert(key, i);
+            reference.insert(key, i);
+        }
+        let mut scanned = Vec::new();
+        let count = list.range(&0, usize::MAX - 1, &mut |k, v| scanned.push((*k, *v)));
+        assert_eq!(count, reference.len());
+        assert_eq!(scanned, reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_skips_deleted_and_respects_len() {
+        let list: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+        for key in 0..20u64 {
+            list.insert(key, key);
+        }
+        list.remove(&3);
+        list.remove(&4);
+        let mut seen = Vec::new();
+        let count = list.range(&2, 4, &mut |k, _| seen.push(*k));
+        assert_eq!(count, 4);
+        assert_eq!(seen, vec![2, 5, 6, 7]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_are_all_present() {
+        let list = Arc::new(LockFreeSkipList::<u64, u64>::new());
+        let threads = 8u64;
+        let per_thread = 5_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let list = Arc::clone(&list);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        list.insert(t * per_thread + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len() as u64, threads * per_thread);
+        for t in 0..threads {
+            for i in (0..per_thread).step_by(97) {
+                assert_eq!(list.get(&(t * per_thread + i)), Some(i));
+            }
+        }
+        // The bottom level must be fully sorted.
+        let mut previous = None;
+        list.range(&0, usize::MAX - 1, &mut |k, _| {
+            if let Some(p) = previous {
+                assert!(p < *k);
+            }
+            previous = Some(*k);
+        });
+    }
+
+    #[test]
+    fn concurrent_same_key_upserts_keep_one_entry() {
+        let list = Arc::new(LockFreeSkipList::<u64, u64>::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let list = Arc::clone(&list);
+                scope.spawn(move || {
+                    for _ in 0..2_000 {
+                        list.insert(42, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len(), 1);
+        assert!(list.get(&42).is_some());
+        let mut seen = Vec::new();
+        list.range(&0, 10, &mut |k, _| seen.push(*k));
+        assert_eq!(seen, vec![42]);
+    }
+}

@@ -1,0 +1,436 @@
+//! A "No Hot Spot"-style skiplist: lock-free bottom lane plus a background
+//! adaptation thread that rebuilds the index lanes.
+//!
+//! The No Hot Spot skiplist (Crain, Gramoli, Raynal, ICDCS'13) removes the
+//! insertion hot spot at the top of the skiplist by letting foreground
+//! threads modify *only the bottom level*; a background thread periodically
+//! rebuilds the upper index so searches stay logarithmic.  This module
+//! reproduces that architecture:
+//!
+//! * the bottom lane is a lock-free sorted linked list (CAS insertion,
+//!   logical deletion);
+//! * the index is an immutable snapshot of evenly spaced "guard" entries,
+//!   swapped in by a background thread every `sleep_time` (the same
+//!   parameter the paper tunes: small during the load phase, large during
+//!   the run phase);
+//! * searches consult the current index snapshot to find a starting guard
+//!   and then walk the bottom lane.
+//!
+//! Between rebuilds the index lags behind the data, so freshly inserted
+//! regions require long bottom-lane walks — exactly the behaviour that
+//! makes NHS slow on insert-heavy YCSB phases in the paper's evaluation.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_sync::{RwSpinLock, SpinLatch};
+
+/// Every `INDEX_STRIDE`-th bottom-lane node becomes a guard in the index.
+const INDEX_STRIDE: usize = 16;
+
+struct NhsNode<K, V> {
+    key: K,
+    value: RwSpinLock<V>,
+    deleted: AtomicBool,
+    next: AtomicPtr<NhsNode<K, V>>,
+}
+
+/// An immutable snapshot of index guards (key → bottom-lane node).
+struct IndexSnapshot<K, V> {
+    guards: Vec<(K, *mut NhsNode<K, V>)>,
+}
+
+// SAFETY: guard pointers refer to nodes that are never freed while the
+// owning `Inner` is alive; the snapshot itself is immutable.
+unsafe impl<K: IndexKey, V: IndexValue> Send for IndexSnapshot<K, V> {}
+unsafe impl<K: IndexKey, V: IndexValue> Sync for IndexSnapshot<K, V> {}
+
+struct Inner<K, V> {
+    head: AtomicPtr<NhsNode<K, V>>,
+    index: RwSpinLock<Arc<IndexSnapshot<K, V>>>,
+    len: AtomicUsize,
+    stop: SpinLatch,
+    rebuilds: AtomicUsize,
+}
+
+// SAFETY: same argument as the lock-free skiplist — nodes are only mutated
+// through atomics and the per-node value lock, and are never freed while
+// shared.
+unsafe impl<K: IndexKey, V: IndexValue> Send for Inner<K, V> {}
+unsafe impl<K: IndexKey, V: IndexValue> Sync for Inner<K, V> {}
+
+impl<K: IndexKey, V: IndexValue> Inner<K, V> {
+    fn new() -> Self {
+        Inner {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            index: RwSpinLock::new(Arc::new(IndexSnapshot { guards: Vec::new() })),
+            len: AtomicUsize::new(0),
+            stop: SpinLatch::new(),
+            rebuilds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Starting point for a bottom-lane walk towards `key`: the guard with
+    /// the largest key not exceeding `key`, or the list head.
+    fn start_for(&self, key: &K) -> *mut NhsNode<K, V> {
+        let snapshot = self.index.read().clone();
+        let position = snapshot.guards.partition_point(|(guard, _)| guard <= key);
+        if position == 0 {
+            std::ptr::null_mut()
+        } else {
+            snapshot.guards[position - 1].1
+        }
+    }
+
+    /// # Safety: `pred`, when non-null, must point to a live node.
+    unsafe fn slot(&self, pred: *mut NhsNode<K, V>) -> &AtomicPtr<NhsNode<K, V>> {
+        if pred.is_null() {
+            &self.head
+        } else {
+            &(*pred).next
+        }
+    }
+
+    /// Finds the last node with key `< key` (null = head position) and its
+    /// successor, starting from the index-provided guard.
+    ///
+    /// # Safety: nodes are never freed while the `Inner` is shared.
+    unsafe fn find_from_index(&self, key: &K) -> (*mut NhsNode<K, V>, *mut NhsNode<K, V>) {
+        let mut pred = self.start_for(key);
+        // The guard's key is <= key, but the guard node itself might be the
+        // match; walk from the guard's predecessor position.
+        if !pred.is_null() && (*pred).key >= *key {
+            pred = std::ptr::null_mut();
+        }
+        let mut curr = self.slot(pred).load(Ordering::Acquire);
+        while !curr.is_null() && (*curr).key < *key {
+            pred = curr;
+            curr = (*curr).next.load(Ordering::Acquire);
+        }
+        (pred, curr)
+    }
+
+    /// Rebuilds the index snapshot by sampling every `INDEX_STRIDE`-th
+    /// bottom-lane node (the background thread's job).
+    fn rebuild_index(&self) {
+        let mut guards = Vec::new();
+        // SAFETY: nodes are never freed while the `Inner` is shared.
+        unsafe {
+            let mut curr = self.head.load(Ordering::Acquire);
+            let mut position = 0usize;
+            while !curr.is_null() {
+                if position % INDEX_STRIDE == 0 {
+                    guards.push(((*curr).key, curr));
+                }
+                position += 1;
+                curr = (*curr).next.load(Ordering::Acquire);
+            }
+        }
+        *self.index.write() = Arc::new(IndexSnapshot { guards });
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<K, V> Drop for Inner<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: the background thread has been joined; exclusive access.
+        unsafe {
+            let mut curr = self.head.load(Ordering::Relaxed);
+            while !curr.is_null() {
+                let next = (*curr).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(curr));
+                curr = next;
+            }
+        }
+    }
+}
+
+/// A No-Hot-Spot-style skiplist with a background index-adaptation thread.
+///
+/// # Example
+///
+/// ```
+/// use bskip_baselines::NhsSkipList;
+/// use bskip_index::ConcurrentIndex;
+/// use std::time::Duration;
+///
+/// let list: NhsSkipList<u64, u64> = NhsSkipList::with_sleep_time(Duration::from_micros(100));
+/// list.insert(1, 10);
+/// assert_eq!(list.get(&1), Some(10));
+/// ```
+pub struct NhsSkipList<K, V> {
+    inner: Arc<Inner<K, V>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<K: IndexKey, V: IndexValue> Default for NhsSkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
+    /// Creates a list whose background thread adapts the index every
+    /// 100 microseconds (the paper's load-phase setting).
+    pub fn new() -> Self {
+        Self::with_sleep_time(Duration::from_micros(100))
+    }
+
+    /// Creates a list with an explicit adaptation interval.
+    pub fn with_sleep_time(sleep_time: Duration) -> Self {
+        let inner = Arc::new(Inner::new());
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::spawn(move || {
+            let slice = Duration::from_millis(1).min(sleep_time.max(Duration::from_micros(50)));
+            let mut elapsed = Duration::ZERO;
+            while !worker_inner.stop.is_set() {
+                std::thread::sleep(slice);
+                elapsed += slice;
+                if elapsed >= sleep_time {
+                    worker_inner.rebuild_index();
+                    elapsed = Duration::ZERO;
+                }
+            }
+        });
+        NhsSkipList {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// Forces an immediate index rebuild (the paper waits for the
+    /// background thread to finish balancing between the load and run
+    /// phases; benchmarks call this to do the same deterministically).
+    pub fn rebuild_index_now(&self) {
+        self.inner.rebuild_index();
+    }
+
+    /// Number of index rebuilds performed so far.
+    pub fn index_rebuilds(&self) -> usize {
+        self.inner.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        // SAFETY: nodes are never freed while the list is shared.
+        unsafe {
+            let (_, curr) = self.inner.find_from_index(key);
+            if !curr.is_null()
+                && (*curr).key == *key
+                && !(*curr).deleted.load(Ordering::Acquire)
+            {
+                Some(*(*curr).value.read())
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value` with upsert semantics (bottom lane only; the
+    /// index catches up at the next adaptation).
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        // SAFETY: CAS insertion into the bottom lane.
+        unsafe {
+            loop {
+                let (pred, curr) = self.inner.find_from_index(&key);
+                if !curr.is_null() && (*curr).key == key {
+                    let old = {
+                        let mut guard = (*curr).value.write();
+                        std::mem::replace(&mut *guard, value)
+                    };
+                    if (*curr).deleted.swap(false, Ordering::AcqRel) {
+                        self.inner.len.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    return Some(old);
+                }
+                let node = Box::into_raw(Box::new(NhsNode {
+                    key,
+                    value: RwSpinLock::new(value),
+                    deleted: AtomicBool::new(false),
+                    next: AtomicPtr::new(curr),
+                }));
+                if self
+                    .inner
+                    .slot(pred)
+                    .compare_exchange(curr, node, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.inner.len.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                drop(Box::from_raw(node));
+            }
+        }
+    }
+
+    /// Logically removes `key`.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        // SAFETY: nodes are never freed while the list is shared.
+        unsafe {
+            let (_, curr) = self.inner.find_from_index(key);
+            if curr.is_null() || (*curr).key != *key {
+                return None;
+            }
+            if (*curr).deleted.swap(true, Ordering::AcqRel) {
+                return None;
+            }
+            self.inner.len.fetch_sub(1, Ordering::Relaxed);
+            Some(*(*curr).value.read())
+        }
+    }
+
+    /// Range scan over live keys `>= start`.
+    pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        // SAFETY: nodes are never freed while the list is shared.
+        unsafe {
+            let (_, mut curr) = self.inner.find_from_index(start);
+            let mut visited = 0;
+            while !curr.is_null() && visited < len {
+                if !(*curr).deleted.load(Ordering::Acquire) {
+                    let value = *(*curr).value.read();
+                    visit(&(*curr).key, &value);
+                    visited += 1;
+                }
+                curr = (*curr).next.load(Ordering::Acquire);
+            }
+            visited
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> Drop for NhsSkipList<K, V> {
+    fn drop(&mut self) {
+        self.inner.stop.set();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for NhsSkipList<K, V> {
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        NhsSkipList::insert(self, key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        NhsSkipList::get(self, key)
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        NhsSkipList::remove(self, key)
+    }
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        NhsSkipList::range(self, start, len, visit)
+    }
+    fn len(&self) -> usize {
+        NhsSkipList::len(self)
+    }
+    fn name(&self) -> &'static str {
+        "NHS skiplist"
+    }
+    fn stats(&self) -> IndexStats {
+        IndexStats::new()
+            .with("keys", self.len() as u64)
+            .with("index_rebuilds", self.index_rebuilds() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn fast_list() -> NhsSkipList<u64, u64> {
+        NhsSkipList::with_sleep_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let list = fast_list();
+        assert_eq!(list.insert(5, 50), None);
+        assert_eq!(list.insert(5, 51), Some(50));
+        assert_eq!(list.get(&5), Some(51));
+        assert_eq!(list.remove(&5), Some(51));
+        assert_eq!(list.get(&5), None);
+        assert_eq!(list.len(), 0);
+    }
+
+    #[test]
+    fn index_rebuild_preserves_results() {
+        let list = fast_list();
+        let mut reference = BTreeMap::new();
+        for i in 0..3000u64 {
+            let key = (i * 48271) % 20_000;
+            list.insert(key, i);
+            reference.insert(key, i);
+        }
+        // Before any rebuild the index may be empty; results must not change
+        // after an explicit rebuild.
+        for (key, value) in reference.iter().take(100) {
+            assert_eq!(list.get(key), Some(*value));
+        }
+        list.rebuild_index_now();
+        assert!(list.index_rebuilds() >= 1);
+        for (key, value) in &reference {
+            assert_eq!(list.get(key), Some(*value));
+        }
+        let mut scanned = Vec::new();
+        list.range(&0, usize::MAX - 1, &mut |k, v| scanned.push((*k, *v)));
+        assert_eq!(scanned, reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_with_background_adaptation() {
+        let list = std::sync::Arc::new(NhsSkipList::<u64, u64>::with_sleep_time(
+            Duration::from_micros(200),
+        ));
+        let threads = 4u64;
+        let per_thread = 2500u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let list = std::sync::Arc::clone(&list);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        list.insert(i * threads + t, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len() as u64, threads * per_thread);
+        list.rebuild_index_now();
+        let mut previous = None;
+        let mut count = 0u64;
+        list.range(&0, usize::MAX - 1, &mut |k, _| {
+            if let Some(p) = previous {
+                assert!(p < *k);
+            }
+            previous = Some(*k);
+            count += 1;
+        });
+        assert_eq!(count, threads * per_thread);
+    }
+
+    #[test]
+    fn background_thread_shuts_down_on_drop() {
+        let list = NhsSkipList::<u64, u64>::with_sleep_time(Duration::from_millis(1));
+        for key in 0..100u64 {
+            list.insert(key, key);
+        }
+        // Dropping must join the worker without hanging.
+        drop(list);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion version of the Table 3 ablation: B-skiplist point-operation
+//! cost as a function of node size (32–512 entries per node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bskip_core::{BSkipConfig, BSkipList};
+use bskip_ycsb::keygen::record_key;
+
+const PRELOAD: u64 = 100_000;
+const BATCH: u64 = 1_000;
+
+fn build<const B: usize>() -> BSkipList<u64, u64, B> {
+    let list = BSkipList::<u64, u64, B>::with_config(BSkipConfig::paper_default());
+    for i in 0..PRELOAD {
+        list.insert(record_key(i), i);
+    }
+    list
+}
+
+fn bench_one<const B: usize>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    let list = build::<B>();
+    group.bench_function(BenchmarkId::new("get", B), |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            let mut found = 0u64;
+            for _ in 0..BATCH {
+                cursor = (cursor + 7919) % PRELOAD;
+                if list.get(&record_key(cursor)).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        });
+    });
+    group.bench_function(BenchmarkId::new("insert", B), |b| {
+        let mut cursor = PRELOAD;
+        b.iter(|| {
+            for _ in 0..BATCH {
+                list.insert(record_key(cursor), cursor);
+                cursor += 1;
+            }
+            black_box(cursor)
+        });
+    });
+}
+
+fn bench_node_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_size");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(BATCH));
+    bench_one::<32>(&mut group);
+    bench_one::<64>(&mut group);
+    bench_one::<128>(&mut group);
+    bench_one::<256>(&mut group);
+    bench_one::<512>(&mut group);
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_sizes);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks: single-threaded insert / find / scan cost of
+//! every evaluated index at a fixed size.
+//!
+//! These complement the experiment binaries (which measure multi-threaded
+//! YCSB throughput): they isolate the per-operation cache behaviour the
+//! paper's Table 1 explains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bskip_bench::IndexKind;
+use bskip_ycsb::keygen::record_key;
+
+const PRELOAD: u64 = 100_000;
+const BATCH: u64 = 1_000;
+
+fn preload(kind: IndexKind) -> bskip_bench::AnyIndex {
+    let index = kind.build();
+    for i in 0..PRELOAD {
+        index.as_index().insert(record_key(i), i);
+    }
+    index
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(BATCH));
+    for kind in IndexKind::ALL {
+        let index = preload(kind);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut cursor = 0u64;
+            b.iter(|| {
+                let mut found = 0u64;
+                for _ in 0..BATCH {
+                    cursor = (cursor + 7919) % PRELOAD;
+                    if index.as_index().get(&record_key(cursor)).is_some() {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(BATCH));
+    for kind in IndexKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let index = preload(kind);
+            let mut cursor = PRELOAD;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    index.as_index().insert(record_key(cursor), cursor);
+                    cursor += 1;
+                }
+                black_box(cursor)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan100");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(100));
+    for kind in IndexKind::ALL {
+        let index = preload(kind);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut cursor = 0u64;
+            b.iter(|| {
+                cursor = (cursor + 104_729) % PRELOAD;
+                let mut sum = 0u64;
+                index
+                    .as_index()
+                    .range(&record_key(cursor), 100, &mut |_, v| sum = sum.wrapping_add(*v));
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_get, bench_insert, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark for range scans (YCSB workload E's operation):
+//! scan cost as a function of scan length for the B-skiplist, the OCC
+//! B+-tree and the lock-free skiplist.
+//!
+//! The paper finds the B+-tree ~1.4x faster than the B-skiplist on scans
+//! because its leaves are denser; both are far ahead of the unblocked
+//! skiplist, which pays one cache line per element.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bskip_bench::IndexKind;
+use bskip_ycsb::keygen::record_key;
+
+const PRELOAD: u64 = 200_000;
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for kind in [IndexKind::BSkipList, IndexKind::OccBTree, IndexKind::LockFreeSkipList] {
+        let index = kind.build();
+        for i in 0..PRELOAD {
+            index.as_index().insert(record_key(i), i);
+        }
+        for scan_len in [10usize, 100, 1000] {
+            group.throughput(Throughput::Elements(scan_len as u64));
+            let id = format!("{}/{}", kind.label(), scan_len);
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                let mut cursor = 0u64;
+                b.iter(|| {
+                    cursor = (cursor + 104_729) % PRELOAD;
+                    let mut sum = 0u64;
+                    index
+                        .as_index()
+                        .range(&record_key(cursor), scan_len, &mut |_, v| {
+                            sum = sum.wrapping_add(*v);
+                        });
+                    black_box(sum)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion version of the strong-scaling experiment (Figures 9/10):
+//! multi-threaded YCSB workload A and C throughput of the B-skiplist versus
+//! the OCC B+-tree at 1, 2, 4 and `available_parallelism` threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
+use bskip_bench::{run_workload_fresh, IndexKind};
+use bskip_ycsb::{Workload, YcsbConfig};
+
+const RECORDS: usize = 50_000;
+const OPS: usize = 50_000;
+
+fn thread_points() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let mut points = vec![1, 2, 4];
+    if max > 4 {
+        points.push(max);
+    }
+    points.retain(|t| *t <= max.max(1));
+    points.dedup();
+    points
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(OPS as u64));
+    for workload in [Workload::A, Workload::C] {
+        for kind in [IndexKind::BSkipList, IndexKind::OccBTree, IndexKind::LockFreeSkipList] {
+            for threads in thread_points() {
+                let config = YcsbConfig::default()
+                    .with_records(RECORDS)
+                    .with_operations(OPS)
+                    .with_threads(threads);
+                let id = format!("{}/{}/{}T", workload.label(), kind.label(), threads);
+                group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                    b.iter_custom(|iterations| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iterations {
+                            let start = Instant::now();
+                            let (result, _) = run_workload_fresh(kind, workload, &config);
+                            total += start.elapsed();
+                            criterion::black_box(result.operations);
+                        }
+                        total
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

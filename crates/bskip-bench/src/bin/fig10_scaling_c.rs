@@ -1,0 +1,59 @@
+//! Figure 10: strong scaling of every index on YCSB workload C (100%
+//! finds), uniform keys, as the thread count grows.
+//!
+//! Read-only workloads scale better than workload A because there is no
+//! lock contention from writers.
+
+use bskip_bench::{experiment_config, format_row, print_header, run_workload_fresh, IndexKind};
+use bskip_ycsb::Workload;
+
+fn thread_points(max_threads: usize) -> Vec<usize> {
+    let mut points = vec![1usize];
+    let mut t = 2;
+    while t < max_threads {
+        points.push(t);
+        t *= 2;
+    }
+    if *points.last().unwrap() != max_threads {
+        points.push(max_threads);
+    }
+    points
+}
+
+fn main() {
+    let (base_config, _) = experiment_config();
+    let points = thread_points(base_config.threads.max(1));
+    println!(
+        "Figure 10 — strong scaling on YCSB C: {} records, {} ops, thread points {:?}",
+        base_config.record_count, base_config.operation_count, points
+    );
+    let mut columns = vec!["index".to_string()];
+    columns.extend(points.iter().map(|t| format!("{t}T ops/us")));
+    columns.push("speedup@max".to_string());
+    print_header(
+        "Figure 10 — strong scaling on YCSB C",
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for kind in IndexKind::ALL {
+        let mut cells = vec![kind.label().to_string()];
+        let mut single = 0.0f64;
+        let mut last = 0.0f64;
+        for &threads in &points {
+            let config = base_config.with_threads(threads);
+            let (result, _) = run_workload_fresh(kind, Workload::C, &config);
+            let throughput = result.throughput_ops_per_us;
+            if threads == 1 {
+                single = throughput;
+            }
+            last = throughput;
+            cells.push(format!("{throughput:.2}"));
+        }
+        cells.push(if single > 0.0 {
+            format!("{:.1}x", last / single)
+        } else {
+            "-".into()
+        });
+        println!("{}", format_row(&cells));
+    }
+    println!("\nPaper (128 threads): 50-60x speedups for all systems except NHS (~35x).");
+}

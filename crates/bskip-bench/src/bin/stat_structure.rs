@@ -1,0 +1,62 @@
+//! Section 5.2 structural statistics of the B-skiplist:
+//!
+//! * average horizontal (`next`-pointer) steps per level during point
+//!   workloads — the paper reports ~1.7 for workloads A–C;
+//! * average leaf nodes visited per range query in workload E — the paper
+//!   reports ~2 for the B-skiplist (vs ~1.5 for the B+-tree);
+//! * node counts per level and average node fill, which explain both.
+
+use bskip_bench::{experiment_config, format_row, print_header};
+use bskip_core::{seq::SeqBSkipList, BSkipConfig, BSkipList};
+use bskip_ycsb::{run_load_phase, run_run_phase, Workload};
+
+fn main() {
+    let (config, _) = experiment_config();
+    println!(
+        "B-skiplist structural statistics, {} records, {} ops, {} threads",
+        config.record_count, config.operation_count, config.threads
+    );
+
+    print_header(
+        "Traversal statistics (stats-enabled B-skiplist)",
+        &["workload", "horizontal steps / level", "leaf nodes / range query"],
+    );
+    for workload in [Workload::A, Workload::B, Workload::C, Workload::E] {
+        let list: BSkipList<u64, u64> =
+            BSkipList::with_config(BSkipConfig::paper_default().with_stats(true));
+        run_load_phase(&list, &config);
+        list.stats().reset();
+        run_run_phase(&list, workload, &config);
+        println!(
+            "{}",
+            format_row(&[
+                workload.label().to_string(),
+                format!("{:.2}", list.stats().horizontal_steps_per_level()),
+                if workload == Workload::E {
+                    format!("{:.2}", list.stats().leaf_nodes_per_range())
+                } else {
+                    "-".to_string()
+                },
+            ])
+        );
+    }
+
+    // Node-count / fill statistics from the sequential reference structure.
+    let mut seq: SeqBSkipList<u64, u64> =
+        SeqBSkipList::with_config_and_seed(BSkipConfig::paper_default(), 42);
+    for i in 0..config.record_count as u64 {
+        seq.insert(bskip_ycsb::keygen::record_key(i), i);
+    }
+    let per_level = seq.nodes_per_level();
+    print_header("Structure shape (sequential reference build)", &["level", "nodes", "avg keys/node"]);
+    for (level, nodes) in per_level.iter().enumerate() {
+        let keys_at_level = if level == 0 { seq.len() } else { 0 };
+        let fill = if *nodes > 0 && level == 0 {
+            format!("{:.1}", keys_at_level as f64 / *nodes as f64)
+        } else {
+            "-".to_string()
+        };
+        println!("{}", format_row(&[level.to_string(), nodes.to_string(), fill]));
+    }
+    println!("\nPaper: ~1.7 horizontal steps per level on A-C; ~2 leaf nodes per scan on E.");
+}

@@ -1,0 +1,244 @@
+//! Shared experiment plumbing: index registry, scale configuration and
+//! output formatting.
+
+use bskip_baselines::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree};
+use bskip_core::{BSkipConfig, BSkipList};
+use bskip_index::{ConcurrentIndex, IndexStats};
+use bskip_ycsb::{run_load_phase, run_run_phase, PhaseResult, Workload, YcsbConfig};
+
+/// The indices evaluated in the paper's Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// The paper's contribution (this repository's `bskip-core`).
+    BSkipList,
+    /// Lock-free CAS skiplist (Folly stand-in).
+    LockFreeSkipList,
+    /// Optimistic lock-based skiplist (Java ConcurrentSkipListMap stand-in).
+    LazySkipList,
+    /// No-Hot-Spot skiplist with a background adaptation thread.
+    NhsSkipList,
+    /// OCC B+-tree (tlx/BP-tree stand-in).
+    OccBTree,
+    /// Masstree-style narrow-node B+-tree.
+    Masstree,
+}
+
+impl IndexKind {
+    /// The skiplist-family indices compared in Figure 1 / Table 4.
+    pub const SKIPLISTS: [IndexKind; 4] = [
+        IndexKind::NhsSkipList,
+        IndexKind::LockFreeSkipList,
+        IndexKind::LazySkipList,
+        IndexKind::BSkipList,
+    ];
+
+    /// The tree-family indices compared in Figure 7 / Table 5 (plus the
+    /// B-skiplist they are normalized against).
+    pub const TREES: [IndexKind; 3] = [IndexKind::BSkipList, IndexKind::OccBTree, IndexKind::Masstree];
+
+    /// Every evaluated index.
+    pub const ALL: [IndexKind; 6] = [
+        IndexKind::BSkipList,
+        IndexKind::LockFreeSkipList,
+        IndexKind::LazySkipList,
+        IndexKind::NhsSkipList,
+        IndexKind::OccBTree,
+        IndexKind::Masstree,
+    ];
+
+    /// Display label used in output tables (mirrors the paper's names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexKind::BSkipList => "B-skiplist",
+            IndexKind::LockFreeSkipList => "Folly-style SL",
+            IndexKind::LazySkipList => "Java-style SL",
+            IndexKind::NhsSkipList => "NoHotSpot SL",
+            IndexKind::OccBTree => "OCC B+-tree",
+            IndexKind::Masstree => "Masstree-lite",
+        }
+    }
+
+    /// Builds a fresh instance of the index.
+    pub fn build(&self) -> AnyIndex {
+        match self {
+            IndexKind::BSkipList => AnyIndex::BSkip(Box::new(BSkipList::with_config(
+                BSkipConfig::paper_default(),
+            ))),
+            IndexKind::LockFreeSkipList => AnyIndex::LockFree(Box::new(LockFreeSkipList::new())),
+            IndexKind::LazySkipList => AnyIndex::Lazy(Box::new(LazySkipList::new())),
+            IndexKind::NhsSkipList => AnyIndex::Nhs(Box::new(NhsSkipList::new())),
+            IndexKind::OccBTree => AnyIndex::BTree(Box::new(OccBTree::new())),
+            IndexKind::Masstree => AnyIndex::Masstree(Box::new(MasstreeLite::new())),
+        }
+    }
+}
+
+/// A uniform owner of any of the evaluated indices.
+pub enum AnyIndex {
+    /// The concurrent B-skiplist.
+    BSkip(Box<BSkipList<u64, u64>>),
+    /// The lock-free skiplist.
+    LockFree(Box<LockFreeSkipList<u64, u64>>),
+    /// The lazy (optimistic lock-based) skiplist.
+    Lazy(Box<LazySkipList<u64, u64>>),
+    /// The NHS-style skiplist.
+    Nhs(Box<NhsSkipList<u64, u64>>),
+    /// The OCC B+-tree.
+    BTree(Box<OccBTree<u64, u64>>),
+    /// The Masstree-style tree.
+    Masstree(Box<MasstreeLite<u64, u64>>),
+}
+
+impl AnyIndex {
+    /// Borrows the contained index as a `ConcurrentIndex` trait object.
+    pub fn as_index(&self) -> &dyn ConcurrentIndex<u64, u64> {
+        match self {
+            AnyIndex::BSkip(index) => index.as_ref(),
+            AnyIndex::LockFree(index) => index.as_ref(),
+            AnyIndex::Lazy(index) => index.as_ref(),
+            AnyIndex::Nhs(index) => index.as_ref(),
+            AnyIndex::BTree(index) => index.as_ref(),
+            AnyIndex::Masstree(index) => index.as_ref(),
+        }
+    }
+
+    /// Work performed between the load and run phases.  The paper waits for
+    /// the NHS background thread to rebalance its index before starting the
+    /// run phase (and does not count that time); this does the same
+    /// deterministically.
+    pub fn settle_after_load(&self) {
+        if let AnyIndex::Nhs(index) = self {
+            index.rebuild_index_now();
+        }
+    }
+
+    /// Index statistics (root write locks, structural counters, ...).
+    pub fn stats(&self) -> IndexStats {
+        self.as_index().stats()
+    }
+}
+
+/// Experiment scale, read from the environment with laptop-friendly
+/// defaults:
+///
+/// * `BSKIP_RECORDS` — load-phase records (default 200 000)
+/// * `BSKIP_OPS` — run-phase operations (default 200 000)
+/// * `BSKIP_THREADS` — worker threads (default: available parallelism)
+/// * `BSKIP_TRIALS` — trials per cell, median reported (default 1)
+///
+/// The paper's full scale corresponds to `BSKIP_RECORDS=100000000
+/// BSKIP_OPS=100000000 BSKIP_THREADS=128 BSKIP_TRIALS=5`.
+pub fn experiment_config() -> (YcsbConfig, usize) {
+    let records = env_usize("BSKIP_RECORDS", 200_000);
+    let operations = env_usize("BSKIP_OPS", 200_000);
+    let threads = env_usize(
+        "BSKIP_THREADS",
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    );
+    let trials = env_usize("BSKIP_TRIALS", 1).max(1);
+    (
+        YcsbConfig::default()
+            .with_records(records)
+            .with_operations(operations)
+            .with_threads(threads),
+        trials,
+    )
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs one cell of a throughput/latency table: fresh index, load phase,
+/// settle, then the requested workload (or just the load phase for
+/// [`Workload::Load`]).  Returns the phase result of the *measured* phase
+/// together with the index (so callers can inspect statistics).
+pub fn run_workload_fresh(
+    kind: IndexKind,
+    workload: Workload,
+    config: &YcsbConfig,
+) -> (PhaseResult, AnyIndex) {
+    let index = kind.build();
+    let load_result = run_load_phase(&index.as_index(), config);
+    index.settle_after_load();
+    let result = if workload == Workload::Load {
+        load_result
+    } else {
+        run_run_phase(&index.as_index(), workload, config)
+    };
+    (result, index)
+}
+
+/// Prints a header line followed by a separator of matching width.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    let header = columns.join(" | ");
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Formats one row of mixed string/number cells separated like the header.
+pub fn format_row(cells: &[String]) -> String {
+    cells.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_serves_operations() {
+        for kind in IndexKind::ALL {
+            let index = kind.build();
+            let handle = index.as_index();
+            assert!(handle.is_empty(), "{} should start empty", kind.label());
+            handle.insert(1, 10);
+            handle.insert(2, 20);
+            assert_eq!(handle.get(&1), Some(10), "{}", kind.label());
+            let mut seen = Vec::new();
+            handle.range(&1, 10, &mut |k, _| seen.push(*k));
+            assert_eq!(seen, vec![1, 2], "{}", kind.label());
+            index.settle_after_load();
+            assert_eq!(handle.get(&2), Some(20), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = IndexKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), IndexKind::ALL.len());
+    }
+
+    #[test]
+    fn run_workload_fresh_loads_and_runs() {
+        let config = YcsbConfig::default()
+            .with_records(5_000)
+            .with_operations(5_000)
+            .with_threads(2);
+        let (result, index) = run_workload_fresh(IndexKind::BSkipList, Workload::A, &config);
+        assert_eq!(result.operations, 5_000);
+        assert!(index.as_index().len() >= 5_000);
+        let (load_result, _) = run_workload_fresh(IndexKind::OccBTree, Workload::Load, &config);
+        assert_eq!(load_result.operations, 5_000);
+    }
+
+    #[test]
+    fn config_env_defaults() {
+        let (config, trials) = experiment_config();
+        assert!(config.record_count > 0);
+        assert!(config.threads > 0);
+        assert!(trials >= 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let row = format_row(&["a".into(), "b".into()]);
+        assert_eq!(row, "a | b");
+        print_header("test", &["col1", "col2"]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness shared by the per-table/per-figure binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md §3 for the index).  They all share the helpers here:
+//!
+//! * [`AnyIndex`] — a uniform handle over the six evaluated indices
+//!   (B-skiplist + five baselines) so experiments can iterate over them;
+//! * [`experiment_config`] — the experiment scale, read from environment
+//!   variables so the same binaries run laptop-sized by default and
+//!   paper-sized when asked (`BSKIP_RECORDS`, `BSKIP_OPS`, `BSKIP_THREADS`,
+//!   `BSKIP_TRIALS`);
+//! * [`run_workload_fresh`] — the paper's protocol for one cell of a
+//!   throughput table: build a fresh index, run the load phase, let the
+//!   index settle (NHS index rebuild), then run the requested workload;
+//! * small table-formatting helpers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+
+pub use harness::{
+    experiment_config, format_row, print_header, run_workload_fresh, AnyIndex, IndexKind,
+};

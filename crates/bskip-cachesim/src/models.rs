@@ -1,0 +1,851 @@
+//! Structural traversal models of the three indices compared in Table 1.
+//!
+//! Each model maintains the real node/pointer structure of its index in an
+//! arena, assigns every node a synthetic byte address from a bump allocator
+//! (mimicking allocation order in a real heap), and — for every operation —
+//! touches in the [`CacheSim`] exactly the byte ranges the corresponding
+//! real implementation reads or writes: binary-search probes inside blocked
+//! nodes, header peeks during horizontal skiplist steps, the shifted suffix
+//! of an insertion, whole-node copies during splits, and so on.
+//!
+//! Keys are `u64`; every stored entry is modelled as a 16-byte key/value
+//! pair, matching the paper's 8-byte keys and 8-byte values.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::CacheSim;
+
+/// Bytes per key/value entry (8-byte key + 8-byte value or child pointer).
+const ENTRY_BYTES: u64 = 16;
+/// Fixed per-node header footprint (lock word, length, next pointer, ...).
+const NODE_HEADER_BYTES: u64 = 24;
+
+/// Common interface of the traversal models, as driven by the Table 1
+/// harness.
+pub trait TraceIndexModel {
+    /// Display name used in the experiment output.
+    fn name(&self) -> &'static str;
+    /// Inserts `key`, touching the cache with every byte the insert reads
+    /// or writes.
+    fn insert(&mut self, key: u64, cache: &mut CacheSim);
+    /// Point lookup; returns whether the key was found.
+    fn get(&self, key: u64, cache: &mut CacheSim) -> bool;
+    /// Scans up to `len` keys starting at the smallest key `>= start`;
+    /// returns how many were visited.
+    fn scan(&self, start: u64, len: usize, cache: &mut CacheSim) -> usize;
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+    /// Whether the model is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Touches the probe positions of a binary search over `len` entries laid
+/// out from `base` (used for searches inside blocked nodes).
+fn touch_binary_search(cache: &mut CacheSim, base: u64, len: usize) {
+    let lo = 0usize;
+    let mut hi = len;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        cache.touch(base + mid as u64 * ENTRY_BYTES, 8);
+        // The model only needs the probe *positions*; which way the search
+        // turns does not change how many lines are touched, so always
+        // narrow towards the lower half.
+        hi = mid;
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Traditional skiplist: one element per node.
+// ---------------------------------------------------------------------------
+
+struct SkipNode {
+    key: u64,
+    addr: u64,
+    next: Vec<usize>,
+}
+
+/// Traversal model of a traditional (unblocked) skiplist with promotion
+/// probability 1/2: every element is its own heap node, so every visited
+/// element costs at least one cache line.
+pub struct TraceSkipList {
+    arena: Vec<SkipNode>,
+    head: Vec<usize>,
+    max_levels: usize,
+    rng: SmallRng,
+    next_addr: u64,
+    len: usize,
+}
+
+impl TraceSkipList {
+    /// Creates an empty model with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        let max_levels = 28;
+        TraceSkipList {
+            arena: Vec::new(),
+            head: vec![NIL; max_levels],
+            max_levels,
+            rng: SmallRng::seed_from_u64(seed),
+            next_addr: 0,
+            len: 0,
+        }
+    }
+
+    fn alloc_addr(&mut self, bytes: u64) -> u64 {
+        let addr = self.next_addr;
+        self.next_addr += bytes.div_ceil(64) * 64;
+        addr
+    }
+
+    fn sample_height(&mut self) -> usize {
+        let mut height = 1;
+        while height < self.max_levels && self.rng.gen_bool(0.5) {
+            height += 1;
+        }
+        height
+    }
+
+    /// Walks towards `key`, touching every visited node, and returns the
+    /// predecessor arena index per level.
+    fn find_preds(&self, key: u64, cache: &mut CacheSim) -> Vec<usize> {
+        let mut preds = vec![NIL; self.max_levels];
+        let mut pred = NIL;
+        for level in (0..self.max_levels).rev() {
+            let mut curr = if pred == NIL {
+                self.head[level]
+            } else {
+                self.arena[pred].next[level]
+            };
+            while curr != NIL && self.arena[curr].key < key {
+                // Reading the candidate's key and next pointer touches its
+                // cache line.
+                cache.touch(self.arena[curr].addr, 16);
+                pred = curr;
+                curr = self.arena[curr].next[level];
+            }
+            if curr != NIL {
+                cache.touch(self.arena[curr].addr, 8);
+            }
+            preds[level] = pred;
+        }
+        preds
+    }
+
+    fn succ_of(&self, pred: usize, level: usize) -> usize {
+        if pred == NIL {
+            self.head[level]
+        } else {
+            self.arena[pred].next[level]
+        }
+    }
+}
+
+impl TraceIndexModel for TraceSkipList {
+    fn name(&self) -> &'static str {
+        "skiplist"
+    }
+
+    fn insert(&mut self, key: u64, cache: &mut CacheSim) {
+        let preds = self.find_preds(key, cache);
+        let succ0 = self.succ_of(preds[0], 0);
+        if succ0 != NIL && self.arena[succ0].key == key {
+            // Update in place.
+            cache.touch(self.arena[succ0].addr + 8, 8);
+            return;
+        }
+        let height = self.sample_height();
+        let footprint = 16 + NODE_HEADER_BYTES + 8 * height as u64;
+        let addr = self.alloc_addr(footprint);
+        let id = self.arena.len();
+        let mut next = vec![NIL; self.max_levels];
+        #[allow(clippy::needless_range_loop)]
+        for level in 0..height {
+            next[level] = self.succ_of(preds[level], level);
+        }
+        // Writing the freshly allocated node.
+        cache.touch(addr, footprint as usize);
+        self.arena.push(SkipNode { key, addr, next });
+        for level in 0..height {
+            // Updating each predecessor's forward pointer is a write to
+            // that predecessor's cache line.
+            if preds[level] == NIL {
+                self.head[level] = id;
+            } else {
+                cache.touch(self.arena[preds[level]].addr + 16 + 8 * level as u64, 8);
+                self.arena[preds[level]].next[level] = id;
+            }
+        }
+        self.len += 1;
+    }
+
+    fn get(&self, key: u64, cache: &mut CacheSim) -> bool {
+        let preds = self.find_preds(key, cache);
+        let succ = self.succ_of(preds[0], 0);
+        succ != NIL && self.arena[succ].key == key
+    }
+
+    fn scan(&self, start: u64, len: usize, cache: &mut CacheSim) -> usize {
+        let preds = self.find_preds(start, cache);
+        let mut curr = self.succ_of(preds[0], 0);
+        let mut visited = 0;
+        while curr != NIL && visited < len {
+            cache.touch(self.arena[curr].addr, 24);
+            visited += 1;
+            curr = self.arena[curr].next[0];
+        }
+        visited
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B+-tree with blocked nodes.
+// ---------------------------------------------------------------------------
+
+struct BtNode {
+    addr: u64,
+    is_leaf: bool,
+    keys: Vec<u64>,
+    /// children.len() == keys.len() + 1 for internal nodes.
+    children: Vec<usize>,
+    next: usize,
+}
+
+/// Traversal model of a B+-tree with `node_keys` entries per node
+/// (64 entries ≈ the paper's 1024-byte nodes).
+pub struct TraceBTree {
+    arena: Vec<BtNode>,
+    root: usize,
+    node_keys: usize,
+    next_addr: u64,
+    len: usize,
+}
+
+impl TraceBTree {
+    /// Creates an empty tree with `node_keys` entries per node.
+    pub fn new(node_keys: usize) -> Self {
+        assert!(node_keys >= 4);
+        let mut model = TraceBTree {
+            arena: Vec::new(),
+            root: 0,
+            node_keys,
+            next_addr: 0,
+            len: 0,
+        };
+        model.root = model.alloc_node(true);
+        model
+    }
+
+    fn node_footprint(&self) -> u64 {
+        NODE_HEADER_BYTES + self.node_keys as u64 * ENTRY_BYTES
+    }
+
+    fn alloc_node(&mut self, is_leaf: bool) -> usize {
+        let addr = self.next_addr;
+        self.next_addr += self.node_footprint().div_ceil(64) * 64;
+        self.arena.push(BtNode {
+            addr,
+            is_leaf,
+            keys: Vec::new(),
+            children: Vec::new(),
+            next: NIL,
+        });
+        self.arena.len() - 1
+    }
+
+    fn child_slot(&self, node: usize, key: u64) -> usize {
+        self.arena[node].keys.partition_point(|k| *k <= key)
+    }
+
+    /// Splits the full child at `child_slot` of `parent`; both nodes'
+    /// touched bytes are charged to the cache.
+    fn split_child(&mut self, parent: usize, child: usize, cache: &mut CacheSim) {
+        let is_leaf = self.arena[child].is_leaf;
+        let right = self.alloc_node(is_leaf);
+        let half = self.node_keys / 2;
+        let (separator, moved_keys, moved_children) = {
+            let node = &mut self.arena[child];
+            if is_leaf {
+                let moved = node.keys.split_off(half);
+                (moved[0], moved, Vec::new())
+            } else {
+                let mut moved = node.keys.split_off(half);
+                let separator = moved.remove(0);
+                let children = node.children.split_off(half + 1);
+                (separator, moved, children)
+            }
+        };
+        // The split copies the moved half: reads from the left node, writes
+        // to the right node.
+        let moved_bytes = (moved_keys.len().max(1) as u64) * ENTRY_BYTES;
+        cache.touch(self.arena[child].addr + half as u64 * ENTRY_BYTES, moved_bytes as usize);
+        cache.touch(self.arena[right].addr, moved_bytes as usize);
+        {
+            let right_node = &mut self.arena[right];
+            right_node.keys = moved_keys;
+            right_node.children = moved_children;
+        }
+        if is_leaf {
+            let old_next = self.arena[child].next;
+            self.arena[right].next = old_next;
+            self.arena[child].next = right;
+        }
+        // Insert the separator into the parent (a write into the parent).
+        let position = self.arena[parent].keys.partition_point(|k| *k < separator);
+        cache.touch(
+            self.arena[parent].addr + position as u64 * ENTRY_BYTES,
+            ((self.arena[parent].keys.len() - position + 1) as u64 * ENTRY_BYTES) as usize,
+        );
+        self.arena[parent].keys.insert(position, separator);
+        self.arena[parent].children.insert(position + 1, right);
+    }
+}
+
+impl TraceIndexModel for TraceBTree {
+    fn name(&self) -> &'static str {
+        "B+-tree"
+    }
+
+    fn insert(&mut self, key: u64, cache: &mut CacheSim) {
+        // Preemptive-split descent (matches the OCC B+-tree's pessimistic
+        // pass; the optimistic pass touches the same nodes).
+        if self.arena[self.root].keys.len() == self.node_keys {
+            let old_root = self.root;
+            let new_root = self.alloc_node(false);
+            self.arena[new_root].children.push(old_root);
+            self.root = new_root;
+            self.split_child(new_root, old_root, cache);
+        }
+        let mut node = self.root;
+        loop {
+            cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
+            touch_binary_search(cache, self.arena[node].addr + NODE_HEADER_BYTES, self.arena[node].keys.len());
+            if self.arena[node].is_leaf {
+                let position = self.arena[node].keys.partition_point(|k| *k < key);
+                if self.arena[node].keys.get(position) == Some(&key) {
+                    cache.touch(self.arena[node].addr + position as u64 * ENTRY_BYTES, 8);
+                    return;
+                }
+                // Shifting the suffix to make room is a write.
+                let shifted = (self.arena[node].keys.len() - position + 1) as u64 * ENTRY_BYTES;
+                cache.touch(
+                    self.arena[node].addr + NODE_HEADER_BYTES + position as u64 * ENTRY_BYTES,
+                    shifted as usize,
+                );
+                self.arena[node].keys.insert(position, key);
+                self.len += 1;
+                return;
+            }
+            let slot = self.child_slot(node, key);
+            let child = self.arena[node].children[slot];
+            if self.arena[child].keys.len() == self.node_keys {
+                self.split_child(node, child, cache);
+                let slot = self.child_slot(node, key);
+                node = self.arena[node].children[slot];
+            } else {
+                node = child;
+            }
+        }
+    }
+
+    fn get(&self, key: u64, cache: &mut CacheSim) -> bool {
+        let mut node = self.root;
+        loop {
+            cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
+            touch_binary_search(cache, self.arena[node].addr + NODE_HEADER_BYTES, self.arena[node].keys.len());
+            if self.arena[node].is_leaf {
+                return self.arena[node].keys.binary_search(&key).is_ok();
+            }
+            let slot = self.child_slot(node, key);
+            node = self.arena[node].children[slot];
+        }
+    }
+
+    fn scan(&self, start: u64, len: usize, cache: &mut CacheSim) -> usize {
+        let mut node = self.root;
+        loop {
+            cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
+            touch_binary_search(cache, self.arena[node].addr + NODE_HEADER_BYTES, self.arena[node].keys.len());
+            if self.arena[node].is_leaf {
+                break;
+            }
+            let slot = self.child_slot(node, start);
+            node = self.arena[node].children[slot];
+        }
+        let mut visited = 0;
+        let mut position = self.arena[node].keys.partition_point(|k| *k < start);
+        loop {
+            let keys = &self.arena[node].keys;
+            let take = (keys.len() - position).min(len - visited);
+            if take > 0 {
+                cache.touch(
+                    self.arena[node].addr + NODE_HEADER_BYTES + position as u64 * ENTRY_BYTES,
+                    take * ENTRY_BYTES as usize,
+                );
+                visited += take;
+            }
+            if visited == len || self.arena[node].next == NIL {
+                break;
+            }
+            node = self.arena[node].next;
+            position = 0;
+        }
+        visited
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B-skiplist with fixed-size blocked nodes.
+// ---------------------------------------------------------------------------
+
+struct BsNode {
+    addr: u64,
+    #[allow(dead_code)]
+    is_head: bool,
+    keys: Vec<u64>,
+    children: Vec<usize>,
+    head_child: usize,
+    next: usize,
+}
+
+/// Traversal model of the B-skiplist: blocked nodes of `node_keys` entries,
+/// promotion probability `1/(c·B)`, fixed-size nodes with overflow splits —
+/// the same structure as [`bskip-core`](https://docs.rs)'s `BSkipList`, with
+/// cache-line touches for every byte an operation reads or writes.
+pub struct TraceBSkipList {
+    arena: Vec<BsNode>,
+    heads: Vec<usize>,
+    node_keys: usize,
+    denominator: u32,
+    max_height: usize,
+    rng: SmallRng,
+    next_addr: u64,
+    len: usize,
+}
+
+impl TraceBSkipList {
+    /// Creates an empty model (`node_keys` entries per node, promotion
+    /// denominator `c·B`, `max_height` levels).
+    pub fn new(node_keys: usize, denominator: u32, max_height: usize, seed: u64) -> Self {
+        assert!(node_keys >= 4 && max_height >= 1);
+        let mut model = TraceBSkipList {
+            arena: Vec::new(),
+            heads: Vec::new(),
+            node_keys,
+            denominator: denominator.max(2),
+            max_height,
+            rng: SmallRng::seed_from_u64(seed),
+            next_addr: 0,
+            len: 0,
+        };
+        for level in 0..max_height {
+            let id = model.alloc_node(true);
+            if level > 0 {
+                model.arena[id].head_child = model.heads[level - 1];
+            }
+            model.heads.push(id);
+        }
+        model
+    }
+
+    /// The paper's default configuration: 128-entry (2048-byte) nodes,
+    /// promotion probability 1/64, maximum height 5.
+    pub fn paper_default(seed: u64) -> Self {
+        TraceBSkipList::new(128, 64, 5, seed)
+    }
+
+    fn node_footprint(&self) -> u64 {
+        NODE_HEADER_BYTES + self.node_keys as u64 * ENTRY_BYTES
+    }
+
+    fn alloc_node(&mut self, is_head: bool) -> usize {
+        let addr = self.next_addr;
+        self.next_addr += self.node_footprint().div_ceil(64) * 64;
+        self.arena.push(BsNode {
+            addr,
+            is_head,
+            keys: Vec::new(),
+            children: Vec::new(),
+            head_child: NIL,
+            next: NIL,
+        });
+        self.arena.len() - 1
+    }
+
+    fn sample_height(&mut self) -> usize {
+        let mut height = 0;
+        while height + 1 < self.max_height && self.rng.gen_range(0..self.denominator) == 0 {
+            height += 1;
+        }
+        height
+    }
+
+    /// Membership test that does not charge the cache.  Used to demote
+    /// re-insertions of existing keys to pure value updates: the concurrent
+    /// implementation handles that case by splicing the key's existing
+    /// tower (see `bskip-core`), which would needlessly complicate a
+    /// single-threaded traffic model.
+    fn contains_quiet(&self, key: u64) -> bool {
+        let mut level = self.max_height - 1;
+        let mut node = self.heads[level];
+        loop {
+            loop {
+                let next = self.arena[node].next;
+                if next == NIL || self.arena[next].keys[0] > key {
+                    break;
+                }
+                node = next;
+            }
+            if level == 0 {
+                return self.arena[node].keys.binary_search(&key).is_ok();
+            }
+            node = self.descend(node, key);
+            level -= 1;
+        }
+    }
+
+    /// Walks right at a level while the successor's header does not exceed
+    /// `key`, touching the header of every peeked node.
+    fn walk_right(&self, mut node: usize, key: u64, cache: &mut CacheSim) -> usize {
+        loop {
+            let next = self.arena[node].next;
+            if next == NIL {
+                return node;
+            }
+            cache.touch(self.arena[next].addr + NODE_HEADER_BYTES, 8);
+            if self.arena[next].keys[0] > key {
+                return node;
+            }
+            node = next;
+        }
+    }
+
+    fn descend(&self, node: usize, key: u64) -> usize {
+        let n = &self.arena[node];
+        match n.keys.partition_point(|k| *k <= key) {
+            0 => n.head_child,
+            pos => n.children[pos - 1],
+        }
+    }
+
+    fn touch_search(&self, node: usize, cache: &mut CacheSim) {
+        cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
+        touch_binary_search(
+            cache,
+            self.arena[node].addr + NODE_HEADER_BYTES,
+            self.arena[node].keys.len(),
+        );
+    }
+
+    fn link_after(&mut self, node: usize, new_node: usize) {
+        let next = self.arena[node].next;
+        self.arena[new_node].next = next;
+        self.arena[node].next = new_node;
+    }
+
+    /// Moves `src[from..]` to the end of `dst`, charging the copy.
+    fn split_off_into(&mut self, src: usize, from: usize, dst: usize, cache: &mut CacheSim) {
+        let count = self.arena[src].keys.len() - from;
+        if count > 0 {
+            cache.touch(
+                self.arena[src].addr + NODE_HEADER_BYTES + from as u64 * ENTRY_BYTES,
+                count * ENTRY_BYTES as usize,
+            );
+            let dst_len = self.arena[dst].keys.len();
+            cache.touch(
+                self.arena[dst].addr + NODE_HEADER_BYTES + dst_len as u64 * ENTRY_BYTES,
+                count * ENTRY_BYTES as usize,
+            );
+        }
+        let keys = self.arena[src].keys.split_off(from);
+        self.arena[dst].keys.extend(keys);
+        if !self.arena[src].children.is_empty() {
+            let children = self.arena[src].children.split_off(from);
+            self.arena[dst].children.extend(children);
+        }
+    }
+}
+
+impl TraceIndexModel for TraceBSkipList {
+    fn name(&self) -> &'static str {
+        "B-skiplist"
+    }
+
+    fn insert(&mut self, key: u64, cache: &mut CacheSim) {
+        let mut height = self.sample_height();
+        if height > 0 && self.contains_quiet(key) {
+            height = 0;
+        }
+        // Pre-allocate the new nodes (a write to each).
+        let mut prealloc = Vec::with_capacity(height);
+        for level in 0..height {
+            let id = self.alloc_node(false);
+            self.arena[id].keys.push(key);
+            if level > 0 {
+                let child = prealloc[level - 1];
+                self.arena[id].children.push(child);
+            }
+            cache.touch(self.arena[id].addr, (NODE_HEADER_BYTES + ENTRY_BYTES) as usize);
+            prealloc.push(id);
+        }
+        let mut level = self.max_height - 1;
+        let mut node = self.heads[level];
+        loop {
+            node = self.walk_right(node, key, cache);
+            self.touch_search(node, cache);
+            let position = self.arena[node].keys.binary_search(&key);
+            let mut descend_child = NIL;
+            if level <= height {
+                match position {
+                    Ok(index) => {
+                        // Existing key: value update at the leaf.
+                        if level == 0 {
+                            cache.touch(
+                                self.arena[node].addr + NODE_HEADER_BYTES + index as u64 * ENTRY_BYTES + 8,
+                                8,
+                            );
+                            return;
+                        }
+                        descend_child = self.arena[node].children[index];
+                    }
+                    Err(insert_pos) => {
+                        if level == height {
+                            // Plain insert (with an overflow split if full).
+                            let (target, local_pos) = if self.arena[node].keys.len() == self.node_keys {
+                                let new_node = self.alloc_node(false);
+                                let half = self.node_keys / 2;
+                                self.split_off_into(node, half, new_node, cache);
+                                self.link_after(node, new_node);
+                                if insert_pos <= half {
+                                    (node, insert_pos)
+                                } else {
+                                    (new_node, insert_pos - half)
+                                }
+                            } else {
+                                (node, insert_pos)
+                            };
+                            let shifted =
+                                (self.arena[target].keys.len() - local_pos + 1) as u64 * ENTRY_BYTES;
+                            cache.touch(
+                                self.arena[target].addr + NODE_HEADER_BYTES + local_pos as u64 * ENTRY_BYTES,
+                                shifted as usize,
+                            );
+                            self.arena[target].keys.insert(local_pos, key);
+                            if level > 0 {
+                                let child = prealloc[level - 1];
+                                self.arena[target].children.insert(local_pos, child);
+                            } else {
+                                self.len += 1;
+                            }
+                            if level > 0 {
+                                descend_child = if local_pos == 0 {
+                                    self.arena[target].head_child
+                                } else {
+                                    self.arena[target].children[local_pos - 1]
+                                };
+                            }
+                        } else {
+                            // Promotion split: the pre-allocated node becomes
+                            // the right half headed by the key.
+                            let pnode = prealloc[level];
+                            let move_count = self.arena[node].keys.len() - insert_pos;
+                            if 1 + move_count > self.node_keys {
+                                let spill = self.alloc_node(false);
+                                let spill_from = insert_pos + (self.node_keys - 1);
+                                self.split_off_into(node, spill_from, spill, cache);
+                                self.split_off_into(node, insert_pos, pnode, cache);
+                                self.link_after(node, pnode);
+                                self.link_after(pnode, spill);
+                            } else {
+                                self.split_off_into(node, insert_pos, pnode, cache);
+                                self.link_after(node, pnode);
+                            }
+                            if level == 0 {
+                                self.len += 1;
+                            } else {
+                                descend_child = if insert_pos == 0 {
+                                    self.arena[node].head_child
+                                } else {
+                                    self.arena[node].children[insert_pos - 1]
+                                };
+                            }
+                        }
+                    }
+                }
+            } else {
+                descend_child = self.descend(node, key);
+            }
+            if level == 0 {
+                return;
+            }
+            debug_assert_ne!(descend_child, NIL);
+            node = descend_child;
+            level -= 1;
+        }
+    }
+
+    fn get(&self, key: u64, cache: &mut CacheSim) -> bool {
+        let mut level = self.max_height - 1;
+        let mut node = self.heads[level];
+        loop {
+            node = self.walk_right(node, key, cache);
+            self.touch_search(node, cache);
+            if level == 0 {
+                return self.arena[node].keys.binary_search(&key).is_ok();
+            }
+            node = self.descend(node, key);
+            level -= 1;
+        }
+    }
+
+    fn scan(&self, start: u64, len: usize, cache: &mut CacheSim) -> usize {
+        let mut level = self.max_height - 1;
+        let mut node = self.heads[level];
+        while level > 0 {
+            node = self.walk_right(node, start, cache);
+            self.touch_search(node, cache);
+            node = self.descend(node, start);
+            level -= 1;
+        }
+        node = self.walk_right(node, start, cache);
+        self.touch_search(node, cache);
+        let mut position = self.arena[node].keys.partition_point(|k| *k < start);
+        let mut visited = 0;
+        loop {
+            let keys_len = self.arena[node].keys.len();
+            let take = (keys_len - position).min(len - visited);
+            if take > 0 {
+                cache.touch(
+                    self.arena[node].addr + NODE_HEADER_BYTES + position as u64 * ENTRY_BYTES,
+                    take * ENTRY_BYTES as usize,
+                );
+                visited += take;
+            }
+            if visited == len || self.arena[node].next == NIL {
+                return visited;
+            }
+            node = self.arena[node].next;
+            position = 0;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, CacheSim};
+
+    fn drive<M: TraceIndexModel>(model: &mut M, keys: u64) -> CacheSim {
+        let mut cache = CacheSim::new(CacheConfig::default());
+        for i in 0..keys {
+            model.insert(i.wrapping_mul(0x9E3779B97F4A7C15), &mut cache);
+        }
+        cache
+    }
+
+    #[test]
+    fn models_store_and_find_their_keys() {
+        let mut cache = CacheSim::new(CacheConfig::default());
+        let mut skip = TraceSkipList::new(1);
+        let mut btree = TraceBTree::new(16);
+        let mut bskip = TraceBSkipList::new(16, 8, 4, 1);
+        for i in 0..5000u64 {
+            let key = i.wrapping_mul(0x9E3779B97F4A7C15);
+            skip.insert(key, &mut cache);
+            btree.insert(key, &mut cache);
+            bskip.insert(key, &mut cache);
+        }
+        assert_eq!(skip.len(), 5000);
+        assert_eq!(btree.len(), 5000);
+        assert_eq!(bskip.len(), 5000);
+        for i in (0..5000u64).step_by(131) {
+            let key = i.wrapping_mul(0x9E3779B97F4A7C15);
+            assert!(skip.get(key, &mut cache), "skiplist lost {key}");
+            assert!(btree.get(key, &mut cache), "btree lost {key}");
+            assert!(bskip.get(key, &mut cache), "bskiplist lost {key}");
+        }
+        assert!(!skip.get(12345, &mut cache));
+        assert!(!btree.get(12345, &mut cache));
+        assert!(!bskip.get(12345, &mut cache));
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_grow_models() {
+        let mut cache = CacheSim::new(CacheConfig::default());
+        let mut btree = TraceBTree::new(8);
+        let mut bskip = TraceBSkipList::new(8, 4, 4, 2);
+        let mut skip = TraceSkipList::new(2);
+        for _ in 0..3 {
+            for key in 0..100u64 {
+                btree.insert(key, &mut cache);
+                bskip.insert(key, &mut cache);
+                skip.insert(key, &mut cache);
+            }
+        }
+        assert_eq!(btree.len(), 100);
+        assert_eq!(bskip.len(), 100);
+        assert_eq!(skip.len(), 100);
+    }
+
+    #[test]
+    fn scans_return_requested_counts() {
+        let mut cache = CacheSim::new(CacheConfig::default());
+        let mut bskip = TraceBSkipList::new(16, 8, 4, 3);
+        let mut btree = TraceBTree::new(16);
+        for key in 0..1000u64 {
+            bskip.insert(key * 2, &mut cache);
+            btree.insert(key * 2, &mut cache);
+        }
+        assert_eq!(bskip.scan(100, 50, &mut cache), 50);
+        assert_eq!(btree.scan(100, 50, &mut cache), 50);
+        // Scanning past the end returns fewer.
+        assert!(bskip.scan(1990, 50, &mut cache) < 50);
+        assert!(btree.scan(1990, 50, &mut cache) < 50);
+    }
+
+    #[test]
+    fn blocked_structures_miss_less_than_the_skiplist() {
+        // The content of Table 1: on an insert-then-lookup workload larger
+        // than the cache, the unblocked skiplist incurs several times more
+        // misses than the blocked structures.
+        let keys = 60_000u64;
+        let skip_cache = drive(&mut TraceSkipList::new(7), keys);
+        let btree_cache = drive(&mut TraceBTree::new(64), keys);
+        let bskip_cache = drive(&mut TraceBSkipList::new(128, 64, 5, 7), keys);
+        let skip_misses = skip_cache.stats().misses as f64;
+        let btree_misses = btree_cache.stats().misses as f64;
+        let bskip_misses = bskip_cache.stats().misses as f64;
+        assert!(
+            skip_misses > 1.5 * btree_misses,
+            "skiplist {skip_misses} vs btree {btree_misses}"
+        );
+        assert!(
+            skip_misses > 1.5 * bskip_misses,
+            "skiplist {skip_misses} vs bskiplist {bskip_misses}"
+        );
+    }
+
+    #[test]
+    fn paper_default_model_matches_parameters() {
+        let model = TraceBSkipList::paper_default(1);
+        assert_eq!(model.node_keys, 128);
+        assert_eq!(model.denominator, 64);
+        assert_eq!(model.max_height, 5);
+        assert!(model.is_empty());
+    }
+}

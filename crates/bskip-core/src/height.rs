@@ -1,0 +1,167 @@
+//! Random promotion-height sampling.
+//!
+//! A key's height in a (B-)skiplist is the number of consecutive successful
+//! coin flips with probability `p = 1/(c·B)`, capped at `max_height - 1`.
+//! Crucially — and this is what both the top-down insertion algorithm and
+//! the top-down concurrency-control scheme exploit — the height is drawn
+//! *up front*, independently of the current structure of the list.
+
+use std::cell::Cell;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+thread_local! {
+    /// Per-thread RNG used for promotion coin flips.  `SmallRng` keeps the
+    /// cost of a flip to a few nanoseconds, which matters because every
+    /// insert samples a height.
+    static HEIGHT_RNG: std::cell::RefCell<SmallRng> =
+        std::cell::RefCell::new(SmallRng::from_entropy());
+    /// Thread-local override used by deterministic tests.
+    static FORCED_HEIGHT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Samples a promotion height in `0..max_height`.
+///
+/// The height is geometric with success probability `1/denominator`:
+/// `P(height ≥ l) = denominator^{-l}` for `l < max_height`.
+pub fn sample_height(denominator: u32, max_height: usize) -> usize {
+    if let Some(forced) = FORCED_HEIGHT.with(Cell::get) {
+        return forced.min(max_height.saturating_sub(1));
+    }
+    debug_assert!(denominator >= 2);
+    debug_assert!(max_height >= 1);
+    HEIGHT_RNG.with(|rng| {
+        let mut rng = rng.borrow_mut();
+        let mut height = 0;
+        while height + 1 < max_height && rng.gen_range(0..denominator) == 0 {
+            height += 1;
+        }
+        height
+    })
+}
+
+/// Forces every subsequent call to [`sample_height`] *on this thread* to
+/// return `height` (clamped to the maximum) until [`clear_forced_height`]
+/// is called.  Only intended for tests that need deterministic structure.
+pub fn force_height(height: usize) {
+    FORCED_HEIGHT.with(|cell| cell.set(Some(height)));
+}
+
+/// Clears a previous [`force_height`] override on this thread.
+pub fn clear_forced_height() {
+    FORCED_HEIGHT.with(|cell| cell.set(None));
+}
+
+/// Reseeds this thread's height RNG.  Benchmarks use this to make runs
+/// reproducible without threading an RNG through the hot path.
+pub fn reseed_thread_rng(seed: u64) {
+    HEIGHT_RNG.with(|rng| *rng.borrow_mut() = SmallRng::seed_from_u64(seed));
+}
+
+/// A deterministic height sequence driven by an explicit RNG, used by the
+/// sequential reference implementation and by property tests that need to
+/// replay the exact same structure twice.
+#[derive(Debug, Clone)]
+pub struct HeightSampler {
+    denominator: u32,
+    max_height: usize,
+    rng: SmallRng,
+}
+
+impl HeightSampler {
+    /// Creates a sampler with the given promotion denominator, maximum
+    /// height and seed.
+    pub fn new(denominator: u32, max_height: usize, seed: u64) -> Self {
+        HeightSampler {
+            denominator: denominator.max(2),
+            max_height: max_height.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next height in `0..max_height`.
+    pub fn sample(&mut self) -> usize {
+        let mut height = 0;
+        while height + 1 < self.max_height && self.rng.gen_range(0..self.denominator) == 0 {
+            height += 1;
+        }
+        height
+    }
+
+    /// Draws a raw 64-bit value (exposed so tests can derive keys and
+    /// heights from one seed).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_are_within_bounds() {
+        for _ in 0..10_000 {
+            let height = sample_height(4, 5);
+            assert!(height < 5);
+        }
+    }
+
+    #[test]
+    fn max_height_one_always_returns_zero() {
+        for _ in 0..100 {
+            assert_eq!(sample_height(2, 1), 0);
+        }
+    }
+
+    #[test]
+    fn forced_height_overrides_sampling() {
+        force_height(3);
+        assert_eq!(sample_height(64, 6), 3);
+        // Clamped to the maximum level.
+        assert_eq!(sample_height(64, 2), 1);
+        clear_forced_height();
+        // After clearing, values are random but bounded again.
+        assert!(sample_height(64, 6) < 6);
+    }
+
+    #[test]
+    fn geometric_distribution_roughly_matches_probability() {
+        // With denominator d, the fraction of heights >= 1 should be close
+        // to 1/d.  Use a deterministic sampler so the test cannot flake.
+        let mut sampler = HeightSampler::new(8, 10, 42);
+        let trials = 200_000;
+        let promoted = (0..trials).filter(|_| sampler.sample() >= 1).count();
+        let observed = promoted as f64 / trials as f64;
+        let expected = 1.0 / 8.0;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed promotion rate {observed}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_sampler_replays_identically() {
+        let mut a = HeightSampler::new(16, 6, 7);
+        let mut b = HeightSampler::new(16, 6, 7);
+        let seq_a: Vec<_> = (0..1000).map(|_| a.sample()).collect();
+        let seq_b: Vec<_> = (0..1000).map(|_| b.sample()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn sampler_clamps_degenerate_parameters() {
+        let mut sampler = HeightSampler::new(0, 0, 1);
+        assert_eq!(sampler.sample(), 0);
+    }
+
+    #[test]
+    fn reseed_makes_sequence_reproducible() {
+        reseed_thread_rng(123);
+        let first: Vec<_> = (0..64).map(|_| sample_height(2, 8)).collect();
+        reseed_thread_rng(123);
+        let second: Vec<_> = (0..64).map(|_| sample_height(2, 8)).collect();
+        assert_eq!(first, second);
+    }
+}

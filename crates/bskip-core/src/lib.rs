@@ -1,0 +1,93 @@
+//! # bskip-core — a locality-optimized concurrent in-memory B-skiplist
+//!
+//! This crate is a from-scratch Rust implementation of the data structure
+//! proposed in *"Bridging Cache-Friendliness and Concurrency: A
+//! Locality-Optimized In-Memory B-Skiplist"* (ICPP '25): a **B-skiplist** —
+//! a blocked skiplist that stores up to `B` keys per fixed-size,
+//! cache-line-aligned node — together with the paper's two algorithmic
+//! contributions:
+//!
+//! * a **top-down, single-pass insertion algorithm** that exploits the fact
+//!   that a key's promotion height is drawn up front, independent of the
+//!   current structure, so all nodes an insertion will create can be
+//!   pre-allocated and the traversal never has to revisit a level; and
+//! * a **top-down concurrency-control scheme** built on hand-over-hand
+//!   reader/writer locking that takes read locks above the key's promotion
+//!   height and write locks only at the levels actually modified, holding a
+//!   constant number of locks (≤ 3) on at most two adjacent levels at a
+//!   time, with a total lock order (left-to-right, then top-to-bottom) that
+//!   rules out deadlock.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bskip_core::BSkipList;
+//! use std::sync::Arc;
+//!
+//! // B = 128 keys per node (the paper's 2048-byte nodes for 16-byte pairs).
+//! let index: Arc<BSkipList<u64, u64>> = Arc::new(BSkipList::new());
+//!
+//! // Concurrent inserts and lookups through `&self`.
+//! std::thread::scope(|scope| {
+//!     for thread in 0..4u64 {
+//!         let index = Arc::clone(&index);
+//!         scope.spawn(move || {
+//!             for i in 0..1000u64 {
+//!                 index.insert(thread * 1000 + i, i);
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(index.len(), 4000);
+//! assert_eq!(index.get(&2500), Some(500));
+//!
+//! // Short range scan (YCSB workload E's operation).
+//! let mut window = Vec::new();
+//! index.range(&10, 5, &mut |k, v| window.push((*k, *v)));
+//! assert_eq!(window.len(), 5);
+//! ```
+//!
+//! ## Node size
+//!
+//! The number of keys per node is the const generic `B`; the paper sweeps
+//! node sizes from 512 B to 8192 B (32–512 two-word pairs) and settles on
+//! 2048 B.  Aliases [`BSkipList32`] … [`BSkipList512`] mirror that sweep.
+//!
+//! ## Concurrency notes
+//!
+//! All operations are safe to invoke from any number of threads.  Every
+//! operation makes a single root-to-leaf pass and never restarts, which is
+//! what gives the B-skiplist its low tail latency compared to optimistic
+//! B-trees (which retire to the root on structural modification).
+//!
+//! One documented limitation mirrors the paper's scope: concurrent
+//! `insert` and `remove` racing **on the same key** may leave that key's
+//! tower in a state where the key is unreachable even though the insert
+//! "won" (the YCSB workloads evaluated in the paper contain no deletes).
+//! Nodes unlinked by `remove` are reclaimed when the list is dropped, so
+//! the race can never cause a use-after-free.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+pub mod height;
+mod list;
+mod node;
+pub mod seq;
+mod stats;
+
+pub use config::BSkipConfig;
+pub use list::BSkipList;
+pub use stats::BSkipStats;
+
+/// B-skiplist with 32 keys per node (512-byte nodes for 16-byte pairs).
+pub type BSkipList32<K, V> = BSkipList<K, V, 32>;
+/// B-skiplist with 64 keys per node (1024-byte nodes for 16-byte pairs).
+pub type BSkipList64<K, V> = BSkipList<K, V, 64>;
+/// B-skiplist with 128 keys per node (2048-byte nodes, the paper's default).
+pub type BSkipList128<K, V> = BSkipList<K, V, 128>;
+/// B-skiplist with 256 keys per node (4096-byte nodes for 16-byte pairs).
+pub type BSkipList256<K, V> = BSkipList<K, V, 256>;
+/// B-skiplist with 512 keys per node (8192-byte nodes for 16-byte pairs).
+pub type BSkipList512<K, V> = BSkipList<K, V, 512>;

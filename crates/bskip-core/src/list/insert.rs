@@ -1,0 +1,515 @@
+//! Top-down single-pass insertion (paper Section 3 + Algorithm 1) and the
+//! corresponding top-down concurrency-control scheme (Section 4).
+//!
+//! The insertion of a key with promotion height `h` proceeds as follows:
+//!
+//! 1. Draw `h` up front and pre-allocate the `h` new nodes the insertion
+//!    will create (one per level `h-1..0`), already containing the key (and
+//!    the value at the leaf) and chained together through their first down
+//!    pointer.  The new nodes are created *write-locked*: they are not yet
+//!    reachable, so holding their locks costs nothing, and it guarantees
+//!    that as soon as one of them becomes reachable (via a down pointer
+//!    installed at the level above) any concurrent traversal blocks until
+//!    this insert has finished populating and linking it.
+//! 2. Traverse once from the top-level head: read locks above level `h`,
+//!    write locks at and below it, hand-over-hand within and across levels.
+//! 3. At level `h`, write the key into the node that contains its
+//!    predecessor (splitting the node in half first if it is full — an
+//!    *overflow split*).
+//! 4. At every level below `h`, perform a *promotion split*: the
+//!    pre-allocated node becomes the right half of the predecessor's node,
+//!    headed by the new key.
+//!
+//! A single pass suffices because the height is independent of the current
+//! structure — the one property that distinguishes skiplists from B-trees.
+
+use std::ptr;
+
+use bskip_index::{IndexKey, IndexValue};
+
+use super::{lock_node, unlock_node, BSkipList, Mode};
+use crate::node::{Node, NodeSearch};
+
+/// Nodes locked at the current level that must be released before moving to
+/// the next level (after the child has been locked).  At most five nodes
+/// are ever held at once: the retained predecessor, the current node, the
+/// pre-allocated node, a spill node and a just-locked successor.
+struct ReleaseSet<K, V, const B: usize> {
+    nodes: [(*mut Node<K, V, B>, Mode); 5],
+    len: usize,
+}
+
+impl<K, V, const B: usize> ReleaseSet<K, V, B>
+where
+    K: Copy + Ord,
+    V: Copy,
+{
+    fn new() -> Self {
+        ReleaseSet {
+            nodes: [(ptr::null_mut(), Mode::Read); 5],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, node: *mut Node<K, V, B>, mode: Mode) {
+        debug_assert!(self.len < self.nodes.len());
+        self.nodes[self.len] = (node, mode);
+        self.len += 1;
+    }
+
+    /// Unlocks every registered node.
+    ///
+    /// # Safety
+    ///
+    /// Every registered node must still be locked by this thread in the
+    /// registered mode.
+    unsafe fn release(&self) {
+        for &(node, mode) in &self.nodes[..self.len] {
+            unlock_node(node, mode);
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
+    /// Inserts `key → value` with an explicit promotion height instead of a
+    /// randomly sampled one.  Returns the previous value if the key was
+    /// already present.
+    ///
+    /// This is the deterministic entry point used by tests, benchmarks and
+    /// structure-shape experiments; [`BSkipList::insert`] simply samples the
+    /// height from the configured geometric distribution and calls this.
+    /// Heights are clamped to `max_height - 1`.
+    pub fn insert_with_height(&self, key: K, value: V, height: usize) -> Option<V> {
+        let height = height.min(self.max_height() - 1);
+        if let Some(stats) = self.stats_enabled() {
+            stats.inserts.incr();
+        }
+        // SAFETY: the body upholds the hand-over-hand locking protocol
+        // documented on `Node`: guarded state is only read under a shared
+        // or exclusive lock and only written under an exclusive lock.
+        unsafe { self.insert_inner(key, value, height) }
+    }
+
+    unsafe fn insert_inner(&self, key: K, value: V, height: usize) -> Option<V> {
+        // Step 1: pre-allocate (and pre-lock) the nodes for levels
+        // `height-1 .. 0`, chained through their first child pointer.
+        let mut prealloc: Vec<*mut Node<K, V, B>> = Vec::with_capacity(height);
+        if height > 0 {
+            let leaf = Node::<K, V, B>::alloc_leaf(false);
+            (*leaf).lock.lock_exclusive();
+            (*leaf).push_leaf(key, value);
+            prealloc.push(leaf);
+            for level in 1..height {
+                let internal = Node::<K, V, B>::alloc_internal(level as u8, false);
+                (*internal).lock.lock_exclusive();
+                (*internal).push_internal(key, prealloc[level - 1]);
+                prealloc.push(internal);
+            }
+        }
+        // Pre-allocated nodes below `free_below` have not been linked into
+        // the structure (they are consumed from the top down); whatever
+        // remains unconsumed when the pass finishes is freed.
+        let mut free_below = height;
+
+        let mode_of = |level: usize| {
+            if level <= height {
+                Mode::Write
+            } else {
+                Mode::Read
+            }
+        };
+
+        // Step 2: single top-down pass.
+        let mut level = self.top_level();
+        let mut mode = mode_of(level);
+        let mut curr = self.head(level);
+        lock_node(curr, mode);
+        if mode == Mode::Write {
+            if let Some(stats) = self.stats_enabled() {
+                stats.top_level_write_locks.incr();
+            }
+        }
+        // Predecessor node retained (locked) at write levels so that a node
+        // emptied by a duplicate-key splice can be unlinked immediately.
+        let mut prev: *mut Node<K, V, B> = ptr::null_mut();
+        let mut existing_found = false;
+        let mut old_value: Option<V> = None;
+
+        loop {
+            // ---- horizontal traversal: move right while the successor's
+            // header is not past the key ----
+            loop {
+                let next = (*curr).next();
+                if next.is_null() {
+                    break;
+                }
+                lock_node(next, mode);
+                if (*next).header() <= key {
+                    match mode {
+                        Mode::Write => {
+                            if !prev.is_null() {
+                                unlock_node(prev, Mode::Write);
+                            }
+                            prev = curr;
+                        }
+                        Mode::Read => unlock_node(curr, Mode::Read),
+                    }
+                    curr = next;
+                    if let Some(stats) = self.stats_enabled() {
+                        stats.horizontal_steps.incr();
+                    }
+                } else {
+                    unlock_node(next, mode);
+                    break;
+                }
+            }
+            if let Some(stats) = self.stats_enabled() {
+                stats.levels_visited.incr();
+            }
+
+            // ---- per-level processing ----
+            let mut release = ReleaseSet::new();
+            if !prev.is_null() {
+                release.push(prev, Mode::Write);
+            }
+            release.push(curr, mode);
+            // Node unlinked at this level (duplicate-key splice that emptied
+            // a non-head node); reclaimed after its lock is dropped.
+            let mut unlinked: *mut Node<K, V, B> = ptr::null_mut();
+            let mut descend_child: *mut Node<K, V, B> = ptr::null_mut();
+
+            if mode == Mode::Write && !existing_found {
+                let found = (*curr).search(&key);
+                match found {
+                    NodeSearch::Found(idx) => {
+                        existing_found = true;
+                        if level == height {
+                            // The key already exists and we have not written
+                            // anything yet: reuse its existing tower and just
+                            // update the value at the leaf.
+                            if level == 0 {
+                                old_value = Some((*curr).replace_value_at(idx, value));
+                            } else {
+                                descend_child = (*curr).child_at(idx);
+                            }
+                        } else {
+                            // The key already exists but the level above now
+                            // points at the pre-allocated node for this level
+                            // (the key's previous height was exactly this
+                            // level).  Make the key the header of that node,
+                            // reusing its existing downward structure, and
+                            // splice it in right after `curr`.
+                            let pnode = prealloc[level];
+                            free_below = level;
+                            if level == 0 {
+                                old_value = Some((*curr).value_at(idx));
+                            } else {
+                                (*pnode).set_child_at(0, (*curr).child_at(idx));
+                                descend_child = (*pnode).child_at(0);
+                            }
+                            (*curr).move_suffix_to(idx + 1, &*pnode);
+                            (*curr).remove_at(idx);
+                            (*pnode).set_next((*curr).next());
+                            (*curr).set_next(pnode);
+                            release.push(pnode, Mode::Write);
+                            if let Some(stats) = self.stats_enabled() {
+                                stats.promotion_splits.incr();
+                            }
+                            if (*curr).is_empty() && !(*curr).is_head() {
+                                debug_assert!(
+                                    !prev.is_null(),
+                                    "emptied a non-head node without a locked predecessor"
+                                );
+                                (*prev).set_next(pnode);
+                                unlinked = curr;
+                            }
+                        }
+                    }
+                    NodeSearch::Pred(_) | NodeSearch::Before => {
+                        let insert_pos = match found {
+                            NodeSearch::Pred(idx) => idx + 1,
+                            NodeSearch::Before => 0,
+                            NodeSearch::Found(_) => unreachable!(),
+                        };
+                        if level == height {
+                            // Plain insertion at the key's topmost level,
+                            // preceded by an overflow split if the node is at
+                            // capacity (Algorithm 1, lines 21–35).
+                            let (target, local_pos) = if (*curr).is_full() {
+                                let new_node = if level == 0 {
+                                    Node::<K, V, B>::alloc_leaf(false)
+                                } else {
+                                    Node::<K, V, B>::alloc_internal(level as u8, false)
+                                };
+                                (*new_node).lock.lock_exclusive();
+                                let half = B / 2;
+                                (*curr).move_suffix_to(half, &*new_node);
+                                (*new_node).set_next((*curr).next());
+                                (*curr).set_next(new_node);
+                                release.push(new_node, Mode::Write);
+                                if let Some(stats) = self.stats_enabled() {
+                                    stats.overflow_splits.incr();
+                                }
+                                if insert_pos <= half {
+                                    (curr, insert_pos)
+                                } else {
+                                    (new_node, insert_pos - half)
+                                }
+                            } else {
+                                (curr, insert_pos)
+                            };
+                            if level == 0 {
+                                (*target).insert_leaf_at(local_pos, key, value);
+                            } else {
+                                (*target).insert_internal_at(local_pos, key, prealloc[level - 1]);
+                            }
+                            if level > 0 {
+                                // Descend from the predecessor, which sits
+                                // immediately to the left of the freshly
+                                // inserted key.
+                                descend_child = if local_pos == 0 {
+                                    debug_assert!((*target).is_head());
+                                    (*target).head_child()
+                                } else {
+                                    (*target).child_at(local_pos - 1)
+                                };
+                            }
+                        } else {
+                            // Promotion split (Algorithm 1, lines 39–47): the
+                            // pre-allocated node becomes the right half of
+                            // `curr`, headed by the new key.
+                            let pnode = prealloc[level];
+                            free_below = level;
+                            let move_count = (*curr).len() - insert_pos;
+                            if 1 + move_count > B {
+                                // The moved run plus the key exceeds the fixed
+                                // node size (only possible when the split
+                                // lands at the very front of a full node):
+                                // spill the tail into one extra node — an
+                                // overflow split combined with the promotion
+                                // split.
+                                let spill = if level == 0 {
+                                    Node::<K, V, B>::alloc_leaf(false)
+                                } else {
+                                    Node::<K, V, B>::alloc_internal(level as u8, false)
+                                };
+                                (*spill).lock.lock_exclusive();
+                                let spill_from = insert_pos + (B - 1);
+                                (*curr).move_suffix_to(spill_from, &*spill);
+                                (*curr).move_suffix_to(insert_pos, &*pnode);
+                                (*spill).set_next((*curr).next());
+                                (*pnode).set_next(spill);
+                                (*curr).set_next(pnode);
+                                release.push(spill, Mode::Write);
+                                if let Some(stats) = self.stats_enabled() {
+                                    stats.overflow_splits.incr();
+                                }
+                            } else {
+                                (*curr).move_suffix_to(insert_pos, &*pnode);
+                                (*pnode).set_next((*curr).next());
+                                (*curr).set_next(pnode);
+                            }
+                            release.push(pnode, Mode::Write);
+                            if let Some(stats) = self.stats_enabled() {
+                                stats.promotion_splits.incr();
+                            }
+                            if level > 0 {
+                                descend_child = if insert_pos == 0 {
+                                    debug_assert!((*curr).is_head());
+                                    (*curr).head_child()
+                                } else {
+                                    (*curr).child_at(insert_pos - 1)
+                                };
+                            }
+                        }
+                    }
+                }
+            } else if level == 0 {
+                // Reached the leaf after detecting that the key already
+                // exists higher up: update its value in place.
+                if let NodeSearch::Found(idx) = (*curr).search(&key) {
+                    if old_value.is_none() {
+                        old_value = Some((*curr).replace_value_at(idx, value));
+                    }
+                } else {
+                    // Only possible if a concurrent remove raced this insert
+                    // on the same key; see the crate-level concurrency notes.
+                    debug_assert!(existing_found);
+                }
+            } else {
+                // Read level (above the promotion height) or post-duplicate
+                // navigation: follow the down pointer of the largest key not
+                // exceeding the search key.
+                descend_child = self.descend_pointer(curr, &key);
+            }
+
+            // ---- descend or finish ----
+            if level == 0 {
+                release.release();
+                if !unlinked.is_null() {
+                    self.defer_free(unlinked);
+                }
+                break;
+            }
+            debug_assert!(!descend_child.is_null());
+            let child_mode = mode_of(level - 1);
+            lock_node(descend_child, child_mode);
+            release.release();
+            if !unlinked.is_null() {
+                self.defer_free(unlinked);
+            }
+            curr = descend_child;
+            prev = ptr::null_mut();
+            mode = child_mode;
+            level -= 1;
+        }
+
+        // Step 4: reclaim pre-allocated nodes that were never linked in
+        // (only happens when the key already existed).
+        for &node in &prealloc[..free_below] {
+            Node::free(node);
+        }
+        if old_value.is_none() {
+            self.bump_len();
+        }
+        old_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::BSkipConfig;
+    use crate::BSkipList;
+
+    type List = BSkipList<u64, u64, 4>;
+
+    fn list() -> List {
+        List::with_config(BSkipConfig::default().with_max_height(4))
+    }
+
+    #[test]
+    fn insert_with_explicit_heights_builds_correct_structure() {
+        let list = list();
+        // Heights chosen to exercise every level of a 4-level list.
+        let plan = [
+            (10u64, 0usize),
+            (20, 1),
+            (30, 0),
+            (40, 2),
+            (50, 0),
+            (60, 3),
+            (70, 1),
+            (80, 0),
+        ];
+        for (key, height) in plan {
+            assert_eq!(list.insert_with_height(key, key * 10, height), None);
+        }
+        for (key, _) in plan {
+            assert_eq!(list.get(&key), Some(key * 10), "missing key {key}");
+        }
+        list.validate().expect("structure invariants violated");
+        assert_eq!(list.len(), plan.len());
+    }
+
+    #[test]
+    fn promoted_insert_splits_existing_nodes() {
+        let list = list();
+        // Fill a few leaf nodes with non-promoted keys first.
+        for key in 0..12u64 {
+            list.insert_with_height(key, key, 0);
+        }
+        list.validate().expect("pre-split structure");
+        // Now promote a key in the middle of an existing node.
+        list.insert_with_height(100, 100, 2);
+        list.insert_with_height(5, 500, 0); // 5 already exists -> update
+        assert_eq!(list.get(&5), Some(500));
+        list.insert_with_height(6, 600, 2); // existing key, larger height
+        assert_eq!(list.get(&6), Some(600));
+        list.validate().expect("post-split structure");
+        assert_eq!(list.len(), 13);
+    }
+
+    #[test]
+    fn reinserting_with_larger_height_keeps_all_keys_reachable() {
+        let list = list();
+        for key in 0..32u64 {
+            list.insert_with_height(key, key, 0);
+        }
+        // Re-insert several existing keys with the maximum height; their
+        // values must be updated and every other key must stay reachable.
+        for key in (0..32u64).step_by(5) {
+            assert_eq!(list.insert_with_height(key, key + 1000, 3), Some(key));
+        }
+        for key in 0..32u64 {
+            let expected = if key % 5 == 0 { key + 1000 } else { key };
+            assert_eq!(list.get(&key), Some(expected), "key {key}");
+        }
+        list.validate().expect("structure after re-promotion");
+        assert_eq!(list.len(), 32);
+    }
+
+    #[test]
+    fn overflow_splits_keep_fixed_size_nodes() {
+        let list = list();
+        // All keys at height 0 forces pure overflow splits at the leaf level
+        // (B = 4, so every 4th insert into the same region splits).
+        for key in 0..64u64 {
+            list.insert_with_height(key * 2, key, 0);
+        }
+        list.validate().expect("overflow-split structure");
+        let stats_list =
+            BSkipList::<u64, u64, 4>::with_config(BSkipConfig::default().with_stats(true));
+        for key in 0..64u64 {
+            stats_list.insert_with_height(key, key, 0);
+        }
+        assert!(stats_list.stats().overflow_splits.get() > 0);
+    }
+
+    #[test]
+    fn promotion_split_at_front_of_full_node_spills() {
+        let list = list();
+        // Build one full leaf node: keys 10, 11, 12, 13 (B = 4).
+        for key in 10..14u64 {
+            list.insert_with_height(key, key, 0);
+        }
+        // Insert a smaller, promoted key: the split lands at the very front
+        // of the full head node at the leaf level, forcing the spill path.
+        list.insert_with_height(1, 1, 2);
+        for key in [1u64, 10, 11, 12, 13] {
+            assert_eq!(list.get(&key), Some(key), "key {key}");
+        }
+        list.validate().expect("spill structure");
+    }
+
+    #[test]
+    fn interleaved_heights_random_order() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut keys: Vec<u64> = (0..2000).collect();
+        keys.shuffle(&mut rng);
+        let list = list();
+        for &key in &keys {
+            let height = rng.gen_range(0..4);
+            list.insert_with_height(key, key ^ 0xdead, height);
+        }
+        list.validate().expect("random structure");
+        assert_eq!(list.len(), 2000);
+        for &key in &keys {
+            assert_eq!(list.get(&key), Some(key ^ 0xdead));
+        }
+        // Full scan is sorted and complete.
+        let scanned = list.to_vec();
+        assert_eq!(scanned.len(), 2000);
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn heights_are_clamped_to_max() {
+        let list = list();
+        list.insert_with_height(1, 1, 100);
+        assert_eq!(list.get(&1), Some(1));
+        list.validate().expect("clamped height structure");
+    }
+}

@@ -1,0 +1,682 @@
+//! The concurrent B-skiplist.
+//!
+//! This module implements the data structure proposed by the paper: a
+//! blocked skiplist with fixed-size nodes whose operations traverse the
+//! structure exactly once, left-to-right within a level and top-to-bottom
+//! across levels, acquiring reader/writer locks hand-over-hand.
+//!
+//! * Queries ([`BSkipList::get`], [`BSkipList::range`]) acquire locks in
+//!   *read* mode only (Section 4, "concurrent finds and range queries").
+//! * Inserts ([`BSkipList::insert`]) draw the key's promotion height `h`
+//!   up front, pre-allocate (and pre-lock) the `h` new nodes the insertion
+//!   will link in, and then perform a single top-down pass that takes read
+//!   locks above level `h` and write locks at and below it (Section 3 and
+//!   Algorithm 1).
+//! * Removals ([`BSkipList::remove`]) perform the symmetric top-down pass
+//!   with write locks.
+//!
+//! The lock order — left-to-right within a level, then top-to-bottom across
+//! levels — is total, so the scheme is deadlock-free (Appendix B).
+
+mod insert;
+mod remove;
+mod validate;
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+
+use crate::config::BSkipConfig;
+use crate::height::sample_height;
+use crate::node::{Node, NodeSearch};
+use crate::stats::BSkipStats;
+
+/// Lock mode used during a traversal step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Shared (reader) mode.
+    Read,
+    /// Exclusive (writer) mode.
+    Write,
+}
+
+/// Locks `node` in the given mode.
+///
+/// # Safety
+///
+/// `node` must point to a live node.
+#[inline]
+pub(crate) unsafe fn lock_node<K, V, const B: usize>(node: *mut Node<K, V, B>, mode: Mode)
+where
+    K: Copy + Ord,
+    V: Copy,
+{
+    match mode {
+        Mode::Read => (*node).lock.lock_shared(),
+        Mode::Write => (*node).lock.lock_exclusive(),
+    }
+}
+
+/// Unlocks `node` from the given mode.
+///
+/// # Safety
+///
+/// `node` must point to a live node currently locked in `mode` by this
+/// thread.
+#[inline]
+pub(crate) unsafe fn unlock_node<K, V, const B: usize>(node: *mut Node<K, V, B>, mode: Mode)
+where
+    K: Copy + Ord,
+    V: Copy,
+{
+    match mode {
+        Mode::Read => (*node).lock.unlock_shared(),
+        Mode::Write => (*node).lock.unlock_exclusive(),
+    }
+}
+
+/// A concurrent, locality-optimized B-skiplist.
+///
+/// `B` is the number of key slots per node (the paper's "node size"; with
+/// 8-byte keys and values, `B = 128` corresponds to the paper's 2048-byte
+/// nodes).  See [`BSkipConfig`] for the runtime knobs.
+///
+/// # Example
+///
+/// ```
+/// use bskip_core::BSkipList;
+///
+/// let list: BSkipList<u64, u64> = BSkipList::new();
+/// list.insert(7, 70);
+/// list.insert(3, 30);
+/// assert_eq!(list.get(&7), Some(70));
+/// let mut pairs = Vec::new();
+/// list.range(&0, 10, &mut |k, v| pairs.push((*k, *v)));
+/// assert_eq!(pairs, vec![(3, 30), (7, 70)]);
+/// ```
+///
+/// All operations take `&self` and may be called concurrently from any
+/// number of threads (e.g. through an `Arc<BSkipList<_, _>>` or a scoped
+/// thread borrow).
+pub struct BSkipList<K, V, const B: usize = 128>
+where
+    K: IndexKey,
+    V: IndexValue,
+{
+    /// Left sentinel ("head") node of every level; `heads[0]` is the leaf
+    /// level, `heads[max_height - 1]` the top.
+    heads: Box<[*mut Node<K, V, B>]>,
+    /// Number of levels.
+    max_height: usize,
+    /// Promotion denominator: a key is promoted one further level with
+    /// probability `1 / denominator`.
+    denominator: u32,
+    /// Copy of the construction-time configuration.
+    config: BSkipConfig,
+    /// Number of keys stored.
+    len: AtomicUsize,
+    /// Structural statistics (only updated when `config.collect_stats`).
+    stats: BSkipStats,
+    /// Nodes unlinked by `remove` whose memory is reclaimed on drop.  See
+    /// the crate documentation for the reclamation discussion.
+    garbage: Mutex<Vec<*mut Node<K, V, B>>>,
+    _marker: PhantomData<(K, V)>,
+}
+
+// SAFETY: the raw node pointers are only dereferenced under the per-node
+// reader/writer locks (or with exclusive `&mut self` access), so the list
+// can be shared and sent across threads whenever its keys and values can.
+unsafe impl<K: IndexKey, V: IndexValue, const B: usize> Send for BSkipList<K, V, B> {}
+unsafe impl<K: IndexKey, V: IndexValue, const B: usize> Sync for BSkipList<K, V, B> {}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> Default for BSkipList<K, V, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
+    /// Creates an empty B-skiplist with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(BSkipConfig::default())
+    }
+
+    /// Creates an empty B-skiplist with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`BSkipConfig::validate`])
+    /// or if `B < 2`.
+    pub fn with_config(config: BSkipConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|err| panic!("invalid BSkipConfig: {err}"));
+        assert!(B >= 2, "node capacity B must be at least 2");
+        let max_height = config.max_height;
+        // Build the spine of head (left-sentinel) nodes, one per level,
+        // linked downward through their implicit -infinity entry.
+        let mut heads = Vec::with_capacity(max_height);
+        heads.push(Node::<K, V, B>::alloc_leaf(true));
+        for level in 1..max_height {
+            let head = Node::<K, V, B>::alloc_internal(level as u8, true);
+            // SAFETY: the node was just allocated and is not yet shared.
+            unsafe { (*head).set_head_child(heads[level - 1]) };
+            heads.push(head);
+        }
+        BSkipList {
+            heads: heads.into_boxed_slice(),
+            max_height,
+            denominator: config.promotion_denominator(B),
+            config,
+            len: AtomicUsize::new(0),
+            stats: BSkipStats::new(),
+            garbage: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The configuration this list was created with.
+    pub fn config(&self) -> &BSkipConfig {
+        &self.config
+    }
+
+    /// Number of key slots per node (the const generic `B`).
+    pub const fn node_capacity(&self) -> usize {
+        B
+    }
+
+    /// The promotion denominator in effect (`≈ c·B`).
+    pub fn promotion_denominator(&self) -> u32 {
+        self.denominator
+    }
+
+    /// Number of levels (including the leaf level).
+    pub fn max_height(&self) -> usize {
+        self.max_height
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural statistics (all zeros unless the list was configured with
+    /// `collect_stats = true`).
+    pub fn stats(&self) -> &BSkipStats {
+        &self.stats
+    }
+
+    /// Returns the statistics block only when collection is enabled; used
+    /// internally to keep the disabled path to a single branch.
+    #[inline]
+    pub(crate) fn stats_enabled(&self) -> Option<&BSkipStats> {
+        if self.config.collect_stats {
+            Some(&self.stats)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn head(&self, level: usize) -> *mut Node<K, V, B> {
+        self.heads[level]
+    }
+
+    #[inline]
+    pub(crate) fn top_level(&self) -> usize {
+        self.max_height - 1
+    }
+
+    #[inline]
+    pub(crate) fn bump_len(&self) {
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn drop_len(&self) {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Defers reclamation of an unlinked node until the list is dropped.
+    pub(crate) fn defer_free(&self, node: *mut Node<K, V, B>) {
+        self.garbage.lock().unwrap().push(node);
+    }
+
+    /// Samples a promotion height for a new insertion.
+    #[inline]
+    pub(crate) fn sample_height(&self) -> usize {
+        sample_height(self.denominator, self.max_height)
+    }
+
+    /// Point lookup (the paper's `find(k)`).
+    ///
+    /// Takes read locks hand-over-hand, left-to-right within a level and
+    /// top-to-bottom across levels, holding at most two locks at a time.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if let Some(stats) = self.stats_enabled() {
+            stats.finds.incr();
+        }
+        // SAFETY: all node accesses below follow the HOH read-locking
+        // protocol: a node's contents are only read while its lock is held
+        // in shared mode, and a successor/child is locked before the
+        // current node is released.
+        unsafe {
+            let mut level = self.top_level();
+            let mut curr = self.head(level);
+            lock_node(curr, Mode::Read);
+            loop {
+                curr = self.walk_right_read(curr, key);
+                if level == 0 {
+                    let result = match (*curr).search(key) {
+                        NodeSearch::Found(idx) => Some((*curr).value_at(idx)),
+                        _ => None,
+                    };
+                    unlock_node(curr, Mode::Read);
+                    return result;
+                }
+                let child = self.descend_pointer(curr, key);
+                lock_node(child, Mode::Read);
+                unlock_node(curr, Mode::Read);
+                curr = child;
+                level -= 1;
+                if let Some(stats) = self.stats_enabled() {
+                    stats.levels_visited.incr();
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Range scan (the paper's `range(k, f, length)`): visits up to `len`
+    /// key-value pairs with keys `>= start` in ascending order, returning
+    /// how many were visited.
+    ///
+    /// The descent uses the same read-locked traversal as `get`; the leaf
+    /// level is then scanned left-to-right hand-over-hand.
+    pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        if let Some(stats) = self.stats_enabled() {
+            stats.ranges.incr();
+        }
+        // SAFETY: HOH read locking as in `get`.
+        unsafe {
+            let mut level = self.top_level();
+            let mut curr = self.head(level);
+            lock_node(curr, Mode::Read);
+            while level > 0 {
+                curr = self.walk_right_read(curr, start);
+                let child = self.descend_pointer(curr, start);
+                lock_node(child, Mode::Read);
+                unlock_node(curr, Mode::Read);
+                curr = child;
+                level -= 1;
+                if let Some(stats) = self.stats_enabled() {
+                    stats.levels_visited.incr();
+                }
+            }
+            curr = self.walk_right_read(curr, start);
+            // Position of the first key >= start within the leaf node.
+            let mut index = match (*curr).search(start) {
+                NodeSearch::Found(idx) => idx,
+                NodeSearch::Pred(idx) => idx + 1,
+                NodeSearch::Before => 0,
+            };
+            let mut visited = 0;
+            let mut leaf_nodes = 1u64;
+            loop {
+                while index < (*curr).len() && visited < len {
+                    let key = (*curr).key_at(index);
+                    let value = (*curr).value_at(index);
+                    visit(&key, &value);
+                    visited += 1;
+                    index += 1;
+                }
+                if visited == len {
+                    break;
+                }
+                let next = (*curr).next();
+                if next.is_null() {
+                    break;
+                }
+                lock_node(next, Mode::Read);
+                unlock_node(curr, Mode::Read);
+                curr = next;
+                index = 0;
+                leaf_nodes += 1;
+            }
+            unlock_node(curr, Mode::Read);
+            if let Some(stats) = self.stats_enabled() {
+                stats.range_leaf_nodes.add(leaf_nodes);
+            }
+            visited
+        }
+    }
+
+    /// Visits every key-value pair in ascending key order.
+    ///
+    /// Equivalent to a full-index range scan; useful for validation and for
+    /// flushing a memtable.
+    pub fn for_each(&self, visit: &mut dyn FnMut(&K, &V)) {
+        // SAFETY: HOH read locking along the leaf level.
+        unsafe {
+            let mut curr = self.head(0);
+            lock_node(curr, Mode::Read);
+            loop {
+                for index in 0..(*curr).len() {
+                    let key = (*curr).key_at(index);
+                    let value = (*curr).value_at(index);
+                    visit(&key, &value);
+                }
+                let next = (*curr).next();
+                if next.is_null() {
+                    unlock_node(curr, Mode::Read);
+                    return;
+                }
+                lock_node(next, Mode::Read);
+                unlock_node(curr, Mode::Read);
+                curr = next;
+            }
+        }
+    }
+
+    /// Collects the whole contents into a sorted `Vec` (convenience wrapper
+    /// around [`BSkipList::for_each`]).
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(&mut |k, v| out.push((*k, *v)));
+        out
+    }
+
+    /// Inserts `key → value`, returning the previous value if the key was
+    /// already present.  The promotion height is drawn from the configured
+    /// geometric distribution.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let height = self.sample_height();
+        self.insert_with_height(key, value, height)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.remove_impl(key)
+    }
+
+    /// Moves right along a level in read mode while the successor's header
+    /// is `<= key`, maintaining HOH read locks.  Returns the final node,
+    /// locked in read mode.
+    ///
+    /// # Safety
+    ///
+    /// `curr` must be locked in read mode by this thread.
+    unsafe fn walk_right_read(&self, mut curr: *mut Node<K, V, B>, key: &K) -> *mut Node<K, V, B> {
+        loop {
+            let next = (*curr).next();
+            if next.is_null() {
+                return curr;
+            }
+            lock_node(next, Mode::Read);
+            if (*next).header() <= *key {
+                unlock_node(curr, Mode::Read);
+                curr = next;
+                if let Some(stats) = self.stats_enabled() {
+                    stats.horizontal_steps.incr();
+                }
+            } else {
+                unlock_node(next, Mode::Read);
+                return curr;
+            }
+        }
+    }
+
+    /// Returns the child pointer to follow when descending from `curr` for
+    /// `key`: the down pointer of the largest key `<= key`, or the head
+    /// child when every key in the node is larger.
+    ///
+    /// # Safety
+    ///
+    /// `curr` must be locked by this thread and must be an internal node.
+    pub(crate) unsafe fn descend_pointer(
+        &self,
+        curr: *mut Node<K, V, B>,
+        key: &K,
+    ) -> *mut Node<K, V, B> {
+        match (*curr).search(key) {
+            NodeSearch::Found(idx) => (*curr).child_at(idx),
+            NodeSearch::Pred(idx) => (*curr).child_at(idx),
+            NodeSearch::Before => {
+                debug_assert!(
+                    (*curr).is_head(),
+                    "descended into a non-head node whose header exceeds the key"
+                );
+                (*curr).head_child()
+            }
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> Drop for BSkipList<K, V, B> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees no concurrent accessors; every node
+        // reachable from a head belongs to this list and is freed exactly
+        // once (deferred-free nodes were unlinked and are therefore not
+        // reachable from any head).
+        unsafe {
+            for &head in self.heads.iter() {
+                let mut node = head;
+                while !node.is_null() {
+                    let next = (*node).next();
+                    Node::free(node);
+                    node = next;
+                }
+            }
+            for &node in self.garbage.lock().unwrap().iter() {
+                Node::free(node);
+            }
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkipList<K, V, B> {
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        BSkipList::insert(self, key, value)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        BSkipList::get(self, key)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        BSkipList::remove(self, key)
+    }
+
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        BSkipList::range(self, start, len, visit)
+    }
+
+    fn len(&self) -> usize {
+        BSkipList::len(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "B-skiplist"
+    }
+
+    fn stats(&self) -> IndexStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type List = BSkipList<u64, u64, 8>;
+
+    fn small_config() -> BSkipConfig {
+        BSkipConfig::default().with_max_height(4).with_promotion_c(0.5)
+    }
+
+    #[test]
+    fn new_list_is_empty() {
+        let list = List::with_config(small_config());
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert_eq!(list.get(&1), None);
+        assert_eq!(list.to_vec(), vec![]);
+        assert_eq!(list.node_capacity(), 8);
+        assert_eq!(list.max_height(), 4);
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let list = List::with_config(small_config());
+        assert_eq!(list.insert(5, 50), None);
+        assert_eq!(list.insert(1, 10), None);
+        assert_eq!(list.insert(9, 90), None);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.get(&1), Some(10));
+        assert_eq!(list.get(&5), Some(50));
+        assert_eq!(list.get(&9), Some(90));
+        assert_eq!(list.get(&2), None);
+        assert!(list.contains_key(&9));
+        assert!(!list.contains_key(&8));
+    }
+
+    #[test]
+    fn insert_existing_key_updates_value() {
+        let list = List::with_config(small_config());
+        assert_eq!(list.insert(42, 1), None);
+        assert_eq!(list.insert(42, 2), Some(1));
+        assert_eq!(list.get(&42), Some(2));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn many_sequential_inserts_preserve_sorted_order() {
+        let list = List::with_config(small_config());
+        for key in 0..1000u64 {
+            list.insert(key, key * 2);
+        }
+        assert_eq!(list.len(), 1000);
+        let pairs = list.to_vec();
+        assert_eq!(pairs.len(), 1000);
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insert_orders() {
+        let list = List::with_config(small_config());
+        for key in (0..500u64).rev() {
+            list.insert(key, key);
+        }
+        let keys: Vec<u64> = list.to_vec().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_visits_requested_window() {
+        let list = List::with_config(small_config());
+        for key in (0..100u64).map(|i| i * 10) {
+            list.insert(key, key + 1);
+        }
+        let mut seen = Vec::new();
+        let count = list.range(&250, 5, &mut |k, v| seen.push((*k, *v)));
+        assert_eq!(count, 5);
+        assert_eq!(seen, vec![(250, 251), (260, 261), (270, 271), (280, 281), (290, 291)]);
+    }
+
+    #[test]
+    fn range_from_between_keys_and_past_the_end() {
+        let list = List::with_config(small_config());
+        for key in [10u64, 20, 30] {
+            list.insert(key, key);
+        }
+        let mut seen = Vec::new();
+        assert_eq!(list.range(&15, 10, &mut |k, _| seen.push(*k)), 2);
+        assert_eq!(seen, vec![20, 30]);
+        assert_eq!(list.range(&31, 10, &mut |_, _| panic!("nothing to visit")), 0);
+        assert_eq!(list.range(&10, 0, &mut |_, _| panic!("len 0")), 0);
+    }
+
+    #[test]
+    fn remove_returns_value_and_unlinks() {
+        let list = List::with_config(small_config());
+        for key in 0..200u64 {
+            list.insert(key, key + 1000);
+        }
+        assert_eq!(list.remove(&50), Some(1050));
+        assert_eq!(list.remove(&50), None);
+        assert_eq!(list.get(&50), None);
+        assert_eq!(list.len(), 199);
+        // All other keys untouched.
+        for key in (0..200u64).filter(|k| *k != 50) {
+            assert_eq!(list.get(&key), Some(key + 1000), "key {key} lost after remove");
+        }
+    }
+
+    #[test]
+    fn remove_everything_empties_the_list() {
+        let list = List::with_config(small_config());
+        for key in 0..300u64 {
+            list.insert(key, key);
+        }
+        for key in 0..300u64 {
+            assert_eq!(list.remove(&key), Some(key), "failed to remove {key}");
+        }
+        assert!(list.is_empty());
+        assert_eq!(list.to_vec(), vec![]);
+        // The structure is still usable afterwards.
+        list.insert(7, 7);
+        assert_eq!(list.get(&7), Some(7));
+    }
+
+    #[test]
+    fn stats_are_collected_when_enabled() {
+        let list = List::with_config(small_config().with_stats(true));
+        for key in 0..100u64 {
+            list.insert(key, key);
+        }
+        for key in 0..100u64 {
+            list.get(&key);
+        }
+        list.range(&0, 50, &mut |_, _| {});
+        let stats = ConcurrentIndex::stats(&list);
+        assert_eq!(stats.get("finds"), Some(100));
+        assert_eq!(stats.get("inserts"), Some(100));
+        assert_eq!(stats.get("ranges"), Some(1));
+        assert!(stats.get("levels_visited").unwrap() > 0);
+        list.reset_stats();
+        assert_eq!(ConcurrentIndex::stats(&list).get("finds"), Some(0));
+    }
+
+    #[test]
+    fn concurrent_index_trait_dispatch() {
+        let list = List::with_config(small_config());
+        let index: &dyn ConcurrentIndex<u64, u64> = &list;
+        index.insert(1, 2);
+        assert_eq!(index.get(&1), Some(2));
+        assert_eq!(index.name(), "B-skiplist");
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.remove(&1), Some(2));
+        assert!(index.is_empty());
+    }
+}

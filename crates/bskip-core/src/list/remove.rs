@@ -1,0 +1,257 @@
+//! Top-down removal.
+//!
+//! Deletions are symmetric to insertions (paper, footnote 3): the key is
+//! removed from every level it was promoted to, in one top-down pass.
+//! Because the height of an existing key is *not* known up front (it is a
+//! property of the stored structure, unlike the freshly drawn height of an
+//! insertion), the removal pass conservatively takes write locks at every
+//! level.  This keeps the scheme simple and is irrelevant to the paper's
+//! evaluation, whose YCSB workloads contain no deletes.
+//!
+//! When removing a key empties a non-head node, the node is unlinked from
+//! its level.  The predecessor needed for the unlink is available because
+//! the traversal retains the previous node's lock at each level (the same
+//! "at most three locks, two levels" discipline as insertion).  Unlinked
+//! nodes are reclaimed when the list is dropped; see the crate-level
+//! documentation for the discussion of reclamation under races.
+
+use std::ptr;
+
+use bskip_index::{IndexKey, IndexValue};
+
+use super::{lock_node, unlock_node, BSkipList, Mode};
+use crate::node::{Node, NodeSearch};
+
+impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
+    pub(super) fn remove_impl(&self, key: &K) -> Option<V> {
+        if let Some(stats) = self.stats_enabled() {
+            stats.removes.incr();
+        }
+        // SAFETY: hand-over-hand write locking throughout; guarded node
+        // state is only accessed under the corresponding lock.
+        unsafe { self.remove_inner(key) }
+    }
+
+    unsafe fn remove_inner(&self, key: &K) -> Option<V> {
+        let mut level = self.top_level();
+        let mut curr = self.head(level);
+        lock_node(curr, Mode::Write);
+        let mut prev: *mut Node<K, V, B> = ptr::null_mut();
+        let mut removed: Option<V> = None;
+
+        loop {
+            // ---- horizontal traversal, retaining the predecessor ----
+            loop {
+                let next = (*curr).next();
+                if next.is_null() {
+                    break;
+                }
+                lock_node(next, Mode::Write);
+                if (*next).header() <= *key {
+                    if !prev.is_null() {
+                        unlock_node(prev, Mode::Write);
+                    }
+                    prev = curr;
+                    curr = next;
+                    if let Some(stats) = self.stats_enabled() {
+                        stats.horizontal_steps.incr();
+                    }
+                } else {
+                    unlock_node(next, Mode::Write);
+                    break;
+                }
+            }
+            if let Some(stats) = self.stats_enabled() {
+                stats.levels_visited.incr();
+            }
+
+            let mut descend_child: *mut Node<K, V, B> = ptr::null_mut();
+            let mut unlinked: *mut Node<K, V, B> = ptr::null_mut();
+
+            match (*curr).search(key) {
+                NodeSearch::Found(idx) => {
+                    let value = (*curr).remove_at(idx);
+                    if level == 0 {
+                        removed = value;
+                    }
+                    if level > 0 {
+                        // Descend from the predecessor of the removed key: if
+                        // the key was not the first entry its predecessor is
+                        // still in `curr`; otherwise it is the last entry of
+                        // the retained previous node (or that node's implicit
+                        // -infinity entry).
+                        descend_child = if idx > 0 {
+                            (*curr).child_at(idx - 1)
+                        } else if (*curr).is_head() {
+                            (*curr).head_child()
+                        } else {
+                            debug_assert!(
+                                !prev.is_null(),
+                                "removed the header of the first node after the head"
+                            );
+                            if (*prev).is_empty() {
+                                debug_assert!((*prev).is_head());
+                                (*prev).head_child()
+                            } else {
+                                (*prev).child_at((*prev).len() - 1)
+                            }
+                        };
+                    }
+                    // Unlink the node if the removal emptied it.
+                    if (*curr).is_empty() && !(*curr).is_head() {
+                        debug_assert!(!prev.is_null());
+                        (*prev).set_next((*curr).next());
+                        unlinked = curr;
+                    }
+                }
+                NodeSearch::Pred(idx) => {
+                    if level > 0 {
+                        descend_child = (*curr).child_at(idx);
+                    }
+                }
+                NodeSearch::Before => {
+                    if level > 0 {
+                        debug_assert!((*curr).is_head());
+                        descend_child = (*curr).head_child();
+                    }
+                }
+            }
+
+            if level == 0 {
+                if !prev.is_null() {
+                    unlock_node(prev, Mode::Write);
+                }
+                unlock_node(curr, Mode::Write);
+                if !unlinked.is_null() {
+                    self.defer_free(unlinked);
+                }
+                break;
+            }
+            debug_assert!(!descend_child.is_null());
+            lock_node(descend_child, Mode::Write);
+            if !prev.is_null() {
+                unlock_node(prev, Mode::Write);
+            }
+            unlock_node(curr, Mode::Write);
+            if !unlinked.is_null() {
+                self.defer_free(unlinked);
+            }
+            curr = descend_child;
+            prev = ptr::null_mut();
+            level -= 1;
+        }
+
+        if removed.is_some() {
+            self.drop_len();
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::BSkipConfig;
+    use crate::BSkipList;
+
+    type List = BSkipList<u64, u64, 4>;
+
+    fn list() -> List {
+        List::with_config(BSkipConfig::default().with_max_height(4))
+    }
+
+    #[test]
+    fn remove_missing_key_returns_none() {
+        let list = list();
+        assert_eq!(list.remove(&1), None);
+        list.insert_with_height(2, 2, 0);
+        assert_eq!(list.remove(&1), None);
+        assert_eq!(list.remove(&3), None);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn remove_promoted_key_clears_every_level() {
+        let list = list();
+        for key in 0..16u64 {
+            list.insert_with_height(key, key, 0);
+        }
+        // Promote key 8 to the top and then delete it.
+        list.insert_with_height(100, 100, 3);
+        list.insert_with_height(40, 40, 2);
+        assert_eq!(list.remove(&100), Some(100));
+        assert_eq!(list.get(&100), None);
+        assert_eq!(list.remove(&40), Some(40));
+        list.validate().expect("structure after removing promoted keys");
+        for key in 0..16u64 {
+            assert_eq!(list.get(&key), Some(key));
+        }
+    }
+
+    #[test]
+    fn remove_header_key_merges_or_unlinks_nodes() {
+        let list = list();
+        // Build several nodes via promotions so that headers exist at
+        // internal levels, then remove exactly those headers.
+        for key in 0..8u64 {
+            list.insert_with_height(key * 10, key, 0);
+        }
+        for key in [25u64, 45, 65] {
+            list.insert_with_height(key, key, 2);
+        }
+        list.validate().expect("pre-removal structure");
+        for key in [25u64, 45, 65] {
+            assert_eq!(list.remove(&key), Some(key));
+            list.validate().unwrap_or_else(|e| panic!("after removing {key}: {e}"));
+        }
+        for key in 0..8u64 {
+            assert_eq!(list.get(&(key * 10)), Some(key));
+        }
+        assert_eq!(list.len(), 8);
+    }
+
+    #[test]
+    fn insert_remove_insert_same_key_sequentially() {
+        let list = list();
+        for round in 0..5u64 {
+            for height in 0..4usize {
+                let key = 77;
+                assert_eq!(list.insert_with_height(key, round * 10 + height as u64, height), None);
+                assert_eq!(list.get(&key), Some(round * 10 + height as u64));
+                assert_eq!(list.remove(&key), Some(round * 10 + height as u64));
+                assert_eq!(list.get(&key), None);
+                list.validate().expect("cycle structure");
+            }
+        }
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn random_insert_remove_mix_matches_btreemap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeMap;
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let list = list();
+        let mut oracle = BTreeMap::new();
+        for _ in 0..5000 {
+            let key = rng.gen_range(0..500u64);
+            if rng.gen_bool(0.6) {
+                let value = rng.gen::<u64>();
+                let height = rng.gen_range(0..4);
+                assert_eq!(
+                    list.insert_with_height(key, value, height),
+                    oracle.insert(key, value),
+                    "insert mismatch for key {key}"
+                );
+            } else {
+                assert_eq!(list.remove(&key), oracle.remove(&key), "remove mismatch for {key}");
+            }
+        }
+        list.validate().expect("final structure");
+        assert_eq!(list.len(), oracle.len());
+        let collected: Vec<(u64, u64)> = list.to_vec();
+        let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+        assert_eq!(collected, expected);
+    }
+}

@@ -1,0 +1,693 @@
+//! Fixed-size B-skiplist nodes.
+//!
+//! A B-skiplist node stores up to `B` keys in sorted order, plus either `B`
+//! values (leaf nodes, level 0) or `B` child pointers (internal nodes,
+//! level > 0).  Each node also carries a `next` pointer to its right
+//! neighbour at the same level and, for the left-sentinel ("head") nodes,
+//! a `head_child` pointer standing in for the `-∞` entry's down pointer.
+//!
+//! Nodes are allocated with a fixed capacity of exactly `B` slots — the
+//! paper's key practical design decision ("fixed-size physical nodes") that
+//! bounds the number of element moves per insertion to `O(B)` instead of
+//! `O(B log n)`.
+//!
+//! # Safety protocol
+//!
+//! Every node embeds a [`RawRwSpinLock`].  All fields behind the
+//! [`UnsafeCell`] (`len`, `next`, `head_child`, keys, values, children) may
+//! only be read while holding the node's lock in shared or exclusive mode,
+//! and only written while holding it in exclusive mode.  The `level` and
+//! `is_head` fields are immutable after construction and may be read freely.
+//! Methods that touch guarded state are `unsafe fn` and state this
+//! requirement; the traversal code in [`crate::list`] upholds it via
+//! hand-over-hand locking.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+use bskip_sync::RawRwSpinLock;
+
+/// Outcome of searching for a key inside one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeSearch {
+    /// The key is present at this index.
+    Found(usize),
+    /// The key is absent; the largest key smaller than it is at this index.
+    Pred(usize),
+    /// The key is absent and smaller than every key in the node.  Only
+    /// meaningful for head (sentinel) nodes, whose implicit `-∞` entry is
+    /// the predecessor.
+    Before,
+}
+
+/// Per-level payload of a node: values at the leaf level, child pointers at
+/// internal levels.
+pub(crate) enum Data<K, V, const B: usize> {
+    /// Leaf payload: one value per key.
+    Leaf([MaybeUninit<V>; B]),
+    /// Internal payload: one down pointer per key; `children[i]` points to
+    /// the node at the level below whose header key equals `keys[i]`.
+    Internal([*mut Node<K, V, B>; B]),
+}
+
+/// The mutable interior of a node, protected by the node's lock.
+pub(crate) struct Inner<K, V, const B: usize> {
+    /// Number of occupied key slots.
+    pub(crate) len: usize,
+    /// Right neighbour at the same level; null at the end of the level.
+    pub(crate) next: *mut Node<K, V, B>,
+    /// Down pointer of the implicit `-∞` entry; only used by head nodes at
+    /// levels greater than zero.
+    pub(crate) head_child: *mut Node<K, V, B>,
+    /// Sorted keys; slots `0..len` are initialized.
+    pub(crate) keys: [MaybeUninit<K>; B],
+    /// Values (leaf) or children (internal) aligned with `keys`.
+    pub(crate) data: Data<K, V, B>,
+}
+
+/// A fixed-size B-skiplist node.
+///
+/// Aligned to a cache-line boundary so that the lock word, length and the
+/// first few keys of a node share a line — the point of blocking the
+/// skiplist is that a node scan touches `⌈B·sizeof(K)/64⌉` consecutive lines
+/// instead of one line per element.
+#[repr(align(64))]
+pub(crate) struct Node<K, V, const B: usize> {
+    /// Reader-writer lock guarding `inner`.
+    pub(crate) lock: RawRwSpinLock,
+    /// Level of this node (0 = leaf).
+    level: u8,
+    /// Whether this node is the left sentinel of its level.
+    is_head: bool,
+    inner: UnsafeCell<Inner<K, V, B>>,
+}
+
+impl<K, V, const B: usize> Node<K, V, B>
+where
+    K: Copy + Ord,
+    V: Copy,
+{
+    fn new_inner(data: Data<K, V, B>) -> Inner<K, V, B> {
+        Inner {
+            len: 0,
+            next: ptr::null_mut(),
+            head_child: ptr::null_mut(),
+            keys: [const { MaybeUninit::uninit() }; B],
+            data,
+        }
+    }
+
+    /// Allocates an empty leaf node and leaks it, returning the raw pointer.
+    pub(crate) fn alloc_leaf(is_head: bool) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            lock: RawRwSpinLock::new(),
+            level: 0,
+            is_head,
+            inner: UnsafeCell::new(Self::new_inner(Data::Leaf(
+                [const { MaybeUninit::uninit() }; B],
+            ))),
+        }))
+    }
+
+    /// Allocates an empty internal node at `level > 0` and leaks it.
+    pub(crate) fn alloc_internal(level: u8, is_head: bool) -> *mut Self {
+        debug_assert!(level > 0, "internal nodes live at levels above zero");
+        Box::into_raw(Box::new(Node {
+            lock: RawRwSpinLock::new(),
+            level,
+            is_head,
+            inner: UnsafeCell::new(Self::new_inner(Data::Internal([ptr::null_mut(); B]))),
+        }))
+    }
+
+    /// Frees a node previously allocated by [`Node::alloc_leaf`] or
+    /// [`Node::alloc_internal`].
+    ///
+    /// # Safety
+    ///
+    /// `node` must be a valid pointer obtained from one of the allocation
+    /// functions, must not be referenced by any other thread, and must not
+    /// be freed twice.  Keys and values are `Copy`, so no per-element drop
+    /// is required.
+    pub(crate) unsafe fn free(node: *mut Self) {
+        drop(Box::from_raw(node));
+    }
+
+    /// Level of the node (immutable, lock-free).
+    #[inline]
+    pub(crate) fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Whether the node is a left sentinel (immutable, lock-free).
+    #[inline]
+    pub(crate) fn is_head(&self) -> bool {
+        self.is_head
+    }
+
+    #[inline]
+    fn inner(&self) -> &Inner<K, V, B> {
+        // SAFETY: callers of the unsafe accessor methods guarantee the lock
+        // is held in at least shared mode.
+        unsafe { &*self.inner.get() }
+    }
+
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    fn inner_mut(&self) -> &mut Inner<K, V, B> {
+        // SAFETY: callers of the unsafe mutator methods guarantee the lock
+        // is held in exclusive mode.
+        unsafe { &mut *self.inner.get() }
+    }
+
+    /// Number of keys stored.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    #[inline]
+    pub(crate) unsafe fn len(&self) -> usize {
+        self.inner().len
+    }
+
+    /// Whether the node holds no keys.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    #[inline]
+    pub(crate) unsafe fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the node is full.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    #[inline]
+    pub(crate) unsafe fn is_full(&self) -> bool {
+        self.len() == B
+    }
+
+    /// Right neighbour at this level (null if none).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    #[inline]
+    pub(crate) unsafe fn next(&self) -> *mut Self {
+        self.inner().next
+    }
+
+    /// Sets the right neighbour.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively.
+    #[inline]
+    pub(crate) unsafe fn set_next(&self, next: *mut Self) {
+        self.inner_mut().next = next;
+    }
+
+    /// Down pointer of the implicit `-∞` entry (head nodes only).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    #[inline]
+    pub(crate) unsafe fn head_child(&self) -> *mut Self {
+        debug_assert!(self.is_head);
+        self.inner().head_child
+    }
+
+    /// Sets the `-∞` down pointer (head nodes only; done once at
+    /// construction of the skiplist spine).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively, or the node must not yet be
+    /// shared with other threads.
+    #[inline]
+    pub(crate) unsafe fn set_head_child(&self, child: *mut Self) {
+        debug_assert!(self.is_head);
+        self.inner_mut().head_child = child;
+    }
+
+    /// The header (smallest) key of the node.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held and the node must be non-empty.
+    #[inline]
+    pub(crate) unsafe fn header(&self) -> K {
+        debug_assert!(!self.is_empty());
+        self.key_at(0)
+    }
+
+    /// Key at slot `index`.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held and `index < len()`.
+    #[inline]
+    pub(crate) unsafe fn key_at(&self, index: usize) -> K {
+        debug_assert!(index < self.len());
+        self.inner().keys[index].assume_init()
+    }
+
+    /// Value at slot `index` (leaf nodes only).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held, the node must be a leaf and
+    /// `index < len()`.
+    #[inline]
+    pub(crate) unsafe fn value_at(&self, index: usize) -> V {
+        debug_assert!(index < self.len());
+        match &self.inner().data {
+            Data::Leaf(values) => values[index].assume_init(),
+            Data::Internal(_) => unreachable!("value_at called on an internal node"),
+        }
+    }
+
+    /// Overwrites the value at slot `index`, returning the previous value.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively, the node must be a leaf and
+    /// `index < len()`.
+    #[inline]
+    pub(crate) unsafe fn replace_value_at(&self, index: usize, value: V) -> V {
+        debug_assert!(index < self.len());
+        match &mut self.inner_mut().data {
+            Data::Leaf(values) => {
+                let old = values[index].assume_init();
+                values[index] = MaybeUninit::new(value);
+                old
+            }
+            Data::Internal(_) => unreachable!("replace_value_at called on an internal node"),
+        }
+    }
+
+    /// Child pointer at slot `index` (internal nodes only).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held, the node must be internal and
+    /// `index < len()`.
+    #[inline]
+    pub(crate) unsafe fn child_at(&self, index: usize) -> *mut Self {
+        debug_assert!(index < self.len());
+        match &self.inner().data {
+            Data::Internal(children) => children[index],
+            Data::Leaf(_) => unreachable!("child_at called on a leaf node"),
+        }
+    }
+
+    /// Overwrites the child pointer at slot `index` (internal nodes only).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively, the node must be internal
+    /// and `index < len()`.
+    #[inline]
+    pub(crate) unsafe fn set_child_at(&self, index: usize, child: *mut Self) {
+        debug_assert!(index < self.len());
+        match &mut self.inner_mut().data {
+            Data::Internal(children) => children[index] = child,
+            Data::Leaf(_) => unreachable!("set_child_at called on a leaf node"),
+        }
+    }
+
+    /// Binary-searches the node for `key`.
+    ///
+    /// Returns [`NodeSearch::Found`] with the slot when present, otherwise
+    /// the predecessor slot ([`NodeSearch::Pred`]) or [`NodeSearch::Before`]
+    /// when `key` is smaller than every stored key (which only happens for
+    /// head nodes during correct traversals).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    pub(crate) unsafe fn search(&self, key: &K) -> NodeSearch {
+        let inner = self.inner();
+        let len = inner.len;
+        // Binary search over the initialized prefix.
+        let mut lo = 0usize;
+        let mut hi = len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mid_key = inner.keys[mid].assume_init_ref();
+            match mid_key.cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return NodeSearch::Found(mid),
+            }
+        }
+        // `lo` is the number of keys strictly less than `key`.
+        if lo == 0 {
+            NodeSearch::Before
+        } else {
+            NodeSearch::Pred(lo - 1)
+        }
+    }
+
+    /// Inserts `key`/`value` at slot `index`, shifting later slots right.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively, the node must be a leaf,
+    /// not full, and `index <= len()`.
+    pub(crate) unsafe fn insert_leaf_at(&self, index: usize, key: K, value: V) {
+        let inner = self.inner_mut();
+        debug_assert!(inner.len < B);
+        debug_assert!(index <= inner.len);
+        shift_right(&mut inner.keys, index, inner.len);
+        inner.keys[index] = MaybeUninit::new(key);
+        match &mut inner.data {
+            Data::Leaf(values) => {
+                shift_right(values, index, inner.len);
+                values[index] = MaybeUninit::new(value);
+            }
+            Data::Internal(_) => unreachable!("insert_leaf_at called on an internal node"),
+        }
+        inner.len += 1;
+    }
+
+    /// Inserts `key` with down pointer `child` at slot `index`, shifting
+    /// later slots right.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively, the node must be internal,
+    /// not full, and `index <= len()`.
+    pub(crate) unsafe fn insert_internal_at(&self, index: usize, key: K, child: *mut Self) {
+        let inner = self.inner_mut();
+        debug_assert!(inner.len < B);
+        debug_assert!(index <= inner.len);
+        shift_right(&mut inner.keys, index, inner.len);
+        inner.keys[index] = MaybeUninit::new(key);
+        match &mut inner.data {
+            Data::Internal(children) => {
+                let len = inner.len;
+                children.copy_within(index..len, index + 1);
+                children[index] = child;
+            }
+            Data::Leaf(_) => unreachable!("insert_internal_at called on a leaf node"),
+        }
+        inner.len += 1;
+    }
+
+    /// Removes the entry at slot `index`, shifting later slots left.
+    /// Returns the removed value for leaf nodes and `None` for internal
+    /// nodes.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively and `index < len()`.
+    pub(crate) unsafe fn remove_at(&self, index: usize) -> Option<V> {
+        let inner = self.inner_mut();
+        debug_assert!(index < inner.len);
+        let len = inner.len;
+        shift_left(&mut inner.keys, index, len);
+        let removed = match &mut inner.data {
+            Data::Leaf(values) => {
+                let value = values[index].assume_init();
+                shift_left(values, index, len);
+                Some(value)
+            }
+            Data::Internal(children) => {
+                children.copy_within(index + 1..len, index);
+                None
+            }
+        };
+        inner.len -= 1;
+        removed
+    }
+
+    /// Moves all entries in slots `from..len()` of `self` into `dst`,
+    /// appending them after `dst`'s current entries.  Used by overflow and
+    /// promotion splits.
+    ///
+    /// # Safety
+    ///
+    /// Both nodes' locks must be held exclusively, both nodes must be at the
+    /// same level and of the same kind (leaf/internal), `from <= self.len()`
+    /// and `dst.len() + (self.len() - from) <= B`.
+    pub(crate) unsafe fn move_suffix_to(&self, from: usize, dst: &Self) {
+        let src = self.inner_mut();
+        let dst_inner = dst.inner_mut();
+        let count = src.len - from;
+        debug_assert!(dst_inner.len + count <= B);
+        for offset in 0..count {
+            dst_inner.keys[dst_inner.len + offset] =
+                MaybeUninit::new(src.keys[from + offset].assume_init());
+        }
+        match (&mut src.data, &mut dst_inner.data) {
+            (Data::Leaf(src_values), Data::Leaf(dst_values)) => {
+                for offset in 0..count {
+                    dst_values[dst_inner.len + offset] =
+                        MaybeUninit::new(src_values[from + offset].assume_init());
+                }
+            }
+            (Data::Internal(src_children), Data::Internal(dst_children)) => {
+                dst_children[dst_inner.len..dst_inner.len + count]
+                    .copy_from_slice(&src_children[from..from + count]);
+            }
+            _ => unreachable!("move_suffix_to across node kinds"),
+        }
+        dst_inner.len += count;
+        src.len = from;
+    }
+
+    /// Appends a single `key`/`value` pair to a leaf node.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively (or the node must be
+    /// thread-private), the node must be a non-full leaf, and `key` must be
+    /// greater than every key already stored.
+    pub(crate) unsafe fn push_leaf(&self, key: K, value: V) {
+        let len = self.len();
+        self.insert_leaf_at(len, key, value);
+    }
+
+    /// Appends a single `key`/`child` pair to an internal node.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Node::push_leaf`], but for internal nodes.
+    pub(crate) unsafe fn push_internal(&self, key: K, child: *mut Self) {
+        let len = self.len();
+        self.insert_internal_at(len, key, child);
+    }
+
+    /// Copies the keys in slots `0..len()` into a `Vec` (test/validation
+    /// helper).
+    #[cfg_attr(not(test), allow(dead_code))]
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    pub(crate) unsafe fn keys_vec(&self) -> Vec<K> {
+        (0..self.len()).map(|i| self.key_at(i)).collect()
+    }
+}
+
+/// Shifts `array[index..len]` one slot to the right.  Slots are
+/// `MaybeUninit`, so this is a raw byte move of the initialized prefix.
+#[inline]
+unsafe fn shift_right<T, const B: usize>(array: &mut [MaybeUninit<T>; B], index: usize, len: usize) {
+    debug_assert!(len < B);
+    let base = array.as_mut_ptr();
+    ptr::copy(base.add(index), base.add(index + 1), len - index);
+}
+
+/// Shifts `array[index + 1..len]` one slot to the left, overwriting
+/// `array[index]`.
+#[inline]
+unsafe fn shift_left<T, const B: usize>(array: &mut [MaybeUninit<T>; B], index: usize, len: usize) {
+    let base = array.as_mut_ptr();
+    ptr::copy(base.add(index + 1), base.add(index), len - index - 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestNode = Node<u64, u64, 8>;
+
+    #[test]
+    fn node_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<TestNode>() % 64, 0);
+    }
+
+    #[test]
+    fn leaf_insert_search_remove() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            let node_ref = &*node;
+            assert!(node_ref.is_empty());
+            node_ref.insert_leaf_at(0, 10, 100);
+            node_ref.insert_leaf_at(1, 30, 300);
+            node_ref.insert_leaf_at(1, 20, 200);
+            assert_eq!(node_ref.len(), 3);
+            assert_eq!(node_ref.keys_vec(), vec![10, 20, 30]);
+            assert_eq!(node_ref.header(), 10);
+            assert_eq!(node_ref.value_at(1), 200);
+
+            assert_eq!(node_ref.search(&20), NodeSearch::Found(1));
+            assert_eq!(node_ref.search(&25), NodeSearch::Pred(1));
+            assert_eq!(node_ref.search(&5), NodeSearch::Before);
+            assert_eq!(node_ref.search(&35), NodeSearch::Pred(2));
+
+            assert_eq!(node_ref.remove_at(1), Some(200));
+            assert_eq!(node_ref.keys_vec(), vec![10, 30]);
+            assert_eq!(node_ref.value_at(1), 300);
+            TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn replace_value_returns_old() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            (*node).insert_leaf_at(0, 1, 10);
+            assert_eq!((*node).replace_value_at(0, 11), 10);
+            assert_eq!((*node).value_at(0), 11);
+            TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn internal_insert_and_children_track_keys() {
+        unsafe {
+            let internal = TestNode::alloc_internal(1, false);
+            let child_a = TestNode::alloc_leaf(false);
+            let child_b = TestNode::alloc_leaf(false);
+            (*internal).insert_internal_at(0, 5, child_a);
+            (*internal).insert_internal_at(1, 9, child_b);
+            assert_eq!((*internal).child_at(0), child_a);
+            assert_eq!((*internal).child_at(1), child_b);
+            // Insert in the middle shifts children along with keys.
+            let child_c = TestNode::alloc_leaf(false);
+            (*internal).insert_internal_at(1, 7, child_c);
+            assert_eq!((*internal).keys_vec(), vec![5, 7, 9]);
+            assert_eq!((*internal).child_at(1), child_c);
+            assert_eq!((*internal).child_at(2), child_b);
+            (*internal).remove_at(1);
+            assert_eq!((*internal).child_at(1), child_b);
+            TestNode::free(child_a);
+            TestNode::free(child_b);
+            TestNode::free(child_c);
+            TestNode::free(internal);
+        }
+    }
+
+    #[test]
+    fn move_suffix_splits_leaf() {
+        unsafe {
+            let left = TestNode::alloc_leaf(false);
+            let right = TestNode::alloc_leaf(false);
+            for i in 0..6u64 {
+                (*left).push_leaf(i, i * 10);
+            }
+            (*left).move_suffix_to(3, &*right);
+            assert_eq!((*left).keys_vec(), vec![0, 1, 2]);
+            assert_eq!((*right).keys_vec(), vec![3, 4, 5]);
+            assert_eq!((*right).value_at(2), 50);
+            TestNode::free(left);
+            TestNode::free(right);
+        }
+    }
+
+    #[test]
+    fn move_suffix_appends_after_existing_entries() {
+        unsafe {
+            let left = TestNode::alloc_leaf(false);
+            let right = TestNode::alloc_leaf(false);
+            for i in 0..4u64 {
+                (*left).push_leaf(10 + i, i);
+            }
+            (*right).push_leaf(9, 999);
+            (*left).move_suffix_to(2, &*right);
+            assert_eq!((*right).keys_vec(), vec![9, 12, 13]);
+            assert_eq!((*left).keys_vec(), vec![10, 11]);
+            TestNode::free(left);
+            TestNode::free(right);
+        }
+    }
+
+    #[test]
+    fn move_suffix_splits_internal_with_children() {
+        unsafe {
+            let left = TestNode::alloc_internal(2, false);
+            let right = TestNode::alloc_internal(2, false);
+            let mut children = Vec::new();
+            for i in 0..5u64 {
+                let child = TestNode::alloc_internal(1, false);
+                children.push(child);
+                (*left).push_internal(i, child);
+            }
+            (*left).move_suffix_to(2, &*right);
+            assert_eq!((*left).keys_vec(), vec![0, 1]);
+            assert_eq!((*right).keys_vec(), vec![2, 3, 4]);
+            assert_eq!((*right).child_at(0), children[2]);
+            assert_eq!((*right).child_at(2), children[4]);
+            for child in children {
+                TestNode::free(child);
+            }
+            TestNode::free(left);
+            TestNode::free(right);
+        }
+    }
+
+    #[test]
+    fn search_on_empty_head_node_reports_before() {
+        unsafe {
+            let head = TestNode::alloc_leaf(true);
+            assert!((*head).is_head());
+            assert_eq!((*head).search(&42), NodeSearch::Before);
+            TestNode::free(head);
+        }
+    }
+
+    #[test]
+    fn full_node_detection() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            for i in 0..8u64 {
+                (*node).push_leaf(i, i);
+            }
+            assert!((*node).is_full());
+            TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn head_child_roundtrip() {
+        unsafe {
+            let upper = TestNode::alloc_internal(1, true);
+            let lower = TestNode::alloc_leaf(true);
+            (*upper).set_head_child(lower);
+            assert_eq!((*upper).head_child(), lower);
+            TestNode::free(upper);
+            TestNode::free(lower);
+        }
+    }
+
+    #[test]
+    fn next_pointer_roundtrip() {
+        unsafe {
+            let a = TestNode::alloc_leaf(false);
+            let b = TestNode::alloc_leaf(false);
+            assert!((*a).next().is_null());
+            (*a).set_next(b);
+            assert_eq!((*a).next(), b);
+            TestNode::free(a);
+            TestNode::free(b);
+        }
+    }
+}

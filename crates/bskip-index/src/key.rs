@@ -1,0 +1,41 @@
+//! Key and value marker traits.
+
+use std::fmt::Debug;
+
+/// Types usable as index keys.
+///
+/// Keys must be totally ordered, cheap to copy (the blocked data structures
+/// shift keys inside fixed-size node arrays, so a key is expected to be a
+/// machine word or two), and shareable across threads.  The paper's
+/// evaluation uses 8-byte integer keys; all primitive integer types satisfy
+/// this trait via the blanket implementation.
+pub trait IndexKey: Copy + Ord + Debug + Send + Sync + 'static {}
+
+impl<T> IndexKey for T where T: Copy + Ord + Debug + Send + Sync + 'static {}
+
+/// Types usable as index values.
+///
+/// Values are stored inline in leaf nodes and returned by value from
+/// `find`, so they must be `Copy`.  The paper stores 8-byte values.
+pub trait IndexValue: Copy + Debug + Send + Sync + 'static {}
+
+impl<T> IndexValue for T where T: Copy + Debug + Send + Sync + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_key<K: IndexKey>() {}
+    fn assert_value<V: IndexValue>() {}
+
+    #[test]
+    fn primitive_integers_are_keys_and_values() {
+        assert_key::<u64>();
+        assert_key::<i64>();
+        assert_key::<u32>();
+        assert_key::<(u64, u64)>();
+        assert_value::<u64>();
+        assert_value::<f64>();
+        assert_value::<[u8; 8]>();
+    }
+}

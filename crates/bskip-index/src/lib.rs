@@ -1,0 +1,26 @@
+//! Common abstractions shared by every index in the workspace.
+//!
+//! The paper evaluates six indices (the B-skiplist plus five comparison
+//! systems) under one YCSB driver.  This crate defines the interface that
+//! driver programs against:
+//!
+//! * [`IndexKey`] / [`IndexValue`] — marker traits for the key and value
+//!   types an index can store (ordered, `Copy`, thread-safe).  The paper's
+//!   evaluation uses 8-byte keys and 8-byte values; `u64` satisfies both.
+//! * [`ConcurrentIndex`] — the key-value dictionary operations of Section 2
+//!   (`find`, `insert`, `range`) plus `remove`, usable concurrently from
+//!   many threads through `&self`.
+//! * [`IndexStats`] — a uniform way to export the structural counters the
+//!   evaluation section reports (root write-lock acquisitions, horizontal
+//!   steps per level, leaf nodes per range query, OCC retries, ...).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod key;
+mod stats;
+mod traits;
+
+pub use key::{IndexKey, IndexValue};
+pub use stats::{IndexStats, StatValue};
+pub use traits::ConcurrentIndex;

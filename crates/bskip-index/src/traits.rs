@@ -1,0 +1,232 @@
+//! The concurrent ordered-map interface every index implements.
+
+use crate::{IndexKey, IndexStats, IndexValue};
+
+/// A concurrent ordered key-value dictionary.
+///
+/// This is the operation set of Section 2 of the paper — exactly the
+/// operations that the YCSB workloads exercise:
+///
+/// * `find(k)` → [`ConcurrentIndex::get`]
+/// * `insert(k, v)` → [`ConcurrentIndex::insert`]
+/// * `range(k, f, length)` → [`ConcurrentIndex::range`]
+///
+/// plus `remove`, which the paper describes as symmetric to insert.  All
+/// methods take `&self` and must be safe to call from many threads
+/// simultaneously; implementations provide their own concurrency control
+/// (hand-over-hand RW locking for the B-skiplist, CAS for the lock-free
+/// skiplist, OCC for the B+-tree, ...).
+pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
+    /// Inserts `key → value`.  Returns the previous value if the key was
+    /// already present (in which case the value is overwritten, matching the
+    /// YCSB "insert/update" semantics).
+    fn insert(&self, key: K, value: V) -> Option<V>;
+
+    /// Point lookup: returns the value associated with `key`, if any.
+    fn get(&self, key: &K) -> Option<V>;
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// The YCSB core workloads used in the paper (Load, A, B, C, E) never
+    /// delete, so some baselines only support logical removal; they document
+    /// that on their implementation.
+    fn remove(&self, key: &K) -> Option<V>;
+
+    /// Short range scan: applies `visit` to the `len` smallest key-value
+    /// pairs whose key is `>= start`, in ascending key order.  Returns the
+    /// number of pairs visited (which is less than `len` only if the index
+    /// ran out of keys).
+    ///
+    /// This is YCSB workload E's `SCAN` operation (`max_len = 100` in the
+    /// paper).
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize;
+
+    /// Approximate number of keys currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short, stable display name used in experiment output tables
+    /// (e.g. `"B-skiplist"`, `"OCC B+-tree"`).
+    fn name(&self) -> &'static str;
+
+    /// Snapshot of the index's structural statistics counters.
+    ///
+    /// The default implementation reports nothing; indices that instrument
+    /// themselves (root write locks, horizontal steps, ...) override this.
+    fn stats(&self) -> IndexStats {
+        IndexStats::new()
+    }
+
+    /// Resets all statistics counters (called between benchmark phases).
+    fn reset_stats(&self) {}
+}
+
+/// Blanket implementation so `Arc<I>`, `Box<I>` and `&I` can be passed to
+/// the driver wherever an index is expected.
+impl<K, V, I> ConcurrentIndex<K, V> for &I
+where
+    K: IndexKey,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V> + ?Sized,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        (**self).insert(key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        (**self).remove(key)
+    }
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        (**self).range(start, len, visit)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn stats(&self) -> IndexStats {
+        (**self).stats()
+    }
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+}
+
+impl<K, V, I> ConcurrentIndex<K, V> for std::sync::Arc<I>
+where
+    K: IndexKey,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V> + ?Sized,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        (**self).insert(key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        (**self).remove(key)
+    }
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        (**self).range(start, len, visit)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn stats(&self) -> IndexStats {
+        (**self).stats()
+    }
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// A trivially correct reference implementation used to validate the
+    /// trait's contract and to serve as the oracle in differential tests of
+    /// other crates.
+    struct MutexBTreeMap {
+        inner: Mutex<BTreeMap<u64, u64>>,
+    }
+
+    impl MutexBTreeMap {
+        fn new() -> Self {
+            MutexBTreeMap {
+                inner: Mutex::new(BTreeMap::new()),
+            }
+        }
+    }
+
+    impl ConcurrentIndex<u64, u64> for MutexBTreeMap {
+        fn insert(&self, key: u64, value: u64) -> Option<u64> {
+            self.inner.lock().unwrap().insert(key, value)
+        }
+        fn get(&self, key: &u64) -> Option<u64> {
+            self.inner.lock().unwrap().get(key).copied()
+        }
+        fn remove(&self, key: &u64) -> Option<u64> {
+            self.inner.lock().unwrap().remove(key)
+        }
+        fn range(&self, start: &u64, len: usize, visit: &mut dyn FnMut(&u64, &u64)) -> usize {
+            let guard = self.inner.lock().unwrap();
+            let mut count = 0;
+            for (k, v) in guard.range(start..).take(len) {
+                visit(k, v);
+                count += 1;
+            }
+            count
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "mutex-btreemap"
+        }
+    }
+
+    #[test]
+    fn reference_impl_satisfies_contract() {
+        let index = MutexBTreeMap::new();
+        assert!(index.is_empty());
+        assert_eq!(index.insert(1, 10), None);
+        assert_eq!(index.insert(1, 11), Some(10));
+        assert_eq!(index.get(&1), Some(11));
+        assert_eq!(index.get(&2), None);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.remove(&1), Some(11));
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn range_visits_in_order() {
+        let index = MutexBTreeMap::new();
+        for key in [5u64, 1, 9, 3, 7] {
+            index.insert(key, key * 10);
+        }
+        let mut seen = Vec::new();
+        let visited = index.range(&3, 3, &mut |k, v| seen.push((*k, *v)));
+        assert_eq!(visited, 3);
+        assert_eq!(seen, vec![(3, 30), (5, 50), (7, 70)]);
+    }
+
+    #[test]
+    fn range_stops_at_end_of_index() {
+        let index = MutexBTreeMap::new();
+        index.insert(1, 1);
+        index.insert(2, 2);
+        let mut seen = Vec::new();
+        let visited = index.range(&0, 10, &mut |k, _| seen.push(*k));
+        assert_eq!(visited, 2);
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn trait_objects_and_references_delegate() {
+        let index = MutexBTreeMap::new();
+        index.insert(1, 2);
+        let by_ref: &dyn ConcurrentIndex<u64, u64> = &index;
+        assert_eq!(by_ref.get(&1), Some(2));
+        assert_eq!(by_ref.name(), "mutex-btreemap");
+        assert!(by_ref.stats().is_empty());
+        by_ref.reset_stats();
+
+        let arc = std::sync::Arc::new(MutexBTreeMap::new());
+        arc.insert(3, 4);
+        assert_eq!(ConcurrentIndex::get(&arc, &3), Some(4));
+    }
+}

@@ -1,0 +1,101 @@
+//! A tiny one-shot latch for start/stop signalling.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::Backoff;
+
+/// A one-shot boolean latch.
+///
+/// Used by the NHS-style baseline's background adaptation thread (the paper's
+/// comparison system relies on a background thread that must be started and
+/// shut down around each benchmark phase) and by stress tests that need all
+/// worker threads to start at the same instant.
+///
+/// # Example
+///
+/// ```
+/// use bskip_sync::SpinLatch;
+/// use std::sync::Arc;
+///
+/// let latch = Arc::new(SpinLatch::new());
+/// let waiter = {
+///     let latch = Arc::clone(&latch);
+///     std::thread::spawn(move || {
+///         latch.wait();
+///         42
+///     })
+/// };
+/// latch.set();
+/// assert_eq!(waiter.join().unwrap(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinLatch {
+    flag: AtomicBool,
+}
+
+impl SpinLatch {
+    /// Creates an unset latch.
+    #[inline]
+    pub const fn new() -> Self {
+        SpinLatch {
+            flag: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the latch, releasing all current and future waiters.
+    #[inline]
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Returns whether the latch has been set.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Spins (with backoff) until the latch is set.
+    pub fn wait(&self) {
+        let mut backoff = Backoff::new();
+        while !self.is_set() {
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_unset() {
+        assert!(!SpinLatch::new().is_set());
+    }
+
+    #[test]
+    fn set_is_visible() {
+        let latch = SpinLatch::new();
+        latch.set();
+        assert!(latch.is_set());
+        // wait() on a set latch returns immediately.
+        latch.wait();
+    }
+
+    #[test]
+    fn releases_waiting_threads() {
+        let latch = Arc::new(SpinLatch::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let latch = Arc::clone(&latch);
+                std::thread::spawn(move || {
+                    latch.wait();
+                    i
+                })
+            })
+            .collect();
+        latch.set();
+        let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sum, 0 + 1 + 2 + 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synchronization primitives for the concurrent B-skiplist reproduction.
+//!
+//! The paper implements its concurrency-control scheme on top of an
+//! open-source reader-writer lock library.  This crate provides the
+//! equivalent building blocks from scratch:
+//!
+//! * [`RawRwSpinLock`] — a word-sized, writer-preferring reader/writer
+//!   spinlock that can be embedded directly inside index nodes (no heap
+//!   allocation, no poisoning).  This is the lock used by every node of the
+//!   B-skiplist and of the lock-based baselines.
+//! * [`RwSpinLock`] — an RAII wrapper around [`RawRwSpinLock`] guarding a
+//!   value, used where a conventional `RwLock<T>`-style API is convenient.
+//! * [`Backoff`] — bounded exponential backoff used while spinning.
+//! * [`CachePadded`] — aligns a value to a 128-byte boundary so that hot
+//!   shared counters and per-thread slots do not false-share.
+//! * [`RelaxedCounter`] — a monotonically increasing statistics counter with
+//!   relaxed memory ordering, used for the paper's instrumentation
+//!   (root-write-lock counts, horizontal steps per level, ...).
+//! * [`SpinLatch`] — a tiny one-shot latch used by tests and the NHS-style
+//!   baseline's background thread for start/stop signalling.
+//!
+//! All primitives are `no_std`-friendly in spirit (they only rely on
+//! `core::sync::atomic` plus `std::thread::yield_now` for politeness under
+//! oversubscription) and are deliberately simple: the goal of the paper's
+//! CC scheme is *simplicity*, and the lock below is ~100 lines of obvious
+//! atomics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backoff;
+mod counter;
+mod latch;
+mod padded;
+mod rwlock;
+
+pub use backoff::Backoff;
+pub use counter::RelaxedCounter;
+pub use latch::SpinLatch;
+pub use padded::CachePadded;
+pub use rwlock::{RawRwSpinLock, RwSpinLock, RwSpinLockReadGuard, RwSpinLockWriteGuard};

@@ -1,0 +1,330 @@
+//! The multi-threaded YCSB driver.
+//!
+//! Mirrors the paper's pthread test driver: a load phase inserts
+//! `record_count` records concurrently from all threads, then a run phase
+//! executes `operation_count` operations drawn from the chosen workload mix
+//! and request distribution.  Both phases report throughput (operations per
+//! microsecond, the paper's unit) and batched-latency percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bskip_index::ConcurrentIndex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::keygen::{record_key, Distribution, KeyChooser};
+use crate::latency::{LatencyRecorder, LatencySummary, BATCH_SIZE};
+use crate::workload::{Operation, Workload};
+
+/// Configuration of a YCSB experiment (both phases).
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    /// Records inserted during the load phase (the paper uses 100 M; the
+    /// default here is laptop-scale).
+    pub record_count: usize,
+    /// Operations executed during the run phase.
+    pub operation_count: usize,
+    /// Worker threads for both phases.
+    pub threads: usize,
+    /// Request distribution of the run phase.
+    pub distribution: Distribution,
+    /// Base seed; every thread derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            record_count: 1_000_000,
+            operation_count: 1_000_000,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            distribution: Distribution::Uniform,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// Builder-style setter for the record count.
+    pub fn with_records(mut self, record_count: usize) -> Self {
+        self.record_count = record_count;
+        self
+    }
+
+    /// Builder-style setter for the run-phase operation count.
+    pub fn with_operations(mut self, operation_count: usize) -> Self {
+        self.operation_count = operation_count;
+        self
+    }
+
+    /// Builder-style setter for the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style setter for the request distribution.
+    pub fn with_distribution(mut self, distribution: Distribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Builder-style setter for the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of one phase (load or run).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// Operations executed.
+    pub operations: usize,
+    /// Wall-clock time in seconds.
+    pub elapsed_secs: f64,
+    /// Throughput in operations per microsecond (the paper's unit).
+    pub throughput_ops_per_us: f64,
+    /// Latency percentile summary over 10-operation batches.
+    pub latency: LatencySummary,
+}
+
+impl PhaseResult {
+    /// Throughput in million operations per second (same number as
+    /// [`PhaseResult::throughput_ops_per_us`], provided for readability).
+    pub fn mops(&self) -> f64 {
+        self.throughput_ops_per_us
+    }
+}
+
+fn make_result(operations: usize, elapsed_secs: f64, samples: Vec<f64>) -> PhaseResult {
+    let throughput = if elapsed_secs > 0.0 {
+        operations as f64 / (elapsed_secs * 1e6)
+    } else {
+        0.0
+    };
+    PhaseResult {
+        operations,
+        elapsed_secs,
+        throughput_ops_per_us: throughput,
+        latency: LatencySummary::from_samples(samples),
+    }
+}
+
+/// Executes the YCSB load phase: every logical record index in
+/// `0..record_count` is inserted exactly once, with the index space
+/// partitioned across threads.
+pub fn run_load_phase<I>(index: &I, config: &YcsbConfig) -> PhaseResult
+where
+    I: ConcurrentIndex<u64, u64>,
+{
+    let threads = config.threads.max(1);
+    let records = config.record_count;
+    let start = Instant::now();
+    let samples: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|thread_id| {
+                let index_ref = &index;
+                scope.spawn(move || {
+                    let lo = records * thread_id / threads;
+                    let hi = records * (thread_id + 1) / threads;
+                    let mut recorder =
+                        LatencyRecorder::with_capacity((hi - lo) / BATCH_SIZE + 1);
+                    let mut batch_start = Instant::now();
+                    let mut in_batch = 0usize;
+                    for logical in lo..hi {
+                        let key = record_key(logical as u64);
+                        index_ref.insert(key, logical as u64);
+                        in_batch += 1;
+                        if in_batch == BATCH_SIZE {
+                            recorder
+                                .record_batch(batch_start.elapsed().as_nanos() as u64, in_batch);
+                            batch_start = Instant::now();
+                            in_batch = 0;
+                        }
+                    }
+                    if in_batch > 0 {
+                        recorder.record_batch(batch_start.elapsed().as_nanos() as u64, in_batch);
+                    }
+                    recorder.into_samples()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    make_result(records, elapsed, samples.into_iter().flatten().collect())
+}
+
+/// Executes a YCSB run phase for `workload` against an already-loaded
+/// index.
+///
+/// Run-phase inserts create brand-new records (logical indices beyond
+/// `record_count`, allocated from a shared atomic counter), reads and scans
+/// target loaded records chosen by the configured distribution.
+pub fn run_run_phase<I>(index: &I, workload: Workload, config: &YcsbConfig) -> PhaseResult
+where
+    I: ConcurrentIndex<u64, u64>,
+{
+    assert!(
+        workload != Workload::Load,
+        "use run_load_phase for the load phase"
+    );
+    let threads = config.threads.max(1);
+    let operations = config.operation_count;
+    let insert_cursor = AtomicU64::new(config.record_count as u64);
+    let start = Instant::now();
+    let samples: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|thread_id| {
+                let index_ref = &index;
+                let insert_cursor = &insert_cursor;
+                scope.spawn(move || {
+                    let ops = operations / threads
+                        + usize::from(thread_id < operations % threads);
+                    let mut rng =
+                        SmallRng::seed_from_u64(config.seed ^ (thread_id as u64).wrapping_mul(0x9E37));
+                    let chooser =
+                        KeyChooser::new(config.distribution, config.record_count.max(1) as u64);
+                    let mut recorder = LatencyRecorder::with_capacity(ops / BATCH_SIZE + 1);
+                    let mut scan_sink = 0u64;
+                    let mut batch_start = Instant::now();
+                    let mut in_batch = 0usize;
+                    for _ in 0..ops {
+                        let operation = workload.next_operation(
+                            &mut rng,
+                            |rng| chooser.next_index(rng),
+                            || insert_cursor.fetch_add(1, Ordering::Relaxed),
+                        );
+                        match operation {
+                            Operation::Read { index: logical } => {
+                                let key = record_key(logical);
+                                let _ = index_ref.get(&key);
+                            }
+                            Operation::Insert { index: logical } => {
+                                let key = record_key(logical);
+                                index_ref.insert(key, logical);
+                            }
+                            Operation::Scan { index: logical, len } => {
+                                let key = record_key(logical);
+                                index_ref.range(&key, len, &mut |_, v| {
+                                    scan_sink = scan_sink.wrapping_add(*v);
+                                });
+                            }
+                        }
+                        in_batch += 1;
+                        if in_batch == BATCH_SIZE {
+                            recorder
+                                .record_batch(batch_start.elapsed().as_nanos() as u64, in_batch);
+                            batch_start = Instant::now();
+                            in_batch = 0;
+                        }
+                    }
+                    if in_batch > 0 {
+                        recorder.record_batch(batch_start.elapsed().as_nanos() as u64, in_batch);
+                    }
+                    std::hint::black_box(scan_sink);
+                    recorder.into_samples()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    make_result(operations, elapsed, samples.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bskip_baselines::{LockFreeSkipList, OccBTree};
+    use bskip_core::BSkipList;
+
+    fn small_config() -> YcsbConfig {
+        YcsbConfig::default()
+            .with_records(20_000)
+            .with_operations(20_000)
+            .with_threads(4)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn load_phase_inserts_every_record() {
+        let index: BSkipList<u64, u64> = BSkipList::new();
+        let config = small_config();
+        let result = run_load_phase(&index, &config);
+        assert_eq!(result.operations, config.record_count);
+        assert_eq!(index.len(), config.record_count);
+        assert!(result.throughput_ops_per_us > 0.0);
+        assert!(result.latency.samples > 0);
+        // Spot-check that loaded keys are present.
+        for logical in (0..config.record_count as u64).step_by(997) {
+            assert!(index.get(&record_key(logical)).is_some());
+        }
+    }
+
+    #[test]
+    fn run_phase_workload_a_grows_the_index() {
+        let index: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+        let config = small_config();
+        run_load_phase(&index, &config);
+        let before = index.len();
+        let result = run_run_phase(&index, Workload::A, &config);
+        assert_eq!(result.operations, config.operation_count);
+        assert!(index.len() > before, "workload A must insert new records");
+        assert!(result.latency.p999_us >= result.latency.p50_us);
+    }
+
+    #[test]
+    fn run_phase_workload_c_leaves_the_index_unchanged() {
+        let index: OccBTree<u64, u64> = OccBTree::new();
+        let config = small_config();
+        run_load_phase(&index, &config);
+        let before = index.len();
+        run_run_phase(&index, Workload::C, &config);
+        assert_eq!(index.len(), before);
+    }
+
+    #[test]
+    fn run_phase_workload_e_executes_scans() {
+        let index: BSkipList<u64, u64> = BSkipList::new();
+        let config = small_config().with_operations(5_000);
+        run_load_phase(&index, &config);
+        let result = run_run_phase(&index, Workload::E, &config);
+        assert_eq!(result.operations, 5_000);
+    }
+
+    #[test]
+    fn zipfian_run_phase_works() {
+        let index: BSkipList<u64, u64> = BSkipList::new();
+        let config = small_config()
+            .with_distribution(Distribution::Zipfian)
+            .with_operations(10_000);
+        run_load_phase(&index, &config);
+        let result = run_run_phase(&index, Workload::B, &config);
+        assert_eq!(result.operations, 10_000);
+        assert!(result.throughput_ops_per_us > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_load_phase")]
+    fn run_phase_rejects_load_workload() {
+        let index: BSkipList<u64, u64> = BSkipList::new();
+        run_run_phase(&index, Workload::Load, &small_config());
+    }
+
+    #[test]
+    fn config_builders() {
+        let config = YcsbConfig::default()
+            .with_records(10)
+            .with_operations(20)
+            .with_threads(0)
+            .with_distribution(Distribution::Zipfian)
+            .with_seed(1);
+        assert_eq!(config.record_count, 10);
+        assert_eq!(config.operation_count, 20);
+        assert_eq!(config.threads, 1, "thread count is clamped to at least 1");
+        assert_eq!(config.distribution, Distribution::Zipfian);
+    }
+}

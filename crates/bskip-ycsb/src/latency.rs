@@ -1,0 +1,159 @@
+//! Latency recording and percentile extraction.
+//!
+//! The paper's methodology (Section 5, "Systems setup"): *"each thread
+//! measures the average time taken for a batch of ten operations and
+//! stores it in a thread-safe vector.  This allows us to sort and calculate
+//! the latency at each percentile after running each benchmark."*  Batch
+//! measurement is deliberate — timing each operation individually would
+//! remove the contention between threads that the benchmark is trying to
+//! capture.
+
+/// Number of operations per latency sample (the paper uses 10).
+pub const BATCH_SIZE: usize = 10;
+
+/// Per-thread latency recorder: collects one sample (average nanoseconds
+/// per operation) per completed batch.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder with room for `expected_batches` samples.
+    pub fn with_capacity(expected_batches: usize) -> Self {
+        LatencyRecorder {
+            samples_ns: Vec::with_capacity(expected_batches),
+        }
+    }
+
+    /// Records a batch that took `elapsed_ns` nanoseconds for `ops`
+    /// operations.
+    pub fn record_batch(&mut self, elapsed_ns: u64, ops: usize) {
+        if ops == 0 {
+            return;
+        }
+        self.samples_ns.push(elapsed_ns as f64 / ops as f64);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Consumes the recorder, returning the raw samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples_ns
+    }
+}
+
+/// Percentile summary of merged latency samples, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median (50th percentile) latency in microseconds.
+    pub p50_us: f64,
+    /// 90th percentile latency in microseconds.
+    pub p90_us: f64,
+    /// 99th percentile latency in microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile latency in microseconds.
+    pub p999_us: f64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Number of samples the summary was computed from.
+    pub samples: usize,
+}
+
+impl LatencySummary {
+    /// Builds a summary from per-batch samples (nanoseconds per operation).
+    pub fn from_samples(mut samples_ns: Vec<f64>) -> Self {
+        if samples_ns.is_empty() {
+            return LatencySummary::default();
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let pick = |fraction: f64| -> f64 {
+            let position = ((samples_ns.len() as f64) * fraction).ceil() as usize;
+            let index = position.clamp(1, samples_ns.len()) - 1;
+            samples_ns[index]
+        };
+        LatencySummary {
+            p50_us: pick(0.50) / 1_000.0,
+            p90_us: pick(0.90) / 1_000.0,
+            p99_us: pick(0.99) / 1_000.0,
+            p999_us: pick(0.999) / 1_000.0,
+            mean_us: mean_ns / 1_000.0,
+            samples: samples_ns.len(),
+        }
+    }
+
+    /// The percentile values in the order the paper's latency figures use:
+    /// 50%, 90%, 99%, 99.9%.
+    pub fn percentiles(&self) -> [(f64, f64); 4] {
+        [
+            (50.0, self.p50_us),
+            (90.0, self.p90_us),
+            (99.0, self.p99_us),
+            (99.9, self.p999_us),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_averages_batches() {
+        let mut recorder = LatencyRecorder::with_capacity(4);
+        recorder.record_batch(10_000, 10); // 1000 ns/op
+        recorder.record_batch(20_000, 10); // 2000 ns/op
+        recorder.record_batch(0, 0); // ignored
+        assert_eq!(recorder.len(), 2);
+        let samples = recorder.into_samples();
+        assert_eq!(samples, vec![1000.0, 2000.0]);
+    }
+
+    #[test]
+    fn summary_of_empty_samples_is_zero() {
+        let summary = LatencySummary::from_samples(vec![]);
+        assert_eq!(summary.samples, 0);
+        assert_eq!(summary.p99_us, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_correct() {
+        // 1..=1000 ns samples: p50 = 500 ns, p99 = 990 ns, p99.9 = 999 ns.
+        let samples: Vec<f64> = (1..=1000).map(|v| v as f64).collect();
+        let summary = LatencySummary::from_samples(samples);
+        assert!((summary.p50_us - 0.5).abs() < 1e-9);
+        assert!((summary.p90_us - 0.9).abs() < 1e-9);
+        assert!((summary.p99_us - 0.99).abs() < 1e-9);
+        assert!((summary.p999_us - 0.999).abs() < 1e-9);
+        assert!(summary.p50_us <= summary.p90_us);
+        assert!(summary.p90_us <= summary.p99_us);
+        assert!(summary.p99_us <= summary.p999_us);
+        assert_eq!(summary.samples, 1000);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let summary = LatencySummary::from_samples(vec![5_000.0]);
+        assert!((summary.p50_us - 5.0).abs() < 1e-9);
+        assert!((summary.p999_us - 5.0).abs() < 1e-9);
+        assert_eq!(summary.samples, 1);
+    }
+
+    #[test]
+    fn percentiles_accessor_orders_entries() {
+        let summary = LatencySummary::from_samples((1..=100).map(|v| v as f64 * 100.0).collect());
+        let points = summary.percentiles();
+        assert_eq!(points[0].0, 50.0);
+        assert_eq!(points[3].0, 99.9);
+        assert!(points[0].1 <= points[3].1);
+    }
+}

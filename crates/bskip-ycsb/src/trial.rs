@@ -1,0 +1,64 @@
+//! Warm-up and median-of-trials aggregation.
+//!
+//! Every number in the paper is "the median of 5 trials after one warm-up
+//! trial".  [`run_trials`] reproduces that protocol for any measurement
+//! closure.
+
+/// Median of a slice of measurements (average of the two middle elements
+/// for even lengths).  Returns 0 for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("measurements are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Runs `measure` once as a warm-up (discarded) and then `trials` times,
+/// returning all retained measurements.  Use [`median`] to aggregate.
+pub fn run_trials<F>(trials: usize, warmup: bool, mut measure: F) -> Vec<f64>
+where
+    F: FnMut(usize) -> f64,
+{
+    if warmup {
+        let _ = measure(usize::MAX);
+    }
+    (0..trials).map(&mut measure).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_lengths() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn run_trials_discards_warmup() {
+        let mut calls = Vec::new();
+        let results = run_trials(3, true, |trial| {
+            calls.push(trial);
+            trial as f64
+        });
+        assert_eq!(calls.len(), 4);
+        assert_eq!(calls[0], usize::MAX);
+        assert_eq!(results, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn run_trials_without_warmup() {
+        let results = run_trials(2, false, |trial| trial as f64 * 10.0);
+        assert_eq!(results, vec![0.0, 10.0]);
+    }
+}

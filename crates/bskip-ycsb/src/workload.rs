@@ -1,0 +1,219 @@
+//! The YCSB core workload mixes used in the paper (Table 2).
+
+use rand::Rng;
+
+/// A single generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Point lookup of an existing record (logical index).
+    Read {
+        /// Logical index of the record to read.
+        index: u64,
+    },
+    /// Insert of a brand-new record.
+    Insert {
+        /// Logical index of the new record (beyond the loaded range).
+        index: u64,
+    },
+    /// Short range scan starting at an existing record.
+    Scan {
+        /// Logical index of the first record.
+        index: u64,
+        /// Number of records to read (1..=max_scan_len).
+        len: usize,
+    },
+}
+
+/// The YCSB core workloads evaluated in the paper.
+///
+/// | Workload | Mix |
+/// |---|---|
+/// | Load | 100% inserts from empty |
+/// | A | 50% finds, 50% inserts |
+/// | B | 95% finds, 5% inserts |
+/// | C | 100% finds |
+/// | E | 95% short range scans (≤ 100), 5% inserts |
+///
+/// Workload D (read-latest) is omitted, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// The load phase: 100% inserts into an empty index.
+    Load,
+    /// 50% finds / 50% inserts.
+    A,
+    /// 95% finds / 5% inserts.
+    B,
+    /// 100% finds.
+    C,
+    /// 95% short scans / 5% inserts.
+    E,
+}
+
+impl Workload {
+    /// All run-phase workloads in the order the paper's figures use.
+    pub const RUN_WORKLOADS: [Workload; 4] = [Workload::A, Workload::B, Workload::C, Workload::E];
+
+    /// All workloads including the load phase.
+    pub const ALL: [Workload; 5] = [
+        Workload::Load,
+        Workload::A,
+        Workload::B,
+        Workload::C,
+        Workload::E,
+    ];
+
+    /// Display label (matches the paper's figure axes).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Load => "Load",
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::C => "C",
+            Workload::E => "E",
+        }
+    }
+
+    /// Fraction of operations that are point reads.
+    pub fn read_fraction(&self) -> f64 {
+        match self {
+            Workload::Load => 0.0,
+            Workload::A => 0.5,
+            Workload::B => 0.95,
+            Workload::C => 1.0,
+            Workload::E => 0.0,
+        }
+    }
+
+    /// Fraction of operations that are inserts.
+    pub fn insert_fraction(&self) -> f64 {
+        match self {
+            Workload::Load => 1.0,
+            Workload::A => 0.5,
+            Workload::B => 0.05,
+            Workload::C => 0.0,
+            Workload::E => 0.05,
+        }
+    }
+
+    /// Fraction of operations that are short range scans.
+    pub fn scan_fraction(&self) -> f64 {
+        match self {
+            Workload::E => 0.95,
+            _ => 0.0,
+        }
+    }
+
+    /// Maximum scan length (YCSB's `max_scan_length`, 100 in the paper).
+    pub fn max_scan_len(&self) -> usize {
+        100
+    }
+
+    /// Parses a workload name (`load`, `a`, `b`, `c`, `e`), case-insensitive.
+    pub fn parse(name: &str) -> Option<Workload> {
+        match name.to_ascii_lowercase().as_str() {
+            "load" => Some(Workload::Load),
+            "a" => Some(Workload::A),
+            "b" => Some(Workload::B),
+            "c" => Some(Workload::C),
+            "e" => Some(Workload::E),
+            _ => None,
+        }
+    }
+
+    /// Draws the next run-phase operation.
+    ///
+    /// `choose_index` supplies the logical index of an existing record
+    /// (uniform or zipfian); `next_insert_index` supplies a fresh logical
+    /// index for inserts (monotonically increasing across all threads).
+    pub fn next_operation<R, FExisting, FNew>(
+        &self,
+        rng: &mut R,
+        mut choose_index: FExisting,
+        mut next_insert_index: FNew,
+    ) -> Operation
+    where
+        R: Rng + ?Sized,
+        FExisting: FnMut(&mut R) -> u64,
+        FNew: FnMut() -> u64,
+    {
+        let roll: f64 = rng.gen();
+        if roll < self.read_fraction() {
+            Operation::Read {
+                index: choose_index(rng),
+            }
+        } else if roll < self.read_fraction() + self.scan_fraction() {
+            Operation::Scan {
+                index: choose_index(rng),
+                len: rng.gen_range(1..=self.max_scan_len()),
+            }
+        } else {
+            Operation::Insert {
+                index: next_insert_index(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for workload in Workload::ALL {
+            let total = workload.read_fraction()
+                + workload.insert_fraction()
+                + workload.scan_fraction();
+            assert!((total - 1.0).abs() < 1e-9, "{workload:?} mixes to {total}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for workload in Workload::ALL {
+            assert_eq!(Workload::parse(workload.label()), Some(workload));
+        }
+        assert_eq!(Workload::parse("LOAD"), Some(Workload::Load));
+        assert_eq!(Workload::parse("d"), None);
+    }
+
+    #[test]
+    fn workload_c_generates_only_reads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let op = Workload::C.next_operation(&mut rng, |r| r.gen_range(0..100), || 1000);
+            assert!(matches!(op, Operation::Read { .. }));
+        }
+    }
+
+    #[test]
+    fn workload_a_is_roughly_half_inserts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut inserts = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let op = Workload::A.next_operation(&mut rng, |r| r.gen_range(0..100), || 7);
+            if matches!(op, Operation::Insert { .. }) {
+                inserts += 1;
+            }
+        }
+        let fraction = inserts as f64 / trials as f64;
+        assert!((fraction - 0.5).abs() < 0.02, "insert fraction {fraction}");
+    }
+
+    #[test]
+    fn workload_e_scans_have_bounded_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut scans = 0;
+        for _ in 0..10_000 {
+            let op = Workload::E.next_operation(&mut rng, |r| r.gen_range(0..100), || 7);
+            if let Operation::Scan { len, .. } = op {
+                scans += 1;
+                assert!((1..=100).contains(&len));
+            }
+        }
+        assert!(scans > 9_000);
+    }
+}

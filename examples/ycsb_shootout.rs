@@ -1,0 +1,72 @@
+//! A miniature version of the paper's headline experiment: run YCSB Load,
+//! A, B, C and E against the B-skiplist and every baseline index and print
+//! a normalized throughput table (Figure 1 + Figure 7 in one).
+//!
+//! Run with: `cargo run --release --example ycsb_shootout`
+//! Scale with the BSKIP_RECORDS / BSKIP_OPS / BSKIP_THREADS variables.
+
+use bskip_suite::{
+    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite,
+    NhsSkipList, OccBTree,
+};
+use bskip_ycsb::{run_load_phase, run_run_phase, Workload, YcsbConfig};
+
+fn env(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn measure(build: &dyn Fn() -> Box<dyn ConcurrentIndex<u64, u64>>, workload: Workload, config: &YcsbConfig) -> f64 {
+    let index = build();
+    let load = run_load_phase(&index.as_ref(), config);
+    if workload == Workload::Load {
+        load.throughput_ops_per_us
+    } else {
+        run_run_phase(&index.as_ref(), workload, config).throughput_ops_per_us
+    }
+}
+
+fn main() {
+    let config = YcsbConfig::default()
+        .with_records(env("BSKIP_RECORDS", 100_000))
+        .with_operations(env("BSKIP_OPS", 100_000))
+        .with_threads(env(
+            "BSKIP_THREADS",
+            std::thread::available_parallelism().map_or(4, |p| p.get()),
+        ));
+    println!(
+        "YCSB shootout: {} records, {} ops, {} threads (scale with BSKIP_RECORDS/BSKIP_OPS/BSKIP_THREADS)",
+        config.record_count, config.operation_count, config.threads
+    );
+
+    let systems: Vec<(&str, Box<dyn Fn() -> Box<dyn ConcurrentIndex<u64, u64>>>)> = vec![
+        (
+            "B-skiplist",
+            Box::new(|| {
+                Box::new(BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default()))
+                    as Box<dyn ConcurrentIndex<u64, u64>>
+            }),
+        ),
+        ("Folly-style SL", Box::new(|| Box::new(LockFreeSkipList::<u64, u64>::new()) as _)),
+        ("Java-style SL", Box::new(|| Box::new(LazySkipList::<u64, u64>::new()) as _)),
+        ("NoHotSpot SL", Box::new(|| Box::new(NhsSkipList::<u64, u64>::new()) as _)),
+        ("OCC B+-tree", Box::new(|| Box::new(OccBTree::<u64, u64>::new()) as _)),
+        ("Masstree-lite", Box::new(|| Box::new(MasstreeLite::<u64, u64>::new()) as _)),
+    ];
+
+    println!("\n{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}", "index", "Load", "A", "B", "C", "E");
+    let mut bskip_row = Vec::new();
+    for (label, build) in &systems {
+        let mut row = Vec::new();
+        for workload in Workload::ALL {
+            row.push(measure(build, workload, &config));
+        }
+        if bskip_row.is_empty() {
+            bskip_row = row.clone();
+        }
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            label, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+    println!("\n(throughput in ops/us; first row is the B-skiplist, the paper's contribution)");
+}

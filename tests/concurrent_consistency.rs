@@ -1,0 +1,192 @@
+//! Workspace-level concurrency stress tests for the B-skiplist.
+//!
+//! These exercise the top-down concurrency-control scheme end to end:
+//! many threads inserting, reading and scanning overlapping key ranges,
+//! followed by full structural validation at quiescence.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bskip_suite::{BSkipConfig, BSkipList, ConcurrentIndex};
+
+#[test]
+fn concurrent_disjoint_inserts_keep_every_key() {
+    let list: Arc<BSkipList<u64, u64, 32>> = Arc::new(BSkipList::with_config(
+        BSkipConfig::default().with_max_height(5),
+    ));
+    let threads = 8u64;
+    let per_thread = 20_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Interleaved keys so every thread touches every region.
+                    let key = i * threads + t;
+                    assert_eq!(list.insert(key, key ^ 0xABCD), None);
+                }
+            });
+        }
+    });
+    assert_eq!(list.len() as u64, threads * per_thread);
+    list.validate().expect("structure after concurrent build");
+    for key in (0..threads * per_thread).step_by(101) {
+        assert_eq!(list.get(&key), Some(key ^ 0xABCD), "key {key} lost");
+    }
+    let scanned = list.to_vec();
+    assert_eq!(scanned.len() as u64, threads * per_thread);
+    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0), "leaf level must be sorted");
+}
+
+#[test]
+fn concurrent_mixed_readers_and_writers_agree_at_quiescence() {
+    let list: Arc<BSkipList<u64, u64, 16>> = Arc::new(BSkipList::with_config(
+        BSkipConfig::default().with_max_height(5),
+    ));
+    // Pre-populate the even half of the key space.
+    for key in (0..100_000u64).step_by(2) {
+        list.insert(key, key);
+    }
+    std::thread::scope(|scope| {
+        // Writers fill in the odd keys.
+        for t in 0..4u64 {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                for i in 0..12_500u64 {
+                    let key = (i * 4 + t) * 2 + 1;
+                    list.insert(key, key);
+                }
+            });
+        }
+        // Readers run point lookups and scans while writers are active;
+        // every value observed must be internally consistent (value == key).
+        for _ in 0..4 {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                for i in 0..50_000u64 {
+                    let key = (i * 37) % 100_000;
+                    if let Some(value) = list.get(&key) {
+                        assert_eq!(value, key, "torn read for key {key}");
+                    }
+                    if i % 64 == 0 {
+                        let mut previous = None;
+                        list.range(&key, 20, &mut |k, v| {
+                            assert_eq!(*k, *v);
+                            if let Some(p) = previous {
+                                assert!(p < *k, "range scan out of order");
+                            }
+                            previous = Some(*k);
+                        });
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(list.len(), 100_000);
+    list.validate().expect("structure after mixed workload");
+}
+
+#[test]
+fn concurrent_upserts_of_the_same_keys_converge() {
+    let list: Arc<BSkipList<u64, u64, 16>> = Arc::new(BSkipList::new());
+    let threads = 8u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                for round in 0..5u64 {
+                    for key in 0..2_000u64 {
+                        list.insert(key, t * 10_000_000 + round * 10_000 + key);
+                    }
+                }
+            });
+        }
+    });
+    // Exactly one entry per key survives, and its value is one that some
+    // thread actually wrote for that key.
+    assert_eq!(list.len(), 2_000);
+    list.validate().expect("structure after contended upserts");
+    list.for_each(&mut |k, v| {
+        assert_eq!(v % 10_000, *k, "value {v} was never written for key {k}");
+    });
+}
+
+#[test]
+fn concurrent_removes_do_not_lose_unrelated_keys() {
+    let list: Arc<BSkipList<u64, u64, 16>> = Arc::new(BSkipList::new());
+    for key in 0..40_000u64 {
+        list.insert(key, key);
+    }
+    std::thread::scope(|scope| {
+        // Each thread removes its own residue class; no two threads ever
+        // touch the same key (the supported deletion scenario).
+        for t in 0..4u64 {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                for i in 0..5_000u64 {
+                    let key = i * 8 + t;
+                    assert_eq!(list.remove(&key), Some(key));
+                }
+            });
+        }
+        // Concurrent readers on the untouched half.
+        for _ in 0..2 {
+            let list = Arc::clone(&list);
+            scope.spawn(move || {
+                for i in 0..20_000u64 {
+                    let key = i * 2 + 39; // odd keys >= 39 in the 4..7 residues mod 8
+                    let _ = list.get(&key);
+                }
+            });
+        }
+    });
+    assert_eq!(list.len(), 20_000);
+    list.validate().expect("structure after concurrent removes");
+    // Removed keys are gone, survivors intact.
+    for i in 0..5_000u64 {
+        assert_eq!(list.get(&(i * 8)), None);
+        assert_eq!(list.get(&(i * 8 + 7)), Some(i * 8 + 7));
+    }
+}
+
+#[test]
+fn all_indices_agree_under_the_same_operation_sequence() {
+    use bskip_suite::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree};
+    let bskip: BSkipList<u64, u64> = BSkipList::new();
+    let lockfree: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+    let lazy: LazySkipList<u64, u64> = LazySkipList::new();
+    let nhs: NhsSkipList<u64, u64> = NhsSkipList::new();
+    let btree: OccBTree<u64, u64> = OccBTree::new();
+    let masstree: MasstreeLite<u64, u64> = MasstreeLite::new();
+    let indices: Vec<&dyn ConcurrentIndex<u64, u64>> =
+        vec![&bskip, &lockfree, &lazy, &nhs, &btree, &masstree];
+    let mut oracle = BTreeMap::new();
+
+    let mut state = 0x12345678u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state >> 16
+    };
+    for _ in 0..20_000 {
+        let key = next() % 10_000;
+        let value = next();
+        oracle.insert(key, value);
+        for index in &indices {
+            index.insert(key, value);
+        }
+    }
+    for index in &indices {
+        assert_eq!(index.len(), oracle.len(), "{} length", index.name());
+        for (key, value) in oracle.iter().take(500) {
+            assert_eq!(index.get(key), Some(*value), "{} get({key})", index.name());
+        }
+        let mut scanned = Vec::new();
+        index.range(&2_000, 100, &mut |k, v| scanned.push((*k, *v)));
+        let expected: Vec<(u64, u64)> = oracle
+            .range(2_000..)
+            .take(100)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        assert_eq!(scanned, expected, "{} range", index.name());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based differential tests: the concurrent B-skiplist, the
+//! sequential reference B-skiplist and `std::collections::BTreeMap` must
+//! agree on arbitrary operation sequences, and the structural invariants
+//! must hold after every sequence.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use bskip_suite::core::seq::SeqBSkipList;
+use bskip_suite::{BSkipConfig, BSkipList};
+
+/// A single dictionary operation drawn by proptest.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u64, value: u64, height: usize },
+    Remove { key: u64 },
+    Get { key: u64 },
+    Range { start: u64, len: usize },
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space, any::<u64>(), 0usize..5).prop_map(|(key, value, height)| Op::Insert {
+            key,
+            value,
+            height
+        }),
+        2 => (0..key_space).prop_map(|key| Op::Remove { key }),
+        2 => (0..key_space).prop_map(|key| Op::Get { key }),
+        1 => (0..key_space, 0usize..50).prop_map(|(start, len)| Op::Range { start, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The concurrent B-skiplist behaves exactly like BTreeMap under any
+    /// sequence of inserts, removes, gets and range scans (driven with
+    /// explicit promotion heights so every structural path is exercised).
+    #[test]
+    fn bskiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
+        let list: BSkipList<u64, u64, 4> =
+            BSkipList::with_config(BSkipConfig::default().with_max_height(4));
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert { key, value, height } => {
+                    prop_assert_eq!(list.insert_with_height(key, value, height), oracle.insert(key, value));
+                }
+                Op::Remove { key } => {
+                    prop_assert_eq!(list.remove(&key), oracle.remove(&key));
+                }
+                Op::Get { key } => {
+                    prop_assert_eq!(list.get(&key), oracle.get(&key).copied());
+                }
+                Op::Range { start, len } => {
+                    let mut got = Vec::new();
+                    list.range(&start, len, &mut |k, v| got.push((*k, *v)));
+                    let expected: Vec<(u64, u64)> =
+                        oracle.range(start..).take(len).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        list.validate().map_err(|e| TestCaseError::fail(e))?;
+        prop_assert_eq!(list.len(), oracle.len());
+        let collected: Vec<(u64, u64)> = list.to_vec();
+        let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// The sequential reference implementation and the concurrent
+    /// implementation build identical contents when driven with the same
+    /// keys and the same promotion heights.
+    #[test]
+    fn sequential_and_concurrent_structures_agree(
+        inserts in proptest::collection::vec((0u64..500, any::<u64>(), 0usize..4), 1..300)
+    ) {
+        let seq_list: &mut SeqBSkipList<u64, u64, 8> = &mut SeqBSkipList::with_config_and_seed(
+            BSkipConfig::default().with_max_height(4), 9,
+        );
+        let conc_list: BSkipList<u64, u64, 8> =
+            BSkipList::with_config(BSkipConfig::default().with_max_height(4));
+        for (key, value, height) in &inserts {
+            seq_list.insert_with_height(*key, *value, *height);
+            conc_list.insert_with_height(*key, *value, *height);
+        }
+        seq_list.validate().map_err(TestCaseError::fail)?;
+        conc_list.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(seq_list.to_vec(), conc_list.to_vec());
+        prop_assert_eq!(seq_list.len(), conc_list.len());
+    }
+
+    /// Range scans always return sorted, deduplicated keys bounded by the
+    /// requested length, from any start point.
+    #[test]
+    fn range_scans_are_sorted_and_bounded(
+        keys in proptest::collection::btree_set(0u64..10_000, 0..500),
+        start in 0u64..12_000,
+        len in 0usize..200,
+    ) {
+        let list: BSkipList<u64, u64, 16> = BSkipList::new();
+        for &key in &keys {
+            list.insert(key, key);
+        }
+        let mut scanned = Vec::new();
+        let visited = list.range(&start, len, &mut |k, _| scanned.push(*k));
+        prop_assert_eq!(visited, scanned.len());
+        prop_assert!(scanned.len() <= len);
+        prop_assert!(scanned.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(scanned.iter().all(|k| *k >= start && keys.contains(k)));
+        let expected_count = keys.range(start..).take(len).count();
+        prop_assert_eq!(scanned.len(), expected_count);
+    }
+
+    /// The baselines also agree with BTreeMap on insert/get/range sequences
+    /// (no removes for the logically-deleting skiplists to keep the oracle
+    /// comparison exact).
+    #[test]
+    fn baselines_match_btreemap_on_upserts(
+        pairs in proptest::collection::vec((0u64..400, any::<u64>()), 1..300),
+        probe in 0u64..400,
+    ) {
+        use bskip_suite::{ConcurrentIndex, LazySkipList, LockFreeSkipList, OccBTree};
+        let lockfree: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+        let lazy: LazySkipList<u64, u64> = LazySkipList::new();
+        let btree: OccBTree<u64, u64, 8> = OccBTree::new();
+        let mut oracle = BTreeMap::new();
+        for (key, value) in &pairs {
+            prop_assert_eq!(lockfree.insert(*key, *value), oracle.insert(*key, *value));
+            lazy.insert(*key, *value);
+            btree.insert(*key, *value);
+        }
+        prop_assert_eq!(lockfree.get(&probe), oracle.get(&probe).copied());
+        prop_assert_eq!(lazy.get(&probe), oracle.get(&probe).copied());
+        prop_assert_eq!(ConcurrentIndex::get(&btree, &probe), oracle.get(&probe).copied());
+        let mut from_btree = Vec::new();
+        btree.range(&probe, 30, &mut |k, v| from_btree.push((*k, *v)));
+        let expected: Vec<(u64, u64)> = oracle.range(probe..).take(30).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(from_btree, expected);
+    }
+}

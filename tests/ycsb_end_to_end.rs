@@ -1,0 +1,97 @@
+//! End-to-end YCSB pipeline tests: the driver, workloads and latency
+//! machinery run against every index through the public API.
+
+use bskip_suite::{
+    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite,
+    NhsSkipList, OccBTree,
+};
+use bskip_ycsb::{run_load_phase, run_run_phase, Distribution, Workload, YcsbConfig};
+
+fn tiny_config() -> YcsbConfig {
+    YcsbConfig::default()
+        .with_records(10_000)
+        .with_operations(10_000)
+        .with_threads(4)
+        .with_seed(42)
+}
+
+fn exercise(index: &dyn ConcurrentIndex<u64, u64>, name: &str) {
+    let config = tiny_config();
+    let load = run_load_phase(&index, &config);
+    assert_eq!(load.operations, config.record_count, "{name} load ops");
+    assert_eq!(index.len(), config.record_count, "{name} loaded size");
+    assert!(load.throughput_ops_per_us > 0.0, "{name} load throughput");
+    assert!(load.latency.samples > 0, "{name} load latency samples");
+
+    for workload in [Workload::A, Workload::B, Workload::C, Workload::E] {
+        let result = run_run_phase(&index, workload, &config);
+        assert_eq!(result.operations, config.operation_count, "{name} {workload:?} ops");
+        assert!(
+            result.latency.p50_us <= result.latency.p999_us,
+            "{name} {workload:?} percentiles must be monotone"
+        );
+    }
+    // Workload C must not change the size; A/B/E inserts only grow it.
+    assert!(index.len() >= config.record_count, "{name} shrank during run phases");
+}
+
+#[test]
+fn ycsb_pipeline_runs_against_every_index() {
+    let bskip: BSkipList<u64, u64> = BSkipList::with_config(BSkipConfig::paper_default());
+    exercise(&bskip, "B-skiplist");
+    bskip.validate().expect("B-skiplist structure after YCSB");
+
+    exercise(&LockFreeSkipList::<u64, u64>::new(), "lock-free skiplist");
+    exercise(&LazySkipList::<u64, u64>::new(), "lazy skiplist");
+    exercise(&NhsSkipList::<u64, u64>::new(), "NHS skiplist");
+    exercise(&OccBTree::<u64, u64>::new(), "OCC B+-tree");
+    exercise(&MasstreeLite::<u64, u64>::new(), "Masstree-lite");
+}
+
+#[test]
+fn zipfian_and_uniform_phases_produce_comparable_result_shapes() {
+    let config = tiny_config();
+    let uniform: BSkipList<u64, u64> = BSkipList::new();
+    run_load_phase(&uniform, &config);
+    let uniform_result = run_run_phase(&uniform, Workload::B, &config);
+
+    let zipf_config = tiny_config().with_distribution(Distribution::Zipfian);
+    let zipfian: BSkipList<u64, u64> = BSkipList::new();
+    run_load_phase(&zipfian, &zipf_config);
+    let zipfian_result = run_run_phase(&zipfian, Workload::B, &zipf_config);
+
+    assert_eq!(uniform_result.operations, zipfian_result.operations);
+    assert!(uniform_result.throughput_ops_per_us > 0.0);
+    assert!(zipfian_result.throughput_ops_per_us > 0.0);
+}
+
+#[test]
+fn load_phase_keys_are_retrievable_through_record_key_hashing() {
+    let config = tiny_config();
+    let index: OccBTree<u64, u64> = OccBTree::new();
+    run_load_phase(&index, &config);
+    for logical in (0..config.record_count as u64).step_by(173) {
+        let key = bskip_ycsb::keygen::record_key(logical);
+        assert_eq!(ConcurrentIndex::get(&index, &key), Some(logical));
+    }
+}
+
+#[test]
+fn root_write_lock_gap_between_btree_and_bskiplist() {
+    // The Section 5.2 observation at small scale: the OCC B+-tree retires
+    // to the root orders of magnitude more often than the B-skiplist takes
+    // its top-level lock in write mode.
+    let config = tiny_config();
+    let btree: OccBTree<u64, u64> = OccBTree::new();
+    run_load_phase(&btree, &config);
+    let bskip: BSkipList<u64, u64> =
+        BSkipList::with_config(BSkipConfig::paper_default().with_stats(true));
+    run_load_phase(&bskip, &config);
+    let btree_root_locks = btree.root_write_locks();
+    let bskip_top_locks = bskip.stats().top_level_write_locks.get();
+    assert!(btree_root_locks > 10, "B+-tree should split during a 10k load");
+    assert!(
+        bskip_top_locks * 10 < btree_root_locks,
+        "B-skiplist top-level write locks ({bskip_top_locks}) should be far rarer than B+-tree root locks ({btree_root_locks})"
+    );
+}
