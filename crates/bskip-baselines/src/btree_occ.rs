@@ -26,10 +26,11 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
+use std::ops::Bound;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
-use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
 use bskip_sync::{RawRwSpinLock, RelaxedCounter};
 
 /// Payload of a node: values in leaves, children in internal nodes.
@@ -269,35 +270,69 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
     }
 
     /// Range scan: visits up to `len` pairs with keys `>= start` in order.
+    ///
+    /// Compatibility wrapper over the cursor scan path (the single live
+    /// traversal is [`OccBTree::fetch_batch`]).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        if len == 0 {
-            return 0;
+        ConcurrentIndex::range(self, start, len, visit)
+    }
+
+    /// Cursor batch-fetch primitive: appends up to `max` entries with keys
+    /// satisfying `from` in ascending order, descending with hand-over-hand
+    /// read locks and then streaming along the leaf chain.
+    ///
+    /// The OCC scheme cannot park a cursor on a locked leaf (a pessimistic
+    /// pass retiring to the root would deadlock against it), so cursors
+    /// re-descend once per batch; a batch spans whole leaves, keeping the
+    /// re-entry cost amortized at `F` entries per descent.
+    ///
+    /// `pub(crate)` so [`crate::MasstreeLite`] can reuse it for its single
+    /// trie layer.
+    pub(crate) fn fetch_batch(&self, from: Bound<K>, max: usize, out: &mut Vec<(K, V)>) {
+        if max == 0 {
+            return;
         }
-        // SAFETY: HOH read locking down to the leaf and along the leaf chain.
+        // SAFETY: HOH read locking down to the leaf and along the chain.
         unsafe {
             let mut node = self.acquire_root_shared();
-            while !(*node).is_leaf {
-                let child = (*node).child_for(start);
-                (*child).lock.lock_shared();
-                (*node).lock.unlock_shared();
-                node = child;
+            match &from {
+                Bound::Unbounded => {
+                    // Leftmost descent: follow the first child at every level.
+                    while !(*node).is_leaf {
+                        let child = match &(*node).inner().payload {
+                            Payload::Internal { first_child, .. } => *first_child,
+                            Payload::Leaf(_) => unreachable!(),
+                        };
+                        (*child).lock.lock_shared();
+                        (*node).lock.unlock_shared();
+                        node = child;
+                    }
+                }
+                Bound::Included(key) | Bound::Excluded(key) => {
+                    while !(*node).is_leaf {
+                        let child = (*node).child_for(key);
+                        (*child).lock.lock_shared();
+                        (*node).lock.unlock_shared();
+                        node = child;
+                    }
+                }
             }
-            let mut slot = (*node).lower_bound(start);
-            let mut visited = 0;
+            let mut slot = match &from {
+                Bound::Unbounded => 0,
+                Bound::Included(key) => (*node).lower_bound(key),
+                Bound::Excluded(key) => (*node).upper_bound(key),
+            };
             loop {
                 let inner = (*node).inner();
                 let values = match &inner.payload {
                     Payload::Leaf(values) => values,
                     Payload::Internal { .. } => unreachable!(),
                 };
-                while slot < inner.len && visited < len {
-                    let key = inner.keys[slot].assume_init();
-                    let value = values[slot].assume_init();
-                    visit(&key, &value);
-                    visited += 1;
+                while slot < inner.len && out.len() < max {
+                    out.push((inner.keys[slot].assume_init(), values[slot].assume_init()));
                     slot += 1;
                 }
-                if visited == len {
+                if out.len() == max {
                     break;
                 }
                 let next = inner.next_leaf;
@@ -310,7 +345,6 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
                 slot = 0;
             }
             (*node).lock.unlock_shared();
-            visited
         }
     }
 
@@ -473,7 +507,11 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
                 };
                 let old = values[slot].assume_init();
                 let values_ptr = values.as_mut_ptr();
-                ptr::copy(values_ptr.add(slot + 1), values_ptr.add(slot), len - slot - 1);
+                ptr::copy(
+                    values_ptr.add(slot + 1),
+                    values_ptr.add(slot),
+                    len - slot - 1,
+                );
                 inner.len -= 1;
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 Some(old)
@@ -574,9 +612,7 @@ unsafe fn split_node<K: Copy + Ord, V: Copy, const F: usize>(
         // becomes the right node's first child.
         let separator = inner.keys[half].assume_init();
         let (first_child, moved_children) = match &inner.payload {
-            Payload::Internal { children, .. } => {
-                (children[half], children[half + 1..F].to_vec())
-            }
+            Payload::Internal { children, .. } => (children[half], children[half + 1..F].to_vec()),
             Payload::Leaf(_) => unreachable!(),
         };
         let right = Node::<K, V, F>::alloc_internal(first_child);
@@ -636,8 +672,14 @@ impl<K: IndexKey, V: IndexValue, const F: usize> ConcurrentIndex<K, V> for OccBT
     fn remove(&self, key: &K) -> Option<V> {
         OccBTree::remove(self, key)
     }
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        OccBTree::range(self, start, len, visit)
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        // Batch granularity of one full leaf per re-descent.
+        Cursor::new(BatchCursor::new(
+            lo,
+            hi,
+            F,
+            Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
+        ))
     }
     fn len(&self) -> usize {
         OccBTree::len(self)
@@ -690,7 +732,10 @@ mod tests {
             tree.insert(key, key * 2);
         }
         assert_eq!(tree.len(), 5000);
-        assert!(tree.root_write_locks() > 0, "splits must retire to the root");
+        assert!(
+            tree.root_write_locks() > 0,
+            "splits must retire to the root"
+        );
         for key in 0..5000u64 {
             assert_eq!(tree.get(&key), Some(key * 2), "missing {key}");
         }

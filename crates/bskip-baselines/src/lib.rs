@@ -34,3 +34,82 @@ pub use masstree_lite::MasstreeLite;
 pub use skiplist_lazy::LazySkipList;
 pub use skiplist_lockfree::LockFreeSkipList;
 pub use skiplist_nhs::NhsSkipList;
+
+#[cfg(test)]
+mod cursor_contract_tests {
+    //! Every baseline implements the cursor scan interface through a
+    //! structure-aware batch-fetch primitive; these tests pin the shared
+    //! contract (bounds, seek, exhaustion) for all five at once.
+
+    use super::*;
+    use bskip_index::ConcurrentIndex;
+
+    fn indices() -> Vec<Box<dyn ConcurrentIndex<u64, u64>>> {
+        vec![
+            Box::new(LockFreeSkipList::new()),
+            Box::new(LazySkipList::new()),
+            Box::new(NhsSkipList::new()),
+            Box::new(OccBTree::<u64, u64>::new()),
+            Box::new(MasstreeLite::new()),
+        ]
+    }
+
+    #[test]
+    fn scan_respects_bounds_and_order() {
+        for index in indices() {
+            for key in (0..200u64).rev() {
+                index.insert(key, key + 1);
+            }
+            let window: Vec<(u64, u64)> = index.scan(50..=60).collect();
+            let expected: Vec<(u64, u64)> = (50..=60).map(|k| (k, k + 1)).collect();
+            assert_eq!(window, expected, "{}", index.name());
+            assert_eq!(index.scan(10..10).count(), 0, "{}", index.name());
+            assert_eq!(index.scan(..).count(), 200, "{}", index.name());
+            assert_eq!(index.scan(199..).count(), 1, "{}", index.name());
+            assert_eq!(index.scan(200..).count(), 0, "{}", index.name());
+        }
+    }
+
+    #[test]
+    fn seek_and_resume() {
+        for index in indices() {
+            for key in (0..100u64).map(|i| i * 3) {
+                index.insert(key, key);
+            }
+            let mut cursor =
+                index.scan_bounds(std::ops::Bound::Included(0), std::ops::Bound::Unbounded);
+            assert_eq!(cursor.next(), Some((0, 0)), "{}", index.name());
+            assert_eq!(cursor.seek(&100), Some((102, 102)), "{}", index.name());
+            assert_eq!(cursor.next(), Some((105, 105)), "{}", index.name());
+            assert_eq!(cursor.seek(&10_000), None, "{}", index.name());
+            assert_eq!(cursor.next(), None, "{}", index.name());
+        }
+    }
+
+    #[test]
+    fn scans_skip_logically_removed_keys() {
+        for index in indices() {
+            for key in 0..32u64 {
+                index.insert(key, key);
+            }
+            index.remove(&5);
+            index.remove(&6);
+            let keys: Vec<u64> = index.scan(4..=8).map(|(k, _)| k).collect();
+            assert_eq!(keys, vec![4, 7, 8], "{}", index.name());
+        }
+    }
+
+    #[test]
+    fn trait_level_range_flows_through_the_cursor_path() {
+        for index in indices() {
+            for key in 0..50u64 {
+                index.insert(key, key * 2);
+            }
+            let mut seen = Vec::new();
+            let visited = index.range(&40, 100, &mut |k, v| seen.push((*k, *v)));
+            assert_eq!(visited, 10, "{}", index.name());
+            assert_eq!(seen.first(), Some(&(40, 80)), "{}", index.name());
+            assert_eq!(seen.last(), Some(&(49, 98)), "{}", index.name());
+        }
+    }
+}

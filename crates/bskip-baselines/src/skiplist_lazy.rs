@@ -15,14 +15,19 @@
 //! Physical unlinking of deleted towers is deferred to drop time (the
 //! paper's YCSB workloads never delete).
 
+use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
-use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
 use bskip_sync::{Backoff, RawRwSpinLock, RwSpinLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 const MAX_LEVELS: usize = 24;
+
+/// Entries fetched per cursor re-entry (one element per node, as for the
+/// lock-free skiplist).
+const SCAN_BATCH: usize = 64;
 
 thread_local! {
     static LAZY_RNG: std::cell::RefCell<SmallRng> =
@@ -166,7 +171,8 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
         unsafe {
             let found = self.find(key, &mut preds, &mut succs)?;
             let node = succs[found];
-            if (*node).fully_linked.load(Ordering::Acquire) && !(*node).marked.load(Ordering::Acquire)
+            if (*node).fully_linked.load(Ordering::Acquire)
+                && !(*node).marked.load(Ordering::Acquire)
             {
                 Some(*(*node).value.read())
             } else {
@@ -239,11 +245,11 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
                 }
 
                 let node = Box::into_raw(LazyNode::new(key, value, height));
-                for level in 0..height {
-                    (*node).next[level].store(succs[level], Ordering::Relaxed);
+                for (slot, &succ) in (*node).next.iter().zip(succs.iter().take(height)) {
+                    slot.store(succ, Ordering::Relaxed);
                 }
-                for level in 0..height {
-                    self.slot(preds[level], level).store(node, Ordering::Release);
+                for (level, &pred) in preds.iter().enumerate().take(height) {
+                    self.slot(pred, level).store(node, Ordering::Release);
                 }
                 (*node).fully_linked.store(true, Ordering::Release);
                 for pred in locked {
@@ -275,28 +281,40 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
     }
 
     /// Range scan over live keys `>= start`.
+    ///
+    /// Compatibility wrapper over the cursor scan path (the single live
+    /// traversal is [`LazySkipList::fetch_batch`]).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        if len == 0 {
-            return 0;
-        }
+        ConcurrentIndex::range(self, start, len, visit)
+    }
+
+    /// Cursor batch-fetch primitive: appends up to `max` live, fully
+    /// linked entries at or after `from`'s key in ascending order (the
+    /// adapter enforces exclusive bounds).
+    ///
+    /// The optimistic traversal cannot pause mid-walk (a parked position
+    /// could be invalidated by a concurrent validate-and-link), so cursors
+    /// re-enter through [`LazySkipList::find`] once per batch.
+    fn fetch_batch(&self, from: Bound<K>, max: usize, out: &mut Vec<(K, V)>) {
         let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
         let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
         // SAFETY: optimistic traversal over never-freed nodes.
         unsafe {
-            self.find(start, &mut preds, &mut succs);
-            let mut curr = succs[0];
-            let mut visited = 0;
-            while !curr.is_null() && visited < len {
+            let mut curr = match &from {
+                Bound::Unbounded => self.head[0].load(Ordering::Acquire),
+                Bound::Included(key) | Bound::Excluded(key) => {
+                    self.find(key, &mut preds, &mut succs);
+                    succs[0]
+                }
+            };
+            while !curr.is_null() && out.len() < max {
                 if (*curr).fully_linked.load(Ordering::Acquire)
                     && !(*curr).marked.load(Ordering::Acquire)
                 {
-                    let value = *(*curr).value.read();
-                    visit(&(*curr).key, &value);
-                    visited += 1;
+                    out.push(((*curr).key, *(*curr).value.read()));
                 }
                 curr = (*curr).next[0].load(Ordering::Acquire);
             }
-            visited
         }
     }
 
@@ -335,8 +353,13 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LazySkipList<K, V> {
     fn remove(&self, key: &K) -> Option<V> {
         LazySkipList::remove(self, key)
     }
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        LazySkipList::range(self, start, len, visit)
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        Cursor::new(BatchCursor::new(
+            lo,
+            hi,
+            SCAN_BATCH,
+            Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
+        ))
     }
     fn len(&self) -> usize {
         LazySkipList::len(self)

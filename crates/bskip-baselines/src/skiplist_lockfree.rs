@@ -17,12 +17,17 @@
 //!   queries; physical unlinking and reclamation happen when the list is
 //!   dropped.  The YCSB workloads used in the paper contain no deletes.
 
+use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
-use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
 use bskip_sync::RwSpinLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Entries fetched per cursor re-entry; one tower per entry means one cache
+/// line per entry, so there is no node-granularity to align with.
+const SCAN_BATCH: usize = 64;
 
 /// Maximum number of levels in a tower.  With promotion probability 1/2
 /// this supports far more elements than any benchmark in the repository.
@@ -45,6 +50,9 @@ fn sample_tower_height() -> usize {
         height
     })
 }
+
+/// Per-level predecessor/successor arrays produced by `find_preds`.
+type TowerLanes<K, V> = [*mut Tower<K, V>; MAX_LEVELS];
 
 /// One element of the skiplist: a key, its value, and a tower of atomic
 /// forward pointers.
@@ -135,13 +143,7 @@ impl<K: IndexKey, V: IndexValue> LockFreeSkipList<K, V> {
     ///
     /// Internal: relies on towers never being freed while the list is
     /// shared.
-    unsafe fn find_preds(
-        &self,
-        key: &K,
-    ) -> (
-        [*mut Tower<K, V>; MAX_LEVELS],
-        [*mut Tower<K, V>; MAX_LEVELS],
-    ) {
+    unsafe fn find_preds(&self, key: &K) -> (TowerLanes<K, V>, TowerLanes<K, V>) {
         let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
         let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
         let mut pred: *mut Tower<K, V> = std::ptr::null_mut();
@@ -262,24 +264,38 @@ impl<K: IndexKey, V: IndexValue> LockFreeSkipList<K, V> {
     }
 
     /// Range scan: visits up to `len` live pairs with keys `>= start`.
+    ///
+    /// Compatibility wrapper over the cursor scan path (the single live
+    /// traversal is [`LockFreeSkipList::fetch_batch`]).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        if len == 0 {
-            return 0;
-        }
+        ConcurrentIndex::range(self, start, len, visit)
+    }
+
+    /// Cursor batch-fetch primitive: appends up to `max` live entries at
+    /// or after `from`'s key, in ascending order, walking the bottom lane
+    /// from the tower the search locates (the adapter enforces exclusive
+    /// bounds).
+    ///
+    /// The lock-free list cannot pause mid-traversal (a parked cursor
+    /// cannot pin towers against the deferred reclamation scheme of a
+    /// future epoch-based collector), so scans re-enter through
+    /// [`LockFreeSkipList::find_preds`] once per batch.
+    fn fetch_batch(&self, from: Bound<K>, max: usize, out: &mut Vec<(K, V)>) {
         // SAFETY: towers are never freed while the list is shared.
         unsafe {
-            let (_, succs) = self.find_preds(start);
-            let mut curr = succs[0];
-            let mut visited = 0;
-            while !curr.is_null() && visited < len {
+            let mut curr = match &from {
+                Bound::Unbounded => self.head[0].load(Ordering::Acquire),
+                Bound::Included(key) | Bound::Excluded(key) => {
+                    let (_, succs) = self.find_preds(key);
+                    succs[0]
+                }
+            };
+            while !curr.is_null() && out.len() < max {
                 if !(*curr).deleted.load(Ordering::Acquire) {
-                    let value = *(*curr).value.read();
-                    visit(&(*curr).key, &value);
-                    visited += 1;
+                    out.push(((*curr).key, *(*curr).value.read()));
                 }
                 curr = (*curr).next[0].load(Ordering::Acquire);
             }
-            visited
         }
     }
 
@@ -319,8 +335,13 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LockFreeSkipList<K, V
     fn remove(&self, key: &K) -> Option<V> {
         LockFreeSkipList::remove(self, key)
     }
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        LockFreeSkipList::range(self, start, len, visit)
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        Cursor::new(BatchCursor::new(
+            lo,
+            hi,
+            SCAN_BATCH,
+            Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
+        ))
     }
     fn len(&self) -> usize {
         LockFreeSkipList::len(self)

@@ -20,15 +20,20 @@
 //! regions require long bottom-lane walks — exactly the behaviour that
 //! makes NHS slow on insert-heavy YCSB phases in the paper's evaluation.
 
+use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
 use bskip_sync::{RwSpinLock, SpinLatch};
 
 /// Every `INDEX_STRIDE`-th bottom-lane node becomes a guard in the index.
 const INDEX_STRIDE: usize = 16;
+
+/// Entries fetched per cursor re-entry; aligned with the guard stride so a
+/// refill typically pays one guard lookup plus one stride of lane walking.
+const SCAN_BATCH: usize = INDEX_STRIDE * 4;
 
 struct NhsNode<K, V> {
     key: K,
@@ -121,7 +126,7 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
             let mut curr = self.head.load(Ordering::Acquire);
             let mut position = 0usize;
             while !curr.is_null() {
-                if position % INDEX_STRIDE == 0 {
+                if position.is_multiple_of(INDEX_STRIDE) {
                     guards.push(((*curr).key, curr));
                 }
                 position += 1;
@@ -217,10 +222,7 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
         // SAFETY: nodes are never freed while the list is shared.
         unsafe {
             let (_, curr) = self.inner.find_from_index(key);
-            if !curr.is_null()
-                && (*curr).key == *key
-                && !(*curr).deleted.load(Ordering::Acquire)
-            {
+            if !curr.is_null() && (*curr).key == *key && !(*curr).deleted.load(Ordering::Acquire) {
                 Some(*(*curr).value.read())
             } else {
                 None
@@ -283,23 +285,37 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
     }
 
     /// Range scan over live keys `>= start`.
+    ///
+    /// Compatibility wrapper over the cursor scan path (the single live
+    /// traversal is [`NhsSkipList::fetch_batch`]).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        if len == 0 {
-            return 0;
-        }
+        ConcurrentIndex::range(self, start, len, visit)
+    }
+
+    /// Cursor batch-fetch primitive: appends up to `max` live entries at
+    /// or after `from`'s key in ascending order, starting the bottom-lane
+    /// walk from the index-provided guard (the adapter enforces exclusive
+    /// bounds).
+    ///
+    /// The lag between the bottom lane and the index snapshot only affects
+    /// how far the walk starts from the target key, never which entries are
+    /// produced, so cursors see the same contract as the other baselines.
+    fn fetch_batch(&self, from: Bound<K>, max: usize, out: &mut Vec<(K, V)>) {
         // SAFETY: nodes are never freed while the list is shared.
         unsafe {
-            let (_, mut curr) = self.inner.find_from_index(start);
-            let mut visited = 0;
-            while !curr.is_null() && visited < len {
+            let mut curr = match &from {
+                Bound::Unbounded => self.inner.head.load(Ordering::Acquire),
+                Bound::Included(key) | Bound::Excluded(key) => {
+                    let (_, curr) = self.inner.find_from_index(key);
+                    curr
+                }
+            };
+            while !curr.is_null() && out.len() < max {
                 if !(*curr).deleted.load(Ordering::Acquire) {
-                    let value = *(*curr).value.read();
-                    visit(&(*curr).key, &value);
-                    visited += 1;
+                    out.push(((*curr).key, *(*curr).value.read()));
                 }
                 curr = (*curr).next.load(Ordering::Acquire);
             }
-            visited
         }
     }
 
@@ -333,8 +349,13 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for NhsSkipList<K, V> {
     fn remove(&self, key: &K) -> Option<V> {
         NhsSkipList::remove(self, key)
     }
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        NhsSkipList::range(self, start, len, visit)
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        Cursor::new(BatchCursor::new(
+            lo,
+            hi,
+            SCAN_BATCH,
+            Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
+        ))
     }
     fn len(&self) -> usize {
         NhsSkipList::len(self)

@@ -18,7 +18,9 @@ fn build<const B: usize>() -> BSkipList<u64, u64, B> {
     list
 }
 
-fn bench_one<const B: usize>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+fn bench_one<const B: usize>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+) {
     let list = build::<B>();
     group.bench_function(BenchmarkId::new("get", B), |b| {
         let mut cursor = 0u64;

@@ -82,9 +82,13 @@ fn bench_scan(c: &mut Criterion) {
             b.iter(|| {
                 cursor = (cursor + 104_729) % PRELOAD;
                 let mut sum = 0u64;
-                index
-                    .as_index()
-                    .range(&record_key(cursor), 100, &mut |_, v| sum = sum.wrapping_add(*v));
+                let scan = index.as_index().scan_bounds(
+                    std::ops::Bound::Included(record_key(cursor)),
+                    std::ops::Bound::Unbounded,
+                );
+                for (_, value) in scan.take(100) {
+                    sum = sum.wrapping_add(value);
+                }
                 black_box(sum)
             });
         });

@@ -29,7 +29,11 @@ fn bench_scaling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.throughput(Throughput::Elements(OPS as u64));
     for workload in [Workload::A, Workload::C] {
-        for kind in [IndexKind::BSkipList, IndexKind::OccBTree, IndexKind::LockFreeSkipList] {
+        for kind in [
+            IndexKind::BSkipList,
+            IndexKind::OccBTree,
+            IndexKind::LockFreeSkipList,
+        ] {
             for threads in thread_points() {
                 let config = YcsbConfig::default()
                     .with_records(RECORDS)

@@ -64,5 +64,7 @@ fn main() {
             ])
         );
     }
-    println!("\nPaper: zipfian results track the uniform results within ~20% with the same ordering.");
+    println!(
+        "\nPaper: zipfian results track the uniform results within ~20% with the same ordering."
+    );
 }

@@ -29,7 +29,9 @@ fn main() {
         let mut results = Vec::new();
         for kind in IndexKind::SKIPLISTS {
             let samples = run_trials(trials, false, |_| {
-                run_workload_fresh(kind, workload, &config).0.throughput_ops_per_us
+                run_workload_fresh(kind, workload, &config)
+                    .0
+                    .throughput_ops_per_us
             });
             let throughput = median(&samples);
             results.push((kind, throughput));
@@ -50,8 +52,16 @@ fn main() {
             .filter(|(k, _)| *k != IndexKind::BSkipList)
             .map(|(_, t)| *t)
             .fold(0.0f64, f64::max);
-        cells.push(if nhs > 0.0 { format!("{:.2}", bsl / nhs) } else { "-".into() });
-        cells.push(if best_other > 0.0 { format!("{:.2}", bsl / best_other) } else { "-".into() });
+        cells.push(if nhs > 0.0 {
+            format!("{:.2}", bsl / nhs)
+        } else {
+            "-".into()
+        });
+        cells.push(if best_other > 0.0 {
+            format!("{:.2}", bsl / best_other)
+        } else {
+            "-".into()
+        });
         println!("{}", format_row(&cells));
     }
     println!("\nPaper (128 threads, 100M keys): B-skiplist is 2x-9x the other skiplists on every workload.");

@@ -42,7 +42,11 @@ fn main() {
         println!();
         for (kind, latency) in rows {
             if kind != IndexKind::BSkipList && bsl > 0.0 {
-                println!("p99 ratio {} / B-skiplist = {:.1}x", kind.label(), latency.p99_us / bsl);
+                println!(
+                    "p99 ratio {} / B-skiplist = {:.1}x",
+                    kind.label(),
+                    latency.p99_us / bsl
+                );
             }
         }
     }

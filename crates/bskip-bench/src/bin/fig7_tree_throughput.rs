@@ -16,13 +16,22 @@ fn main() {
     );
     print_header(
         "Throughput (ops/us), normalized to the B-skiplist",
-        &["workload", "B-skiplist", "OCC B+-tree", "Masstree-lite", "OBT/BSL", "MT/BSL"],
+        &[
+            "workload",
+            "B-skiplist",
+            "OCC B+-tree",
+            "Masstree-lite",
+            "OBT/BSL",
+            "MT/BSL",
+        ],
     );
     for workload in Workload::ALL {
         let mut throughput = Vec::new();
         for kind in IndexKind::TREES {
             let samples = run_trials(trials, false, |_| {
-                run_workload_fresh(kind, workload, &config).0.throughput_ops_per_us
+                run_workload_fresh(kind, workload, &config)
+                    .0
+                    .throughput_ops_per_us
             });
             throughput.push(median(&samples));
         }

@@ -15,7 +15,15 @@ fn main() {
     );
     print_header(
         "Latency (us) on YCSB A, uniform keys",
-        &["index", "p50", "p90", "p99", "p99.9", "mean", "root write locks"],
+        &[
+            "index",
+            "p50",
+            "p90",
+            "p99",
+            "p99.9",
+            "mean",
+            "root write locks",
+        ],
     );
     for kind in IndexKind::TREES {
         let (result, index) = run_workload_fresh(kind, Workload::A, &config);
@@ -38,5 +46,7 @@ fn main() {
             ])
         );
     }
-    println!("\nPaper: the B-skiplist has the lowest p99/p99.9 because it never retires to the root.");
+    println!(
+        "\nPaper: the B-skiplist has the lowest p99/p99.9 because it never retires to the root."
+    );
 }

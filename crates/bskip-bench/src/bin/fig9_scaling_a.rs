@@ -34,7 +34,10 @@ pub fn scaling_experiment(workload: Workload, title: &str) {
     let mut columns = vec!["index".to_string()];
     columns.extend(points.iter().map(|t| format!("{t}T ops/us")));
     columns.push("speedup@max".to_string());
-    print_header(title, &columns.iter().map(String::as_str).collect::<Vec<_>>());
+    print_header(
+        title,
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for kind in IndexKind::ALL {
         let mut cells = vec![kind.label().to_string()];
         let mut single = 0.0f64;

@@ -5,8 +5,8 @@
 //! B-skiplist during the load phase (8.3 K vs 3 during workload A) — the
 //! structural explanation for the B+-tree's heavier latency tail.
 
-use bskip_bench::{experiment_config, format_row, print_header};
 use bskip_baselines::OccBTree;
+use bskip_bench::{experiment_config, format_row, print_header};
 use bskip_core::{BSkipConfig, BSkipList};
 use bskip_index::ConcurrentIndex;
 use bskip_ycsb::{run_load_phase, run_run_phase, Workload};
@@ -32,7 +32,11 @@ fn main() {
     let bsl_run = bsl.stats().top_level_write_locks.get();
     println!(
         "{}",
-        format_row(&["B-skiplist".into(), bsl_load.to_string(), bsl_run.to_string()])
+        format_row(&[
+            "B-skiplist".into(),
+            bsl_load.to_string(),
+            bsl_run.to_string()
+        ])
     );
 
     // OCC B+-tree.
@@ -44,11 +48,17 @@ fn main() {
     let obt_run = obt.root_write_locks();
     println!(
         "{}",
-        format_row(&["OCC B+-tree".into(), obt_load.to_string(), obt_run.to_string()])
+        format_row(&[
+            "OCC B+-tree".into(),
+            obt_load.to_string(),
+            obt_run.to_string()
+        ])
     );
 
     println!("\nPaper (100M keys): B+-tree 26K / 8.3K vs B-skiplist 7 / 3.");
-    println!("(The absolute counts scale with the dataset; the orders-of-magnitude gap is the result.)");
+    println!(
+        "(The absolute counts scale with the dataset; the orders-of-magnitude gap is the result.)"
+    );
     // Keep the indices alive until the end so the length check below reads
     // sensible values.
     println!(

@@ -19,7 +19,11 @@ fn main() {
 
     print_header(
         "Traversal statistics (stats-enabled B-skiplist)",
-        &["workload", "horizontal steps / level", "leaf nodes / range query"],
+        &[
+            "workload",
+            "horizontal steps / level",
+            "leaf nodes / range query",
+        ],
     );
     for workload in [Workload::A, Workload::B, Workload::C, Workload::E] {
         let list: BSkipList<u64, u64> =
@@ -48,7 +52,10 @@ fn main() {
         seq.insert(bskip_ycsb::keygen::record_key(i), i);
     }
     let per_level = seq.nodes_per_level();
-    print_header("Structure shape (sequential reference build)", &["level", "nodes", "avg keys/node"]);
+    print_header(
+        "Structure shape (sequential reference build)",
+        &["level", "nodes", "avg keys/node"],
+    );
     for (level, nodes) in per_level.iter().enumerate() {
         let keys_at_level = if level == 0 { seq.len() } else { 0 };
         let fill = if *nodes > 0 && level == 0 {
@@ -56,7 +63,10 @@ fn main() {
         } else {
             "-".to_string()
         };
-        println!("{}", format_row(&[level.to_string(), nodes.to_string(), fill]));
+        println!(
+            "{}",
+            format_row(&[level.to_string(), nodes.to_string(), fill])
+        );
     }
     println!("\nPaper: ~1.7 horizontal steps per level on A-C; ~2 leaf nodes per scan on E.");
 }

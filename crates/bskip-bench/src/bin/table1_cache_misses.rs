@@ -9,7 +9,9 @@
 //! Scale with `BSKIP_RECORDS` / `BSKIP_OPS` (defaults: 200 000 each).
 
 use bskip_bench::{experiment_config, format_row, print_header};
-use bskip_cachesim::{CacheConfig, CacheSim, TraceBSkipList, TraceBTree, TraceIndexModel, TraceSkipList};
+use bskip_cachesim::{
+    CacheConfig, CacheSim, TraceBSkipList, TraceBTree, TraceIndexModel, TraceSkipList,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,11 +61,30 @@ fn main() {
     );
     print_header(
         "Table 1 — cache-line misses (I/O-model simulation)",
-        &["workload", "skiplist (SL)", "B-tree (BT)", "B-skiplist (BSL)", "SL/BSL", "BT/BSL"],
+        &[
+            "workload",
+            "skiplist (SL)",
+            "B-tree (BT)",
+            "B-skiplist (BSL)",
+            "SL/BSL",
+            "BT/BSL",
+        ],
     );
     for (label, workload_e) in [("Load + C", false), ("Load + E", true)] {
-        let sl = run_model(&mut TraceSkipList::new(1), records, operations, workload_e, 11);
-        let bt = run_model(&mut TraceBTree::new(64), records, operations, workload_e, 11);
+        let sl = run_model(
+            &mut TraceSkipList::new(1),
+            records,
+            operations,
+            workload_e,
+            11,
+        );
+        let bt = run_model(
+            &mut TraceBTree::new(64),
+            records,
+            operations,
+            workload_e,
+            11,
+        );
         let bsl = run_model(
             &mut TraceBSkipList::paper_default(1),
             records,

@@ -30,8 +30,17 @@ fn main() {
     print_header(
         "Table 3 — node size x promotion constant sweep",
         &[
-            "bytes", "elts", "c", "find TP", "find p90", "find p99", "find p99.9", "ins TP",
-            "ins p90", "ins p99", "ins p99.9",
+            "bytes",
+            "elts",
+            "c",
+            "find TP",
+            "find p90",
+            "find p99",
+            "find p99.9",
+            "ins TP",
+            "ins p90",
+            "ins p99",
+            "ins p99.9",
         ],
     );
     let constants = [0.5, 1.0, 2.0];
@@ -55,7 +64,9 @@ fn main() {
         let (finds, inserts) = run_cell::<512>(c, &config);
         print_sweep_row(8192, 512, c, &finds, &inserts);
     }
-    println!("\nPaper: best configuration is 2048-byte nodes (128 entries) with c = 0.5 (p = 1/64).");
+    println!(
+        "\nPaper: best configuration is 2048-byte nodes (128 entries) with c = 0.5 (p = 1/64)."
+    );
 }
 
 fn print_sweep_row(bytes: usize, elts: usize, c: f64, finds: &PhaseResult, inserts: &PhaseResult) {

@@ -34,7 +34,11 @@ impl IndexKind {
 
     /// The tree-family indices compared in Figure 7 / Table 5 (plus the
     /// B-skiplist they are normalized against).
-    pub const TREES: [IndexKind; 3] = [IndexKind::BSkipList, IndexKind::OccBTree, IndexKind::Masstree];
+    pub const TREES: [IndexKind; 3] = [
+        IndexKind::BSkipList,
+        IndexKind::OccBTree,
+        IndexKind::Masstree,
+    ];
 
     /// Every evaluated index.
     pub const ALL: [IndexKind; 6] = [
@@ -203,6 +207,27 @@ mod tests {
             assert_eq!(seen, vec![1, 2], "{}", kind.label());
             index.settle_after_load();
             assert_eq!(handle.get(&2), Some(20), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn every_kind_serves_cursor_scans() {
+        use std::ops::Bound;
+        for kind in IndexKind::ALL {
+            let index = kind.build();
+            let handle = index.as_index();
+            for key in 0..64u64 {
+                handle.insert(key, key * 2);
+            }
+            index.settle_after_load();
+            let mut cursor = handle.scan_bounds(Bound::Included(10), Bound::Excluded(20));
+            let window: Vec<u64> = std::iter::from_fn(|| cursor.next())
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(window, (10..20).collect::<Vec<_>>(), "{}", kind.label());
+            let mut cursor = handle.scan_bounds(Bound::Unbounded, Bound::Unbounded);
+            assert_eq!(cursor.seek(&60), Some((60, 120)), "{}", kind.label());
+            assert_eq!(cursor.seek(&64), None, "{}", kind.label());
         }
     }
 

@@ -169,6 +169,7 @@ impl TraceIndexModel for TraceSkipList {
         // Writing the freshly allocated node.
         cache.touch(addr, footprint as usize);
         self.arena.push(SkipNode { key, addr, next });
+        #[allow(clippy::needless_range_loop)]
         for level in 0..height {
             // Updating each predecessor's forward pointer is a write to
             // that predecessor's cache line.
@@ -285,7 +286,10 @@ impl TraceBTree {
         // The split copies the moved half: reads from the left node, writes
         // to the right node.
         let moved_bytes = (moved_keys.len().max(1) as u64) * ENTRY_BYTES;
-        cache.touch(self.arena[child].addr + half as u64 * ENTRY_BYTES, moved_bytes as usize);
+        cache.touch(
+            self.arena[child].addr + half as u64 * ENTRY_BYTES,
+            moved_bytes as usize,
+        );
         cache.touch(self.arena[right].addr, moved_bytes as usize);
         {
             let right_node = &mut self.arena[right];
@@ -326,7 +330,11 @@ impl TraceIndexModel for TraceBTree {
         let mut node = self.root;
         loop {
             cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
-            touch_binary_search(cache, self.arena[node].addr + NODE_HEADER_BYTES, self.arena[node].keys.len());
+            touch_binary_search(
+                cache,
+                self.arena[node].addr + NODE_HEADER_BYTES,
+                self.arena[node].keys.len(),
+            );
             if self.arena[node].is_leaf {
                 let position = self.arena[node].keys.partition_point(|k| *k < key);
                 if self.arena[node].keys.get(position) == Some(&key) {
@@ -359,7 +367,11 @@ impl TraceIndexModel for TraceBTree {
         let mut node = self.root;
         loop {
             cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
-            touch_binary_search(cache, self.arena[node].addr + NODE_HEADER_BYTES, self.arena[node].keys.len());
+            touch_binary_search(
+                cache,
+                self.arena[node].addr + NODE_HEADER_BYTES,
+                self.arena[node].keys.len(),
+            );
             if self.arena[node].is_leaf {
                 return self.arena[node].keys.binary_search(&key).is_ok();
             }
@@ -372,7 +384,11 @@ impl TraceIndexModel for TraceBTree {
         let mut node = self.root;
         loop {
             cache.touch(self.arena[node].addr, NODE_HEADER_BYTES as usize);
-            touch_binary_search(cache, self.arena[node].addr + NODE_HEADER_BYTES, self.arena[node].keys.len());
+            touch_binary_search(
+                cache,
+                self.arena[node].addr + NODE_HEADER_BYTES,
+                self.arena[node].keys.len(),
+            );
             if self.arena[node].is_leaf {
                 break;
             }
@@ -596,7 +612,10 @@ impl TraceIndexModel for TraceBSkipList {
                 let child = prealloc[level - 1];
                 self.arena[id].children.push(child);
             }
-            cache.touch(self.arena[id].addr, (NODE_HEADER_BYTES + ENTRY_BYTES) as usize);
+            cache.touch(
+                self.arena[id].addr,
+                (NODE_HEADER_BYTES + ENTRY_BYTES) as usize,
+            );
             prealloc.push(id);
         }
         let mut level = self.max_height - 1;
@@ -612,7 +631,10 @@ impl TraceIndexModel for TraceBSkipList {
                         // Existing key: value update at the leaf.
                         if level == 0 {
                             cache.touch(
-                                self.arena[node].addr + NODE_HEADER_BYTES + index as u64 * ENTRY_BYTES + 8,
+                                self.arena[node].addr
+                                    + NODE_HEADER_BYTES
+                                    + index as u64 * ENTRY_BYTES
+                                    + 8,
                                 8,
                             );
                             return;
@@ -622,23 +644,26 @@ impl TraceIndexModel for TraceBSkipList {
                     Err(insert_pos) => {
                         if level == height {
                             // Plain insert (with an overflow split if full).
-                            let (target, local_pos) = if self.arena[node].keys.len() == self.node_keys {
-                                let new_node = self.alloc_node(false);
-                                let half = self.node_keys / 2;
-                                self.split_off_into(node, half, new_node, cache);
-                                self.link_after(node, new_node);
-                                if insert_pos <= half {
-                                    (node, insert_pos)
+                            let (target, local_pos) =
+                                if self.arena[node].keys.len() == self.node_keys {
+                                    let new_node = self.alloc_node(false);
+                                    let half = self.node_keys / 2;
+                                    self.split_off_into(node, half, new_node, cache);
+                                    self.link_after(node, new_node);
+                                    if insert_pos <= half {
+                                        (node, insert_pos)
+                                    } else {
+                                        (new_node, insert_pos - half)
+                                    }
                                 } else {
-                                    (new_node, insert_pos - half)
-                                }
-                            } else {
-                                (node, insert_pos)
-                            };
-                            let shifted =
-                                (self.arena[target].keys.len() - local_pos + 1) as u64 * ENTRY_BYTES;
+                                    (node, insert_pos)
+                                };
+                            let shifted = (self.arena[target].keys.len() - local_pos + 1) as u64
+                                * ENTRY_BYTES;
                             cache.touch(
-                                self.arena[target].addr + NODE_HEADER_BYTES + local_pos as u64 * ENTRY_BYTES,
+                                self.arena[target].addr
+                                    + NODE_HEADER_BYTES
+                                    + local_pos as u64 * ENTRY_BYTES,
                                 shifted as usize,
                             );
                             self.arena[target].keys.insert(local_pos, key);

@@ -153,9 +153,18 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(BSkipConfig::default().with_max_height(0).validate().is_err());
-        assert!(BSkipConfig::default().with_max_height(65).validate().is_err());
-        assert!(BSkipConfig::default().with_promotion_c(0.0).validate().is_err());
+        assert!(BSkipConfig::default()
+            .with_max_height(0)
+            .validate()
+            .is_err());
+        assert!(BSkipConfig::default()
+            .with_max_height(65)
+            .validate()
+            .is_err());
+        assert!(BSkipConfig::default()
+            .with_promotion_c(0.0)
+            .validate()
+            .is_err());
         assert!(BSkipConfig::default()
             .with_promotion_c(f64::NAN)
             .validate()

@@ -41,10 +41,13 @@
 //! assert_eq!(index.len(), 4000);
 //! assert_eq!(index.get(&2500), Some(500));
 //!
-//! // Short range scan (YCSB workload E's operation).
-//! let mut window = Vec::new();
-//! index.range(&10, 5, &mut |k, v| window.push((*k, *v)));
+//! // Range scans use seekable cursors (YCSB workload E takes the first
+//! // `len` entries of a `scan`).
+//! let window: Vec<(u64, u64)> = index.scan(10..).take(5).collect();
 //! assert_eq!(window.len(), 5);
+//! let mut cursor = index.scan(100..=200);
+//! assert_eq!(cursor.seek(&150), Some((150, 150 % 1000)));
+//! assert_eq!(cursor.prev(), Some((149, 149 % 1000)));
 //! ```
 //!
 //! ## Node size
@@ -52,6 +55,27 @@
 //! The number of keys per node is the const generic `B`; the paper sweeps
 //! node sizes from 512 B to 8192 B (32–512 two-word pairs) and settles on
 //! 2048 B.  Aliases [`BSkipList32`] … [`BSkipList512`] mirror that sweep.
+//!
+//! ## Cursors
+//!
+//! [`BSkipList::scan`] returns a seekable cursor ([`bskip_index::Cursor`])
+//! over any `RangeBounds` expression; [`BSkipList::iter`] scans everything.
+//! The cursor is implemented natively on the leaf level: it copies one
+//! read-locked node's in-range slots at a time into a batch buffer and
+//! serves entries from the buffer with no locks held, so a scan never
+//! blocks writers for longer than one node and streams whole
+//! cache-resident nodes (the property the paper's Section 4 range query
+//! has).  `seek` re-descends; `prev` is supported through descents biased
+//! to the greatest qualifying key (the leaf level is forward-linked only).
+//!
+//! **Consistency contract** (also documented in [`bskip_index::cursor`]):
+//! a cursor over a concurrently mutated list yields every in-range entry
+//! that is present for the cursor's entire lifetime exactly once, in
+//! strictly ascending (forward) key order; entries concurrently inserted
+//! or removed may or may not be observed; each yielded pair is copied
+//! under the node's read lock, so it is never torn.  Nodes unlinked by
+//! `remove` are not reclaimed until the list drops, which is what makes
+//! the cursor's pause-and-resume pointer walk memory-safe.
 //!
 //! ## Concurrency notes
 //!

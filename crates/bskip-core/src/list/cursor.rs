@@ -1,0 +1,604 @@
+//! The B-skiplist's native seekable cursor.
+//!
+//! A [`LeafCursor`] walks the leaf level of the list, copying one
+//! read-locked node's in-range slots at a time into a batch buffer and then
+//! serving entries from the buffer with **no locks held**.  This keeps the
+//! lock hold time of a scan bounded by a single node — the same property
+//! the paper's `range` operation has (Section 4, "concurrent finds and
+//! range queries") — while adding the cursor capabilities the callback API
+//! could not express: bounded ranges, early termination, `seek`-then-resume
+//! and reverse steps.
+//!
+//! # Traversal scheme
+//!
+//! * **Forward** (`next`): the initial position comes from a standard
+//!   top-down read-locked descent to the leaf covering the lower bound.
+//!   While snapshotting a leaf, the cursor captures the leaf's `next`
+//!   pointer under the same lock; the following refill locks that
+//!   neighbour directly, so steady-state forward scans cost one lock
+//!   acquisition per node, not one descent per node.  Unlinked (empty)
+//!   nodes encountered on the walk are skipped; they are never reclaimed
+//!   while the cursor's borrow of the list is alive (reclamation happens in
+//!   [`super::BSkipList`]'s `Drop`), so following their frozen `next`
+//!   pointers is sound.
+//! * **Reverse** (`prev`): the leaf level has no back pointers, so every
+//!   reverse refill performs a fresh descent biased to the *greatest* key
+//!   below the current position and snapshots that leaf's in-range slots in
+//!   descending order.  A reverse scan therefore costs one descent per
+//!   node, which matches the structure (the paper's B-skiplist is
+//!   forward-linked only).
+//!
+//! # Consistency
+//!
+//! Between refills the cursor holds no locks, so concurrent writers
+//! proceed freely.  Monotonicity of emitted keys is guaranteed by filtering
+//! every snapshot against the last emitted key; headers are strictly
+//! ascending along the leaf level, so entries that split into a new right
+//! sibling after being snapshotted are never seen twice, and keys can never
+//! move "behind" the cursor (removals unlink whole empty nodes, they never
+//! migrate entries between nodes).  This yields the workspace-wide cursor
+//! contract documented in [`bskip_index::cursor`].
+
+use std::ops::Bound;
+use std::ptr;
+
+use bskip_index::cursor::{above_lower, below_upper};
+use bskip_index::{IndexCursor, IndexKey, IndexValue};
+
+use super::{lock_node, unlock_node, BSkipList, Mode};
+use crate::node::{Node, NodeSearch};
+
+/// Iteration direction of the batch currently buffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+/// The native cursor over a [`BSkipList`]; wrapped in
+/// [`bskip_index::Cursor`] by [`BSkipList::scan`].
+pub(crate) struct LeafCursor<'a, K, V, const B: usize>
+where
+    K: IndexKey,
+    V: IndexValue,
+{
+    list: &'a BSkipList<K, V, B>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+    /// Slots copied out of the most recently visited leaf; ascending for
+    /// forward batches, descending for reverse batches.
+    batch: Vec<(K, V)>,
+    /// Next unconsumed index into `batch`.
+    pos: usize,
+    direction: Direction,
+    /// Entry the cursor rests on (last one emitted).
+    current: Option<(K, V)>,
+    /// Lower bound for forward refills while no entry has been emitted
+    /// (the range's `lo`, tightened by `seek`).
+    forward_floor: Bound<K>,
+    /// Right neighbour of the last forward-snapshotted leaf, captured under
+    /// its lock; null means the end of the leaf level was reached.
+    next_leaf: *mut Node<K, V, B>,
+    /// Whether any positioning call has happened yet.
+    started: bool,
+    finished_forward: bool,
+    finished_reverse: bool,
+    /// Whether leaf snapshots feed the `range_leaf_nodes` statistic —
+    /// true for range queries (`scan`), false for full iterations
+    /// (`iter`), which would otherwise skew the paper's "leaf nodes per
+    /// range query" ratio.
+    record_stats: bool,
+}
+
+impl<'a, K: IndexKey, V: IndexValue, const B: usize> LeafCursor<'a, K, V, B> {
+    pub(crate) fn new(
+        list: &'a BSkipList<K, V, B>,
+        lo: Bound<K>,
+        hi: Bound<K>,
+        record_stats: bool,
+    ) -> Self {
+        LeafCursor {
+            list,
+            lo,
+            hi,
+            batch: Vec::with_capacity(B),
+            pos: 0,
+            direction: Direction::Forward,
+            current: None,
+            forward_floor: lo,
+            next_leaf: ptr::null_mut(),
+            started: false,
+            finished_forward: false,
+            finished_reverse: false,
+            record_stats,
+        }
+    }
+
+    /// The lower bound the next forward refill must respect.
+    fn resume_bound(&self) -> Bound<K> {
+        match &self.current {
+            Some((key, _)) => Bound::Excluded(*key),
+            None => self.forward_floor,
+        }
+    }
+
+    /// Descends to the leaf covering the forward resume position and
+    /// snapshots it.  `bound` must be the value of [`Self::resume_bound`].
+    fn descend_and_snapshot_forward(&mut self, bound: Bound<K>) {
+        // SAFETY: hand-over-hand read locking; the leaf returned by the
+        // descent is locked, as `snapshot_forward` requires.
+        unsafe {
+            let leaf = match &bound {
+                Bound::Unbounded => {
+                    let head = self.list.head(0);
+                    lock_node(head, Mode::Read);
+                    head
+                }
+                Bound::Included(key) | Bound::Excluded(key) => self.list.descend_to_leaf_read(key),
+            };
+            self.snapshot_forward(leaf, &bound);
+        }
+    }
+
+    /// Copies the slots of `leaf` that satisfy the lower `bound` into the
+    /// batch (ascending), captures the leaf's `next` pointer and unlocks it.
+    ///
+    /// # Safety
+    ///
+    /// `leaf` must be a leaf node locked in read mode by this thread; the
+    /// lock is released before returning.
+    unsafe fn snapshot_forward(&mut self, leaf: *mut Node<K, V, B>, bound: &Bound<K>) {
+        self.batch.clear();
+        self.pos = 0;
+        let len = (*leaf).len();
+        // Find the first qualifying slot by binary search where possible.
+        let start = match bound {
+            Bound::Unbounded => 0,
+            Bound::Included(key) | Bound::Excluded(key) => match (*leaf).search(key) {
+                NodeSearch::Found(idx) => {
+                    if matches!(bound, Bound::Included(_)) {
+                        idx
+                    } else {
+                        idx + 1
+                    }
+                }
+                NodeSearch::Pred(idx) => idx + 1,
+                NodeSearch::Before => 0,
+            },
+        };
+        let mut clamped = false;
+        for slot in start..len {
+            let key = (*leaf).key_at(slot);
+            debug_assert!(above_lower(&key, bound), "leaf slots must be sorted");
+            if !below_upper(&key, &self.hi) {
+                // Nothing at or after this slot can be in range; stop
+                // copying and mark the walk finished so the cursor never
+                // touches the leaves beyond the upper bound.
+                clamped = true;
+                break;
+            }
+            self.batch.push((key, (*leaf).value_at(slot)));
+        }
+        self.next_leaf = if clamped {
+            ptr::null_mut()
+        } else {
+            (*leaf).next()
+        };
+        unlock_node(leaf, Mode::Read);
+        if self.record_stats {
+            if let Some(stats) = self.list.stats_enabled() {
+                stats.range_leaf_nodes.incr();
+            }
+        }
+    }
+
+    /// Descends to the leaf containing the greatest key satisfying `upper`
+    /// and snapshots its qualifying slots in descending order.
+    fn descend_and_snapshot_reverse(&mut self, upper: Bound<K>) {
+        // SAFETY: hand-over-hand read locking, mirroring the forward
+        // descent but biased right: at every level the traversal advances
+        // while the successor still holds keys satisfying `upper`, then
+        // follows the child of the greatest qualifying separator.
+        unsafe {
+            let list = self.list;
+            let mut level = list.top_level();
+            let mut curr = list.head(level);
+            lock_node(curr, Mode::Read);
+            loop {
+                // Walk right while the successor still qualifies.
+                loop {
+                    let next = (*curr).next();
+                    if next.is_null() {
+                        break;
+                    }
+                    lock_node(next, Mode::Read);
+                    let advance = match &upper {
+                        Bound::Unbounded => true,
+                        Bound::Included(key) => (*next).header() <= *key,
+                        Bound::Excluded(key) => (*next).header() < *key,
+                    };
+                    if advance {
+                        unlock_node(curr, Mode::Read);
+                        curr = next;
+                        if let Some(stats) = list.stats_enabled() {
+                            stats.horizontal_steps.incr();
+                        }
+                    } else {
+                        unlock_node(next, Mode::Read);
+                        break;
+                    }
+                }
+                if level == 0 {
+                    break;
+                }
+                let child = match &upper {
+                    Bound::Unbounded => {
+                        if !(*curr).is_empty() {
+                            (*curr).child_at((*curr).len() - 1)
+                        } else {
+                            debug_assert!((*curr).is_head());
+                            (*curr).head_child()
+                        }
+                    }
+                    Bound::Included(key) => list.descend_pointer(curr, key),
+                    Bound::Excluded(key) => match (*curr).search(key) {
+                        NodeSearch::Found(idx) => {
+                            if idx > 0 {
+                                (*curr).child_at(idx - 1)
+                            } else {
+                                // The walk invariant guarantees a non-head
+                                // node's header is strictly below an
+                                // exclusive upper bound, so `Found(0)` can
+                                // only happen on the head sentinel.
+                                debug_assert!((*curr).is_head());
+                                (*curr).head_child()
+                            }
+                        }
+                        NodeSearch::Pred(idx) => (*curr).child_at(idx),
+                        NodeSearch::Before => {
+                            debug_assert!((*curr).is_head());
+                            (*curr).head_child()
+                        }
+                    },
+                };
+                lock_node(child, Mode::Read);
+                unlock_node(curr, Mode::Read);
+                curr = child;
+                level -= 1;
+                if let Some(stats) = list.stats_enabled() {
+                    stats.levels_visited.incr();
+                }
+            }
+            // `curr` is the read-locked leaf; snapshot descending.
+            self.batch.clear();
+            self.pos = 0;
+            for slot in (0..(*curr).len()).rev() {
+                let key = (*curr).key_at(slot);
+                if !below_upper(&key, &upper) {
+                    continue;
+                }
+                self.batch.push((key, (*curr).value_at(slot)));
+            }
+            unlock_node(curr, Mode::Read);
+            if self.record_stats {
+                if let Some(stats) = self.list.stats_enabled() {
+                    stats.range_leaf_nodes.incr();
+                }
+            }
+        }
+    }
+
+    /// Emits the next buffered forward entry, enforcing the upper bound.
+    fn emit_forward(&mut self) -> Option<(K, V)> {
+        let entry = self.batch[self.pos];
+        self.pos += 1;
+        if !below_upper(&entry.0, &self.hi) {
+            self.finished_forward = true;
+            return None;
+        }
+        self.current = Some(entry);
+        // Stepping forward re-opens the door for reverse steps.
+        self.finished_reverse = false;
+        Some(entry)
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> IndexCursor<K, V> for LeafCursor<'_, K, V, B> {
+    fn next(&mut self) -> Option<(K, V)> {
+        loop {
+            if self.direction == Direction::Forward && self.pos < self.batch.len() {
+                match self.emit_forward() {
+                    Some(entry) => return Some(entry),
+                    None => return None,
+                }
+            }
+            if self.finished_forward {
+                return None;
+            }
+            let bound = self.resume_bound();
+            if !self.started || self.direction == Direction::Reverse {
+                // First positioning, or a direction switch: both need a
+                // fresh descent to the forward resume position.
+                self.started = true;
+                self.direction = Direction::Forward;
+                self.descend_and_snapshot_forward(bound);
+                continue;
+            }
+            // Steady-state forward walk: follow the captured neighbour.
+            if self.next_leaf.is_null() {
+                self.finished_forward = true;
+                return None;
+            }
+            let leaf = self.next_leaf;
+            // SAFETY: `leaf` was read from a locked node and nodes are only
+            // reclaimed when the list is dropped, which our borrow of the
+            // list prevents; locking it (re-)establishes the protocol.
+            unsafe {
+                lock_node(leaf, Mode::Read);
+                self.snapshot_forward(leaf, &bound);
+            }
+        }
+    }
+
+    fn prev(&mut self) -> Option<(K, V)> {
+        loop {
+            if self.direction == Direction::Reverse && self.pos < self.batch.len() {
+                let entry = self.batch[self.pos];
+                self.pos += 1;
+                if !above_lower(&entry.0, &self.lo) {
+                    self.finished_reverse = true;
+                    return None;
+                }
+                self.current = Some(entry);
+                // Stepping backward re-opens the door for forward steps.
+                self.finished_forward = false;
+                return Some(entry);
+            }
+            if self.finished_reverse {
+                return None;
+            }
+            let upper = match &self.current {
+                Some((key, _)) => Bound::Excluded(*key),
+                None => self.hi,
+            };
+            self.started = true;
+            self.direction = Direction::Reverse;
+            self.descend_and_snapshot_reverse(upper);
+            if self.batch.is_empty() {
+                self.finished_reverse = true;
+                return None;
+            }
+        }
+    }
+
+    fn seek(&mut self, key: &K) -> Option<(K, V)> {
+        let from = if above_lower(key, &self.lo) {
+            Bound::Included(*key)
+        } else {
+            self.lo
+        };
+        self.started = true;
+        self.direction = Direction::Forward;
+        self.finished_forward = false;
+        self.finished_reverse = false;
+        self.current = None;
+        self.forward_floor = from;
+        self.next_leaf = ptr::null_mut();
+        self.descend_and_snapshot_forward(from);
+        self.next()
+    }
+
+    fn entry(&self) -> Option<(K, V)> {
+        self.current
+    }
+
+    fn supports_prev(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BSkipConfig;
+    use bskip_index::ConcurrentIndex;
+
+    type List = BSkipList<u64, u64, 4>;
+
+    fn listing(keys: impl IntoIterator<Item = u64>) -> List {
+        let list = List::with_config(BSkipConfig::default().with_max_height(4));
+        for key in keys {
+            list.insert(key, key * 10);
+        }
+        list
+    }
+
+    #[test]
+    fn forward_scan_crosses_node_boundaries() {
+        let list = listing(0..100);
+        let keys: Vec<u64> = list.scan(..).map(|(k, _)| k).collect();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_scans_trim_both_ends() {
+        let list = listing((0..50).map(|i| i * 2));
+        let window: Vec<u64> = list.scan(10..21).map(|(k, _)| k).collect();
+        assert_eq!(window, vec![10, 12, 14, 16, 18, 20]);
+        let inclusive: Vec<u64> = list.scan(10..=20).map(|(k, _)| k).collect();
+        assert_eq!(inclusive, vec![10, 12, 14, 16, 18, 20]);
+        let odd_bounds: Vec<u64> = list.scan(11..=19).map(|(k, _)| k).collect();
+        assert_eq!(odd_bounds, vec![12, 14, 16, 18]);
+        assert!(list.scan(30..30).next().is_none());
+        // A reversed range (hi below lo) is empty, not an error.
+        assert!(list
+            .scan_bounds(Bound::Included(98), Bound::Excluded(2))
+            .next()
+            .is_none());
+        assert!(list.scan(1000..).next().is_none());
+    }
+
+    #[test]
+    fn seek_positions_and_resumes() {
+        let list = listing((0..50).map(|i| i * 3));
+        let mut cursor = list.scan(..);
+        assert_eq!(cursor.seek(&10), Some((12, 120)));
+        assert_eq!(cursor.next(), Some((15, 150)));
+        assert_eq!(cursor.seek(&147), Some((147, 1470)));
+        assert_eq!(cursor.entry(), Some((147, 1470)));
+        // Seeking past the end exhausts the cursor; seeking back revives it.
+        assert_eq!(cursor.seek(&1_000), None);
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.seek(&0), Some((0, 0)));
+    }
+
+    #[test]
+    fn seek_clamps_to_the_lower_bound() {
+        let list = listing(0..20);
+        let mut cursor = list.scan(10..15);
+        assert_eq!(cursor.seek(&0), Some((10, 100)));
+        assert_eq!(cursor.seek(&14), Some((14, 140)));
+        assert_eq!(cursor.next(), None, "15 is outside the half-open range");
+    }
+
+    #[test]
+    fn reverse_iteration_from_fresh_cursor_starts_at_the_back() {
+        let list = listing(0..10);
+        let mut cursor = list.scan(2..=7);
+        assert!(cursor.supports_prev());
+        let mut seen = Vec::new();
+        while let Some((k, _)) = cursor.prev() {
+            seen.push(k);
+        }
+        assert_eq!(seen, vec![7, 6, 5, 4, 3, 2]);
+        assert_eq!(cursor.prev(), None);
+        // Forward steps resume from the resting position.
+        assert_eq!(cursor.next(), Some((3, 30)));
+    }
+
+    #[test]
+    fn directions_interleave_around_the_current_entry() {
+        let list = listing(0..100);
+        let mut cursor = list.scan(..);
+        assert_eq!(cursor.seek(&50), Some((50, 500)));
+        assert_eq!(cursor.prev(), Some((49, 490)));
+        assert_eq!(cursor.prev(), Some((48, 480)));
+        assert_eq!(cursor.next(), Some((49, 490)));
+        assert_eq!(cursor.next(), Some((50, 500)));
+        assert_eq!(cursor.next(), Some((51, 510)));
+    }
+
+    #[test]
+    fn reverse_respects_the_lower_bound_across_nodes() {
+        let list = listing(0..64);
+        let mut cursor = list.scan(30..);
+        let mut seen = Vec::new();
+        while let Some((k, _)) = cursor.prev() {
+            seen.push(k);
+        }
+        assert_eq!(seen, (30..64).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_list_yields_nothing_in_either_direction() {
+        let list = listing(std::iter::empty());
+        assert_eq!(list.scan(..).next(), None);
+        let mut cursor = list.scan(..);
+        assert_eq!(cursor.prev(), None);
+        assert_eq!(cursor.seek(&5), None);
+        assert_eq!(cursor.entry(), None);
+    }
+
+    #[test]
+    fn cursor_skips_keys_removed_between_batches() {
+        let list = listing(0..16);
+        let mut cursor = list.scan(..);
+        // Drain the first leaf's batch.
+        let first = cursor.next().unwrap().0;
+        assert_eq!(first, 0);
+        // Remove a key far ahead; when the cursor reaches that region the
+        // key must not be produced.
+        assert_eq!(list.remove(&12), Some(120));
+        let rest: Vec<u64> = std::iter::from_fn(|| cursor.next())
+            .map(|(k, _)| k)
+            .collect();
+        assert!(!rest.contains(&12));
+        assert_eq!(rest.last(), Some(&15));
+    }
+
+    #[test]
+    fn cursor_observes_strictly_ascending_keys_under_concurrent_inserts() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let list = std::sync::Arc::new(BSkipList::<u64, u64, 16>::new());
+        for key in (0..10_000u64).step_by(2) {
+            list.insert(key, key);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer_list = std::sync::Arc::clone(&list);
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut key = 1u64;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    writer_list.insert(key % 10_000, key % 10_000);
+                    key += 2;
+                }
+            });
+            for _ in 0..50 {
+                let mut previous = None;
+                for (k, v) in list.scan(2_000..8_000u64) {
+                    assert_eq!(k, v, "torn entry");
+                    if let Some(p) = previous {
+                        assert!(p < k, "cursor went backwards: {p} then {k}");
+                    }
+                    previous = Some(k);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn range_leaf_node_stats_count_snapshots() {
+        let list = BSkipList::<u64, u64, 8>::with_config(
+            BSkipConfig::default().with_max_height(4).with_stats(true),
+        );
+        for key in 0..64u64 {
+            list.insert(key, key);
+        }
+        list.reset_stats();
+        let collected: Vec<u64> = list.scan(..).map(|(k, _)| k).collect();
+        assert_eq!(collected.len(), 64);
+        let stats = ConcurrentIndex::stats(&list);
+        assert_eq!(stats.get("ranges"), Some(1));
+        assert!(stats.get("range_leaf_nodes").unwrap() >= 64 / 8);
+
+        // Full iterations are not range queries: they must not pollute
+        // either side of the "leaf nodes per range query" ratio.
+        list.reset_stats();
+        assert_eq!(list.iter().count(), 64);
+        assert_eq!(list.to_vec().len(), 64);
+        let stats = ConcurrentIndex::stats(&list);
+        assert_eq!(stats.get("ranges"), Some(0));
+        assert_eq!(stats.get("range_leaf_nodes"), Some(0));
+    }
+
+    #[test]
+    fn bounded_snapshots_stop_at_the_upper_bound() {
+        let list = BSkipList::<u64, u64, 8>::with_config(
+            BSkipConfig::default().with_max_height(4).with_stats(true),
+        );
+        for key in 0..640u64 {
+            list.insert(key, key);
+        }
+        list.reset_stats();
+        // A narrow window must touch a handful of leaves, never the ~80
+        // leaves to the right of the upper bound.
+        let window: Vec<u64> = list.scan(100..=105).map(|(k, _)| k).collect();
+        assert_eq!(window, (100..=105).collect::<Vec<_>>());
+        let touched = ConcurrentIndex::stats(&list)
+            .get("range_leaf_nodes")
+            .unwrap();
+        assert!(touched <= 4, "bounded scan touched {touched} leaves");
+    }
+}

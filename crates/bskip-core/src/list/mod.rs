@@ -18,15 +18,20 @@
 //! The lock order — left-to-right within a level, then top-to-bottom across
 //! levels — is total, so the scheme is deadlock-free (Appendix B).
 
+pub(crate) mod cursor;
 mod insert;
 mod remove;
 mod validate;
 
 use std::marker::PhantomData;
+use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use bskip_index::{ConcurrentIndex, IndexKey, IndexStats, IndexValue};
+use bskip_index::cursor::clone_bound;
+use bskip_index::{ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
+
+use self::cursor::LeafCursor;
 
 use crate::config::BSkipConfig;
 use crate::height::sample_height;
@@ -263,32 +268,42 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         if let Some(stats) = self.stats_enabled() {
             stats.finds.incr();
         }
-        // SAFETY: all node accesses below follow the HOH read-locking
-        // protocol: a node's contents are only read while its lock is held
-        // in shared mode, and a successor/child is locked before the
-        // current node is released.
+        // SAFETY: `descend_to_leaf_read` returns the leaf read-locked; its
+        // contents are read under that lock, which is then released.
         unsafe {
-            let mut level = self.top_level();
-            let mut curr = self.head(level);
-            lock_node(curr, Mode::Read);
-            loop {
-                curr = self.walk_right_read(curr, key);
-                if level == 0 {
-                    let result = match (*curr).search(key) {
-                        NodeSearch::Found(idx) => Some((*curr).value_at(idx)),
-                        _ => None,
-                    };
-                    unlock_node(curr, Mode::Read);
-                    return result;
-                }
-                let child = self.descend_pointer(curr, key);
-                lock_node(child, Mode::Read);
-                unlock_node(curr, Mode::Read);
-                curr = child;
-                level -= 1;
-                if let Some(stats) = self.stats_enabled() {
-                    stats.levels_visited.incr();
-                }
+            let leaf = self.descend_to_leaf_read(key);
+            let result = match (*leaf).search(key) {
+                NodeSearch::Found(idx) => Some((*leaf).value_at(idx)),
+                _ => None,
+            };
+            unlock_node(leaf, Mode::Read);
+            result
+        }
+    }
+
+    /// Hand-over-hand read-locked descent to the leaf whose key range
+    /// covers `key`: the shared traversal of point lookups and forward
+    /// cursor positioning.  Returns the leaf locked in read mode.
+    ///
+    /// # Safety
+    ///
+    /// The caller must release the returned leaf's read lock.
+    pub(crate) unsafe fn descend_to_leaf_read(&self, key: &K) -> *mut Node<K, V, B> {
+        let mut level = self.top_level();
+        let mut curr = self.head(level);
+        lock_node(curr, Mode::Read);
+        loop {
+            curr = self.walk_right_read(curr, key);
+            if level == 0 {
+                return curr;
+            }
+            let child = self.descend_pointer(curr, key);
+            lock_node(child, Mode::Read);
+            unlock_node(curr, Mode::Read);
+            curr = child;
+            level -= 1;
+            if let Some(stats) = self.stats_enabled() {
+                stats.levels_visited.incr();
             }
         }
     }
@@ -298,71 +313,72 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         self.get(key).is_some()
     }
 
+    /// Opens a seekable [`Cursor`] over the entries whose keys lie in
+    /// `range` — the primary scan API.
+    ///
+    /// The cursor walks the leaf level, snapshotting one read-locked node's
+    /// slots at a time into a batch buffer, so lock hold time stays bounded
+    /// by one node and the scan streams whole cache-resident nodes
+    /// (Section 4 of the paper).  It supports `seek` and reverse steps with
+    /// `prev`; see [`bskip_index::cursor`] for the consistency contract
+    /// under concurrent mutation.
+    ///
+    /// ```
+    /// use bskip_core::BSkipList;
+    ///
+    /// let list: BSkipList<u64, u64> = (0..10u64).map(|k| (k, k * 2)).collect();
+    /// let window: Vec<(u64, u64)> = list.scan(3..6).collect();
+    /// assert_eq!(window, vec![(3, 6), (4, 8), (5, 10)]);
+    ///
+    /// let mut cursor = list.scan(..);
+    /// assert_eq!(cursor.seek(&7), Some((7, 14)));
+    /// assert_eq!(cursor.prev(), Some((6, 12)));
+    /// ```
+    pub fn scan<R: RangeBounds<K>>(&self, range: R) -> Cursor<'_, K, V> {
+        self.scan_bounds(
+            clone_bound(range.start_bound()),
+            clone_bound(range.end_bound()),
+        )
+    }
+
+    /// Opens a [`Cursor`] over an explicit pair of bounds (the object-safe
+    /// form of [`BSkipList::scan`]).
+    pub fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        if let Some(stats) = self.stats_enabled() {
+            stats.ranges.incr();
+        }
+        Cursor::new(LeafCursor::new(self, lo, hi, true))
+    }
+
+    /// Iterates over every entry in ascending key order.
+    ///
+    /// Full iterations are not counted in the `ranges` statistic — only
+    /// genuine range queries ([`BSkipList::scan`] / `scan_bounds`) feed
+    /// the paper's "leaf nodes per range query" ratio.
+    ///
+    /// ```
+    /// use bskip_core::BSkipList;
+    ///
+    /// let list: BSkipList<u64, u64> = [(2u64, 20u64), (1, 10)].into_iter().collect();
+    /// assert_eq!(list.iter().collect::<Vec<_>>(), vec![(1, 10), (2, 20)]);
+    /// ```
+    pub fn iter(&self) -> Cursor<'_, K, V> {
+        Cursor::new(LeafCursor::new(
+            self,
+            Bound::Unbounded,
+            Bound::Unbounded,
+            false,
+        ))
+    }
+
     /// Range scan (the paper's `range(k, f, length)`): visits up to `len`
     /// key-value pairs with keys `>= start` in ascending order, returning
     /// how many were visited.
     ///
-    /// The descent uses the same read-locked traversal as `get`; the leaf
-    /// level is then scanned left-to-right hand-over-hand.
+    /// Compatibility wrapper over [`BSkipList::scan`]; prefer cursors in
+    /// new code.
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        if len == 0 {
-            return 0;
-        }
-        if let Some(stats) = self.stats_enabled() {
-            stats.ranges.incr();
-        }
-        // SAFETY: HOH read locking as in `get`.
-        unsafe {
-            let mut level = self.top_level();
-            let mut curr = self.head(level);
-            lock_node(curr, Mode::Read);
-            while level > 0 {
-                curr = self.walk_right_read(curr, start);
-                let child = self.descend_pointer(curr, start);
-                lock_node(child, Mode::Read);
-                unlock_node(curr, Mode::Read);
-                curr = child;
-                level -= 1;
-                if let Some(stats) = self.stats_enabled() {
-                    stats.levels_visited.incr();
-                }
-            }
-            curr = self.walk_right_read(curr, start);
-            // Position of the first key >= start within the leaf node.
-            let mut index = match (*curr).search(start) {
-                NodeSearch::Found(idx) => idx,
-                NodeSearch::Pred(idx) => idx + 1,
-                NodeSearch::Before => 0,
-            };
-            let mut visited = 0;
-            let mut leaf_nodes = 1u64;
-            loop {
-                while index < (*curr).len() && visited < len {
-                    let key = (*curr).key_at(index);
-                    let value = (*curr).value_at(index);
-                    visit(&key, &value);
-                    visited += 1;
-                    index += 1;
-                }
-                if visited == len {
-                    break;
-                }
-                let next = (*curr).next();
-                if next.is_null() {
-                    break;
-                }
-                lock_node(next, Mode::Read);
-                unlock_node(curr, Mode::Read);
-                curr = next;
-                index = 0;
-                leaf_nodes += 1;
-            }
-            unlock_node(curr, Mode::Read);
-            if let Some(stats) = self.stats_enabled() {
-                stats.range_leaf_nodes.add(leaf_nodes);
-            }
-            visited
-        }
+        ConcurrentIndex::range(self, start, len, visit)
     }
 
     /// Visits every key-value pair in ascending key order.
@@ -370,33 +386,16 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
     /// Equivalent to a full-index range scan; useful for validation and for
     /// flushing a memtable.
     pub fn for_each(&self, visit: &mut dyn FnMut(&K, &V)) {
-        // SAFETY: HOH read locking along the leaf level.
-        unsafe {
-            let mut curr = self.head(0);
-            lock_node(curr, Mode::Read);
-            loop {
-                for index in 0..(*curr).len() {
-                    let key = (*curr).key_at(index);
-                    let value = (*curr).value_at(index);
-                    visit(&key, &value);
-                }
-                let next = (*curr).next();
-                if next.is_null() {
-                    unlock_node(curr, Mode::Read);
-                    return;
-                }
-                lock_node(next, Mode::Read);
-                unlock_node(curr, Mode::Read);
-                curr = next;
-            }
+        for (key, value) in self.iter() {
+            visit(&key, &value);
         }
     }
 
     /// Collects the whole contents into a sorted `Vec` (convenience wrapper
-    /// around [`BSkipList::for_each`]).
+    /// around [`BSkipList::iter`]).
     pub fn to_vec(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len());
-        self.for_each(&mut |k, v| out.push((*k, *v)));
+        out.extend(self.iter());
         out
     }
 
@@ -501,8 +500,8 @@ impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkip
         BSkipList::remove(self, key)
     }
 
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        BSkipList::range(self, start, len, visit)
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        BSkipList::scan_bounds(self, lo, hi)
     }
 
     fn len(&self) -> usize {
@@ -522,6 +521,69 @@ impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkip
     }
 }
 
+/// Builds a B-skiplist from an iterator of entries (later duplicates of a
+/// key overwrite earlier ones, as with [`BSkipList::insert`]).
+///
+/// ```
+/// use bskip_core::BSkipList;
+///
+/// let list: BSkipList<u64, u64> = vec![(3u64, 30u64), (1, 10), (3, 31)].into_iter().collect();
+/// assert_eq!(list.len(), 2);
+/// assert_eq!(list.get(&3), Some(31));
+/// ```
+impl<K: IndexKey, V: IndexValue, const B: usize> FromIterator<(K, V)> for BSkipList<K, V, B> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let list = BSkipList::new();
+        for (key, value) in iter {
+            list.insert(key, value);
+        }
+        list
+    }
+}
+
+/// Inserts every entry of an iterator (upsert semantics).
+///
+/// `Extend` requires `&mut self` by signature, but insertion only needs
+/// `&self`; concurrent writers can keep operating while one thread extends
+/// through a unique reference.
+///
+/// ```
+/// use bskip_core::BSkipList;
+///
+/// let mut list: BSkipList<u64, u64> = BSkipList::new();
+/// list.extend([(1u64, 10u64), (2, 20)]);
+/// list.extend([(2u64, 21u64)]);
+/// assert_eq!(list.to_vec(), vec![(1, 10), (2, 21)]);
+/// ```
+impl<K: IndexKey, V: IndexValue, const B: usize> Extend<(K, V)> for BSkipList<K, V, B> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (key, value) in iter {
+            self.insert(key, value);
+        }
+    }
+}
+
+/// `for (key, value) in &list` iterates in ascending key order.
+///
+/// ```
+/// use bskip_core::BSkipList;
+///
+/// let list: BSkipList<u64, u64> = (0..3u64).map(|k| (k, k)).collect();
+/// let mut seen = Vec::new();
+/// for (key, _value) in &list {
+///     seen.push(key);
+/// }
+/// assert_eq!(seen, vec![0, 1, 2]);
+/// ```
+impl<'a, K: IndexKey, V: IndexValue, const B: usize> IntoIterator for &'a BSkipList<K, V, B> {
+    type Item = (K, V);
+    type IntoIter = Cursor<'a, K, V>;
+
+    fn into_iter(self) -> Cursor<'a, K, V> {
+        self.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,7 +591,9 @@ mod tests {
     type List = BSkipList<u64, u64, 8>;
 
     fn small_config() -> BSkipConfig {
-        BSkipConfig::default().with_max_height(4).with_promotion_c(0.5)
+        BSkipConfig::default()
+            .with_max_height(4)
+            .with_promotion_c(0.5)
     }
 
     #[test]
@@ -601,7 +665,10 @@ mod tests {
         let mut seen = Vec::new();
         let count = list.range(&250, 5, &mut |k, v| seen.push((*k, *v)));
         assert_eq!(count, 5);
-        assert_eq!(seen, vec![(250, 251), (260, 261), (270, 271), (280, 281), (290, 291)]);
+        assert_eq!(
+            seen,
+            vec![(250, 251), (260, 261), (270, 271), (280, 281), (290, 291)]
+        );
     }
 
     #[test]
@@ -613,7 +680,10 @@ mod tests {
         let mut seen = Vec::new();
         assert_eq!(list.range(&15, 10, &mut |k, _| seen.push(*k)), 2);
         assert_eq!(seen, vec![20, 30]);
-        assert_eq!(list.range(&31, 10, &mut |_, _| panic!("nothing to visit")), 0);
+        assert_eq!(
+            list.range(&31, 10, &mut |_, _| panic!("nothing to visit")),
+            0
+        );
         assert_eq!(list.range(&10, 0, &mut |_, _| panic!("len 0")), 0);
     }
 
@@ -629,7 +699,11 @@ mod tests {
         assert_eq!(list.len(), 199);
         // All other keys untouched.
         for key in (0..200u64).filter(|k| *k != 50) {
-            assert_eq!(list.get(&key), Some(key + 1000), "key {key} lost after remove");
+            assert_eq!(
+                list.get(&key),
+                Some(key + 1000),
+                "key {key} lost after remove"
+            );
         }
     }
 

@@ -181,7 +181,8 @@ mod tests {
         assert_eq!(list.remove(&100), Some(100));
         assert_eq!(list.get(&100), None);
         assert_eq!(list.remove(&40), Some(40));
-        list.validate().expect("structure after removing promoted keys");
+        list.validate()
+            .expect("structure after removing promoted keys");
         for key in 0..16u64 {
             assert_eq!(list.get(&key), Some(key));
         }
@@ -201,7 +202,8 @@ mod tests {
         list.validate().expect("pre-removal structure");
         for key in [25u64, 45, 65] {
             assert_eq!(list.remove(&key), Some(key));
-            list.validate().unwrap_or_else(|e| panic!("after removing {key}: {e}"));
+            list.validate()
+                .unwrap_or_else(|e| panic!("after removing {key}: {e}"));
         }
         for key in 0..8u64 {
             assert_eq!(list.get(&(key * 10)), Some(key));
@@ -215,7 +217,10 @@ mod tests {
         for round in 0..5u64 {
             for height in 0..4usize {
                 let key = 77;
-                assert_eq!(list.insert_with_height(key, round * 10 + height as u64, height), None);
+                assert_eq!(
+                    list.insert_with_height(key, round * 10 + height as u64, height),
+                    None
+                );
                 assert_eq!(list.get(&key), Some(round * 10 + height as u64));
                 assert_eq!(list.remove(&key), Some(round * 10 + height as u64));
                 assert_eq!(list.get(&key), None);
@@ -245,7 +250,11 @@ mod tests {
                     "insert mismatch for key {key}"
                 );
             } else {
-                assert_eq!(list.remove(&key), oracle.remove(&key), "remove mismatch for {key}");
+                assert_eq!(
+                    list.remove(&key),
+                    oracle.remove(&key),
+                    "remove mismatch for {key}"
+                );
             }
         }
         list.validate().expect("final structure");

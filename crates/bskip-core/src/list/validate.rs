@@ -171,7 +171,8 @@ mod tests {
             for key in 0..3000u64 {
                 list.insert(key.wrapping_mul(0x9E3779B97F4A7C15), key);
             }
-            list.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            list.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

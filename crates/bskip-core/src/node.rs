@@ -499,7 +499,11 @@ where
 /// Shifts `array[index..len]` one slot to the right.  Slots are
 /// `MaybeUninit`, so this is a raw byte move of the initialized prefix.
 #[inline]
-unsafe fn shift_right<T, const B: usize>(array: &mut [MaybeUninit<T>; B], index: usize, len: usize) {
+unsafe fn shift_right<T, const B: usize>(
+    array: &mut [MaybeUninit<T>; B],
+    index: usize,
+    len: usize,
+) {
     debug_assert!(len < B);
     let base = array.as_mut_ptr();
     ptr::copy(base.add(index), base.add(index + 1), len - index);

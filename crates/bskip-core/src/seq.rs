@@ -146,10 +146,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> SeqBSkipList<K, V, B> {
     /// leaf level).  Used by the structural statistics experiments.
     pub fn nodes_per_level(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.config.max_height];
-        for level in 0..self.config.max_height {
+        for (level, count) in counts.iter_mut().enumerate() {
             let mut node = self.heads[level];
             while node != NIL {
-                counts[level] += 1;
+                *count += 1;
                 node = self.arena[node].next;
             }
         }
@@ -201,11 +201,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> SeqBSkipList<K, V, B> {
             node = self.walk_right(node, key);
             if level == 0 {
                 let n = self.node(node);
-                return n
-                    .keys
-                    .binary_search(key)
-                    .ok()
-                    .map(|index| n.values[index]);
+                return n.keys.binary_search(key).ok().map(|index| n.values[index]);
             }
             node = self.descend(node, key);
             level -= 1;
@@ -374,8 +370,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> SeqBSkipList<K, V, B> {
                 if existing_found && old_value.is_none() {
                     // The key was found at an internal level; update the leaf.
                     if let Ok(index) = self.node(node).keys.binary_search(&key) {
-                        old_value =
-                            Some(std::mem::replace(&mut self.node_mut(node).values[index], value));
+                        old_value = Some(std::mem::replace(
+                            &mut self.node_mut(node).values[index],
+                            value,
+                        ));
                     }
                 }
                 break;
@@ -528,7 +526,11 @@ impl<K: IndexKey, V: IndexValue, const B: usize> SeqBSkipList<K, V, B> {
                     } else {
                         descend_from = prev;
                         let prev_len = self.node(prev).keys.len();
-                        descend_index = if prev_len > 0 { Some(prev_len - 1) } else { None };
+                        descend_index = if prev_len > 0 {
+                            Some(prev_len - 1)
+                        } else {
+                            None
+                        };
                     }
                 }
                 // Unlink the node if it became empty (head nodes may stay).
@@ -603,7 +605,9 @@ impl<K: IndexKey, V: IndexValue, const B: usize> SeqBSkipList<K, V, B> {
                             return Err(format!("level {level}: child at wrong level"));
                         }
                         if child_node.keys.first() != Some(&key) {
-                            return Err(format!("level {level}: child header mismatch for {key:?}"));
+                            return Err(format!(
+                                "level {level}: child header mismatch for {key:?}"
+                            ));
                         }
                     }
                 }

@@ -1,0 +1,440 @@
+//! Seekable cursors over concurrent ordered indices.
+//!
+//! The callback-based [`crate::ConcurrentIndex::range`] operation of the
+//! paper can express exactly one scan shape: "visit the `len` smallest
+//! entries at or above `start`".  Real consumers of an ordered index —
+//! memtable compaction, pagination, prefix scans, merge joins — need
+//! bounded scans, early termination, seek-then-resume and (sometimes)
+//! reverse steps.  This module provides the cursor abstraction those
+//! consumers program against:
+//!
+//! * [`IndexCursor`] — the raw traversal-state interface an index
+//!   implements (`next`, `prev`, `seek`, `entry`);
+//! * [`Cursor`] — the public, type-erased handle returned by
+//!   [`crate::ConcurrentIndex::scan`]; it implements [`Iterator`] so the
+//!   common forward-scan case is a plain `for` loop;
+//! * [`BatchCursor`] — a fallback adapter that turns a "fetch the next
+//!   batch of entries at or above a key" primitive into a full cursor, for
+//!   indices that cannot pause mid-traversal (lock-free structures have no
+//!   way to hold a position without pinning memory).
+//!
+//! # Consistency contract
+//!
+//! Cursors over a concurrent index are **not snapshots**.  The contract
+//! every implementation in this workspace provides is:
+//!
+//! * every entry whose key is in range and which is present for the entire
+//!   lifetime of the traversal is yielded exactly once;
+//! * entries inserted or removed while the cursor is open may or may not be
+//!   observed;
+//! * yielded keys are strictly ascending for `next` (strictly descending
+//!   for `prev`), so a cursor never yields duplicates even when the index
+//!   is restructured underneath it;
+//! * each yielded `(key, value)` pair is internally consistent (values are
+//!   read under the same lock/validation protocol as point lookups).
+
+use std::ops::Bound;
+
+use crate::{IndexKey, IndexValue};
+
+/// Converts a borrowed [`Bound`] (as produced by
+/// [`std::ops::RangeBounds::start_bound`]) into an owned one.  Index keys
+/// are `Copy`, so this is free.
+#[inline]
+pub fn clone_bound<K: Copy>(bound: Bound<&K>) -> Bound<K> {
+    match bound {
+        Bound::Included(key) => Bound::Included(*key),
+        Bound::Excluded(key) => Bound::Excluded(*key),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Whether `key` satisfies the lower bound `lo`.
+#[inline]
+pub fn above_lower<K: Ord>(key: &K, lo: &Bound<K>) -> bool {
+    match lo {
+        Bound::Included(bound) => key >= bound,
+        Bound::Excluded(bound) => key > bound,
+        Bound::Unbounded => true,
+    }
+}
+
+/// Whether `key` satisfies the upper bound `hi`.
+#[inline]
+pub fn below_upper<K: Ord>(key: &K, hi: &Bound<K>) -> bool {
+    match hi {
+        Bound::Included(bound) => key <= bound,
+        Bound::Excluded(bound) => key < bound,
+        Bound::Unbounded => true,
+    }
+}
+
+/// The traversal-state interface behind a [`Cursor`].
+///
+/// Implementations own their position (typically: the key last yielded plus
+/// whatever structure-specific resume state makes the next step cheap) and
+/// are constructed by [`crate::ConcurrentIndex::scan_bounds`] with the
+/// range bounds already applied.
+///
+/// Keys and values are `Copy` (see [`IndexKey`] / [`IndexValue`]), so
+/// entries are yielded by value; nothing borrowed from the index escapes a
+/// lock region.
+pub trait IndexCursor<K: IndexKey, V: IndexValue> {
+    /// Advances to and returns the next entry in ascending key order, or
+    /// `None` when the range is exhausted.
+    fn next(&mut self) -> Option<(K, V)>;
+
+    /// Steps back to and returns the previous entry in descending key
+    /// order: the greatest in-range entry strictly below the current
+    /// position.  On a fresh cursor this is the *last* entry of the range.
+    ///
+    /// Returns `None` at the start of the range — or unconditionally for
+    /// implementations that cannot iterate backwards; distinguish the two
+    /// with [`IndexCursor::supports_prev`].
+    fn prev(&mut self) -> Option<(K, V)> {
+        None
+    }
+
+    /// Repositions at the first in-range entry with key `>= key` and
+    /// returns it (`None` when no such entry exists).  Seeking below the
+    /// range's lower bound clamps to the lower bound; subsequent calls to
+    /// [`IndexCursor::next`] continue from the returned entry.
+    fn seek(&mut self, key: &K) -> Option<(K, V)>;
+
+    /// The entry the cursor currently rests on: the one most recently
+    /// returned by `next`, `prev` or `seek`.  `None` before the first
+    /// positioning call.
+    fn entry(&self) -> Option<(K, V)>;
+
+    /// Whether this cursor implements backwards iteration.
+    fn supports_prev(&self) -> bool {
+        false
+    }
+}
+
+/// A seekable cursor over a range of a concurrent ordered index.
+///
+/// Created by [`crate::ConcurrentIndex::scan`] /
+/// [`crate::ConcurrentIndex::scan_bounds`].  `Cursor` implements
+/// [`Iterator`], so ordinary forward scans compose with the standard
+/// iterator adapters:
+///
+/// ```
+/// use bskip_index::ConcurrentIndex;
+/// # use std::collections::BTreeMap;
+/// # use std::sync::Mutex;
+/// # struct Map(Mutex<BTreeMap<u64, u64>>);
+/// # impl ConcurrentIndex<u64, u64> for Map {
+/// #     fn insert(&self, k: u64, v: u64) -> Option<u64> { self.0.lock().unwrap().insert(k, v) }
+/// #     fn get(&self, k: &u64) -> Option<u64> { self.0.lock().unwrap().get(k).copied() }
+/// #     fn remove(&self, k: &u64) -> Option<u64> { self.0.lock().unwrap().remove(k) }
+/// #     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+/// #     fn name(&self) -> &'static str { "map" }
+/// #     fn scan_bounds(
+/// #         &self,
+/// #         lo: std::ops::Bound<u64>,
+/// #         hi: std::ops::Bound<u64>,
+/// #     ) -> bskip_index::Cursor<'_, u64, u64> {
+/// #         bskip_index::Cursor::new(bskip_index::BatchCursor::new(
+/// #             lo,
+/// #             hi,
+/// #             8,
+/// #             Box::new(move |from, max, out| {
+/// #                 out.extend(
+/// #                     self.0.lock().unwrap()
+/// #                         .range((from, std::ops::Bound::Unbounded))
+/// #                         .take(max)
+/// #                         .map(|(k, v)| (*k, *v)),
+/// #                 )
+/// #             }),
+/// #         ))
+/// #     }
+/// # }
+/// # let index = Map(Mutex::new(BTreeMap::new()));
+/// for key in [5u64, 1, 9, 3] {
+///     index.insert(key, key * 10);
+/// }
+/// let window: Vec<(u64, u64)> = index.scan(2..=5).collect();
+/// assert_eq!(window, vec![(3, 30), (5, 50)]);
+///
+/// let mut cursor = index.scan(..);
+/// assert_eq!(cursor.seek(&4), Some((5, 50)));
+/// assert_eq!(cursor.next(), Some((9, 90)));
+/// assert_eq!(cursor.next(), None);
+/// ```
+pub struct Cursor<'a, K: IndexKey, V: IndexValue> {
+    raw: Box<dyn IndexCursor<K, V> + 'a>,
+}
+
+impl<'a, K: IndexKey, V: IndexValue> Cursor<'a, K, V> {
+    /// Wraps a raw cursor implementation.
+    pub fn new<C: IndexCursor<K, V> + 'a>(raw: C) -> Self {
+        Cursor { raw: Box::new(raw) }
+    }
+
+    /// Advances to and returns the next entry (ascending key order).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(K, V)> {
+        self.raw.next()
+    }
+
+    /// Steps back to and returns the previous entry (descending key
+    /// order); see [`IndexCursor::prev`].
+    pub fn prev(&mut self) -> Option<(K, V)> {
+        self.raw.prev()
+    }
+
+    /// Repositions at the first in-range entry with key `>= key`; see
+    /// [`IndexCursor::seek`].
+    pub fn seek(&mut self, key: &K) -> Option<(K, V)> {
+        self.raw.seek(key)
+    }
+
+    /// The entry the cursor currently rests on.
+    pub fn entry(&self) -> Option<(K, V)> {
+        self.raw.entry()
+    }
+
+    /// Whether [`Cursor::prev`] is implemented by the underlying index.
+    pub fn supports_prev(&self) -> bool {
+        self.raw.supports_prev()
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> Iterator for Cursor<'_, K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        Cursor::next(self)
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> std::fmt::Debug for Cursor<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cursor")
+            .field("entry", &self.entry())
+            .field("supports_prev", &self.supports_prev())
+            .finish()
+    }
+}
+
+/// The batch-fetch primitive driving a [`BatchCursor`]: append up to `max`
+/// entries, in ascending key order, starting from the first entry at or
+/// after `from`'s key (from the smallest entry for `Bound::Unbounded`), to
+/// `out`.  Appending fewer than `max` entries signals that the index holds
+/// nothing further.  The adapter enforces the bounds: a primitive may
+/// return the boundary key itself for an `Excluded` bound, and upper-bound
+/// trimming is the adapter's job, not the primitive's.
+pub type FetchBatch<'a, K, V> = Box<dyn FnMut(Bound<K>, usize, &mut Vec<(K, V)>) + 'a>;
+
+/// Fallback cursor for indices that cannot pause mid-traversal.
+///
+/// Lock-free and optimistic structures cannot hold a stable position inside
+/// the structure while the caller is away (nodes may be retired, snapshots
+/// invalidated).  `BatchCursor` instead re-enters the index once per batch:
+/// it asks the [`FetchBatch`] primitive for the next `batch_size` entries
+/// at or above the resume key, buffers them, and serves `next` from the
+/// buffer.  This is the "seek then resume" pattern; the batch size bounds
+/// how much work each re-entry repeats.
+///
+/// Reverse iteration ([`IndexCursor::prev`]) is not supported by this
+/// adapter.
+pub struct BatchCursor<'a, K: IndexKey, V: IndexValue> {
+    fetch: FetchBatch<'a, K, V>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+    batch: Vec<(K, V)>,
+    pos: usize,
+    current: Option<(K, V)>,
+    /// Lower bound for refills before any entry has been emitted (the
+    /// range's `lo`, tightened by `seek`).
+    floor: Bound<K>,
+    /// Set when a fetch returned a short batch (index exhausted) and the
+    /// buffer has been drained, or when an entry beyond `hi` was seen.
+    finished: bool,
+    /// Set when the last fetch returned fewer entries than requested.
+    source_drained: bool,
+    batch_size: usize,
+}
+
+impl<'a, K: IndexKey, V: IndexValue> BatchCursor<'a, K, V> {
+    /// Creates a batch cursor over `[lo, hi]` fetching `batch_size` entries
+    /// per re-entry into the index.
+    pub fn new(lo: Bound<K>, hi: Bound<K>, batch_size: usize, fetch: FetchBatch<'a, K, V>) -> Self {
+        BatchCursor {
+            fetch,
+            lo,
+            hi,
+            batch: Vec::new(),
+            pos: 0,
+            current: None,
+            floor: lo,
+            finished: false,
+            source_drained: false,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    fn refill(&mut self, from: Bound<K>) {
+        self.batch.clear();
+        self.pos = 0;
+        // The primitive may return the boundary key itself for an exclusive
+        // bound; request one extra entry so dropping it below cannot turn a
+        // full batch into a short one.
+        let request = self.batch_size + usize::from(matches!(from, Bound::Excluded(_)));
+        (self.fetch)(from, request, &mut self.batch);
+        self.source_drained = self.batch.len() < request;
+        // Enforce the lower bound here so fetch primitives only need
+        // "first entry at or after the key" semantics; with ascending
+        // output only leading entries can fail the bound.
+        self.batch.retain(|(key, _)| above_lower(key, &from));
+        debug_assert!(
+            self.batch.windows(2).all(|w| w[0].0 < w[1].0),
+            "fetch primitive must produce strictly ascending keys"
+        );
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> IndexCursor<K, V> for BatchCursor<'_, K, V> {
+    fn next(&mut self) -> Option<(K, V)> {
+        loop {
+            if self.pos < self.batch.len() {
+                let entry = self.batch[self.pos];
+                self.pos += 1;
+                if !below_upper(&entry.0, &self.hi) {
+                    self.finished = true;
+                    return None;
+                }
+                self.current = Some(entry);
+                return Some(entry);
+            }
+            if self.finished || self.source_drained {
+                // Buffer drained and the source reported exhaustion.
+                self.finished = true;
+                return None;
+            }
+            let from = match &self.current {
+                Some((key, _)) => Bound::Excluded(*key),
+                None => self.floor,
+            };
+            self.refill(from);
+            if self.batch.is_empty() {
+                self.finished = true;
+                return None;
+            }
+        }
+    }
+
+    fn seek(&mut self, key: &K) -> Option<(K, V)> {
+        let from = if above_lower(key, &self.lo) {
+            Bound::Included(*key)
+        } else {
+            self.lo
+        };
+        self.finished = false;
+        self.current = None;
+        self.floor = from;
+        self.refill(from);
+        if self.batch.is_empty() {
+            self.finished = true;
+            return None;
+        }
+        self.next()
+    }
+
+    fn entry(&self) -> Option<(K, V)> {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cursor_over(
+        entries: &BTreeMap<u64, u64>,
+        lo: Bound<u64>,
+        hi: Bound<u64>,
+        batch: usize,
+    ) -> BatchCursor<'_, u64, u64> {
+        BatchCursor::new(
+            lo,
+            hi,
+            batch,
+            Box::new(move |from, max, out| {
+                out.extend(
+                    entries
+                        .range((from, Bound::Unbounded))
+                        .take(max)
+                        .map(|(k, v)| (*k, *v)),
+                );
+            }),
+        )
+    }
+
+    fn sample() -> BTreeMap<u64, u64> {
+        (0..10u64).map(|i| (i * 10, i)).collect()
+    }
+
+    #[test]
+    fn forward_iteration_spans_batches() {
+        let entries = sample();
+        let mut cursor = cursor_over(&entries, Bound::Unbounded, Bound::Unbounded, 3);
+        let mut seen = Vec::new();
+        while let Some((k, _)) = cursor.next() {
+            seen.push(k);
+        }
+        assert_eq!(seen, (0..10u64).map(|i| i * 10).collect::<Vec<_>>());
+        // Exhausted cursors stay exhausted.
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.entry(), Some((90, 9)));
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let entries = sample();
+        let mut cursor = cursor_over(&entries, Bound::Included(25), Bound::Excluded(60), 2);
+        let seen: Vec<u64> = std::iter::from_fn(|| cursor.next())
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(seen, vec![30, 40, 50]);
+
+        let mut empty = cursor_over(&entries, Bound::Excluded(40), Bound::Included(40), 2);
+        assert_eq!(empty.next(), None);
+    }
+
+    #[test]
+    fn seek_repositions_and_clamps() {
+        let entries = sample();
+        let mut cursor = cursor_over(&entries, Bound::Included(30), Bound::Included(70), 2);
+        assert_eq!(cursor.seek(&55), Some((60, 6)));
+        assert_eq!(cursor.next(), Some((70, 7)));
+        assert_eq!(cursor.next(), None);
+        // Seek below the lower bound clamps to it.
+        assert_eq!(cursor.seek(&0), Some((30, 3)));
+        // Seek past the end of the data.
+        assert_eq!(cursor.seek(&1000), None);
+        assert_eq!(cursor.next(), None);
+    }
+
+    #[test]
+    fn prev_is_unsupported() {
+        let entries = sample();
+        let mut cursor = cursor_over(&entries, Bound::Unbounded, Bound::Unbounded, 4);
+        assert!(!cursor.supports_prev());
+        assert_eq!(cursor.prev(), None);
+    }
+
+    #[test]
+    fn bound_helpers() {
+        assert!(above_lower(&5, &Bound::Included(5)));
+        assert!(!above_lower(&5, &Bound::Excluded(5)));
+        assert!(above_lower(&5, &Bound::Unbounded));
+        assert!(below_upper(&5, &Bound::Included(5)));
+        assert!(!below_upper(&5, &Bound::Excluded(5)));
+        assert!(below_upper(&5, &Bound::Unbounded));
+        assert_eq!(clone_bound(Bound::Included(&7u64)), Bound::Included(7));
+        assert_eq!(clone_bound::<u64>(Bound::Unbounded), Bound::Unbounded);
+    }
+}

@@ -8,19 +8,39 @@
 //!   types an index can store (ordered, `Copy`, thread-safe).  The paper's
 //!   evaluation uses 8-byte keys and 8-byte values; `u64` satisfies both.
 //! * [`ConcurrentIndex`] — the key-value dictionary operations of Section 2
-//!   (`find`, `insert`, `range`) plus `remove`, usable concurrently from
+//!   (`find`, `insert`, scans) plus `remove`, usable concurrently from
 //!   many threads through `&self`.
+//! * [`Cursor`] / [`IndexCursor`] — the seekable-cursor scan interface:
+//!   every index opens cursors via [`ConcurrentIndex::scan`] (any
+//!   `RangeBounds` expression) or the object-safe
+//!   [`ConcurrentIndex::scan_bounds`], supporting bounded ranges, early
+//!   termination, `seek`-then-resume and — where the structure allows it —
+//!   reverse steps with `prev`.  [`BatchCursor`] adapts indices that
+//!   cannot pause mid-traversal.  The paper's `range(k, f, length)`
+//!   callback operation survives as a provided compatibility method
+//!   implemented over cursors.
 //! * [`IndexStats`] — a uniform way to export the structural counters the
 //!   evaluation section reports (root write-lock acquisitions, horizontal
 //!   steps per level, leaf nodes per range query, OCC retries, ...).
+//!
+//! # Cursor consistency contract
+//!
+//! Cursors do not freeze a snapshot of a live, concurrently-mutated index.
+//! The workspace-wide contract (see [`cursor`] for details) is: entries
+//! present in-range for the cursor's whole lifetime are yielded exactly
+//! once, in strictly ascending (for `next`) key order; concurrent inserts
+//! and removes may or may not be observed; every yielded pair is read under
+//! the index's own synchronization protocol, so values are never torn.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cursor;
 mod key;
 mod stats;
 mod traits;
 
+pub use cursor::{BatchCursor, Cursor, IndexCursor};
 pub use key::{IndexKey, IndexValue};
 pub use stats::{IndexStats, StatValue};
 pub use traits::ConcurrentIndex;

@@ -1,5 +1,8 @@
 //! The concurrent ordered-map interface every index implements.
 
+use std::ops::{Bound, RangeBounds};
+
+use crate::cursor::{clone_bound, Cursor};
 use crate::{IndexKey, IndexStats, IndexValue};
 
 /// A concurrent ordered key-value dictionary.
@@ -9,13 +12,33 @@ use crate::{IndexKey, IndexStats, IndexValue};
 ///
 /// * `find(k)` → [`ConcurrentIndex::get`]
 /// * `insert(k, v)` → [`ConcurrentIndex::insert`]
-/// * `range(k, f, length)` → [`ConcurrentIndex::range`]
+/// * `range(k, f, length)` → [`ConcurrentIndex::scan`] (cursors), with
+///   [`ConcurrentIndex::range`] kept as a compatibility shim
 ///
 /// plus `remove`, which the paper describes as symmetric to insert.  All
 /// methods take `&self` and must be safe to call from many threads
 /// simultaneously; implementations provide their own concurrency control
 /// (hand-over-hand RW locking for the B-skiplist, CAS for the lock-free
 /// skiplist, OCC for the B+-tree, ...).
+///
+/// # Scanning
+///
+/// Range scans are expressed through **seekable cursors**: the one required
+/// scan primitive is [`ConcurrentIndex::scan_bounds`], which opens a
+/// [`Cursor`] over an explicit pair of [`Bound`]s.  Everything else is
+/// provided on top of it:
+///
+/// * [`ConcurrentIndex::scan`] accepts any [`RangeBounds`] expression
+///   (`a..b`, `a..=b`, `a..`, `..`), so `index.scan(10..20)` just works;
+/// * [`ConcurrentIndex::range`] — the paper's callback operation — is a
+///   provided method that drives a cursor; implementations no longer
+///   override it.
+///
+/// Implementations that can pause mid-traversal (the B-skiplist walks leaf
+/// nodes and snapshots one locked node at a time) provide native cursors;
+/// the others adapt their traversal with [`BatchCursor`].  See
+/// [`crate::cursor`] for the consistency contract cursors provide under
+/// concurrent mutation.
 pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
     /// Inserts `key → value`.  Returns the previous value if the key was
     /// already present (in which case the value is overwritten, matching the
@@ -32,14 +55,53 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
     /// that on their implementation.
     fn remove(&self, key: &K) -> Option<V>;
 
+    /// Opens a [`Cursor`] over the entries whose keys lie between `lo` and
+    /// `hi`.  This is the one scan primitive an index must implement;
+    /// prefer the [`ConcurrentIndex::scan`] sugar at call sites.
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V>;
+
+    /// Opens a [`Cursor`] over `range` (any [`RangeBounds`] expression).
+    ///
+    /// ```ignore
+    /// let page: Vec<(K, V)> = index.scan(start..).take(100).collect();
+    /// let window: Vec<(K, V)> = index.scan(lo..=hi).collect();
+    /// ```
+    fn scan<R: RangeBounds<K>>(&self, range: R) -> Cursor<'_, K, V>
+    where
+        Self: Sized,
+    {
+        self.scan_bounds(
+            clone_bound(range.start_bound()),
+            clone_bound(range.end_bound()),
+        )
+    }
+
     /// Short range scan: applies `visit` to the `len` smallest key-value
     /// pairs whose key is `>= start`, in ascending key order.  Returns the
     /// number of pairs visited (which is less than `len` only if the index
     /// ran out of keys).
     ///
-    /// This is YCSB workload E's `SCAN` operation (`max_len = 100` in the
-    /// paper).
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize;
+    /// **Deprecated-style compatibility shim.**  This was the paper's
+    /// `range(k, f, length)` operation and the workspace's original scan
+    /// API; it is now a provided method driving a cursor.  New code should
+    /// call [`ConcurrentIndex::scan`] (or [`ConcurrentIndex::scan_bounds`]
+    /// through `dyn` references) directly — cursors also express bounded
+    /// ranges, early termination and seek-then-resume, which this callback
+    /// form cannot.
+    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+        let mut cursor = self.scan_bounds(Bound::Included(*start), Bound::Unbounded);
+        let mut visited = 0;
+        while visited < len {
+            match cursor.next() {
+                Some((key, value)) => {
+                    visit(&key, &value);
+                    visited += 1;
+                }
+                None => break,
+            }
+        }
+        visited
+    }
 
     /// Approximate number of keys currently stored.
     fn len(&self) -> usize;
@@ -65,38 +127,48 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
     fn reset_stats(&self) {}
 }
 
-/// Blanket implementation so `Arc<I>`, `Box<I>` and `&I` can be passed to
-/// the driver wherever an index is expected.
+/// Forwards every `ConcurrentIndex` method through one level of
+/// indirection; used by the `&I`, `Arc<I>` and `Box<I>` blanket
+/// implementations below so the driver can accept any of them.
+macro_rules! forward_concurrent_index {
+    () => {
+        fn insert(&self, key: K, value: V) -> Option<V> {
+            (**self).insert(key, value)
+        }
+        fn get(&self, key: &K) -> Option<V> {
+            (**self).get(key)
+        }
+        fn remove(&self, key: &K) -> Option<V> {
+            (**self).remove(key)
+        }
+        fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+            (**self).scan_bounds(lo, hi)
+        }
+        fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
+            (**self).range(start, len, visit)
+        }
+        fn len(&self) -> usize {
+            (**self).len()
+        }
+        fn name(&self) -> &'static str {
+            (**self).name()
+        }
+        fn stats(&self) -> IndexStats {
+            (**self).stats()
+        }
+        fn reset_stats(&self) {
+            (**self).reset_stats()
+        }
+    };
+}
+
 impl<K, V, I> ConcurrentIndex<K, V> for &I
 where
     K: IndexKey,
     V: IndexValue,
     I: ConcurrentIndex<K, V> + ?Sized,
 {
-    fn insert(&self, key: K, value: V) -> Option<V> {
-        (**self).insert(key, value)
-    }
-    fn get(&self, key: &K) -> Option<V> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: &K) -> Option<V> {
-        (**self).remove(key)
-    }
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        (**self).range(start, len, visit)
-    }
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-    fn stats(&self) -> IndexStats {
-        (**self).stats()
-    }
-    fn reset_stats(&self) {
-        (**self).reset_stats()
-    }
+    forward_concurrent_index!();
 }
 
 impl<K, V, I> ConcurrentIndex<K, V> for std::sync::Arc<I>
@@ -105,35 +177,22 @@ where
     V: IndexValue,
     I: ConcurrentIndex<K, V> + ?Sized,
 {
-    fn insert(&self, key: K, value: V) -> Option<V> {
-        (**self).insert(key, value)
-    }
-    fn get(&self, key: &K) -> Option<V> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: &K) -> Option<V> {
-        (**self).remove(key)
-    }
-    fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
-        (**self).range(start, len, visit)
-    }
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-    fn stats(&self) -> IndexStats {
-        (**self).stats()
-    }
-    fn reset_stats(&self) {
-        (**self).reset_stats()
-    }
+    forward_concurrent_index!();
+}
+
+impl<K, V, I> ConcurrentIndex<K, V> for Box<I>
+where
+    K: IndexKey,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V> + ?Sized,
+{
+    forward_concurrent_index!();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cursor::BatchCursor;
     use std::collections::BTreeMap;
     use std::sync::Mutex;
 
@@ -162,14 +221,21 @@ mod tests {
         fn remove(&self, key: &u64) -> Option<u64> {
             self.inner.lock().unwrap().remove(key)
         }
-        fn range(&self, start: &u64, len: usize, visit: &mut dyn FnMut(&u64, &u64)) -> usize {
-            let guard = self.inner.lock().unwrap();
-            let mut count = 0;
-            for (k, v) in guard.range(start..).take(len) {
-                visit(k, v);
-                count += 1;
-            }
-            count
+        fn scan_bounds(&self, lo: Bound<u64>, hi: Bound<u64>) -> Cursor<'_, u64, u64> {
+            Cursor::new(BatchCursor::new(
+                lo,
+                hi,
+                32,
+                Box::new(move |from, max, out| {
+                    let guard = self.inner.lock().unwrap();
+                    out.extend(
+                        guard
+                            .range((from, Bound::Unbounded))
+                            .take(max)
+                            .map(|(k, v)| (*k, *v)),
+                    );
+                }),
+            ))
         }
         fn len(&self) -> usize {
             self.inner.lock().unwrap().len()
@@ -216,6 +282,45 @@ mod tests {
     }
 
     #[test]
+    fn scan_accepts_every_range_shape() {
+        let index = MutexBTreeMap::new();
+        for key in 0..10u64 {
+            index.insert(key, key);
+        }
+        let all: Vec<u64> = index.scan(..).map(|(k, _)| k).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        let half_open: Vec<u64> = index.scan(3..7).map(|(k, _)| k).collect();
+        assert_eq!(half_open, vec![3, 4, 5, 6]);
+        let inclusive: Vec<u64> = index.scan(3..=7).map(|(k, _)| k).collect();
+        assert_eq!(inclusive, vec![3, 4, 5, 6, 7]);
+        let from: Vec<u64> = index.scan(8..).map(|(k, _)| k).collect();
+        assert_eq!(from, vec![8, 9]);
+        // A reversed range is empty, not an error.
+        let empty: Vec<u64> = index
+            .scan_bounds(Bound::Included(7), Bound::Excluded(3))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(empty, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scan_supports_seek_and_early_termination() {
+        let index = MutexBTreeMap::new();
+        for key in (0..100u64).step_by(10) {
+            index.insert(key, key);
+        }
+        let mut cursor = index.scan(..);
+        assert_eq!(cursor.entry(), None);
+        assert_eq!(cursor.seek(&35), Some((40, 40)));
+        assert_eq!(cursor.entry(), Some((40, 40)));
+        assert_eq!(cursor.next(), Some((50, 50)));
+        // Early termination is just dropping the cursor.
+        drop(cursor);
+        let page: Vec<u64> = index.scan(..).take(3).map(|(k, _)| k).collect();
+        assert_eq!(page, vec![0, 10, 20]);
+    }
+
+    #[test]
     fn trait_objects_and_references_delegate() {
         let index = MutexBTreeMap::new();
         index.insert(1, 2);
@@ -224,9 +329,36 @@ mod tests {
         assert_eq!(by_ref.name(), "mutex-btreemap");
         assert!(by_ref.stats().is_empty());
         by_ref.reset_stats();
+        // `dyn` callers reach cursors through the object-safe primitive.
+        let mut cursor = by_ref.scan_bounds(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(cursor.next(), Some((1, 2)));
 
         let arc = std::sync::Arc::new(MutexBTreeMap::new());
         arc.insert(3, 4);
         assert_eq!(ConcurrentIndex::get(&arc, &3), Some(4));
+    }
+
+    /// Regression test: the documentation always promised `Arc<I>`,
+    /// `Box<I>` **and** `&I` blanket implementations, but `Box<I>` was
+    /// missing until the cursor redesign.
+    #[test]
+    fn boxed_indices_implement_the_trait() {
+        fn exercise<I: ConcurrentIndex<u64, u64>>(index: I) {
+            index.insert(1, 10);
+            index.insert(2, 20);
+            assert_eq!(index.get(&1), Some(10));
+            assert_eq!(index.len(), 2);
+            let window: Vec<u64> = index.scan(..).map(|(k, _)| k).collect();
+            assert_eq!(window, vec![1, 2]);
+            assert_eq!(index.remove(&2), Some(20));
+        }
+
+        exercise(Box::new(MutexBTreeMap::new()));
+        let boxed_dyn: Box<dyn ConcurrentIndex<u64, u64>> = Box::new(MutexBTreeMap::new());
+        exercise(boxed_dyn);
+        exercise(std::sync::Arc::new(MutexBTreeMap::new()));
+        // The borrow is the point: `&I` is the third promised blanket impl.
+        #[allow(clippy::needless_borrows_for_generic_args)]
+        exercise(&MutexBTreeMap::new());
     }
 }

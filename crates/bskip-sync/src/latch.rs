@@ -96,6 +96,6 @@ mod tests {
             .collect();
         latch.set();
         let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        assert_eq!(sum, 0 + 1 + 2 + 3);
+        assert_eq!(sum, 6, "threads 0..4 all released");
     }
 }

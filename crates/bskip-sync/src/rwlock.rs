@@ -150,8 +150,8 @@ impl RawRwSpinLock {
                 loop {
                     let state = self.state.load(Ordering::Relaxed);
                     debug_assert!(state & WRITER_PENDING != 0);
-                    if state & READER_MASK == 0 {
-                        if self
+                    if state & READER_MASK == 0
+                        && self
                             .state
                             .compare_exchange_weak(
                                 WRITER_PENDING,
@@ -160,9 +160,8 @@ impl RawRwSpinLock {
                                 Ordering::Relaxed,
                             )
                             .is_ok()
-                        {
-                            return;
-                        }
+                    {
+                        return;
                     }
                     drain.snooze();
                 }
@@ -301,7 +300,10 @@ impl<T: fmt::Debug> fmt::Debug for RwSpinLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_read() {
             Some(guard) => f.debug_struct("RwSpinLock").field("data", &*guard).finish(),
-            None => f.debug_struct("RwSpinLock").field("data", &"<locked>").finish(),
+            None => f
+                .debug_struct("RwSpinLock")
+                .field("data", &"<locked>")
+                .finish(),
         }
     }
 }

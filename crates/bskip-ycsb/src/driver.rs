@@ -5,6 +5,11 @@
 //! executes `operation_count` operations drawn from the chosen workload mix
 //! and request distribution.  Both phases report throughput (operations per
 //! microsecond, the paper's unit) and batched-latency percentiles.
+//!
+//! Workload E's `SCAN` operation drives the index's seekable-cursor API
+//! ([`ConcurrentIndex::scan`]): it opens a cursor at the chosen record key
+//! and takes the drawn number of entries, which exercises the same
+//! cursor path real scan consumers (pagination, compaction) use.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -129,8 +134,7 @@ where
                 scope.spawn(move || {
                     let lo = records * thread_id / threads;
                     let hi = records * (thread_id + 1) / threads;
-                    let mut recorder =
-                        LatencyRecorder::with_capacity((hi - lo) / BATCH_SIZE + 1);
+                    let mut recorder = LatencyRecorder::with_capacity((hi - lo) / BATCH_SIZE + 1);
                     let mut batch_start = Instant::now();
                     let mut in_batch = 0usize;
                     for logical in lo..hi {
@@ -181,10 +185,10 @@ where
                 let index_ref = &index;
                 let insert_cursor = &insert_cursor;
                 scope.spawn(move || {
-                    let ops = operations / threads
-                        + usize::from(thread_id < operations % threads);
-                    let mut rng =
-                        SmallRng::seed_from_u64(config.seed ^ (thread_id as u64).wrapping_mul(0x9E37));
+                    let ops = operations / threads + usize::from(thread_id < operations % threads);
+                    let mut rng = SmallRng::seed_from_u64(
+                        config.seed ^ (thread_id as u64).wrapping_mul(0x9E37),
+                    );
                     let chooser =
                         KeyChooser::new(config.distribution, config.record_count.max(1) as u64);
                     let mut recorder = LatencyRecorder::with_capacity(ops / BATCH_SIZE + 1);
@@ -206,11 +210,18 @@ where
                                 let key = record_key(logical);
                                 index_ref.insert(key, logical);
                             }
-                            Operation::Scan { index: logical, len } => {
+                            Operation::Scan {
+                                index: logical,
+                                len,
+                            } => {
+                                // Workload E's SCAN: a bounded forward
+                                // cursor, terminated by `take` — the
+                                // cursor-native form of the paper's
+                                // `range(k, f, length)`.
                                 let key = record_key(logical);
-                                index_ref.range(&key, len, &mut |_, v| {
-                                    scan_sink = scan_sink.wrapping_add(*v);
-                                });
+                                for (_, value) in index_ref.scan(key..).take(len) {
+                                    scan_sink = scan_sink.wrapping_add(value);
+                                }
                             }
                         }
                         in_batch += 1;

@@ -104,8 +104,7 @@ impl ZipfianGenerator {
         if uz < 1.0 + 0.5_f64.powf(self.theta) {
             return 1;
         }
-        let value =
-            (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let value = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         value.min(self.items - 1)
     }
 

@@ -163,9 +163,8 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         for workload in Workload::ALL {
-            let total = workload.read_fraction()
-                + workload.insert_fraction()
-                + workload.scan_fraction();
+            let total =
+                workload.read_fraction() + workload.insert_fraction() + workload.scan_fraction();
             assert!((total - 1.0).abs() < 1e-9, "{workload:?} mixes to {total}");
         }
     }

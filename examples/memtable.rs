@@ -54,7 +54,11 @@ impl MemTable {
     }
 
     fn put(&self, key: u64, payload: u64) {
-        if self.index.insert(key, encode(Entry::Put(payload))).is_none() {
+        if self
+            .index
+            .insert(key, encode(Entry::Put(payload)))
+            .is_none()
+        {
             self.approximate_entries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -73,22 +77,34 @@ impl MemTable {
         self.approximate_entries.load(Ordering::Relaxed) >= self.flush_threshold
     }
 
-    /// Drains the memtable in sorted order, returning (live puts, tombstones).
+    /// Drains the memtable in sorted order, returning (live puts,
+    /// tombstones).  An SSTable writer consumes exactly this cursor: it
+    /// streams the whole index without holding any lock for longer than
+    /// one node, so foreground traffic keeps flowing during the flush.
     fn flush(&self) -> (usize, usize) {
         let mut puts = 0;
         let mut tombstones = 0;
         let mut last_key = None;
-        self.index.for_each(&mut |k, v| {
+        for (key, raw) in self.index.iter() {
             if let Some(previous) = last_key {
-                assert!(previous < *k, "flush must stream keys in sorted order");
+                assert!(previous < key, "flush must stream keys in sorted order");
             }
-            last_key = Some(*k);
-            match decode(*v) {
+            last_key = Some(key);
+            match decode(raw) {
                 Entry::Put(_) => puts += 1,
                 Entry::Tombstone => tombstones += 1,
             }
-        });
+        }
         (puts, tombstones)
+    }
+
+    /// Streams one shard's worth of entries (a compaction input): all
+    /// entries with keys in `[lo, hi)`, resuming via the cursor API.
+    fn shard(&self, lo: u64, hi: u64) -> Vec<(u64, Entry)> {
+        self.index
+            .scan(lo..hi)
+            .map(|(key, raw)| (key, decode(raw)))
+            .collect()
     }
 }
 
@@ -134,6 +150,15 @@ fn main() {
     );
     let (puts, tombstones) = memtable.flush();
     println!("flush streamed {puts} live puts and {tombstones} tombstones in sorted order");
-    memtable.index.validate().expect("memtable structure is consistent");
+    let shard = memtable.shard(1_000, 2_000);
+    assert!(shard.iter().all(|(key, _)| (1_000..2_000).contains(key)));
+    println!(
+        "compaction shard [1000, 2000) holds {} entries",
+        shard.len()
+    );
+    memtable
+        .index
+        .validate()
+        .expect("memtable structure is consistent");
     println!("validate() passed");
 }

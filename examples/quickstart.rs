@@ -1,6 +1,6 @@
 //! Quickstart: build a concurrent B-skiplist, fill it from several threads,
-//! and use the three dictionary operations the paper defines (find, insert,
-//! range).
+//! and use the dictionary operations the paper defines (find, insert,
+//! range) — with range queries expressed through the seekable cursor API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -11,7 +11,8 @@ use bskip_suite::{BSkipConfig, BSkipList};
 fn main() {
     // The paper's configuration: 2048-byte nodes (128 key/value pairs),
     // promotion probability 1/64, maximum height 5.
-    let index: Arc<BSkipList<u64, u64>> = Arc::new(BSkipList::with_config(BSkipConfig::paper_default()));
+    let index: Arc<BSkipList<u64, u64>> =
+        Arc::new(BSkipList::with_config(BSkipConfig::paper_default()));
 
     // Insert one million keys from four threads.
     let threads = 4u64;
@@ -35,13 +36,28 @@ fn main() {
     assert_eq!(index.get(&999_999_999), None);
     println!("find(123456) = {:?}", index.get(&123_456));
 
-    // Range scan (the `range(k, f, len)` operation): the 5 smallest keys
-    // that are at least 500_000.
-    let mut window = Vec::new();
-    index.range(&500_000, 5, &mut |k, v| window.push((*k, *v)));
-    println!("range(500000, 5) = {window:?}");
+    // Range scans open a seekable cursor over any `RangeBounds`
+    // expression.  The paper's `range(k, f, len)` is `scan(k..).take(len)`.
+    let window: Vec<(u64, u64)> = index.scan(500_000..).take(5).collect();
+    println!("scan(500000..).take(5) = {window:?}");
     assert_eq!(window.len(), 5);
     assert_eq!(window[0].0, 500_000);
+
+    // Bounded scans need no manual termination logic.
+    let bounded: Vec<u64> = index.scan(100..=103).map(|(k, _)| k).collect();
+    assert_eq!(bounded, vec![100, 101, 102, 103]);
+
+    // Cursors can seek (jump to the first entry at or above a key) and —
+    // on the B-skiplist — step backwards with `prev`.
+    let mut cursor = index.scan(..);
+    assert_eq!(cursor.seek(&777_000), Some((777_000, 7_770_000)));
+    assert_eq!(cursor.prev(), Some((776_999, 7_769_990)));
+    assert_eq!(cursor.next(), Some((777_000, 7_770_000)));
+    println!("seek/prev/next around 777000 behave like a database cursor");
+
+    // `iter` and `FromIterator` round-trip the whole contents.
+    let rebuilt: BSkipList<u64, u64> = index.scan(..10).collect();
+    assert_eq!(rebuilt.len(), 10);
 
     // Removal is supported too (symmetric to insertion).
     assert_eq!(index.remove(&500_000), Some(5_000_000));

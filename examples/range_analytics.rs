@@ -30,7 +30,9 @@ fn run_mix<I: ConcurrentIndex<u64, u64>>(index: &I, label: &str) {
                 }
             });
         }
-        // Two analysts scanning 100-event windows behind the writers.
+        // Two analysts scanning 100-event windows behind the writers,
+        // through bounded cursors (`scan(start..).take(100)` is workload
+        // E's SCAN shape; early termination is just dropping the cursor).
         for _ in 0..2 {
             let clock = &clock;
             scope.spawn(move || {
@@ -38,9 +40,7 @@ fn run_mix<I: ConcurrentIndex<u64, u64>>(index: &I, label: &str) {
                 for _ in 0..20_000 {
                     let now = clock.load(Ordering::Relaxed);
                     let window_start = now.saturating_sub(5_000);
-                    let mut count = 0u64;
-                    index.range(&window_start, 100, &mut |_, _| count += 1);
-                    total_events += count;
+                    total_events += index.scan(window_start..).take(100).count() as u64;
                 }
                 std::hint::black_box(total_events);
             });
@@ -59,16 +59,17 @@ fn main() {
     let bskip: Arc<BSkipList<u64, u64>> =
         Arc::new(BSkipList::with_config(BSkipConfig::paper_default()));
     run_mix(bskip.as_ref(), "B-skiplist");
-    bskip.validate().expect("B-skiplist structure is consistent");
+    bskip
+        .validate()
+        .expect("B-skiplist structure is consistent");
 
     let unblocked: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
     run_mix(&unblocked, "lock-free skiplist");
 
-    // Sanity: both indices agree on a sample window.
-    let mut from_bskip = Vec::new();
-    bskip.range(&1000, 50, &mut |k, _| from_bskip.push(*k));
-    let mut from_unblocked = Vec::new();
-    unblocked.range(&1000, 50, &mut |k, _| from_unblocked.push(*k));
+    // Sanity: both indices agree on a sample window (cursors work
+    // uniformly across every `ConcurrentIndex` implementation).
+    let from_bskip: Vec<u64> = bskip.scan(1000..).take(50).map(|(k, _)| k).collect();
+    let from_unblocked: Vec<u64> = unblocked.scan(1000..).take(50).map(|(k, _)| k).collect();
     assert_eq!(from_bskip, from_unblocked);
     println!("both indices return identical 50-event windows starting at t=1000");
 }

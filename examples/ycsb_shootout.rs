@@ -12,10 +12,17 @@ use bskip_suite::{
 use bskip_ycsb::{run_load_phase, run_run_phase, Workload, YcsbConfig};
 
 fn env(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
-fn measure(build: &dyn Fn() -> Box<dyn ConcurrentIndex<u64, u64>>, workload: Workload, config: &YcsbConfig) -> f64 {
+fn measure(
+    build: &dyn Fn() -> Box<dyn ConcurrentIndex<u64, u64>>,
+    workload: Workload,
+    config: &YcsbConfig,
+) -> f64 {
     let index = build();
     let load = run_load_phase(&index.as_ref(), config);
     if workload == Workload::Load {
@@ -38,22 +45,42 @@ fn main() {
         config.record_count, config.operation_count, config.threads
     );
 
-    let systems: Vec<(&str, Box<dyn Fn() -> Box<dyn ConcurrentIndex<u64, u64>>>)> = vec![
+    type IndexBuilder = Box<dyn Fn() -> Box<dyn ConcurrentIndex<u64, u64>>>;
+    let systems: Vec<(&str, IndexBuilder)> = vec![
         (
             "B-skiplist",
             Box::new(|| {
-                Box::new(BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default()))
-                    as Box<dyn ConcurrentIndex<u64, u64>>
+                Box::new(BSkipList::<u64, u64>::with_config(
+                    BSkipConfig::paper_default(),
+                )) as Box<dyn ConcurrentIndex<u64, u64>>
             }),
         ),
-        ("Folly-style SL", Box::new(|| Box::new(LockFreeSkipList::<u64, u64>::new()) as _)),
-        ("Java-style SL", Box::new(|| Box::new(LazySkipList::<u64, u64>::new()) as _)),
-        ("NoHotSpot SL", Box::new(|| Box::new(NhsSkipList::<u64, u64>::new()) as _)),
-        ("OCC B+-tree", Box::new(|| Box::new(OccBTree::<u64, u64>::new()) as _)),
-        ("Masstree-lite", Box::new(|| Box::new(MasstreeLite::<u64, u64>::new()) as _)),
+        (
+            "Folly-style SL",
+            Box::new(|| Box::new(LockFreeSkipList::<u64, u64>::new()) as _),
+        ),
+        (
+            "Java-style SL",
+            Box::new(|| Box::new(LazySkipList::<u64, u64>::new()) as _),
+        ),
+        (
+            "NoHotSpot SL",
+            Box::new(|| Box::new(NhsSkipList::<u64, u64>::new()) as _),
+        ),
+        (
+            "OCC B+-tree",
+            Box::new(|| Box::new(OccBTree::<u64, u64>::new()) as _),
+        ),
+        (
+            "Masstree-lite",
+            Box::new(|| Box::new(MasstreeLite::<u64, u64>::new()) as _),
+        ),
     ];
 
-    println!("\n{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}", "index", "Load", "A", "B", "C", "E");
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "index", "Load", "A", "B", "C", "E"
+    );
     let mut bskip_row = Vec::new();
     for (label, build) in &systems {
         let mut row = Vec::new();

@@ -35,7 +35,10 @@ fn concurrent_disjoint_inserts_keep_every_key() {
     }
     let scanned = list.to_vec();
     assert_eq!(scanned.len() as u64, threads * per_thread);
-    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0), "leaf level must be sorted");
+    assert!(
+        scanned.windows(2).all(|w| w[0].0 < w[1].0),
+        "leaf level must be sorted"
+    );
 }
 
 #[test]
@@ -69,14 +72,25 @@ fn concurrent_mixed_readers_and_writers_agree_at_quiescence() {
                         assert_eq!(value, key, "torn read for key {key}");
                     }
                     if i % 64 == 0 {
+                        // Cursor scan racing the writers: keys must stay
+                        // strictly ascending and every pair untorn.
                         let mut previous = None;
-                        list.range(&key, 20, &mut |k, v| {
-                            assert_eq!(*k, *v);
+                        for (k, v) in list.scan(key..).take(20) {
+                            assert_eq!(k, v);
                             if let Some(p) = previous {
-                                assert!(p < *k, "range scan out of order");
+                                assert!(p < k, "cursor scan out of order");
                             }
-                            previous = Some(*k);
-                        });
+                            previous = Some(k);
+                        }
+                    }
+                    if i % 128 == 0 {
+                        // Seek-then-resume and reverse steps under load.
+                        let mut cursor = list.scan(..);
+                        if let Some((at, _)) = cursor.seek(&key) {
+                            if let Some((before, _)) = cursor.prev() {
+                                assert!(before < at, "prev must move backwards");
+                            }
+                        }
                     }
                 }
             });
@@ -188,5 +202,25 @@ fn all_indices_agree_under_the_same_operation_sequence() {
             .map(|(k, v)| (*k, *v))
             .collect();
         assert_eq!(scanned, expected, "{} range", index.name());
+
+        // The cursor API must agree with the oracle too, including an
+        // upper bound the callback API cannot express.
+        let cursed: Vec<(u64, u64)> = index
+            .scan_bounds(
+                std::ops::Bound::Included(2_000),
+                std::ops::Bound::Excluded(4_000),
+            )
+            .collect();
+        let expected: Vec<(u64, u64)> = oracle.range(2_000..4_000).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(cursed, expected, "{} cursor scan", index.name());
+
+        let mut cursor = index.scan_bounds(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded);
+        let oracle_at = oracle.range(5_000..).next().map(|(k, v)| (*k, *v));
+        assert_eq!(
+            cursor.seek(&5_000),
+            oracle_at,
+            "{} cursor seek",
+            index.name()
+        );
     }
 }

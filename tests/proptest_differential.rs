@@ -63,7 +63,7 @@ proptest! {
                 }
             }
         }
-        list.validate().map_err(|e| TestCaseError::fail(e))?;
+        list.validate().map_err(TestCaseError::fail)?;
         prop_assert_eq!(list.len(), oracle.len());
         let collected: Vec<(u64, u64)> = list.to_vec();
         let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
@@ -112,6 +112,134 @@ proptest! {
         prop_assert!(scanned.iter().all(|k| *k >= start && keys.contains(k)));
         let expected_count = keys.range(start..).take(len).count();
         prop_assert_eq!(scanned.len(), expected_count);
+    }
+
+    /// Cursor differential: on every one of the six `ConcurrentIndex`
+    /// implementations, `scan_bounds` must agree with `BTreeMap::range`
+    /// for arbitrary bounded ranges (half-open and inclusive), empty
+    /// ranges, full scans, trait-level `range` calls, and seeks past the
+    /// end of the data.
+    #[test]
+    fn cursors_match_btreemap_range_on_all_implementations(
+        pairs in proptest::collection::vec((0u64..600, any::<u64>()), 0..250),
+        lo in 0u64..700,
+        span in 0u64..300,
+        seek_to in 0u64..900,
+    ) {
+        use std::ops::Bound;
+        use bskip_suite::{
+            ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree,
+        };
+
+        let bskip: BSkipList<u64, u64, 8> =
+            BSkipList::with_config(BSkipConfig::default().with_max_height(4));
+        let lockfree: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
+        let lazy: LazySkipList<u64, u64> = LazySkipList::new();
+        let nhs: NhsSkipList<u64, u64> = NhsSkipList::new();
+        let btree: OccBTree<u64, u64, 8> = OccBTree::new();
+        let masstree: MasstreeLite<u64, u64> = MasstreeLite::new();
+        let indices: Vec<&dyn ConcurrentIndex<u64, u64>> =
+            vec![&bskip, &lockfree, &lazy, &nhs, &btree, &masstree];
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for (key, value) in &pairs {
+            oracle.insert(*key, *value);
+            for index in &indices {
+                index.insert(*key, *value);
+            }
+        }
+        let hi = lo.saturating_add(span);
+
+        for index in &indices {
+            // Half-open [lo, hi) — empty whenever span == 0.
+            let got: Vec<(u64, u64)> = index
+                .scan_bounds(Bound::Included(lo), Bound::Excluded(hi))
+                .collect();
+            let expected: Vec<(u64, u64)> =
+                oracle.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expected, "{} half-open", index.name());
+
+            // Inclusive [lo, hi].
+            let got: Vec<(u64, u64)> = index
+                .scan_bounds(Bound::Included(lo), Bound::Included(hi))
+                .collect();
+            let expected: Vec<(u64, u64)> =
+                oracle.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expected, "{} inclusive", index.name());
+
+            // Open on both sides.
+            let got: Vec<(u64, u64)> = index
+                .scan_bounds(Bound::Excluded(lo), Bound::Unbounded)
+                .collect();
+            let expected: Vec<(u64, u64)> = oracle
+                .range((Bound::Excluded(lo), Bound::Unbounded))
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            prop_assert_eq!(got, expected, "{} excluded-lo", index.name());
+
+            // Full scan equals the oracle's full contents.
+            let got: Vec<(u64, u64)> = index
+                .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+                .collect();
+            let expected: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expected, "{} full", index.name());
+
+            // The trait-level `range` shim must keep the paper's semantics
+            // now that it is expressed over cursors.
+            let mut via_shim = Vec::new();
+            let visited = index.range(&lo, 40, &mut |k, v| via_shim.push((*k, *v)));
+            let expected: Vec<(u64, u64)> =
+                oracle.range(lo..).take(40).map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(visited, expected.len(), "{} shim count", index.name());
+            prop_assert_eq!(via_shim, expected, "{} shim entries", index.name());
+
+            // Seek agrees with the oracle, including seeks past the end.
+            let mut cursor = index.scan_bounds(Bound::Unbounded, Bound::Unbounded);
+            let landed = cursor.seek(&seek_to);
+            let expected = oracle.range(seek_to..).next().map(|(k, v)| (*k, *v));
+            prop_assert_eq!(landed, expected, "{} seek", index.name());
+            let after = cursor.next();
+            let expected = oracle.range(seek_to..).nth(1).map(|(k, v)| (*k, *v));
+            prop_assert_eq!(after, expected, "{} entry after seek", index.name());
+        }
+    }
+
+    /// Reverse-cursor differential for the B-skiplist, the implementation
+    /// with native `prev` support: a reverse walk over any window matches
+    /// the oracle's reversed range, and direction changes pivot around the
+    /// current entry.
+    #[test]
+    fn bskiplist_reverse_cursor_matches_btreemap(
+        keys in proptest::collection::btree_set(0u64..2_000, 0..300),
+        lo in 0u64..2_200,
+        span in 0u64..800,
+    ) {
+        let list: BSkipList<u64, u64, 8> = BSkipList::new();
+        for &key in &keys {
+            list.insert(key, key ^ 0xF0F0);
+        }
+        let hi = lo.saturating_add(span);
+        let mut cursor = list.scan(lo..=hi);
+        prop_assert!(cursor.supports_prev());
+        let mut reversed = Vec::new();
+        while let Some((k, _)) = cursor.prev() {
+            reversed.push(k);
+        }
+        let expected: Vec<u64> = keys.range(lo..=hi).rev().copied().collect();
+        prop_assert_eq!(reversed, expected);
+
+        // After draining backwards, walking forward replays the window
+        // from just above the resting position.
+        if let Some(first_in_window) = keys.range(lo..=hi).next().copied() {
+            let forward_again: Vec<u64> = std::iter::from_fn(|| cursor.next())
+                .map(|(k, _)| k)
+                .collect();
+            let expected: Vec<u64> = keys
+                .range(lo..=hi)
+                .copied()
+                .filter(|k| *k > first_in_window)
+                .collect();
+            prop_assert_eq!(forward_again, expected);
+        }
     }
 
     /// The baselines also agree with BTreeMap on insert/get/range sequences

@@ -25,14 +25,20 @@ fn exercise(index: &dyn ConcurrentIndex<u64, u64>, name: &str) {
 
     for workload in [Workload::A, Workload::B, Workload::C, Workload::E] {
         let result = run_run_phase(&index, workload, &config);
-        assert_eq!(result.operations, config.operation_count, "{name} {workload:?} ops");
+        assert_eq!(
+            result.operations, config.operation_count,
+            "{name} {workload:?} ops"
+        );
         assert!(
             result.latency.p50_us <= result.latency.p999_us,
             "{name} {workload:?} percentiles must be monotone"
         );
     }
     // Workload C must not change the size; A/B/E inserts only grow it.
-    assert!(index.len() >= config.record_count, "{name} shrank during run phases");
+    assert!(
+        index.len() >= config.record_count,
+        "{name} shrank during run phases"
+    );
 }
 
 #[test]
@@ -89,7 +95,10 @@ fn root_write_lock_gap_between_btree_and_bskiplist() {
     run_load_phase(&bskip, &config);
     let btree_root_locks = btree.root_write_locks();
     let bskip_top_locks = bskip.stats().top_level_write_locks.get();
-    assert!(btree_root_locks > 10, "B+-tree should split during a 10k load");
+    assert!(
+        btree_root_locks > 10,
+        "B+-tree should split during a 10k load"
+    );
     assert!(
         bskip_top_locks * 10 < btree_root_locks,
         "B-skiplist top-level write locks ({bskip_top_locks}) should be far rarer than B+-tree root locks ({btree_root_locks})"

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace-internal
+//! crate implements the subset of criterion's API the workspace's benches
+//! use: benchmark groups with `sample_size` / `measurement_time` /
+//! `warm_up_time` / `throughput`, `bench_function` with `Bencher::iter` and
+//! `Bencher::iter_custom`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs a short warm-up,
+//! then timed batches until the configured measurement time (or sample
+//! count) is reached, and the mean ns/iter plus throughput is printed.
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! benchmark body runs exactly once so CI stays fast.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Total measured time across all recorded iterations.
+    elapsed: Duration,
+    /// Number of recorded iterations.
+    iterations: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the measurement budget
+    /// is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.elapsed = Duration::from_nanos(1);
+            self.iterations = 1;
+            return;
+        }
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        let mut iterations = 0u64;
+        while iterations < self.sample_size as u64
+            || measure_start.elapsed() < self.measurement_time
+        {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iterations += 1;
+            if measure_start.elapsed() >= self.measurement_time.max(Duration::from_secs(1)) * 4 {
+                break;
+            }
+        }
+        self.elapsed = elapsed;
+        self.iterations = iterations.max(1);
+    }
+
+    /// Times `routine` with caller-controlled iteration counts: `routine`
+    /// receives the number of iterations to execute and returns the elapsed
+    /// time for all of them.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        if self.test_mode {
+            self.elapsed = routine(1).max(Duration::from_nanos(1));
+            self.iterations = 1;
+            return;
+        }
+        let mut elapsed = Duration::ZERO;
+        let mut iterations = 0u64;
+        let measure_start = Instant::now();
+        while iterations < self.sample_size as u64
+            && measure_start.elapsed() < self.measurement_time
+        {
+            elapsed += routine(1);
+            iterations += 1;
+        }
+        self.elapsed = elapsed;
+        self.iterations = iterations.max(1);
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Units of work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+        };
+        routine(&mut bencher);
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(elements)) if ns_per_iter > 0.0 => {
+                format!(" ({:.1} Melem/s)", elements as f64 * 1e3 / ns_per_iter)
+            }
+            Some(Throughput::Bytes(bytes)) if ns_per_iter > 0.0 => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    bytes as f64 * 1e9 / ns_per_iter / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.0} ns/iter over {} iterations{}",
+            self.name, id, ns_per_iter, bencher.iterations, throughput
+        );
+        self
+    }
+
+    /// Ends the group (drop also suffices; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench binaries with `--test`; run each
+        // body once in that mode so CI is fast but the code is exercised.
+        let test_mode = std::env::args().any(|arg| arg == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            throughput: None,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("case"), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn iter_custom_accumulates_time() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("custom");
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("fn", 1), |b| {
+            b.iter_custom(|iterations| {
+                calls += 1;
+                Duration::from_nanos(iterations * 10)
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("get", 128).to_string(), "get/128");
+        assert_eq!(BenchmarkId::from_parameter("x/1").to_string(), "x/1");
+    }
+}

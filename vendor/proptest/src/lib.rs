@@ -1,0 +1,527 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace-internal
+//! crate implements the subset of proptest the workspace's tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges
+//!   and tuples;
+//! * [`strategy::any`] for the common primitive types;
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` headers), the
+//!   [`prop_oneof!`] weighted-union macro and the `prop_assert*` macros;
+//! * [`test_runner::Config`] / [`test_runner::TestCaseError`].
+//!
+//! Semantics differences from the real crate: generation is driven by a
+//! deterministic per-test seed (derived from the test name), failures are
+//! **not shrunk** — the failing case number and message are reported as a
+//! panic instead — and strategies are sampled, not explored.
+
+pub mod strategy {
+    use std::collections::BTreeSet;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleUniform, SeedableRng};
+
+    /// Deterministic RNG handed to strategies by the [`crate::proptest!`]
+    /// runner.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Creates a generator for the test named `name` (stable across
+        /// runs, different across tests).
+        pub fn for_test(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Uniform draw from a half-open range.
+        pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+            self.inner.gen_range(range)
+        }
+
+        /// Full-range draw of a primitive.
+        pub fn gen_u64(&mut self) -> u64 {
+            self.inner.gen()
+        }
+    }
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Object safe: [`crate::prop_oneof!`] stores boxed strategies.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+
+    /// Types with a canonical full-range strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    /// Weighted union of strategies (the engine behind
+    /// [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; every weight must be positive.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! requires at least one option"
+            );
+            let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.gen_range(0..self.total_weight);
+            for (weight, option) in &self.options {
+                let weight = u64::from(*weight);
+                if roll < weight {
+                    return option.generate(rng);
+                }
+                roll -= weight;
+            }
+            unreachable!("roll exceeded the total weight")
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`], preserving the value
+    /// type through inference.
+    pub fn weighted<S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Box::new(strategy))
+    }
+
+    /// Collection strategies ([`vec`], [`btree_set`]).
+    pub mod collection {
+        use super::{BTreeSet, Range, Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `Vec` of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>`; like the real proptest, the
+        /// resulting set may be smaller than the drawn size when the
+        /// element strategy produces duplicates.
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `BTreeSet` of up to `size` elements drawn from `element`.
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { element, size }
+        }
+    }
+}
+
+/// Re-export point matching `proptest::collection`.
+pub mod collection {
+    pub use crate::strategy::collection::{btree_set, vec, BTreeSetStrategy, VecStrategy};
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` generated cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Failure of one generated test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed with the contained message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from any message.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(message) => write!(f, "{message}"),
+            }
+        }
+    }
+}
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::weighted($weight as u32, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::weighted(1u32, $strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not the process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn adds_commute(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::strategy::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        error
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(value in 10u64..20) {
+            prop_assert!((10..20).contains(&value));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u64..100, 0usize..4).prop_map(|(a, b)| (a, b * 2)),
+        ) {
+            prop_assert!(pair.0 < 100);
+            prop_assert_eq!(pair.1 % 2, 0);
+        }
+
+        #[test]
+        fn collections_respect_size(
+            values in crate::collection::vec(0u64..50, 1..10),
+            set in crate::collection::btree_set(0u64..50, 0..10),
+        ) {
+            prop_assert!(!values.is_empty() && values.len() < 10);
+            prop_assert!(set.len() < 10);
+            prop_assert!(values.iter().all(|v| *v < 50));
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(choice in prop_oneof![
+            2 => (0u64..1).prop_map(|_| "left"),
+            1 => (0u64..1).prop_map(|_| "right"),
+        ]) {
+            prop_assert!(choice == "left" || choice == "right");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = crate::strategy::TestRng::for_test("x");
+        let mut b = crate::strategy::TestRng::for_test("x");
+        let mut c = crate::strategy::TestRng::for_test("y");
+        assert_eq!(a.gen_u64(), b.gen_u64());
+        assert_ne!(a.gen_u64(), c.gen_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(v in 0u64..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! The build environment of this repository has no access to a crate
+//! registry, so this workspace-internal crate implements exactly the subset
+//! of the `rand` 0.8 surface the workspace uses:
+//!
+//! * [`RngCore`], [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`]
+//!   (`seed_from_u64`, `from_entropy`);
+//! * [`rngs::SmallRng`] and [`rngs::StdRng`], both backed by the splitmix64
+//!   generator (excellent avalanche, passes the statistical checks the
+//!   workspace's tests make, and trivially seedable);
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Distribution quality is more than sufficient for benchmarks and
+//! property tests; this is **not** a cryptographic generator.  Integer
+//! `gen_range` uses a modulo reduction, whose bias is negligible for the
+//! small spans the workspace draws.
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly "from all possible values" by
+/// [`Rng::gen`] (the `Standard` distribution of the real crate).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`Rng::gen_range`] endpoints.
+///
+/// `to_u64` must be an order-preserving bijection into `u64` (signed
+/// types flip the sign bit), so range spans can be computed with plain
+/// unsigned arithmetic even across zero.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Order-preserving widening used internally by the range sampler.
+    fn to_u64(self) -> u64;
+    /// Inverse of [`SampleUniform::to_u64`] for in-range values.
+    fn from_u64(value: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(value: u64) -> Self {
+                value as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                (self as i64 as u64) ^ (1 << 63)
+            }
+            #[inline]
+            fn from_u64(value: u64) -> Self {
+                (value ^ (1 << 63)) as i64 as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.next_u64() % (span + 1))
+    }
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its full-range distribution (uniform for
+    /// the integer types, `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from ad-hoc process entropy (wall clock, a
+    /// process-global counter and the stack address of a local).
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let unique = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let local = 0u8;
+        let address = &local as *const u8 as u64;
+        Self::seed_from_u64(nanos ^ unique.rotate_left(32) ^ address)
+    }
+}
+
+/// The splitmix64 step shared by both generator types.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Fast small-state generator (stand-in for rand's `SmallRng`).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    /// Default generator (stand-in for rand's `StdRng`; same core as
+    /// [`SmallRng`] here, but seeded into a different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Decorrelate from a SmallRng seeded with the same value.
+            StdRng {
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (the only part of rand's `SliceRandom` the
+    /// workspace uses).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_generators_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn std_and_small_streams_differ() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=3);
+            assert!(w <= 3);
+            let s: i32 = rng.gen_range(0..100);
+            assert!((0..100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_signed_ranges_across_zero() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+            saw_positive |= v > 0;
+            let w: i32 = rng.gen_range(-3i32..=-1);
+            assert!((-3..=-1).contains(&w));
+        }
+        assert!(saw_negative && saw_positive, "both signs must be drawn");
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        let draws = 100_000;
+        for _ in 0..draws {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / draws as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let observed = hits as f64 / 100_000.0;
+        assert!((observed - 0.25).abs() < 0.01, "observed {observed}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut values: Vec<u64> = (0..100).collect();
+        values.shuffle(&mut rng);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(values, sorted, "shuffle left the slice fully sorted");
+    }
+
+    #[test]
+    fn from_entropy_produces_distinct_generators() {
+        let mut a = SmallRng::from_entropy();
+        let mut b = SmallRng::from_entropy();
+        // Two generators created back-to-back must not emit the same stream.
+        let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+}
