@@ -272,7 +272,7 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
     /// Range scan: visits up to `len` pairs with keys `>= start` in order.
     ///
     /// Compatibility wrapper over the cursor scan path (the single live
-    /// traversal is [`OccBTree::fetch_batch`]).
+    /// traversal is the private `fetch_batch` primitive).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
         ConcurrentIndex::range(self, start, len, visit)
     }

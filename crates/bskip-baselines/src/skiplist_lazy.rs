@@ -12,14 +12,29 @@
 //! own heap node, so point operations touch one cache line per visited
 //! element — the behaviour the B-skiplist is designed to avoid.
 //!
-//! Physical unlinking of deleted towers is deferred to drop time (the
-//! paper's YCSB workloads never delete).
+//! # Removal and reclamation
+//!
+//! `remove` is the *full* lazy-skiplist deletion: the victim is locked,
+//! logically deleted (`marked`), then its predecessors at every level of
+//! its tower are locked and validated and the tower is physically
+//! unlinked — all while the victim's own lock is held, so no insertion can
+//! link behind it mid-unlink.  Lock acquisition is globally ordered by
+//! descending key (victim first, then its strictly smaller predecessors,
+//! bottom-up), so the scheme stays deadlock-free.  Unlinked towers are
+//! retired to the list's epoch-based collector
+//! ([`bskip_sync::EbrCollector`]): the optimistic traversals never take
+//! locks, so a reader may still hold a pointer to a just-unlinked tower,
+//! and every operation therefore pins the collector for its duration.
+//! The retired-but-unfreed backlog stays bounded by amortized epoch
+//! advancement instead of growing with the delete count.
 
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
-use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
-use bskip_sync::{Backoff, RawRwSpinLock, RwSpinLock};
+use bskip_index::{
+    BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats,
+};
+use bskip_sync::{Backoff, EbrCollector, EbrStats, RawRwSpinLock, RwSpinLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,6 +73,10 @@ struct LazyNode<K, V> {
 }
 
 impl<K, V> LazyNode<K, V> {
+    fn height(&self) -> usize {
+        self.next.len()
+    }
+
     fn new(key: K, value: V, height: usize) -> Box<Self> {
         Box::new(LazyNode {
             key,
@@ -91,6 +110,8 @@ pub struct LazySkipList<K, V> {
     /// new tower's predecessor at some level is the head itself).
     head_lock: RawRwSpinLock,
     len: AtomicUsize,
+    /// Epoch-based collector for towers unlinked by `remove`.
+    collector: EbrCollector,
 }
 
 // SAFETY: nodes are mutated only through atomics, the per-node locks and
@@ -114,7 +135,20 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
                 .into_boxed_slice(),
             head_lock: RawRwSpinLock::new(),
             len: AtomicUsize::new(0),
+            collector: EbrCollector::new(),
         }
+    }
+
+    /// Epoch-reclamation counters for towers retired by `remove`.
+    pub fn reclamation(&self) -> EbrStats {
+        self.collector.stats()
+    }
+
+    /// Attempts one epoch advancement (see
+    /// [`bskip_sync::EbrCollector::try_collect`]); returns the number of
+    /// towers freed.
+    pub fn try_reclaim(&self) -> usize {
+        self.collector.try_collect()
     }
 
     /// # Safety: `pred`, when non-null, must point to a live node of
@@ -167,7 +201,9 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
     pub fn get(&self, key: &K) -> Option<V> {
         let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
         let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
-        // SAFETY: optimistic traversal over never-freed nodes.
+        let _guard = self.collector.pin();
+        // SAFETY: optimistic traversal; the pinned guard keeps every tower
+        // the walk can reach alive even if concurrently unlinked.
         unsafe {
             let found = self.find(key, &mut preds, &mut succs)?;
             let node = succs[found];
@@ -187,22 +223,21 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
         let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
         let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
         let mut backoff = Backoff::new();
+        let _guard = self.collector.pin();
         // SAFETY: lazy-skiplist protocol — predecessors are locked and
-        // validated before any pointer is written.
+        // validated before any pointer is written; the pinned guard keeps
+        // every traversed tower alive.
         unsafe {
             loop {
                 if let Some(found) = self.find(&key, &mut preds, &mut succs) {
                     let node = succs[found];
                     if (*node).marked.load(Ordering::Acquire) {
-                        // Logically deleted: revive it with the new value.
-                        let mut guard = (*node).value.write();
-                        *guard = value;
-                        drop(guard);
-                        if (*node).marked.swap(false, Ordering::AcqRel) {
-                            self.len.fetch_add(1, Ordering::Relaxed);
-                            return None;
-                        }
-                        return None;
+                        // A remover is physically unlinking this tower;
+                        // wait it out, then insert a fresh tower (deleted
+                        // towers are never revived — their remover owns
+                        // them up to retirement).
+                        backoff.snooze();
+                        continue;
                     }
                     if !(*node).fully_linked.load(Ordering::Acquire) {
                         // Another insert of the same key is in flight: wait
@@ -210,8 +245,18 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
                         backoff.snooze();
                         continue;
                     }
-                    let mut guard = (*node).value.write();
-                    let old = std::mem::replace(&mut *guard, value);
+                    let mut value_guard = (*node).value.write();
+                    // Re-validate under the value lock: `remove` reads the
+                    // victim's value (through this same lock) only *after*
+                    // setting `marked`, so seeing it still clear here means
+                    // a racing remove will observe — and report — this
+                    // update rather than silently discarding it.
+                    if (*node).marked.load(Ordering::Acquire) {
+                        drop(value_guard);
+                        backoff.snooze();
+                        continue; // Lost to a remove: wait, then re-insert.
+                    }
+                    let old = std::mem::replace(&mut *value_guard, value);
                     return Some(old);
                 }
 
@@ -261,29 +306,94 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
         }
     }
 
-    /// Logically removes `key`.
+    /// Removes `key`: logical deletion (`marked`) followed by physical
+    /// unlinking at every level and retirement to the epoch collector.
     pub fn remove(&self, key: &K) -> Option<V> {
         let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
         let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
-        // SAFETY: optimistic traversal over never-freed nodes.
+        let mut backoff = Backoff::new();
+        let epoch_guard = self.collector.pin();
+        // SAFETY: the full lazy-skiplist removal protocol described in the
+        // module docs; the pinned guard keeps traversed towers alive.
         unsafe {
-            let found = self.find(key, &mut preds, &mut succs)?;
-            let node = succs[found];
-            if !(*node).fully_linked.load(Ordering::Acquire) {
-                return None;
+            loop {
+                let found = self.find(key, &mut preds, &mut succs)?;
+                let node = succs[found];
+                if (*node).marked.load(Ordering::Acquire) {
+                    // Another remover owns this tower.
+                    return None;
+                }
+                if !(*node).fully_linked.load(Ordering::Acquire) {
+                    // The inserting thread has not finished linking; wait
+                    // so the unlink below sees a complete tower.
+                    backoff.snooze();
+                    continue;
+                }
+                // Commit the logical delete under the victim's own lock;
+                // holding it for the rest of the removal keeps the
+                // victim's forward pointers frozen (inserts that would
+                // link behind the victim must lock it as a predecessor).
+                (*node).lock.lock_exclusive();
+                if (*node).marked.load(Ordering::Acquire) {
+                    (*node).lock.unlock_exclusive();
+                    return None;
+                }
+                (*node).marked.store(true, Ordering::Release);
+                let value = *(*node).value.read();
+                let height = (*node).height();
+
+                // Physically unlink: lock the predecessors bottom-up
+                // (descending key order, consistent with insert), validate
+                // that each still points at the victim, and splice it out
+                // top-down.
+                loop {
+                    let mut unlink_preds = [std::ptr::null_mut(); MAX_LEVELS];
+                    let mut unlink_succs = [std::ptr::null_mut(); MAX_LEVELS];
+                    self.find(key, &mut unlink_preds, &mut unlink_succs);
+                    let mut locked: Vec<*mut LazyNode<K, V>> = Vec::with_capacity(height);
+                    let mut valid = true;
+                    for (level, &pred) in unlink_preds.iter().enumerate().take(height) {
+                        if !locked.contains(&pred) {
+                            self.lock_of(pred).lock_exclusive();
+                            locked.push(pred);
+                        }
+                        let pred_ok = pred.is_null() || !(*pred).marked.load(Ordering::Acquire);
+                        if !(pred_ok && self.slot(pred, level).load(Ordering::Acquire) == node) {
+                            valid = false;
+                            break;
+                        }
+                    }
+                    if valid {
+                        for level in (0..height).rev() {
+                            let next = (*node).next[level].load(Ordering::Relaxed);
+                            self.slot(unlink_preds[level], level)
+                                .store(next, Ordering::Release);
+                        }
+                        for pred in locked {
+                            self.lock_of(pred).unlock_exclusive();
+                        }
+                        break;
+                    }
+                    for pred in locked {
+                        self.lock_of(pred).unlock_exclusive();
+                    }
+                    backoff.snooze();
+                }
+                (*node).lock.unlock_exclusive();
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: the tower is unlinked from every level (no new
+                // traversal can reach it) and this thread won the `marked`
+                // race, so it is retired exactly once.
+                epoch_guard.retire_box(node);
+                return Some(value);
             }
-            if (*node).marked.swap(true, Ordering::AcqRel) {
-                return None;
-            }
-            self.len.fetch_sub(1, Ordering::Relaxed);
-            Some(*(*node).value.read())
         }
     }
 
     /// Range scan over live keys `>= start`.
     ///
     /// Compatibility wrapper over the cursor scan path (the single live
-    /// traversal is [`LazySkipList::fetch_batch`]).
+    /// traversal is the private `fetch_batch` primitive).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
         ConcurrentIndex::range(self, start, len, visit)
     }
@@ -298,7 +408,10 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
     fn fetch_batch(&self, from: Bound<K>, max: usize, out: &mut Vec<(K, V)>) {
         let mut preds = [std::ptr::null_mut(); MAX_LEVELS];
         let mut succs = [std::ptr::null_mut(); MAX_LEVELS];
-        // SAFETY: optimistic traversal over never-freed nodes.
+        let _guard = self.collector.pin();
+        // SAFETY: optimistic traversal; the guard pins the epoch for the
+        // duration of the batch, so concurrently unlinked towers (whose
+        // forward pointers stay intact) remain dereferenceable.
         unsafe {
             let mut curr = match &from {
                 Bound::Unbounded => self.head[0].load(Ordering::Acquire),
@@ -331,7 +444,10 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
 
 impl<K, V> Drop for LazySkipList<K, V> {
     fn drop(&mut self) {
-        // SAFETY: exclusive access; every tower is on the bottom level once.
+        // SAFETY: exclusive access; every still-linked tower appears on the
+        // bottom level exactly once.  Removed towers were unlinked from
+        // every level and retired, so the collector (dropped right after
+        // this body) frees them — nothing is freed twice.
         unsafe {
             let mut curr = self.head[0].load(Ordering::Relaxed);
             while !curr.is_null() {
@@ -368,7 +484,8 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LazySkipList<K, V> {
         "lazy skiplist"
     }
     fn stats(&self) -> IndexStats {
-        IndexStats::new().with("keys", self.len() as u64)
+        ReclamationStats::from(self.collector.stats())
+            .append_to(IndexStats::new().with("keys", self.len() as u64))
     }
 }
 
@@ -436,6 +553,65 @@ mod tests {
             count += 1;
         });
         assert_eq!(count, threads * per_thread);
+    }
+
+    #[test]
+    fn removal_is_physical_and_backlog_drains() {
+        let list: LazySkipList<u64, u64> = LazySkipList::new();
+        for round in 0..20u64 {
+            for key in 0..200u64 {
+                list.insert(key, key + round);
+            }
+            for key in 0..200u64 {
+                assert_eq!(list.remove(&key), Some(key + round), "round {round}");
+            }
+        }
+        assert_eq!(list.len(), 0);
+        let stats = list.reclamation();
+        assert_eq!(stats.retired, 20 * 200, "every removed tower is retired");
+        assert!(
+            stats.backlog < stats.retired / 2,
+            "amortized collection keeps the backlog bounded (backlog {})",
+            stats.backlog
+        );
+        for _ in 0..4 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.reclamation().backlog, 0);
+        // Keys are re-insertable after physical removal.
+        assert_eq!(list.insert(7, 70), None);
+        assert_eq!(list.get(&7), Some(70));
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn_stays_consistent() {
+        let list = Arc::new(LazySkipList::<u64, u64>::new());
+        let threads = 4u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let list = Arc::clone(&list);
+                scope.spawn(move || {
+                    // Each thread owns a disjoint key range, so every
+                    // insert/remove outcome is deterministic.
+                    let base = t * 10_000;
+                    for round in 0..40u64 {
+                        for key in base..base + 250 {
+                            assert_eq!(list.insert(key, round), None);
+                        }
+                        for key in base..base + 250 {
+                            assert_eq!(list.remove(&key), Some(round));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len(), 0);
+        let stats = list.reclamation();
+        assert_eq!(stats.retired, threads * 40 * 250);
+        for _ in 0..4 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.reclamation().backlog, 0);
     }
 
     #[test]

@@ -287,7 +287,7 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
     /// Range scan over live keys `>= start`.
     ///
     /// Compatibility wrapper over the cursor scan path (the single live
-    /// traversal is [`NhsSkipList::fetch_batch`]).
+    /// traversal is the private `fetch_batch` primitive).
     pub fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
         ConcurrentIndex::range(self, start, len, visit)
     }

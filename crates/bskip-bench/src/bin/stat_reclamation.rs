@@ -1,0 +1,127 @@
+//! Live-vs-retired node tracking under the delete-churn workloads.
+//!
+//! The paper's YCSB mixes (Load, A, B, C, E) never delete, so they cannot
+//! observe the one failure mode that disqualifies an index for sustained
+//! production traffic: memory that grows linearly with the remove count.
+//! This experiment runs the churn mix (25/25/25/25 insert/read/update/
+//! remove) in time slices against every index that retires removed nodes
+//! through the epoch-based collector, and prints, per slice:
+//!
+//! * `live keys` — the index's logical size;
+//! * `retired` / `freed` — cumulative nodes handed to and released by the
+//!   collector;
+//! * `backlog` — retired-but-unfreed nodes, the quantity the epoch
+//!   machinery must keep **bounded** (a leak shows up as a backlog that
+//!   grows with every slice);
+//! * `epoch` — the collector's global epoch (advancing epochs are what
+//!   drain the bags).
+//!
+//! A workload D (read-latest) pass is included for throughput context.
+//!
+//! Scale via `BSKIP_RECORDS` / `BSKIP_OPS` / `BSKIP_THREADS` as usual.
+
+use bskip_bench::{experiment_config, format_row, print_header, IndexKind};
+use bskip_ycsb::{run_load_phase, run_run_phase, Workload, YcsbConfig};
+
+/// Churn slices per index: enough to see whether the backlog trends flat
+/// or linear.
+const SLICES: usize = 8;
+
+/// The indices that retire removed nodes through the collector.
+const RECLAIMING: [IndexKind; 3] = [
+    IndexKind::BSkipList,
+    IndexKind::LockFreeSkipList,
+    IndexKind::LazySkipList,
+];
+
+fn main() {
+    let (config, _) = experiment_config();
+    println!(
+        "Delete-churn reclamation tracking, {} records, {} ops/slice x {} slices, {} threads",
+        config.record_count,
+        config.operation_count / SLICES,
+        SLICES,
+        config.threads
+    );
+
+    for kind in RECLAIMING {
+        let index = kind.build();
+        let handle = index.as_index();
+        run_load_phase(&handle, &config);
+        index.settle_after_load();
+
+        print_header(
+            &format!("{} — churn mix", kind.label()),
+            &[
+                "slice",
+                "ops",
+                "mops",
+                "live keys",
+                "retired",
+                "freed",
+                "backlog",
+                "epoch",
+            ],
+        );
+        let slice_config = YcsbConfig {
+            operation_count: (config.operation_count / SLICES).max(1),
+            ..config
+        };
+        let mut max_backlog = 0u64;
+        for slice in 0..SLICES {
+            let result = run_run_phase(&handle, Workload::Churn, &slice_config);
+            let stats = handle.stats();
+            let reclamation = stats
+                .reclamation()
+                .expect("reclaiming index exports EBR stats");
+            max_backlog = max_backlog.max(reclamation.backlog);
+            println!(
+                "{}",
+                format_row(&[
+                    slice.to_string(),
+                    result.operations.to_string(),
+                    format!("{:.3}", result.mops()),
+                    handle.len().to_string(),
+                    reclamation.retired.to_string(),
+                    reclamation.freed.to_string(),
+                    reclamation.backlog.to_string(),
+                    reclamation.epoch.to_string(),
+                ])
+            );
+        }
+        let final_stats = handle.stats();
+        let reclamation = final_stats.reclamation().unwrap();
+        println!(
+            "max backlog {} over {} retirements ({:.2}% of retired kept in flight)",
+            max_backlog,
+            reclamation.retired,
+            if reclamation.retired > 0 {
+                100.0 * max_backlog as f64 / reclamation.retired as f64
+            } else {
+                0.0
+            }
+        );
+    }
+
+    print_header(
+        "Workload D (read-latest) throughput",
+        &["index", "mops", "p50 us", "p999 us"],
+    );
+    for kind in IndexKind::ALL {
+        let index = kind.build();
+        let handle = index.as_index();
+        run_load_phase(&handle, &config);
+        index.settle_after_load();
+        let result = run_run_phase(&handle, Workload::D, &config);
+        println!(
+            "{}",
+            format_row(&[
+                kind.label().to_string(),
+                format!("{:.3}", result.mops()),
+                format!("{:.2}", result.latency.p50_us),
+                format!("{:.2}", result.latency.p999_us),
+            ])
+        );
+    }
+    println!("\nA bounded backlog column (flat, not growing with slices) is the pass criterion.");
+}

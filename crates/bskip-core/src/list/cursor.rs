@@ -17,10 +17,26 @@
 //!   pointer under the same lock; the following refill locks that
 //!   neighbour directly, so steady-state forward scans cost one lock
 //!   acquisition per node, not one descent per node.  Unlinked (empty)
-//!   nodes encountered on the walk are skipped; they are never reclaimed
-//!   while the cursor's borrow of the list is alive (reclamation happens in
-//!   [`super::BSkipList`]'s `Drop`), so following their frozen `next`
-//!   pointers is sound.
+//!   nodes encountered on the walk are skipped.
+//!
+//! # Why the paused pointer walk is memory-safe
+//!
+//! Between refills the cursor holds a raw pointer (`next_leaf`) to a node
+//! it is *not* locking — and a concurrent `remove` may unlink exactly that
+//! node and retire it to the list's epoch-based collector.  The cursor is
+//! safe because it holds a **pinned [`EbrGuard`]** for its entire
+//! lifetime, created *before* any pointer is captured: the collector
+//! never frees a node retired after the guard pinned, so every pointer
+//! the cursor captured since — including an unlinked node's frozen `next`
+//! pointer, which the unlink protocol leaves intact — stays dereferenceable
+//! until the cursor drops (or [`IndexCursor::seek`] re-pins, which first
+//! discards every captured pointer).  This replaces the seed's blunter
+//! argument ("unlinked nodes are never freed until the list drops"), which
+//! no longer holds now that removal reclaims memory eagerly.
+//!
+//! The flip side: a cursor parked for a long time holds its epoch pinned
+//! and lets the retired-node backlog grow.  `seek` re-pins, and dropping
+//! the cursor releases the epoch entirely.
 //! * **Reverse** (`prev`): the leaf level has no back pointers, so every
 //!   reverse refill performs a fresh descent biased to the *greatest* key
 //!   below the current position and snapshots that leaf's in-range slots in
@@ -44,6 +60,7 @@ use std::ptr;
 
 use bskip_index::cursor::{above_lower, below_upper};
 use bskip_index::{IndexCursor, IndexKey, IndexValue};
+use bskip_sync::EbrGuard;
 
 use super::{lock_node, unlock_node, BSkipList, Mode};
 use crate::node::{Node, NodeSearch};
@@ -63,6 +80,10 @@ where
     V: IndexValue,
 {
     list: &'a BSkipList<K, V, B>,
+    /// Epoch pin protecting every raw pointer the cursor captures
+    /// (notably `next_leaf`); see the module docs.  Held for the cursor's
+    /// lifetime, refreshed by `seek`.
+    guard: EbrGuard<'a>,
     lo: Bound<K>,
     hi: Bound<K>,
     /// Slots copied out of the most recently visited leaf; ascending for
@@ -99,6 +120,7 @@ impl<'a, K: IndexKey, V: IndexValue, const B: usize> LeafCursor<'a, K, V, B> {
     ) -> Self {
         LeafCursor {
             list,
+            guard: list.collector().pin(),
             lo,
             hi,
             batch: Vec::with_capacity(B),
@@ -330,9 +352,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> IndexCursor<K, V> for LeafCurso
                 return None;
             }
             let leaf = self.next_leaf;
-            // SAFETY: `leaf` was read from a locked node and nodes are only
-            // reclaimed when the list is dropped, which our borrow of the
-            // list prevents; locking it (re-)establishes the protocol.
+            // SAFETY: `leaf` was read from a locked node after `self.guard`
+            // pinned, so even if a concurrent remove has since unlinked and
+            // retired it, the collector cannot free it while the guard is
+            // alive; locking it (re-)establishes the protocol.
             unsafe {
                 lock_node(leaf, Mode::Read);
                 self.snapshot_forward(leaf, &bound);
@@ -384,6 +407,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> IndexCursor<K, V> for LeafCurso
         self.current = None;
         self.forward_floor = from;
         self.next_leaf = ptr::null_mut();
+        // Every captured pointer has just been discarded, so this is a
+        // safe point to re-pin: long-lived cursors that seek periodically
+        // do not hold the epoch (and thus the retired-node backlog) back.
+        self.guard.repin();
         self.descend_and_snapshot_forward(from);
         self.next()
     }

@@ -26,6 +26,7 @@
 use std::ptr;
 
 use bskip_index::{IndexKey, IndexValue};
+use bskip_sync::EbrGuard;
 
 use super::{lock_node, unlock_node, BSkipList, Mode};
 use crate::node::{Node, NodeSearch};
@@ -84,13 +85,24 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         if let Some(stats) = self.stats_enabled() {
             stats.inserts.incr();
         }
+        // Pin for the whole pass: the traversal needs epoch protection and
+        // duplicate-key splices retire the nodes they empty (step 4's
+        // never-linked pre-allocations stay thread-private and are freed
+        // directly under the same guard).
+        let guard = self.collector().pin();
         // SAFETY: the body upholds the hand-over-hand locking protocol
         // documented on `Node`: guarded state is only read under a shared
         // or exclusive lock and only written under an exclusive lock.
-        unsafe { self.insert_inner(key, value, height) }
+        unsafe { self.insert_inner(key, value, height, &guard) }
     }
 
-    unsafe fn insert_inner(&self, key: K, value: V, height: usize) -> Option<V> {
+    unsafe fn insert_inner(
+        &self,
+        key: K,
+        value: V,
+        height: usize,
+        guard: &EbrGuard<'_>,
+    ) -> Option<V> {
         // Step 1: pre-allocate (and pre-lock) the nodes for levels
         // `height-1 .. 0`, chained through their first child pointer.
         let mut prealloc: Vec<*mut Node<K, V, B>> = Vec::with_capacity(height);
@@ -347,7 +359,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             if level == 0 {
                 release.release();
                 if !unlinked.is_null() {
-                    self.defer_free(unlinked);
+                    self.defer_free(guard, unlinked);
                 }
                 break;
             }
@@ -356,7 +368,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             lock_node(descend_child, child_mode);
             release.release();
             if !unlinked.is_null() {
-                self.defer_free(unlinked);
+                self.defer_free(guard, unlinked);
             }
             curr = descend_child;
             prev = ptr::null_mut();
@@ -364,8 +376,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             level -= 1;
         }
 
-        // Step 4: reclaim pre-allocated nodes that were never linked in
-        // (only happens when the key already existed).
+        // Step 4: discard pre-allocated nodes that were never linked in
+        // (only happens when the key already existed).  They were never
+        // reachable from any head, so no other thread can hold a pointer
+        // to them and they are freed directly rather than retired.
         for &node in &prealloc[..free_below] {
             Node::free(node);
         }

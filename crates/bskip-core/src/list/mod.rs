@@ -26,10 +26,10 @@ mod validate;
 use std::marker::PhantomData;
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use bskip_index::cursor::clone_bound;
-use bskip_index::{ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
+use bskip_index::{ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats};
+use bskip_sync::{EbrCollector, EbrGuard, EbrStats};
 
 use self::cursor::LeafCursor;
 
@@ -124,9 +124,11 @@ where
     len: AtomicUsize,
     /// Structural statistics (only updated when `config.collect_stats`).
     stats: BSkipStats,
-    /// Nodes unlinked by `remove` whose memory is reclaimed on drop.  See
-    /// the crate documentation for the reclamation discussion.
-    garbage: Mutex<Vec<*mut Node<K, V, B>>>,
+    /// Epoch-based collector that reclaims nodes unlinked by `remove` (and
+    /// by duplicate-key splices during `insert`) once no traversal can
+    /// still reach them.  See the crate documentation for the reclamation
+    /// discussion.
+    collector: EbrCollector,
     _marker: PhantomData<(K, V)>,
 }
 
@@ -177,7 +179,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             config,
             len: AtomicUsize::new(0),
             stats: BSkipStats::new(),
-            garbage: Mutex::new(Vec::new()),
+            collector: EbrCollector::new(),
             _marker: PhantomData,
         }
     }
@@ -249,9 +251,41 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         self.len.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Defers reclamation of an unlinked node until the list is dropped.
-    pub(crate) fn defer_free(&self, node: *mut Node<K, V, B>) {
-        self.garbage.lock().unwrap().push(node);
+    /// The list's epoch-based collector; traversals pin it and unlinked
+    /// nodes are retired to it.
+    #[inline]
+    pub(crate) fn collector(&self) -> &EbrCollector {
+        &self.collector
+    }
+
+    /// Retires an unlinked node to the collector; its memory is freed once
+    /// every traversal that could still reach it has finished.
+    ///
+    /// The caller must have physically unlinked `node` (no head-reachable
+    /// pointer leads to it) while holding the write locks the unlink
+    /// protocol requires, and must retire each node exactly once.
+    pub(crate) fn defer_free(&self, guard: &EbrGuard<'_>, node: *mut Node<K, V, B>) {
+        // SAFETY: per the contract above, `node` is unreachable for new
+        // traversals and retired once; nodes are allocated by
+        // `Box::into_raw` in `Node::alloc_*` and their keys/values are
+        // `Copy` + `Send`, so the deferred drop may run on any thread.
+        unsafe { guard.retire_box(node) };
+    }
+
+    /// Epoch-reclamation counters: how many unlinked nodes were retired,
+    /// how many have been freed, and the current backlog.
+    pub fn reclamation(&self) -> EbrStats {
+        self.collector.stats()
+    }
+
+    /// Attempts one epoch advancement, freeing the garbage that has aged
+    /// out of its grace period; returns the number of nodes freed.
+    ///
+    /// Reclamation is already amortized into the mutation paths; this
+    /// entry point lets maintenance code (e.g. a memtable flush) drain the
+    /// backlog at a known-quiescent moment.
+    pub fn try_reclaim(&self) -> usize {
+        self.collector.try_collect()
     }
 
     /// Samples a promotion height for a new insertion.
@@ -268,6 +302,11 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         if let Some(stats) = self.stats_enabled() {
             stats.finds.incr();
         }
+        // Pin the epoch: between reading a node's `next` pointer and
+        // locking the successor (and while spinning on a lock owned by a
+        // concurrent remover), the traversal holds pointers to nodes that
+        // a remove may have just unlinked and retired.
+        let _guard = self.collector.pin();
         // SAFETY: `descend_to_leaf_read` returns the leaf read-locked; its
         // contents are read under that lock, which is then released.
         unsafe {
@@ -469,8 +508,9 @@ impl<K: IndexKey, V: IndexValue, const B: usize> Drop for BSkipList<K, V, B> {
     fn drop(&mut self) {
         // SAFETY: `&mut self` guarantees no concurrent accessors; every node
         // reachable from a head belongs to this list and is freed exactly
-        // once (deferred-free nodes were unlinked and are therefore not
-        // reachable from any head).
+        // once.  Retired nodes were unlinked (and are therefore not
+        // reachable from any head); the collector's own `Drop` drains them
+        // right after this body runs.
         unsafe {
             for &head in self.heads.iter() {
                 let mut node = head;
@@ -479,9 +519,6 @@ impl<K: IndexKey, V: IndexValue, const B: usize> Drop for BSkipList<K, V, B> {
                     Node::free(node);
                     node = next;
                 }
-            }
-            for &node in self.garbage.lock().unwrap().iter() {
-                Node::free(node);
             }
         }
     }
@@ -513,7 +550,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkip
     }
 
     fn stats(&self) -> IndexStats {
-        self.stats.snapshot()
+        ReclamationStats::from(self.collector.stats()).append_to(self.stats.snapshot())
     }
 
     fn reset_stats(&self) {
@@ -740,6 +777,80 @@ mod tests {
         assert!(stats.get("levels_visited").unwrap() > 0);
         list.reset_stats();
         assert_eq!(ConcurrentIndex::stats(&list).get("finds"), Some(0));
+    }
+
+    #[test]
+    fn removal_retires_nodes_and_epochs_drain_the_backlog() {
+        let list = List::with_config(small_config());
+        for round in 0..50u64 {
+            for key in 0..100u64 {
+                list.insert(key, key + round);
+            }
+            for key in 0..100u64 {
+                assert_eq!(list.remove(&key), Some(key + round));
+            }
+        }
+        let stats = list.reclamation();
+        assert!(stats.retired > 0, "emptied nodes must be retired");
+        assert_eq!(stats.backlog, stats.retired - stats.freed);
+        // Amortized collection keeps the backlog far below the total
+        // retirement count.
+        assert!(
+            stats.backlog < stats.retired / 2,
+            "backlog {} vs retired {}",
+            stats.backlog,
+            stats.retired
+        );
+        // At a quiescent point, a few explicit collections drain it fully.
+        for _ in 0..4 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.reclamation().backlog, 0);
+        // Reclamation counters ride along on the uniform stats surface.
+        let snapshot = ConcurrentIndex::stats(&list);
+        let reclamation = snapshot.reclamation().expect("ebr stats exported");
+        assert_eq!(reclamation.backlog, 0);
+        assert_eq!(reclamation.retired, stats.retired);
+        // The list stays fully usable afterwards.
+        list.insert(1, 1);
+        assert_eq!(list.get(&1), Some(1));
+        list.validate().expect("structure after churn");
+    }
+
+    #[test]
+    fn open_cursor_pins_retired_nodes_until_dropped() {
+        let list = List::with_config(small_config());
+        for key in 0..64u64 {
+            list.insert(key, key);
+        }
+        let mut cursor = list.scan(..);
+        assert_eq!(cursor.next(), Some((0, 0)));
+        // Remove everything ahead of the cursor, emptying (and retiring)
+        // nodes the cursor may still walk onto.
+        for key in 1..64u64 {
+            list.remove(&key);
+        }
+        let pinned_backlog = list.reclamation().backlog;
+        assert!(pinned_backlog > 0, "unlinking must retire nodes");
+        // The pinned cursor blocks the grace period: no amount of
+        // collecting may free what it can still reach.
+        for _ in 0..8 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.reclamation().freed, 0);
+        // The cursor keeps walking safely over the churned region;
+        // already-snapshotted entries may still be yielded, in ascending
+        // order, and the walk terminates.
+        let mut previous = 0u64;
+        while let Some((key, _)) = cursor.next() {
+            assert!(key > previous, "cursor went backwards after churn");
+            previous = key;
+        }
+        drop(cursor);
+        for _ in 0..4 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.reclamation().backlog, 0);
     }
 
     #[test]

@@ -12,12 +12,17 @@
 //! its level.  The predecessor needed for the unlink is available because
 //! the traversal retains the previous node's lock at each level (the same
 //! "at most three locks, two levels" discipline as insertion).  Unlinked
-//! nodes are reclaimed when the list is dropped; see the crate-level
-//! documentation for the discussion of reclamation under races.
+//! nodes are **retired to the list's epoch-based collector** under the
+//! removal's pinned guard: their memory is freed once every traversal
+//! that was in flight at unlink time (and could therefore still hold a
+//! pointer to the node — e.g. a reader spinning on its lock, or a paused
+//! cursor about to follow a frozen `next` pointer) has finished.  See the
+//! crate-level documentation for the full reclamation discussion.
 
 use std::ptr;
 
 use bskip_index::{IndexKey, IndexValue};
+use bskip_sync::EbrGuard;
 
 use super::{lock_node, unlock_node, BSkipList, Mode};
 use crate::node::{Node, NodeSearch};
@@ -27,12 +32,16 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         if let Some(stats) = self.stats_enabled() {
             stats.removes.incr();
         }
+        // Pin for the whole pass: the traversal itself needs epoch
+        // protection (like any read path), and every node this removal
+        // unlinks is retired under this guard.
+        let guard = self.collector().pin();
         // SAFETY: hand-over-hand write locking throughout; guarded node
         // state is only accessed under the corresponding lock.
-        unsafe { self.remove_inner(key) }
+        unsafe { self.remove_inner(key, &guard) }
     }
 
-    unsafe fn remove_inner(&self, key: &K) -> Option<V> {
+    unsafe fn remove_inner(&self, key: &K, guard: &EbrGuard<'_>) -> Option<V> {
         let mut level = self.top_level();
         let mut curr = self.head(level);
         lock_node(curr, Mode::Write);
@@ -123,7 +132,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                 }
                 unlock_node(curr, Mode::Write);
                 if !unlinked.is_null() {
-                    self.defer_free(unlinked);
+                    self.defer_free(guard, unlinked);
                 }
                 break;
             }
@@ -134,7 +143,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             }
             unlock_node(curr, Mode::Write);
             if !unlinked.is_null() {
-                self.defer_free(unlinked);
+                self.defer_free(guard, unlinked);
             }
             curr = descend_child;
             prev = ptr::null_mut();

@@ -19,9 +19,16 @@
 //!   cannot pause mid-traversal.  The paper's `range(k, f, length)`
 //!   callback operation survives as a provided compatibility method
 //!   implemented over cursors.
+//! * [`ConcurrentIndexExt`] — blanket extension restoring the
+//!   `RangeBounds` scan sugar for `dyn ConcurrentIndex` callers, which the
+//!   `Self: Sized` bound on [`ConcurrentIndex::scan`] would otherwise lock
+//!   out.
 //! * [`IndexStats`] — a uniform way to export the structural counters the
 //!   evaluation section reports (root write-lock acquisitions, horizontal
-//!   steps per level, leaf nodes per range query, OCC retries, ...).
+//!   steps per level, leaf nodes per range query, OCC retries, ...), plus
+//!   [`ReclamationStats`] — the epoch-reclamation block (retired / freed /
+//!   backlog node counts) exported by every index that retires removed
+//!   nodes to an [`bskip_sync::EbrCollector`].
 //!
 //! # Cursor consistency contract
 //!
@@ -42,5 +49,5 @@ mod traits;
 
 pub use cursor::{BatchCursor, Cursor, IndexCursor};
 pub use key::{IndexKey, IndexValue};
-pub use stats::{IndexStats, StatValue};
-pub use traits::ConcurrentIndex;
+pub use stats::{IndexStats, ReclamationStats, StatValue};
+pub use traits::{ConcurrentIndex, ConcurrentIndexExt};

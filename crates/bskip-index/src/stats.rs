@@ -80,6 +80,83 @@ impl IndexStats {
     }
 }
 
+/// The memory-reclamation counters an epoch-collecting index exports.
+///
+/// Every index that retires removed nodes through an
+/// [`bskip_sync::EbrCollector`] surfaces that collector's counters in its
+/// [`IndexStats`] snapshot under a uniform set of names, so drivers and
+/// experiment binaries (the `stat_reclamation` binary, the churn stress
+/// tests) can track live-vs-retired node counts without knowing the
+/// concrete index type.  `backlog` is the quantity the epoch machinery
+/// keeps bounded: retired-but-unfreed nodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclamationStats {
+    /// Nodes handed to the collector since construction.
+    pub retired: u64,
+    /// Nodes whose deferred drop has run.
+    pub freed: u64,
+    /// Nodes retired but not yet freed (`retired - freed`).
+    pub backlog: u64,
+    /// The collector's current global epoch.
+    pub epoch: u64,
+    /// Successful epoch advancements.
+    pub advances: u64,
+}
+
+impl ReclamationStats {
+    /// The stat names under which the counters appear in an
+    /// [`IndexStats`] snapshot, in field order.
+    pub const NAMES: [&'static str; 5] = [
+        "ebr_retired",
+        "ebr_freed",
+        "ebr_backlog",
+        "ebr_epoch",
+        "ebr_advances",
+    ];
+
+    /// Appends the counters to a snapshot under the uniform names.
+    pub fn append_to(self, stats: IndexStats) -> IndexStats {
+        stats
+            .with("ebr_retired", self.retired)
+            .with("ebr_freed", self.freed)
+            .with("ebr_backlog", self.backlog)
+            .with("ebr_epoch", self.epoch)
+            .with("ebr_advances", self.advances)
+    }
+
+    /// Recovers the counters from a snapshot; `None` when the index does
+    /// not export reclamation statistics.
+    pub fn from_stats(stats: &IndexStats) -> Option<Self> {
+        Some(ReclamationStats {
+            retired: stats.get("ebr_retired")?,
+            freed: stats.get("ebr_freed")?,
+            backlog: stats.get("ebr_backlog")?,
+            epoch: stats.get("ebr_epoch")?,
+            advances: stats.get("ebr_advances")?,
+        })
+    }
+}
+
+impl From<bskip_sync::EbrStats> for ReclamationStats {
+    fn from(ebr: bskip_sync::EbrStats) -> Self {
+        ReclamationStats {
+            retired: ebr.retired,
+            freed: ebr.freed,
+            backlog: ebr.backlog,
+            epoch: ebr.epoch,
+            advances: ebr.advances,
+        }
+    }
+}
+
+impl IndexStats {
+    /// The reclamation counters embedded in this snapshot, if the index
+    /// exports them (see [`ReclamationStats`]).
+    pub fn reclamation(&self) -> Option<ReclamationStats> {
+        ReclamationStats::from_stats(self)
+    }
+}
+
 impl fmt::Display for IndexStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, entry) in self.entries.iter().enumerate() {
@@ -143,5 +220,30 @@ mod tests {
     #[test]
     fn stat_value_display() {
         assert_eq!(StatValue::new("k", 3).to_string(), "k=3");
+    }
+
+    #[test]
+    fn reclamation_round_trips_through_a_snapshot() {
+        let reclamation = ReclamationStats {
+            retired: 100,
+            freed: 90,
+            backlog: 10,
+            epoch: 7,
+            advances: 6,
+        };
+        let stats = reclamation.append_to(IndexStats::new().with("finds", 1));
+        assert_eq!(stats.get("finds"), Some(1));
+        assert_eq!(stats.get("ebr_backlog"), Some(10));
+        assert_eq!(stats.reclamation(), Some(reclamation));
+        // Indices without a collector export no reclamation block.
+        assert_eq!(IndexStats::new().with("keys", 3).reclamation(), None);
+    }
+
+    #[test]
+    fn reclamation_from_collector_stats() {
+        let collector = bskip_sync::EbrCollector::new();
+        let reclamation = ReclamationStats::from(collector.stats());
+        assert_eq!(reclamation, ReclamationStats::default());
+        assert_eq!(ReclamationStats::NAMES.len(), 5);
     }
 }

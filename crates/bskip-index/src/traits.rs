@@ -36,7 +36,7 @@ use crate::{IndexKey, IndexStats, IndexValue};
 ///
 /// Implementations that can pause mid-traversal (the B-skiplist walks leaf
 /// nodes and snapshots one locked node at a time) provide native cursors;
-/// the others adapt their traversal with [`BatchCursor`].  See
+/// the others adapt their traversal with [`crate::BatchCursor`].  See
 /// [`crate::cursor`] for the consistency contract cursors provide under
 /// concurrent mutation.
 pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
@@ -51,8 +51,13 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
     /// Removes `key`, returning its value if it was present.
     ///
     /// The YCSB core workloads used in the paper (Load, A, B, C, E) never
-    /// delete, so some baselines only support logical removal; they document
-    /// that on their implementation.
+    /// delete, but the workspace's delete-churn workloads (D, churn) do —
+    /// so removal must be *physical*: the B-skiplist and the skiplist
+    /// baselines unlink removed nodes and retire them to an epoch-based
+    /// collector ([`bskip_sync::EbrCollector`]), keeping steady-state
+    /// memory bounded under any mix.  Indices that retire nodes surface
+    /// the collector's counters through [`ConcurrentIndex::stats`] (see
+    /// [`crate::ReclamationStats`]).
     fn remove(&self, key: &K) -> Option<V>;
 
     /// Opens a [`Cursor`] over the entries whose keys lie between `lo` and
@@ -125,6 +130,45 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
 
     /// Resets all statistics counters (called between benchmark phases).
     fn reset_stats(&self) {}
+}
+
+/// Range-expression scans for unsized (`dyn`) indices.
+///
+/// [`ConcurrentIndex::scan`] is generic over [`RangeBounds`], which forces
+/// a `Self: Sized` bound — so `&dyn ConcurrentIndex<K, V>` callers were
+/// locked out of the sugar and had to spell out
+/// [`ConcurrentIndex::scan_bounds`] with explicit [`Bound`]s.  This
+/// extension trait restores the ergonomic form for every index shape,
+/// sized or not; it is blanket-implemented, so bringing it into scope is
+/// all a caller needs:
+///
+/// ```ignore
+/// use bskip_index::{ConcurrentIndex, ConcurrentIndexExt};
+///
+/// fn page(index: &dyn ConcurrentIndex<u64, u64>) -> Vec<(u64, u64)> {
+///     index.scan_range(100..200).take(50).collect()
+/// }
+/// ```
+///
+/// (The method is named `scan_range` rather than `scan` so that calls on
+/// sized indices, where both traits apply, stay unambiguous.)
+pub trait ConcurrentIndexExt<K: IndexKey, V: IndexValue>: ConcurrentIndex<K, V> {
+    /// Opens a [`Cursor`] over `range` (any [`RangeBounds`] expression);
+    /// the `dyn`-friendly equivalent of [`ConcurrentIndex::scan`].
+    fn scan_range<R: RangeBounds<K>>(&self, range: R) -> Cursor<'_, K, V> {
+        self.scan_bounds(
+            clone_bound(range.start_bound()),
+            clone_bound(range.end_bound()),
+        )
+    }
+}
+
+impl<K, V, I> ConcurrentIndexExt<K, V> for I
+where
+    K: IndexKey,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V> + ?Sized,
+{
 }
 
 /// Forwards every `ConcurrentIndex` method through one level of
@@ -332,6 +376,22 @@ mod tests {
         // `dyn` callers reach cursors through the object-safe primitive.
         let mut cursor = by_ref.scan_bounds(Bound::Unbounded, Bound::Unbounded);
         assert_eq!(cursor.next(), Some((1, 2)));
+
+        // ... or through the extension trait's range sugar, which does not
+        // carry `scan`'s `Self: Sized` bound.
+        let window: Vec<(u64, u64)> = by_ref.scan_range(..).collect();
+        assert_eq!(window, vec![(1, 2)]);
+        index.insert(5, 50);
+        index.insert(9, 90);
+        let bounded: Vec<u64> = by_ref.scan_range(2..=5).map(|(k, _)| k).collect();
+        assert_eq!(bounded, vec![5]);
+        let mut cursor = by_ref.scan_range(..9);
+        assert_eq!(cursor.seek(&4), Some((5, 50)));
+        // The sugar also works through `Box<dyn ...>` and on sized types.
+        let boxed: Box<dyn ConcurrentIndex<u64, u64>> = Box::new(MutexBTreeMap::new());
+        boxed.insert(3, 30);
+        assert_eq!(boxed.scan_range(..).count(), 1);
+        assert_eq!(index.scan_range(..=1).count(), 1);
 
         let arc = std::sync::Arc::new(MutexBTreeMap::new());
         arc.insert(3, 4);

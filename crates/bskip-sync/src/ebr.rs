@@ -1,0 +1,552 @@
+//! Epoch-based memory reclamation (EBR) for the workspace's concurrent
+//! indices.
+//!
+//! Every index in this repository hands out raw pointers into
+//! lock-protected or lock-free linked structures.  Removal physically
+//! unlinks a node, but the node's memory cannot be freed immediately:
+//! another thread may still hold a pointer to it — a traversal spinning on
+//! the node's embedded lock, a lock-free reader walking a frozen `next`
+//! chain, or a paused cursor.  The original workspace dodged the problem by
+//! deferring **all** reclamation to drop time, which leaks memory linearly
+//! under remove-heavy workloads.  This module solves it properly with the
+//! classic three-phase epoch scheme (Fraser, *Practical lock-freedom*,
+//! §5.2.3):
+//!
+//! * A [`EbrCollector`] owns a **global epoch** counter and a fixed array
+//!   of **participant slots**.
+//! * A thread *pins* the collector ([`EbrCollector::pin`]) before
+//!   traversing the protected structure, claiming a slot that advertises
+//!   the epoch it observed; the returned [`EbrGuard`] un-pins on drop.
+//! * Unlinked nodes are *retired* ([`EbrGuard::retire_box`]) into a
+//!   per-epoch **deferred-drop bag** instead of being freed.
+//! * The global epoch can only advance when every pinned participant has
+//!   observed the current epoch ([`EbrCollector::try_collect`]); once the
+//!   epoch has advanced far enough past a bag's epoch, no pinned thread can
+//!   still hold a pointer into it and the bag is drained (its deferred
+//!   drops run).
+//!
+//! Advancement is **amortized**: every `RETIRES_PER_COLLECT` retirements
+//! the retiring thread attempts a collection, so the retired-but-unfreed
+//! backlog stays bounded by a small constant times the number of active
+//! participants — it does not grow with the total operation count.
+//!
+//! # Grace period
+//!
+//! A bag filed under epoch `e` is drained only once the global epoch
+//! reaches `e + 3`.  The standard argument needs two epochs; the third
+//! absorbs the one-epoch slack between a retiring thread's *pinned* epoch
+//! (under which its garbage is filed) and the global epoch, which may have
+//! advanced once past it: while a thread is pinned at `e` the global epoch
+//! is at most `e + 1`, so every thread that could have acquired a pointer
+//! to the retired node (i.e. was pinned when the node was still reachable)
+//! is pinned at an epoch `<= e + 1` — and the epoch can only reach `e + 3`
+//! after two further advances, each of which required all of those guards
+//! to have ended.
+//!
+//! # Scope
+//!
+//! This collector is deliberately simpler than a general-purpose library
+//! like crossbeam-epoch (which the offline build environment does not
+//! provide): participants are per-guard slots rather than registered
+//! threads, bags are mutex-protected (retirement is already the slow path —
+//! it only happens when a remove empties a whole node), and collectors are
+//! owned per index instance so dropping the index drains everything.
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::{Backoff, CachePadded};
+
+/// Number of participant slots: the maximum number of simultaneously
+/// pinned guards.  `pin` spins (it never fails) when all slots are taken;
+/// the workspace never holds more than a few guards per thread, so this
+/// accommodates far more threads than any benchmark configuration.
+const SLOTS: usize = 256;
+
+/// Retirements between amortized collection attempts.
+const RETIRES_PER_COLLECT: u64 = 64;
+
+/// Bags cycle through `epoch % BAGS`; see the grace-period discussion in
+/// the module docs for why the cycle must be at least four long (current
+/// epoch + three grace epochs).
+const BAGS: usize = 4;
+
+/// A type-erased deferred destruction: `drop_fn(ptr)` frees the object.
+struct Deferred {
+    ptr: *mut (),
+    drop_fn: unsafe fn(*mut ()),
+}
+
+// SAFETY: a `Deferred` is just a pending `drop` of an object whose owner
+// has already relinquished it; `retire_box` requires the payload to be
+// `Send`, so the drop may run on whichever thread drains the bag.
+unsafe impl Send for Deferred {}
+
+/// Monotonic counters describing a collector's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EbrStats {
+    /// Objects handed to the collector since construction.
+    pub retired: u64,
+    /// Objects whose deferred drop has run.
+    pub freed: u64,
+    /// Objects retired but not yet freed (`retired - freed`): the backlog
+    /// the epoch machinery keeps bounded.
+    pub backlog: u64,
+    /// Current global epoch.
+    pub epoch: u64,
+    /// Number of successful epoch advancements.
+    pub advances: u64,
+}
+
+/// An epoch-based garbage collector for one concurrent data structure.
+///
+/// See the [module documentation](self) for the scheme.  Typical use:
+///
+/// ```
+/// use bskip_sync::EbrCollector;
+///
+/// let collector = EbrCollector::new();
+/// let guard = collector.pin();
+/// // ... traverse the structure, unlink a node `ptr: *mut T` ...
+/// let ptr = Box::into_raw(Box::new(42u64));
+/// // SAFETY: `ptr` is unlinked (unreachable for new traversals) and is
+/// // retired exactly once.
+/// unsafe { guard.retire_box(ptr) };
+/// drop(guard);
+/// assert!(collector.stats().backlog >= 1);
+/// // With no guard pinned, a few collections drain every bag.
+/// for _ in 0..4 {
+///     collector.try_collect();
+/// }
+/// assert_eq!(collector.stats().backlog, 0);
+/// ```
+pub struct EbrCollector {
+    /// Global epoch.
+    global: CachePadded<AtomicUsize>,
+    /// Participant slots: `0` = vacant, otherwise `(epoch << 1) | 1`.
+    slots: Box<[CachePadded<AtomicUsize>]>,
+    /// Deferred-drop bags, indexed by `epoch % BAGS`.
+    bags: [Mutex<Vec<Deferred>>; BAGS],
+    retired: AtomicU64,
+    freed: AtomicU64,
+    advances: AtomicU64,
+    /// Retirements since the last collection attempt.
+    since_collect: AtomicU64,
+}
+
+// SAFETY: all shared state is atomics or mutex-protected; `Deferred` is
+// `Send` (see above).
+unsafe impl Send for EbrCollector {}
+unsafe impl Sync for EbrCollector {}
+
+impl Default for EbrCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EbrCollector {
+    /// Creates a collector with no participants and empty bags.
+    pub fn new() -> Self {
+        EbrCollector {
+            global: CachePadded::new(AtomicUsize::new(0)),
+            slots: (0..SLOTS)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            bags: [const { Mutex::new(Vec::new()) }; BAGS],
+            retired: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+            advances: AtomicU64::new(0),
+            since_collect: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the current thread as a participant, returning a guard that
+    /// un-pins on drop.
+    ///
+    /// While any guard is alive, no object retired after the guard was
+    /// created will be freed — that is the protection traversals rely on.
+    /// Guards should therefore be short-lived: a guard held across a long
+    /// pause blocks epoch advancement and lets the retired backlog grow.
+    pub fn pin(&self) -> EbrGuard<'_> {
+        let start = slot_hint();
+        let mut backoff = Backoff::new();
+        loop {
+            let epoch = self.global.load(Ordering::SeqCst);
+            let tagged = (epoch << 1) | 1;
+            for offset in 0..SLOTS {
+                let slot = (start + offset) % SLOTS;
+                if self.slots[slot]
+                    .compare_exchange(0, tagged, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Republish until the advertised epoch matches the
+                    // global epoch observed *after* publication; this is
+                    // the usual store-then-validate pin protocol that
+                    // keeps a pinned participant within one epoch of the
+                    // global counter.
+                    let mut advertised = epoch;
+                    loop {
+                        let now = self.global.load(Ordering::SeqCst);
+                        if now == advertised {
+                            return EbrGuard {
+                                collector: self,
+                                slot,
+                                epoch: advertised,
+                            };
+                        }
+                        self.slots[slot].store((now << 1) | 1, Ordering::SeqCst);
+                        advertised = now;
+                    }
+                }
+            }
+            // All slots taken: another guard must end before this thread
+            // can participate.
+            backoff.snooze();
+        }
+    }
+
+    /// Files a deferred drop under `epoch` and occasionally collects.
+    fn retire(&self, epoch: usize, deferred: Deferred) {
+        self.bags[epoch % BAGS].lock().unwrap().push(deferred);
+        self.retired.fetch_add(1, Ordering::Relaxed);
+        if self.since_collect.fetch_add(1, Ordering::Relaxed) + 1 >= RETIRES_PER_COLLECT {
+            self.since_collect.store(0, Ordering::Relaxed);
+            self.try_collect();
+        }
+    }
+
+    /// Attempts to advance the global epoch and drain the bag that has
+    /// aged out of its grace period.  Returns the number of objects freed
+    /// (0 when some participant still pins an older epoch, or when the
+    /// drained bag was empty).
+    ///
+    /// Collection runs automatically every `RETIRES_PER_COLLECT`
+    /// retirements; indices expose this entry point so that maintenance
+    /// code (a memtable flush, a test harness) can drain the backlog at a
+    /// quiescent point — with no guard alive, four calls empty every bag.
+    pub fn try_collect(&self) -> usize {
+        let epoch = self.global.load(Ordering::SeqCst);
+        for slot in self.slots.iter() {
+            let value = slot.load(Ordering::SeqCst);
+            if value & 1 == 1 && (value >> 1) != epoch {
+                return 0; // A participant has not yet observed `epoch`.
+            }
+        }
+        if self
+            .global
+            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return 0; // Another thread advanced concurrently.
+        }
+        self.advances.fetch_add(1, Ordering::Relaxed);
+        // The new epoch is `epoch + 1`; the bag for `epoch + 2 (mod BAGS)`
+        // holds garbage filed under epoch `epoch - 2`, which has now aged
+        // three full epochs.
+        let drained = {
+            let mut bag = self.bags[(epoch + 2) % BAGS].lock().unwrap();
+            std::mem::take(&mut *bag)
+        };
+        let freed = drained.len();
+        for deferred in drained {
+            // SAFETY: the epoch algebra above guarantees no pinned
+            // participant can still reach the object; `retire_box`'s
+            // contract guarantees it was retired exactly once.
+            unsafe { (deferred.drop_fn)(deferred.ptr) };
+        }
+        if freed > 0 {
+            self.freed.fetch_add(freed as u64, Ordering::Relaxed);
+        }
+        freed
+    }
+
+    /// Snapshot of the collector's counters.
+    pub fn stats(&self) -> EbrStats {
+        let retired = self.retired.load(Ordering::Relaxed);
+        let freed = self.freed.load(Ordering::Relaxed);
+        EbrStats {
+            retired,
+            freed,
+            backlog: retired.saturating_sub(freed),
+            epoch: self.global.load(Ordering::Relaxed) as u64,
+            advances: self.advances.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of objects retired but not yet freed.
+    pub fn backlog(&self) -> u64 {
+        self.stats().backlog
+    }
+
+    /// Runs every pending deferred drop immediately.
+    ///
+    /// `&mut self` guarantees no guard is alive (guards borrow the
+    /// collector), so every bag can be drained regardless of epochs.
+    pub fn drain_all(&mut self) {
+        let mut freed = 0u64;
+        for bag in &self.bags {
+            let drained = std::mem::take(&mut *bag.lock().unwrap());
+            freed += drained.len() as u64;
+            for deferred in drained {
+                // SAFETY: exclusive access proves no participant exists.
+                unsafe { (deferred.drop_fn)(deferred.ptr) };
+            }
+        }
+        self.freed.fetch_add(freed, Ordering::Relaxed);
+    }
+}
+
+impl Drop for EbrCollector {
+    fn drop(&mut self) {
+        self.drain_all();
+    }
+}
+
+impl std::fmt::Debug for EbrCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EbrCollector")
+            .field("epoch", &stats.epoch)
+            .field("retired", &stats.retired)
+            .field("freed", &stats.freed)
+            .field("backlog", &stats.backlog)
+            .finish()
+    }
+}
+
+/// Spreads concurrent `pin` calls across the slot array so threads do not
+/// all contend on slot 0.  Derived from the address of a thread-local, so
+/// it is stable per thread and needs no registration.
+fn slot_hint() -> usize {
+    thread_local! {
+        static HINT: u8 = const { 0 };
+    }
+    HINT.with(|hint| {
+        let address = hint as *const u8 as usize;
+        // Fibonacci hash of the TLS address.
+        address.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (usize::BITS - 8)
+    }) % SLOTS
+}
+
+/// An active participant handle; while alive, objects retired after its
+/// creation are not freed.  Created by [`EbrCollector::pin`], un-pins on
+/// drop.
+pub struct EbrGuard<'a> {
+    collector: &'a EbrCollector,
+    slot: usize,
+    epoch: usize,
+}
+
+impl EbrGuard<'_> {
+    /// The epoch this guard is pinned at.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Retires a heap object for deferred destruction: once no pinned
+    /// guard can still reach it, the collector runs `drop(Box::from_raw)`
+    /// on it.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have come from `Box::into_raw` for the same `T`.
+    /// * The object must already be **unreachable for new traversals**
+    ///   (physically unlinked); only threads pinned at or before this
+    ///   guard's epoch may still hold pointers to it.
+    /// * Each object must be retired at most once, and never freed by any
+    ///   other path afterwards.
+    /// * `T` must be safe to drop on another thread (`T: Send`-like); the
+    ///   deferred drop runs on whichever thread drains the bag.
+    pub unsafe fn retire_box<T>(&self, ptr: *mut T) {
+        unsafe fn drop_box<T>(ptr: *mut ()) {
+            drop(Box::from_raw(ptr as *mut T));
+        }
+        self.collector.retire(
+            self.epoch,
+            Deferred {
+                ptr: ptr as *mut (),
+                drop_fn: drop_box::<T>,
+            },
+        );
+    }
+
+    /// Un-pins and immediately re-pins at the current epoch, letting the
+    /// global epoch advance past the guard's original pin.  Long-lived
+    /// holders (cursors) call this at points where they hold **no**
+    /// pointers into the protected structure — any pointer obtained before
+    /// `repin` must be considered dangling afterwards.
+    pub fn repin(&mut self) {
+        self.collector.slots[self.slot].store(0, Ordering::SeqCst);
+        let mut advertised = None;
+        loop {
+            let now = self.collector.global.load(Ordering::SeqCst);
+            if advertised == Some(now) {
+                self.epoch = now;
+                return;
+            }
+            self.collector.slots[self.slot].store((now << 1) | 1, Ordering::SeqCst);
+            advertised = Some(now);
+        }
+    }
+}
+
+impl Drop for EbrGuard<'_> {
+    fn drop(&mut self) {
+        self.collector.slots[self.slot].store(0, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for EbrGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EbrGuard")
+            .field("slot", &self.slot)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    /// A payload that counts its drops.
+    struct Counted(Arc<StdAtomicUsize>);
+
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn retire_counted(guard: &EbrGuard<'_>, drops: &Arc<StdAtomicUsize>) {
+        let ptr = Box::into_raw(Box::new(Counted(Arc::clone(drops))));
+        unsafe { guard.retire_box(ptr) };
+    }
+
+    #[test]
+    fn retired_objects_survive_until_epochs_advance() {
+        let collector = EbrCollector::new();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let guard = collector.pin();
+        retire_counted(&guard, &drops);
+        // Pinned guard: no amount of collecting may free the object.
+        for _ in 0..10 {
+            collector.try_collect();
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+        drop(guard);
+        for _ in 0..BAGS {
+            collector.try_collect();
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        let stats = collector.stats();
+        assert_eq!(stats.retired, 1);
+        assert_eq!(stats.freed, 1);
+        assert_eq!(stats.backlog, 0);
+        assert!(stats.advances >= BAGS as u64);
+    }
+
+    #[test]
+    fn pinned_guard_blocks_advancement() {
+        let collector = EbrCollector::new();
+        let before = collector.stats().epoch;
+        let _guard = collector.pin();
+        // The first collect can advance (the guard observed the current
+        // epoch), but the second cannot: the guard now lags.
+        collector.try_collect();
+        assert_eq!(collector.try_collect(), 0);
+        assert!(collector.stats().epoch <= before + 1);
+    }
+
+    #[test]
+    fn repin_unblocks_advancement() {
+        let collector = EbrCollector::new();
+        let mut guard = collector.pin();
+        for _ in 0..3 {
+            collector.try_collect();
+            guard.repin();
+        }
+        assert!(collector.stats().epoch >= 3);
+    }
+
+    #[test]
+    fn dropping_the_collector_frees_the_backlog() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        {
+            let collector = EbrCollector::new();
+            let guard = collector.pin();
+            for _ in 0..17 {
+                retire_counted(&guard, &drops);
+            }
+            drop(guard);
+            // No collects: everything is still in the bags.
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn amortized_collection_bounds_the_backlog() {
+        let collector = EbrCollector::new();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        for _ in 0..10_000 {
+            let guard = collector.pin();
+            retire_counted(&guard, &drops);
+        }
+        let stats = collector.stats();
+        assert_eq!(stats.retired, 10_000);
+        // Guards were all short-lived, so the periodic collections kept
+        // the backlog to a few collection periods, not 10 000.
+        assert!(
+            stats.backlog <= 8 * RETIRES_PER_COLLECT,
+            "backlog {} did not stay bounded",
+            stats.backlog
+        );
+    }
+
+    #[test]
+    fn concurrent_pin_retire_is_safe_and_bounded() {
+        let collector = Arc::new(EbrCollector::new());
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let threads = 8;
+        let per_thread = 4_000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let collector = Arc::clone(&collector);
+                let drops = Arc::clone(&drops);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        let guard = collector.pin();
+                        retire_counted(&guard, &drops);
+                    }
+                });
+            }
+        });
+        let stats = collector.stats();
+        assert_eq!(stats.retired, threads * per_thread);
+        assert_eq!(
+            stats.freed,
+            drops.load(Ordering::Relaxed) as u64,
+            "freed counter must match actual drops"
+        );
+        // Quiescent: a handful of collections drain everything.
+        for _ in 0..BAGS {
+            collector.try_collect();
+        }
+        assert_eq!(collector.stats().backlog, 0);
+        assert_eq!(drops.load(Ordering::Relaxed) as u64, threads * per_thread);
+    }
+
+    #[test]
+    fn many_simultaneous_guards_fit_in_the_slot_array() {
+        let collector = EbrCollector::new();
+        let guards: Vec<_> = (0..64).map(|_| collector.pin()).collect();
+        assert!(guards.iter().all(|g| g.epoch() == guards[0].epoch()));
+        drop(guards);
+        collector.try_collect();
+        assert!(collector.stats().epoch >= 1);
+    }
+}

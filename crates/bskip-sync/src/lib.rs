@@ -18,6 +18,10 @@
 //!   (root-write-lock counts, horizontal steps per level, ...).
 //! * [`SpinLatch`] — a tiny one-shot latch used by tests and the NHS-style
 //!   baseline's background thread for start/stop signalling.
+//! * [`EbrCollector`] / [`EbrGuard`] — epoch-based memory reclamation: the
+//!   deferred-drop machinery that lets every index physically unlink and
+//!   eventually free removed nodes while lock-free readers and paused
+//!   cursors may still hold pointers to them.  See [`ebr`] for the scheme.
 //!
 //! All primitives are `no_std`-friendly in spirit (they only rely on
 //! `core::sync::atomic` plus `std::thread::yield_now` for politeness under
@@ -30,12 +34,14 @@
 
 mod backoff;
 mod counter;
+pub mod ebr;
 mod latch;
 mod padded;
 mod rwlock;
 
 pub use backoff::Backoff;
 pub use counter::RelaxedCounter;
+pub use ebr::{EbrCollector, EbrGuard, EbrStats};
 pub use latch::SpinLatch;
 pub use padded::CachePadded;
 pub use rwlock::{RawRwSpinLock, RwSpinLock, RwSpinLockReadGuard, RwSpinLockWriteGuard};

@@ -10,15 +10,22 @@
 //! ([`ConcurrentIndex::scan`]): it opens a cursor at the chosen record key
 //! and takes the drawn number of entries, which exercises the same
 //! cursor path real scan consumers (pagination, compaction) use.
+//!
+//! The delete-churn mixes ride on the same machinery: workload D's reads
+//! target *recently inserted* records (a Zipfian over recency anchored at
+//! the shared insert watermark), and the churn mix's updates and removes
+//! target a uniform draw over everything inserted so far — so removes
+//! chase run-phase inserts and the index reaches a steady state in which
+//! reclamation, not accumulation, governs memory.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use bskip_index::ConcurrentIndex;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::keygen::{record_key, Distribution, KeyChooser};
+use crate::keygen::{record_key, Distribution, KeyChooser, ZipfianGenerator};
 use crate::latency::{LatencyRecorder, LatencySummary, BATCH_SIZE};
 use crate::workload::{Operation, Workload};
 
@@ -191,6 +198,9 @@ where
                     );
                     let chooser =
                         KeyChooser::new(config.distribution, config.record_count.max(1) as u64);
+                    // Workload D's "latest" distribution: a Zipfian over
+                    // recency, anchored at the shared insert watermark.
+                    let latest = ZipfianGenerator::new(config.record_count.max(2) as u64);
                     let mut recorder = LatencyRecorder::with_capacity(ops / BATCH_SIZE + 1);
                     let mut scan_sink = 0u64;
                     let mut batch_start = Instant::now();
@@ -198,7 +208,21 @@ where
                     for _ in 0..ops {
                         let operation = workload.next_operation(
                             &mut rng,
-                            |rng| chooser.next_index(rng),
+                            |rng| {
+                                if workload.reads_latest() {
+                                    let watermark = insert_cursor.load(Ordering::Relaxed).max(1);
+                                    let offset = latest.next_rank(rng) % watermark;
+                                    watermark - 1 - offset
+                                } else {
+                                    chooser.next_index(rng)
+                                }
+                            },
+                            // Updates and removes target everything
+                            // inserted so far, loaded or run-phase.
+                            |rng| {
+                                let watermark = insert_cursor.load(Ordering::Relaxed).max(1);
+                                rng.gen_range(0..watermark)
+                            },
                             || insert_cursor.fetch_add(1, Ordering::Relaxed),
                         );
                         match operation {
@@ -209,6 +233,16 @@ where
                             Operation::Insert { index: logical } => {
                                 let key = record_key(logical);
                                 index_ref.insert(key, logical);
+                            }
+                            Operation::Update { index: logical } => {
+                                // YCSB updates are field rewrites: an
+                                // upsert of the (possibly removed) record.
+                                let key = record_key(logical);
+                                index_ref.insert(key, logical.wrapping_add(1));
+                            }
+                            Operation::Remove { index: logical } => {
+                                let key = record_key(logical);
+                                let _ = index_ref.remove(&key);
                             }
                             Operation::Scan {
                                 index: logical,
@@ -304,6 +338,46 @@ mod tests {
         run_load_phase(&index, &config);
         let result = run_run_phase(&index, Workload::E, &config);
         assert_eq!(result.operations, 5_000);
+    }
+
+    #[test]
+    fn run_phase_workload_d_reads_latest_and_grows_the_index() {
+        let index: BSkipList<u64, u64> = BSkipList::new();
+        let config = small_config();
+        run_load_phase(&index, &config);
+        let before = index.len();
+        let result = run_run_phase(&index, Workload::D, &config);
+        assert_eq!(result.operations, config.operation_count);
+        assert!(index.len() > before, "workload D inserts new records");
+    }
+
+    #[test]
+    fn run_phase_churn_removes_and_reclaims() {
+        let index: BSkipList<u64, u64> = BSkipList::new();
+        let config = small_config();
+        run_load_phase(&index, &config);
+        let before = index.len();
+        let result = run_run_phase(&index, Workload::Churn, &config);
+        assert_eq!(result.operations, config.operation_count);
+        // 25% inserts vs 25% removes over a mostly-live key space: the
+        // index must actually shrink-or-hold rather than grow by the full
+        // insert count (removes are physical and mostly hit live keys).
+        let inserted = config.operation_count / 4;
+        assert!(
+            index.len() < before + inserted,
+            "churn removes must offset inserts (len {} vs {} + {})",
+            index.len(),
+            before,
+            inserted
+        );
+        // The B-skiplist retires unlinked nodes; the uniform stats
+        // surface shows bounded backlog.
+        let stats = ConcurrentIndex::stats(&index);
+        let reclamation = stats.reclamation().expect("B-skiplist exports EBR stats");
+        assert!(
+            reclamation.backlog <= reclamation.retired,
+            "backlog can never exceed retirement"
+        );
     }
 
     #[test]

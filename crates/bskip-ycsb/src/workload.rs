@@ -1,4 +1,5 @@
-//! The YCSB core workload mixes used in the paper (Table 2).
+//! The YCSB core workload mixes used in the paper (Table 2), plus the
+//! workspace's delete-churn extensions (workload D and a 4-way churn mix).
 
 use rand::Rng;
 
@@ -15,6 +16,16 @@ pub enum Operation {
         /// Logical index of the new record (beyond the loaded range).
         index: u64,
     },
+    /// In-place update (upsert) of an existing record.
+    Update {
+        /// Logical index of the record to update.
+        index: u64,
+    },
+    /// Removal of an existing record.
+    Remove {
+        /// Logical index of the record to remove.
+        index: u64,
+    },
     /// Short range scan starting at an existing record.
     Scan {
         /// Logical index of the first record.
@@ -24,7 +35,8 @@ pub enum Operation {
     },
 }
 
-/// The YCSB core workloads evaluated in the paper.
+/// The YCSB core workloads evaluated in the paper, plus the delete-churn
+/// mixes that exercise the epoch-reclamation machinery.
 ///
 /// | Workload | Mix |
 /// |---|---|
@@ -32,9 +44,15 @@ pub enum Operation {
 /// | A | 50% finds, 50% inserts |
 /// | B | 95% finds, 5% inserts |
 /// | C | 100% finds |
+/// | D | 95% finds of the *latest* records, 5% inserts |
 /// | E | 95% short range scans (≤ 100), 5% inserts |
+/// | Churn | 25% inserts, 25% finds, 25% updates, 25% removes |
 ///
-/// Workload D (read-latest) is omitted, as in the paper.
+/// The paper evaluates Load/A/B/C/E only (its workloads contain no
+/// deletes); D (read-latest) and Churn open the delete-heavy workload
+/// space that bounded reclamation makes viable — under Churn the index
+/// reaches a steady state where removes retire nodes as fast as inserts
+/// allocate them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// The load phase: 100% inserts into an empty index.
@@ -45,21 +63,42 @@ pub enum Workload {
     B,
     /// 100% finds.
     C,
+    /// 95% finds skewed to recently inserted records / 5% inserts
+    /// (YCSB's read-latest workload).
+    D,
     /// 95% short scans / 5% inserts.
     E,
+    /// 25% inserts / 25% finds / 25% updates / 25% removes — the
+    /// delete-churn mix that keeps steady-state memory bounded only if
+    /// removed nodes are actually reclaimed.
+    Churn,
 }
 
 impl Workload {
-    /// All run-phase workloads in the order the paper's figures use.
+    /// The run-phase workloads of the paper's figures, in their order.
     pub const RUN_WORKLOADS: [Workload; 4] = [Workload::A, Workload::B, Workload::C, Workload::E];
 
-    /// All workloads including the load phase.
+    /// The paper's workloads including the load phase.
     pub const ALL: [Workload; 5] = [
         Workload::Load,
         Workload::A,
         Workload::B,
         Workload::C,
         Workload::E,
+    ];
+
+    /// The delete-churn mixes this workspace adds beyond the paper.
+    pub const DELETE_MIXES: [Workload; 2] = [Workload::D, Workload::Churn];
+
+    /// Every workload: the paper's set plus the delete-churn mixes.
+    pub const EXTENDED: [Workload; 7] = [
+        Workload::Load,
+        Workload::A,
+        Workload::B,
+        Workload::C,
+        Workload::D,
+        Workload::E,
+        Workload::Churn,
     ];
 
     /// Display label (matches the paper's figure axes).
@@ -69,7 +108,9 @@ impl Workload {
             Workload::A => "A",
             Workload::B => "B",
             Workload::C => "C",
+            Workload::D => "D",
             Workload::E => "E",
+            Workload::Churn => "Churn",
         }
     }
 
@@ -80,7 +121,9 @@ impl Workload {
             Workload::A => 0.5,
             Workload::B => 0.95,
             Workload::C => 1.0,
+            Workload::D => 0.95,
             Workload::E => 0.0,
+            Workload::Churn => 0.25,
         }
     }
 
@@ -91,7 +134,26 @@ impl Workload {
             Workload::A => 0.5,
             Workload::B => 0.05,
             Workload::C => 0.0,
+            Workload::D => 0.05,
             Workload::E => 0.05,
+            Workload::Churn => 0.25,
+        }
+    }
+
+    /// Fraction of operations that are in-place updates of existing
+    /// records.
+    pub fn update_fraction(&self) -> f64 {
+        match self {
+            Workload::Churn => 0.25,
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of operations that are removals.
+    pub fn remove_fraction(&self) -> f64 {
+        match self {
+            Workload::Churn => 0.25,
+            _ => 0.0,
         }
     }
 
@@ -103,53 +165,88 @@ impl Workload {
         }
     }
 
+    /// Whether point reads target *recently inserted* records (YCSB's
+    /// "latest" request distribution) instead of the configured loaded
+    /// distribution.  Only workload D.
+    pub fn reads_latest(&self) -> bool {
+        matches!(self, Workload::D)
+    }
+
+    /// Whether the mix contains removals (and therefore exercises the
+    /// reclamation machinery).
+    pub fn has_removes(&self) -> bool {
+        self.remove_fraction() > 0.0
+    }
+
     /// Maximum scan length (YCSB's `max_scan_length`, 100 in the paper).
     pub fn max_scan_len(&self) -> usize {
         100
     }
 
-    /// Parses a workload name (`load`, `a`, `b`, `c`, `e`), case-insensitive.
+    /// Parses a workload name (`load`, `a`, `b`, `c`, `d`, `e`, `churn`),
+    /// case-insensitive.
     pub fn parse(name: &str) -> Option<Workload> {
         match name.to_ascii_lowercase().as_str() {
             "load" => Some(Workload::Load),
             "a" => Some(Workload::A),
             "b" => Some(Workload::B),
             "c" => Some(Workload::C),
+            "d" => Some(Workload::D),
             "e" => Some(Workload::E),
+            "churn" => Some(Workload::Churn),
             _ => None,
         }
     }
 
     /// Draws the next run-phase operation.
     ///
-    /// `choose_index` supplies the logical index of an existing record
-    /// (uniform or zipfian); `next_insert_index` supplies a fresh logical
-    /// index for inserts (monotonically increasing across all threads).
-    pub fn next_operation<R, FExisting, FNew>(
+    /// `choose_index` supplies the logical index of an existing record for
+    /// reads and scans (uniform, zipfian, or — for workload D — latest);
+    /// `choose_mutation_index` supplies the target of updates and removes
+    /// (drawn over everything inserted so far, so churn reaches run-phase
+    /// inserts too); `next_insert_index` supplies a fresh logical index
+    /// for inserts (monotonically increasing across all threads).
+    pub fn next_operation<R, FExisting, FMutation, FNew>(
         &self,
         rng: &mut R,
         mut choose_index: FExisting,
+        mut choose_mutation_index: FMutation,
         mut next_insert_index: FNew,
     ) -> Operation
     where
         R: Rng + ?Sized,
         FExisting: FnMut(&mut R) -> u64,
+        FMutation: FnMut(&mut R) -> u64,
         FNew: FnMut() -> u64,
     {
         let roll: f64 = rng.gen();
-        if roll < self.read_fraction() {
-            Operation::Read {
+        let mut boundary = self.read_fraction();
+        if roll < boundary {
+            return Operation::Read {
                 index: choose_index(rng),
-            }
-        } else if roll < self.read_fraction() + self.scan_fraction() {
-            Operation::Scan {
+            };
+        }
+        boundary += self.scan_fraction();
+        if roll < boundary {
+            return Operation::Scan {
                 index: choose_index(rng),
                 len: rng.gen_range(1..=self.max_scan_len()),
-            }
-        } else {
-            Operation::Insert {
-                index: next_insert_index(),
-            }
+            };
+        }
+        boundary += self.update_fraction();
+        if roll < boundary {
+            return Operation::Update {
+                index: choose_mutation_index(rng),
+            };
+        }
+        boundary += self.remove_fraction();
+        if roll < boundary {
+            return Operation::Remove {
+                index: choose_mutation_index(rng),
+            };
+        }
+        Operation::Insert {
+            index: next_insert_index(),
         }
     }
 }
@@ -160,29 +257,58 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn draw(workload: Workload, rng: &mut StdRng) -> Operation {
+        workload.next_operation(
+            rng,
+            |r| r.gen_range(0..100),
+            |r| r.gen_range(0..100),
+            || 1000,
+        )
+    }
+
     #[test]
     fn fractions_sum_to_one() {
-        for workload in Workload::ALL {
-            let total =
-                workload.read_fraction() + workload.insert_fraction() + workload.scan_fraction();
+        for workload in Workload::EXTENDED {
+            let total = workload.read_fraction()
+                + workload.insert_fraction()
+                + workload.update_fraction()
+                + workload.remove_fraction()
+                + workload.scan_fraction();
             assert!((total - 1.0).abs() < 1e-9, "{workload:?} mixes to {total}");
         }
     }
 
     #[test]
     fn parse_round_trips_labels() {
-        for workload in Workload::ALL {
+        for workload in Workload::EXTENDED {
             assert_eq!(Workload::parse(workload.label()), Some(workload));
         }
         assert_eq!(Workload::parse("LOAD"), Some(Workload::Load));
-        assert_eq!(Workload::parse("d"), None);
+        assert_eq!(Workload::parse("CHURN"), Some(Workload::Churn));
+        assert_eq!(Workload::parse("f"), None);
+    }
+
+    #[test]
+    fn extended_set_is_all_plus_delete_mixes() {
+        for workload in Workload::ALL {
+            assert!(Workload::EXTENDED.contains(&workload));
+            assert!(!workload.has_removes(), "paper workloads never delete");
+        }
+        for workload in Workload::DELETE_MIXES {
+            assert!(Workload::EXTENDED.contains(&workload));
+            assert!(!Workload::ALL.contains(&workload));
+        }
+        assert!(Workload::Churn.has_removes());
+        assert!(!Workload::D.has_removes());
+        assert!(Workload::D.reads_latest());
+        assert!(!Workload::B.reads_latest());
     }
 
     #[test]
     fn workload_c_generates_only_reads() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
-            let op = Workload::C.next_operation(&mut rng, |r| r.gen_range(0..100), || 1000);
+            let op = draw(Workload::C, &mut rng);
             assert!(matches!(op, Operation::Read { .. }));
         }
     }
@@ -193,8 +319,7 @@ mod tests {
         let mut inserts = 0;
         let trials = 20_000;
         for _ in 0..trials {
-            let op = Workload::A.next_operation(&mut rng, |r| r.gen_range(0..100), || 7);
-            if matches!(op, Operation::Insert { .. }) {
+            if matches!(draw(Workload::A, &mut rng), Operation::Insert { .. }) {
                 inserts += 1;
             }
         }
@@ -207,12 +332,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut scans = 0;
         for _ in 0..10_000 {
-            let op = Workload::E.next_operation(&mut rng, |r| r.gen_range(0..100), || 7);
-            if let Operation::Scan { len, .. } = op {
+            if let Operation::Scan { len, .. } = draw(Workload::E, &mut rng) {
                 scans += 1;
                 assert!((1..=100).contains(&len));
             }
         }
         assert!(scans > 9_000);
+    }
+
+    #[test]
+    fn churn_mixes_evenly_across_four_operations() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 40_000;
+        let (mut reads, mut inserts, mut updates, mut removes) = (0, 0, 0, 0);
+        for _ in 0..trials {
+            match draw(Workload::Churn, &mut rng) {
+                Operation::Read { .. } => reads += 1,
+                Operation::Insert { .. } => inserts += 1,
+                Operation::Update { .. } => updates += 1,
+                Operation::Remove { .. } => removes += 1,
+                Operation::Scan { .. } => panic!("churn contains no scans"),
+            }
+        }
+        for (name, count) in [
+            ("reads", reads),
+            ("inserts", inserts),
+            ("updates", updates),
+            ("removes", removes),
+        ] {
+            let fraction = count as f64 / trials as f64;
+            assert!((fraction - 0.25).abs() < 0.02, "{name} fraction {fraction}");
+        }
+    }
+
+    #[test]
+    fn workload_d_is_reads_and_inserts_only() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut reads = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            match draw(Workload::D, &mut rng) {
+                Operation::Read { .. } => reads += 1,
+                Operation::Insert { .. } => {}
+                other => panic!("workload D generated {other:?}"),
+            }
+        }
+        let fraction = reads as f64 / trials as f64;
+        assert!((fraction - 0.95).abs() < 0.02, "read fraction {fraction}");
     }
 }

@@ -5,7 +5,16 @@
 //! use: writer threads append versioned puts and deletes concurrently while
 //! reader threads serve gets, and when the memtable exceeds its budget it is
 //! "flushed" — drained in sorted order exactly as an SSTable writer would
-//! consume it.
+//! consume it — and then **evicted**: every flushed entry is physically
+//! removed from the memtable so the next write wave starts from a small
+//! structure.
+//!
+//! The eviction half of the cycle is what the epoch-based reclamation
+//! subsystem enables: each removal unlinks nodes while readers keep
+//! running, unlinked nodes are retired to the list's collector, and the
+//! retired backlog is drained by epoch advancement — so a memtable that
+//! flushes and evicts forever runs in bounded memory instead of leaking
+//! every evicted node until process exit.
 //!
 //! Run with: `cargo run --release --example memtable`
 
@@ -106,59 +115,102 @@ impl MemTable {
             .map(|(key, raw)| (key, decode(raw)))
             .collect()
     }
+
+    /// The second half of a flush: once the SSTable is durable, every
+    /// flushed entry is deleted from the memtable.  Removal is physical —
+    /// emptied nodes are unlinked and retired to the list's epoch-based
+    /// collector — and concurrent readers stay safe throughout.  Returns
+    /// the number of entries evicted.
+    fn evict_flushed(&self) -> usize {
+        let keys: Vec<u64> = self.index.iter().map(|(key, _)| key).collect();
+        let mut evicted = 0;
+        for key in keys {
+            if self.index.remove(&key).is_some() {
+                evicted += 1;
+                self.approximate_entries.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        evicted
+    }
 }
 
 fn main() {
     let memtable = Arc::new(MemTable::new(400_000));
     let writers = 4u64;
-    let ops_per_writer = 150_000u64;
+    let ops_per_writer = 75_000u64;
+    let waves = 3u64;
 
-    std::thread::scope(|scope| {
-        // Writers: puts with occasional deletes over a shared key space.
-        for writer in 0..writers {
-            let memtable = Arc::clone(&memtable);
-            scope.spawn(move || {
-                for i in 0..ops_per_writer {
-                    let key = (i * writers + writer) % 500_000;
-                    if i % 16 == 0 {
-                        memtable.delete(key);
-                    } else {
-                        memtable.put(key, key + writer);
+    // Several flush-and-evict cycles: each wave writes concurrently, then
+    // the memtable is flushed (streamed in sorted order) and evicted
+    // (every flushed entry physically removed).  Bounded reclamation is
+    // what keeps the total footprint flat across waves.
+    for wave in 0..waves {
+        std::thread::scope(|scope| {
+            // Writers: puts with occasional deletes over a shared key space.
+            for writer in 0..writers {
+                let memtable = Arc::clone(&memtable);
+                scope.spawn(move || {
+                    for i in 0..ops_per_writer {
+                        let key = (i * writers + writer) % 500_000;
+                        if i % 16 == 0 {
+                            memtable.delete(key);
+                        } else {
+                            memtable.put(key, key + writer);
+                        }
                     }
-                }
-            });
-        }
-        // Readers: point lookups racing with the writers.
-        for reader in 0..2u64 {
-            let memtable = Arc::clone(&memtable);
-            scope.spawn(move || {
-                let mut hits = 0u64;
-                for i in 0..200_000u64 {
-                    if memtable.get((i * 7 + reader) % 500_000).is_some() {
-                        hits += 1;
+                });
+            }
+            // Readers: point lookups racing with the writers.
+            for reader in 0..2u64 {
+                let memtable = Arc::clone(&memtable);
+                scope.spawn(move || {
+                    let mut hits = 0u64;
+                    for i in 0..100_000u64 {
+                        if memtable.get((i * 7 + reader) % 500_000).is_some() {
+                            hits += 1;
+                        }
                     }
-                }
-                println!("reader {reader}: {hits} hits");
-            });
-        }
-    });
+                    println!("wave {wave} reader {reader}: {hits} hits");
+                });
+            }
+        });
 
+        println!(
+            "wave {wave}: memtable holds ~{} distinct keys; should_flush = {}",
+            memtable.approximate_entries.load(Ordering::Relaxed),
+            memtable.should_flush()
+        );
+        let (puts, tombstones) = memtable.flush();
+        println!(
+            "wave {wave}: flush streamed {puts} live puts and {tombstones} tombstones in order"
+        );
+        let shard = memtable.shard(1_000, 2_000);
+        assert!(shard.iter().all(|(key, _)| (1_000..2_000).contains(key)));
+
+        // The SSTable is "durable": drop the flushed entries.
+        let evicted = memtable.evict_flushed();
+        assert!(memtable.index.is_empty(), "eviction must empty the index");
+        let reclamation = memtable.index.reclamation();
+        println!(
+            "wave {wave}: evicted {evicted} entries; collector retired {} nodes, \
+             freed {}, backlog {}",
+            reclamation.retired, reclamation.freed, reclamation.backlog
+        );
+        // Quiescent between waves: a few explicit collections drain the
+        // backlog completely, so footprint does not accumulate per wave.
+        for _ in 0..4 {
+            memtable.index.try_reclaim();
+        }
+        assert_eq!(memtable.index.reclamation().backlog, 0);
+        memtable
+            .index
+            .validate()
+            .expect("memtable structure is consistent after eviction");
+    }
+    let reclamation = memtable.index.reclamation();
     println!(
-        "memtable holds ~{} distinct keys; should_flush = {}",
-        memtable.approximate_entries.load(Ordering::Relaxed),
-        memtable.should_flush()
+        "after {waves} flush-and-evict cycles: {} nodes retired in total, all {} freed",
+        reclamation.retired, reclamation.freed
     );
-    let (puts, tombstones) = memtable.flush();
-    println!("flush streamed {puts} live puts and {tombstones} tombstones in sorted order");
-    let shard = memtable.shard(1_000, 2_000);
-    assert!(shard.iter().all(|(key, _)| (1_000..2_000).contains(key)));
-    println!(
-        "compaction shard [1000, 2000) holds {} entries",
-        shard.len()
-    );
-    memtable
-        .index
-        .validate()
-        .expect("memtable structure is consistent");
-    println!("validate() passed");
+    println!("validate() passed on every wave");
 }

@@ -16,4 +16,8 @@ pub use bskip_ycsb as ycsb;
 
 pub use bskip_baselines::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree};
 pub use bskip_core::{BSkipConfig, BSkipList, BSkipStats};
-pub use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexCursor, IndexStats};
+pub use bskip_index::{
+    BatchCursor, ConcurrentIndex, ConcurrentIndexExt, Cursor, IndexCursor, IndexStats,
+    ReclamationStats,
+};
+pub use bskip_sync::{EbrCollector, EbrGuard, EbrStats};

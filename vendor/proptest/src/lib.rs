@@ -227,7 +227,7 @@ pub mod strategy {
         (weight, Box::new(strategy))
     }
 
-    /// Collection strategies ([`vec`], [`btree_set`]).
+    /// Collection strategies (`vec`, `btree_set`).
     pub mod collection {
         use super::{BTreeSet, Range, Strategy, TestRng};
 
