@@ -100,6 +100,42 @@ mod cursor_contract_tests {
     }
 
     #[test]
+    fn batched_execute_agrees_with_point_ops_on_every_baseline() {
+        use bskip_index::ops::{Op, OpResult};
+        for index in indices() {
+            for key in 0..64u64 {
+                index.insert(key, key);
+            }
+            let mut batch = vec![
+                Op::get(10),
+                Op::insert(100, 1),
+                Op::update(10, 11),
+                Op::remove(20),
+                Op::remove(500),
+                Op::get(10),
+                // Same-key sequence: slot order must be preserved even
+                // though the sorted loop reorders across keys.
+                Op::insert(7, 70),
+                Op::remove(7),
+            ];
+            index.execute(&mut batch);
+            let name = index.name();
+            assert_eq!(batch[0].result().value(), Some(10), "{name}");
+            assert_eq!(*batch[1].result(), OpResult::Missing, "{name}");
+            assert_eq!(batch[2].result().value(), Some(10), "{name}");
+            assert_eq!(batch[3].result().value(), Some(20), "{name}");
+            assert_eq!(*batch[4].result(), OpResult::Missing, "{name}");
+            assert_eq!(batch[5].result().value(), Some(11), "{name}");
+            assert_eq!(batch[6].result().value(), Some(7), "{name}");
+            assert_eq!(batch[7].result().value(), Some(70), "{name}");
+            assert_eq!(index.get(&10), Some(11), "{name}");
+            assert!(!index.contains_key(&7), "{name}");
+            assert!(!index.contains_key(&20), "{name}");
+            assert!(index.contains_key(&100), "{name}");
+        }
+    }
+
+    #[test]
     fn trait_level_range_flows_through_the_cursor_path() {
         for index in indices() {
             for key in 0..50u64 {

@@ -100,6 +100,11 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for MasstreeLite<K, V> {
     fn get(&self, key: &K) -> Option<V> {
         MasstreeLite::get(self, key)
     }
+    fn execute(&self, ops: &mut [bskip_index::Op<K, V>]) {
+        // Shared sorted-loop strategy: consecutive ops revisit the same
+        // narrow trie-layer nodes instead of hopping across the key space.
+        bskip_index::ops::execute_sorted(self, ops);
+    }
     fn remove(&self, key: &K) -> Option<V> {
         MasstreeLite::remove(self, key)
     }
@@ -194,7 +199,7 @@ mod tests {
         });
         assert_eq!(tree.len(), 18_000);
         for key in (0..18_000u64).step_by(997) {
-            assert!(tree.get(&key).is_some());
+            assert!(tree.contains_key(&key));
         }
     }
 }

@@ -577,6 +577,11 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LockFreeSkipList<K, V
     fn get(&self, key: &K) -> Option<V> {
         LockFreeSkipList::get(self, key)
     }
+    fn execute(&self, ops: &mut [bskip_index::Op<K, V>]) {
+        // Shared sorted-loop strategy: CAS traversals of a key-ordered
+        // sweep walk cache-resident towers.
+        bskip_index::ops::execute_sorted(self, ops);
+    }
     fn remove(&self, key: &K) -> Option<V> {
         LockFreeSkipList::remove(self, key)
     }
@@ -745,7 +750,7 @@ mod tests {
             }
         });
         assert_eq!(list.len(), 1);
-        assert!(list.get(&42).is_some());
+        assert!(list.contains_key(&42));
         let mut seen = Vec::new();
         list.range(&0, 10, &mut |k, _| seen.push(*k));
         assert_eq!(seen, vec![42]);

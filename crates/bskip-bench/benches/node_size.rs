@@ -28,7 +28,7 @@ fn bench_one<const B: usize>(
             let mut found = 0u64;
             for _ in 0..BATCH {
                 cursor = (cursor + 7919) % PRELOAD;
-                if list.get(&record_key(cursor)).is_some() {
+                if list.contains_key(&record_key(cursor)) {
                     found += 1;
                 }
             }

@@ -36,7 +36,7 @@ fn bench_get(c: &mut Criterion) {
                 let mut found = 0u64;
                 for _ in 0..BATCH {
                     cursor = (cursor + 7919) % PRELOAD;
-                    if index.as_index().get(&record_key(cursor)).is_some() {
+                    if index.as_index().contains_key(&record_key(cursor)) {
                         found += 1;
                     }
                 }

@@ -1,0 +1,90 @@
+//! Throughput over time for all six indices under the delete-churn mix.
+//!
+//! `stat_reclamation` tracks the *memory* side of sustained delete-heavy
+//! traffic (retired/freed/backlog per slice, reclaiming indices only).
+//! This binary is its throughput complement, and it runs on **all six**
+//! indices: after the usual load phase, the 25/25/25/25
+//! insert/read/update/remove churn mix executes in consecutive time
+//! slices and each slice's throughput is printed — a flat column means
+//! the index sustains churn indefinitely, a decaying column exposes
+//! structures that degrade as deletions accumulate (logical-delete
+//! baselines accumulate tombstones; the epoch-reclaiming indices hold
+//! steady because removal is physical and memory is bounded).
+//!
+//! The final column prints the live-key count so throughput trends can be
+//! read against the (steady-state) index size, and the summary line per
+//! index reports the slowest-to-fastest slice ratio — the number to watch
+//! for degradation.
+//!
+//! Scale via `BSKIP_RECORDS` / `BSKIP_OPS` / `BSKIP_THREADS`; set
+//! `BSKIP_BATCH` above 1 to drive the slices through the batched
+//! `execute` path instead of point operations.
+
+use bskip_bench::{experiment_config, format_row, print_header, IndexKind};
+use bskip_ycsb::{run_load_phase, run_run_phase, Workload, YcsbConfig};
+
+/// Churn slices per index: enough to see a trend, few enough to keep the
+/// default laptop-scale run quick.
+const SLICES: usize = 8;
+
+fn main() {
+    let (mut config, _) = experiment_config();
+    let batch: usize = std::env::var("BSKIP_BATCH")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(1);
+    config = config.with_batch_size(batch);
+    println!(
+        "Churn-mix throughput over time, {} records, {} ops/slice x {} slices, {} threads, \
+         batch size {}",
+        config.record_count,
+        config.operation_count / SLICES,
+        SLICES,
+        config.threads,
+        config.batch_size,
+    );
+
+    for kind in IndexKind::ALL {
+        let index = kind.build();
+        let handle = index.as_index();
+        run_load_phase(&handle, &config);
+        index.settle_after_load();
+
+        print_header(
+            &format!("{} — 25/25/25/25 churn", kind.label()),
+            &["slice", "ops", "mops", "p50 us", "p999 us", "live keys"],
+        );
+        let slice_config = YcsbConfig {
+            operation_count: (config.operation_count / SLICES).max(1),
+            ..config
+        };
+        let mut throughputs = Vec::with_capacity(SLICES);
+        for slice in 0..SLICES {
+            let result = run_run_phase(&handle, Workload::Churn, &slice_config);
+            throughputs.push(result.mops());
+            println!(
+                "{}",
+                format_row(&[
+                    slice.to_string(),
+                    result.operations.to_string(),
+                    format!("{:.3}", result.mops()),
+                    format!("{:.2}", result.latency.p50_us),
+                    format!("{:.2}", result.latency.p999_us),
+                    handle.len().to_string(),
+                ])
+            );
+        }
+        let slowest = throughputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let fastest = throughputs.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "slowest/fastest slice: {:.2} (1.00 = perfectly flat; a decaying ratio means \
+             churn degrades this index)",
+            if fastest > 0.0 {
+                slowest / fastest
+            } else {
+                0.0
+            }
+        );
+    }
+    println!("\nFlat mops columns across slices are the pass criterion.");
+}

@@ -48,6 +48,13 @@
 //! let mut cursor = index.scan(100..=200);
 //! assert_eq!(cursor.seek(&150), Some((150, 150 % 1000)));
 //! assert_eq!(cursor.prev(), Some((149, 149 % 1000)));
+//!
+//! // Bulk operations go through `execute`: one epoch pin per batch, one
+//! // leaf lock per run of neighbouring keys.
+//! use bskip_index::Op;
+//! let mut batch: Vec<Op<u64, u64>> = (0..64u64).map(|k| Op::get(k * 10)).collect();
+//! index.execute(&mut batch);
+//! assert_eq!(batch[1].result().value(), Some(10));
 //! ```
 //!
 //! ## Node size
@@ -77,6 +84,21 @@
 //! pause-and-resume pointer walk is memory-safe because every cursor
 //! holds a pinned epoch guard for its lifetime (see *Memory reclamation*
 //! below).
+//!
+//! ## Batched execution
+//!
+//! [`BSkipList::execute`] applies a whole `&mut [bskip_index::Op]` batch —
+//! gets, upserts and removes with in-place result slots — in one call.
+//! The batch is applied in sorted key order (same-key operations keep
+//! their relative order, so the batch behaves exactly like slot-order
+//! application): the epoch collector is pinned **once**, each *run* of
+//! operations landing in the same fat leaf executes under a single leaf
+//! write-lock acquisition, and between nearby runs the path walks the
+//! leaf level rightward instead of re-descending.  Structural work
+//! (promoted inserts, splits, header removals) falls back to the per-op
+//! point path mid-batch.  This is the workspace's bulk ingest path — the
+//! YCSB driver's `batch_size` knob and the memtable example's write
+//! batches both feed it; see [`bskip_index::ops`] for the semantics.
 //!
 //! ## Memory reclamation
 //!

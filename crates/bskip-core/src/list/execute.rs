@@ -1,0 +1,721 @@
+//! The native batched-operation path.
+//!
+//! [`BSkipList::execute`] applies a whole batch of [`Op`]s in one call,
+//! exploiting exactly the property the paper builds the structure around:
+//! fat fixed-size leaves concentrate many neighbouring keys, so a batch
+//! applied in key order repeatedly lands in the node it is already
+//! holding.  Compared with looping over the point methods, the native path
+//! amortizes three per-operation costs:
+//!
+//! 1. **Epoch pinning** — the collector is pinned *once* for the whole
+//!    batch instead of once per operation;
+//! 2. **Tower descent** — operations are applied in sorted key order
+//!    behind a two-level **frontier**: the current leaf (write-locked)
+//!    and its level-1 ancestor (read-locked), each with a captured upper
+//!    bound of the key range it covers.  A run of operations landing in
+//!    the held leaf costs nothing to position; the next run under the
+//!    same level-1 region costs one child lookup and one leaf lock
+//!    instead of a full descent; longer strides walk the level-1 list (a
+//!    budgeted walk — each step skips a whole region of ~`B` leaves), and
+//!    only a genuinely distant jump re-descends through the tower;
+//! 3. **Leaf locking** — every operation of a run executes under a single
+//!    write-lock acquisition of its leaf.
+//!
+//! The captured bounds stay valid for as long as the frontier's locks are
+//! held: a leaf's covering range can only change through its own write
+//! lock (splits), its predecessor's (unlinks), or — for the boundary key
+//! itself, which is its successor's promoted header — through level-1
+//! write locks the retained read lock excludes.  The frontier therefore
+//! never needs re-validation, only repositioning when a key falls past a
+//! bound.
+//!
+//! # Fast path and fallback
+//!
+//! Under the held leaf lock the path executes, per operation:
+//!
+//! * `Get` — a leaf binary search;
+//! * `Insert`/`Update` of a present key — an in-place value replacement;
+//! * `Insert`/`Update` of an absent key — a direct slot insertion, *iff*
+//!   the freshly sampled promotion height is 0 and the leaf has room;
+//! * `Remove` of an absent key — a no-op;
+//! * `Remove` of a present key that is not a node header (or lives in the
+//!   head sentinel) — a direct slot removal.
+//!
+//! Everything structural falls back to the per-op point path mid-batch
+//! (releasing the leaf lock first): promoted inserts, overflow splits and
+//! removals of node headers, which may own towers and may empty (and thus
+//! unlink and retire) nodes.  The fallback preserves the already-sampled
+//! promotion height, so batching does not bias the height distribution.
+//!
+//! # Why header-less leaf mutations are complete
+//!
+//! The fast path relies on a structural invariant: **a key stored at slot
+//! `> 0` of a leaf has promotion height 0** — it exists nowhere else in
+//! the structure, so replacing or removing it leaf-locally is the whole
+//! job.  Inductively: a key is promoted only by an insertion (or
+//! duplicate re-insertion) whose promotion split makes it the *header* of
+//! its own pre-allocated leaf; overflow splits and splices only move node
+//! *suffixes* (slots `≥ 1`, height 0 by induction) into the non-header
+//! slots of their destination, and head-sentinel leaves only ever receive
+//! height-0 insertions (a promoted insertion at the front of a head node
+//! moves the head's whole content into the new key's node).  Removing a
+//! non-header slot also can never empty a node, so the fast path never
+//! needs to unlink — the one operation that requires the wider write-lock
+//! protocol.
+//!
+//! Ordering semantics are those of [`bskip_index::ops`]: the sorted
+//! schedule ([`sorted_order`]) reorders only operations on distinct keys,
+//! which commute, so the batch is observationally equivalent to slot-order
+//! application.
+
+use std::ptr;
+
+use bskip_index::ops::{sorted_order, Op, OpResult};
+use bskip_index::{IndexKey, IndexValue};
+
+use super::{lock_node, unlock_node, BSkipList, Mode};
+use crate::node::{Node, NodeSearch};
+
+/// Level-1 right-walk budget between runs before the batch path gives up
+/// and re-descends through the tower: one level-1 step skips a whole
+/// region (~`B` leaves), so a short budget already covers every realistic
+/// sorted-batch stride, while a distant jump is cheaper through the tower.
+const L1_WALK_BUDGET: usize = 8;
+
+/// What the fast path decided about one operation.
+enum Outcome {
+    /// Applied under the held leaf lock.
+    Done,
+    /// Needs the per-op point path; for inserts, carries the already
+    /// sampled promotion height so the distribution stays unbiased.
+    Fallback(Option<usize>),
+}
+
+impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
+    /// Executes a batch of operations, writing each outcome into the
+    /// operation's own [`OpResult`] slot — the native override of
+    /// [`bskip_index::ConcurrentIndex::execute`].
+    ///
+    /// The batch is applied in sorted key order (operations on the same
+    /// key keep their relative order), pinning the epoch collector once
+    /// and holding each leaf's write lock across every operation that
+    /// lands in it.  Structural work — promoted inserts, splits, header
+    /// removals — falls back to the per-op point path mid-batch, so every
+    /// batch is exactly as correct as the point loop it replaces.
+    ///
+    /// ```
+    /// use bskip_core::BSkipList;
+    /// use bskip_index::{Op, OpResult};
+    ///
+    /// let list: BSkipList<u64, u64> = (0..100u64).map(|k| (k, k)).collect();
+    /// let mut batch: Vec<Op<u64, u64>> =
+    ///     (0..100u64).step_by(10).map(Op::get).collect();
+    /// batch.push(Op::insert(200, 1));
+    /// batch.push(Op::remove(55));
+    /// list.execute(&mut batch);
+    /// assert_eq!(batch[3].result().value(), Some(30));
+    /// assert_eq!(*batch[10].result(), OpResult::Missing); // fresh insert
+    /// assert_eq!(batch[11].result().value(), Some(55));
+    /// ```
+    pub fn execute(&self, ops: &mut [Op<K, V>]) {
+        if ops.is_empty() {
+            return;
+        }
+        if let Some(stats) = self.stats_enabled() {
+            stats.batch_executes.incr();
+            stats.batched_ops.add(ops.len() as u64);
+        }
+        let order = sorted_order(ops);
+        // One pin for the whole batch: every traversal below (descents,
+        // right-walks, lock spins on possibly-retired nodes) runs under
+        // this guard.  Fallback point operations pin again internally,
+        // which is safe (slots are per-guard) and rare.
+        let _guard = self.collector().pin();
+        // SAFETY: the body upholds the hand-over-hand protocol — guarded
+        // node state is only read under a shared or exclusive lock and
+        // only written under an exclusive lock, with the left-to-right /
+        // top-to-bottom total lock order all traversals share.
+        unsafe { self.execute_inner(ops, &order) }
+    }
+
+    unsafe fn execute_inner(&self, ops: &mut [Op<K, V>], order: &[usize]) {
+        // The two-level frontier: the current write-locked leaf and (when
+        // the list has internal levels) its read-locked level-1 ancestor,
+        // each with the captured upper bound of the key range it covers
+        // (`None` = unbounded).  Null pointers mean "not positioned".
+        let mut leaf: *mut Node<K, V, B> = ptr::null_mut();
+        let mut upper0: Option<K> = None;
+        let mut l1: *mut Node<K, V, B> = ptr::null_mut();
+        let mut upper1: Option<K> = None;
+
+        fn covered<K: Ord>(upper: &Option<K>, key: &K) -> bool {
+            match upper {
+                Some(bound) => key < bound,
+                None => true,
+            }
+        }
+
+        let mut idx = 0usize;
+        while idx < order.len() {
+            let slot = order[idx];
+            let key = *ops[slot].key();
+
+            // ---- position the frontier over `key` ----
+            if leaf.is_null() || !covered(&upper0, &key) {
+                if !leaf.is_null() && (l1.is_null() || covered(&upper1, &key)) {
+                    // Still inside the retained region (or the list has a
+                    // single level).  If a level-1 separator lands
+                    // strictly ahead of the held leaf, jump through it;
+                    // otherwise walk right — keys ascend, so across the
+                    // whole batch every leaf in the separator gaps is
+                    // walked over at most once.
+                    let jump = if l1.is_null() {
+                        ptr::null_mut()
+                    } else {
+                        match (*l1).search(&key) {
+                            NodeSearch::Found(slot) | NodeSearch::Pred(slot) => {
+                                let separator = (*l1).key_at(slot);
+                                if (*leaf).is_empty() || separator > (*leaf).header() {
+                                    (*l1).child_at(slot)
+                                } else {
+                                    ptr::null_mut()
+                                }
+                            }
+                            NodeSearch::Before => ptr::null_mut(),
+                        }
+                    };
+                    let start = if jump.is_null() {
+                        leaf
+                    } else {
+                        unlock_node(leaf, Mode::Write);
+                        lock_node(jump, Mode::Write);
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.batch_leaf_locks.incr();
+                        }
+                        jump
+                    };
+                    let (node, upper, _) =
+                        self.walk_right_capture(start, &key, Mode::Write, usize::MAX);
+                    leaf = node;
+                    upper0 = upper;
+                } else {
+                    // Left the region: reposition through level 1 (a
+                    // budgeted walk — each step skips a whole region of
+                    // ~B leaves) or, for genuinely distant jumps, a full
+                    // descent.  Both paths below re-establish `leaf`.
+                    if !leaf.is_null() {
+                        unlock_node(leaf, Mode::Write);
+                    }
+                    if !l1.is_null() && !covered(&upper1, &key) {
+                        let (node, upper, exhausted) =
+                            self.walk_right_capture(l1, &key, Mode::Read, L1_WALK_BUDGET);
+                        if exhausted {
+                            unlock_node(node, Mode::Read);
+                            l1 = ptr::null_mut();
+                        } else {
+                            l1 = node;
+                            upper1 = upper;
+                        }
+                    }
+                    if !l1.is_null() {
+                        // Descend within the retained level-1 region.
+                        let child = self.descend_pointer(l1, &key);
+                        lock_node(child, Mode::Write);
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.batch_leaf_locks.incr();
+                        }
+                        let (node, upper, _) =
+                            self.walk_right_capture(child, &key, Mode::Write, usize::MAX);
+                        leaf = node;
+                        upper0 = upper;
+                    } else {
+                        let frontier = self.descend_frontier(&key);
+                        l1 = frontier.0;
+                        upper1 = frontier.1;
+                        leaf = frontier.2;
+                        upper0 = frontier.3;
+                    }
+                }
+            }
+
+            // ---- apply under the held leaf lock, or fall back ----
+            match self.apply_op_in_leaf(leaf, &mut ops[slot]) {
+                Outcome::Done => {
+                    idx += 1;
+                }
+                Outcome::Fallback(height) => {
+                    // The point path takes its own locks top-down, so the
+                    // whole frontier must be released first.
+                    unlock_node(leaf, Mode::Write);
+                    leaf = ptr::null_mut();
+                    if !l1.is_null() {
+                        unlock_node(l1, Mode::Read);
+                        l1 = ptr::null_mut();
+                    }
+                    if let Some(stats) = self.stats_enabled() {
+                        stats.batch_fallbacks.incr();
+                    }
+                    match (&mut ops[slot], height) {
+                        (
+                            Op::Insert { key, value, result } | Op::Update { key, value, result },
+                            Some(height),
+                        ) => {
+                            *result = self.insert_with_height(*key, *value, height).into();
+                        }
+                        (op, _) => op.apply_point(self),
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        if !leaf.is_null() {
+            unlock_node(leaf, Mode::Write);
+        }
+        if !l1.is_null() {
+            unlock_node(l1, Mode::Read);
+        }
+    }
+
+    /// Walks right from `curr` (locked in `mode`) while the successor's
+    /// header is `<= key`, up to `budget` steps, capturing the stopping
+    /// successor's header — the first key *not* covered by the returned
+    /// node — as the covering upper bound (`None` when the chain ends).
+    ///
+    /// Returns `(node, upper, exhausted)` with `node` locked in `mode`;
+    /// `exhausted` means the budget ran out with the successor still
+    /// qualifying, so the caller should release `node` and re-descend.
+    ///
+    /// # Safety
+    ///
+    /// `curr` must be locked in `mode` by this thread.
+    unsafe fn walk_right_capture(
+        &self,
+        mut curr: *mut Node<K, V, B>,
+        key: &K,
+        mode: Mode,
+        budget: usize,
+    ) -> (*mut Node<K, V, B>, Option<K>, bool) {
+        let mut steps = 0usize;
+        loop {
+            let next = (*curr).next();
+            if next.is_null() {
+                return (curr, None, false);
+            }
+            lock_node(next, mode);
+            let header = (*next).header();
+            if header <= *key {
+                if steps >= budget {
+                    unlock_node(next, mode);
+                    return (curr, Some(header), true);
+                }
+                unlock_node(curr, mode);
+                curr = next;
+                steps += 1;
+                if let Some(stats) = self.stats_enabled() {
+                    stats.horizontal_steps.incr();
+                    if mode == Mode::Write {
+                        stats.batch_leaf_locks.incr();
+                    }
+                }
+            } else {
+                unlock_node(next, mode);
+                return (curr, Some(header), false);
+            }
+        }
+    }
+
+    /// Full hand-over-hand descent establishing the two-level frontier
+    /// for `key`: the covering level-1 node read-locked (null/`None` when
+    /// the list has no internal level) and the covering leaf write-locked,
+    /// each with its captured upper bound.
+    ///
+    /// # Safety
+    ///
+    /// The caller must release both returned locks (leaf in write mode,
+    /// level-1 node — when non-null — in read mode).
+    #[allow(clippy::type_complexity)]
+    unsafe fn descend_frontier(
+        &self,
+        key: &K,
+    ) -> (*mut Node<K, V, B>, Option<K>, *mut Node<K, V, B>, Option<K>) {
+        let top = self.top_level();
+        if top == 0 {
+            let head = self.head(0);
+            lock_node(head, Mode::Write);
+            if let Some(stats) = self.stats_enabled() {
+                stats.batch_leaf_locks.incr();
+            }
+            let (leaf, upper0, _) = self.walk_right_capture(head, key, Mode::Write, usize::MAX);
+            return (ptr::null_mut(), None, leaf, upper0);
+        }
+        let mut level = top;
+        let mut curr = self.head(level);
+        lock_node(curr, Mode::Read);
+        let (l1, upper1) = loop {
+            let (node, upper, _) = self.walk_right_capture(curr, key, Mode::Read, usize::MAX);
+            curr = node;
+            if level == 1 {
+                break (node, upper);
+            }
+            let child = self.descend_pointer(curr, key);
+            lock_node(child, Mode::Read);
+            unlock_node(curr, Mode::Read);
+            curr = child;
+            level -= 1;
+            if let Some(stats) = self.stats_enabled() {
+                stats.levels_visited.incr();
+            }
+        };
+        // Final step retains the level-1 lock while the leaf is acquired.
+        let child = self.descend_pointer(l1, key);
+        lock_node(child, Mode::Write);
+        if let Some(stats) = self.stats_enabled() {
+            stats.levels_visited.incr();
+            stats.batch_leaf_locks.incr();
+        }
+        let (leaf, upper0, _) = self.walk_right_capture(child, key, Mode::Write, usize::MAX);
+        (l1, upper1, leaf, upper0)
+    }
+
+    /// Applies one operation against the write-locked `leaf` covering its
+    /// key, or reports that it needs the point path.
+    ///
+    /// # Safety
+    ///
+    /// `leaf` must be a leaf node, write-locked by this thread, whose key
+    /// range covers the operation's key (its header is `<=` the key, or it
+    /// is the head sentinel, and its successor's header — if any — is
+    /// `>` the key).
+    unsafe fn apply_op_in_leaf(&self, leaf: *mut Node<K, V, B>, op: &mut Op<K, V>) -> Outcome {
+        match op {
+            Op::Get { key, result } => {
+                if let Some(stats) = self.stats_enabled() {
+                    stats.finds.incr();
+                }
+                *result = match (*leaf).search(key) {
+                    NodeSearch::Found(slot) => OpResult::Value((*leaf).value_at(slot)),
+                    NodeSearch::Pred(_) | NodeSearch::Before => OpResult::Missing,
+                };
+                Outcome::Done
+            }
+            Op::Insert { key, value, result } | Op::Update { key, value, result } => {
+                match (*leaf).search(key) {
+                    NodeSearch::Found(slot) => {
+                        // Present: an in-place value replacement, exactly
+                        // what the point path does for duplicates.
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.inserts.incr();
+                        }
+                        *result = OpResult::Value((*leaf).replace_value_at(slot, *value));
+                        Outcome::Done
+                    }
+                    found @ (NodeSearch::Pred(_) | NodeSearch::Before) => {
+                        let height = self.sample_height();
+                        if height > 0 || (*leaf).is_full() {
+                            // Promotion or overflow split: structural work
+                            // for the point path (with this height).
+                            return Outcome::Fallback(Some(height));
+                        }
+                        let position = match found {
+                            NodeSearch::Pred(slot) => slot + 1,
+                            NodeSearch::Before => {
+                                debug_assert!(
+                                    (*leaf).is_head(),
+                                    "batch positioned a key below a non-head leaf's header"
+                                );
+                                0
+                            }
+                            NodeSearch::Found(_) => unreachable!(),
+                        };
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.inserts.incr();
+                        }
+                        (*leaf).insert_leaf_at(position, *key, *value);
+                        self.bump_len();
+                        *result = OpResult::Missing;
+                        Outcome::Done
+                    }
+                }
+            }
+            Op::Remove { key, result } => {
+                match (*leaf).search(key) {
+                    NodeSearch::Found(slot) if slot > 0 || (*leaf).is_head() => {
+                        // Not a (non-head) node header, hence height 0 and
+                        // present only in this leaf (see the module docs);
+                        // removing it cannot empty a non-head node.
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.removes.incr();
+                        }
+                        let value = (*leaf)
+                            .remove_at(slot)
+                            .expect("leaf removals always yield the value");
+                        self.drop_len();
+                        *result = OpResult::Value(value);
+                        Outcome::Done
+                    }
+                    NodeSearch::Found(_) => {
+                        // A header key may own a tower and its removal may
+                        // empty (and retire) nodes: point path.
+                        Outcome::Fallback(None)
+                    }
+                    NodeSearch::Pred(_) | NodeSearch::Before => {
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.removes.incr();
+                        }
+                        *result = OpResult::Missing;
+                        Outcome::Done
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use bskip_index::ops::{Op, OpResult};
+    use bskip_index::ConcurrentIndex;
+
+    use crate::config::BSkipConfig;
+    use crate::BSkipList;
+
+    type List = BSkipList<u64, u64, 8>;
+
+    fn small_config() -> BSkipConfig {
+        BSkipConfig::default()
+            .with_max_height(4)
+            .with_promotion_c(0.5)
+    }
+
+    #[test]
+    fn batch_matches_point_semantics() {
+        let list = List::with_config(small_config());
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for key in (0..200u64).step_by(2) {
+            list.insert(key, key);
+            oracle.insert(key, key);
+        }
+        let mut batch: Vec<Op<u64, u64>> = Vec::new();
+        for key in 0..100u64 {
+            batch.push(Op::get(key * 2));
+            batch.push(Op::insert(key * 2 + 1, key));
+            batch.push(Op::update(key * 2, key + 1000));
+            if key % 3 == 0 {
+                batch.push(Op::remove(key * 2 + 1));
+            }
+        }
+        list.execute(&mut batch);
+        // Replay sequentially against the oracle and compare every result.
+        let mut expected = batch.clone();
+        for op in expected.iter_mut() {
+            match op {
+                Op::Get { key, result } => *result = oracle.get(key).copied().into(),
+                Op::Insert { key, value, result } | Op::Update { key, value, result } => {
+                    *result = oracle.insert(*key, *value).into();
+                }
+                Op::Remove { key, result } => *result = oracle.remove(key).into(),
+            }
+        }
+        // The batch was already in ascending key order per kind-group?  It
+        // was not (interleaved kinds per key) — which is the point: the
+        // sorted schedule must still produce slot-order results.
+        assert_eq!(batch, expected);
+        assert_eq!(list.len(), oracle.len());
+        assert_eq!(list.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        list.validate().expect("structure after batch");
+    }
+
+    #[test]
+    fn same_key_sequences_keep_slot_order() {
+        let list = List::with_config(small_config());
+        let mut batch = vec![
+            Op::insert(5, 1),
+            Op::remove(5),
+            Op::insert(5, 2),
+            Op::get(5),
+            Op::update(5, 3),
+            Op::remove(5),
+            Op::get(5),
+        ];
+        list.execute(&mut batch);
+        assert_eq!(*batch[0].result(), OpResult::Missing);
+        assert_eq!(*batch[1].result(), OpResult::Value(1));
+        assert_eq!(*batch[2].result(), OpResult::Missing);
+        assert_eq!(*batch[3].result(), OpResult::Value(2));
+        assert_eq!(*batch[4].result(), OpResult::Value(2));
+        assert_eq!(*batch[5].result(), OpResult::Value(3));
+        assert_eq!(*batch[6].result(), OpResult::Missing);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn same_leaf_run_pins_once_and_locks_the_leaf_once() {
+        let list = List::with_config(small_config().with_stats(true));
+        // Six height-0 keys: a single leaf (B = 8), deterministically.
+        for key in [10u64, 20, 30, 40, 50, 60] {
+            list.insert_with_height(key, key, 0);
+        }
+        list.reset_stats();
+        let pins_before = list.reclamation().pins;
+
+        let mut batch = vec![
+            Op::get(10),
+            Op::update(20, 21),
+            Op::get(25), // miss, same leaf
+            Op::remove(30),
+            Op::get(40),
+            Op::remove(50),
+            Op::update(60, 61),
+        ];
+        list.execute(&mut batch);
+
+        let stats = ConcurrentIndex::stats(&list);
+        assert_eq!(stats.get("batch_executes"), Some(1));
+        assert_eq!(stats.get("batched_ops"), Some(7));
+        assert_eq!(
+            stats.get("batch_leaf_locks"),
+            Some(1),
+            "a same-leaf run must execute under one leaf lock acquisition"
+        );
+        assert_eq!(stats.get("batch_fallbacks"), Some(0));
+        assert_eq!(
+            list.reclamation().pins - pins_before,
+            1,
+            "the whole batch must pin the collector exactly once"
+        );
+
+        assert_eq!(batch[0].result().value(), Some(10));
+        assert_eq!(batch[1].result().value(), Some(20));
+        assert_eq!(*batch[2].result(), OpResult::Missing);
+        assert_eq!(batch[3].result().value(), Some(30));
+        assert_eq!(batch[5].result().value(), Some(50));
+        assert_eq!(list.to_vec(), vec![(10, 10), (20, 21), (40, 40), (60, 61)]);
+        list.validate().expect("structure after same-leaf batch");
+    }
+
+    #[test]
+    fn multi_leaf_batch_amortizes_descents_via_right_walks() {
+        let list = List::with_config(small_config().with_stats(true));
+        for key in 0..64u64 {
+            list.insert_with_height(key, key, 0);
+        }
+        list.reset_stats();
+        let mut batch: Vec<Op<u64, u64>> = (0..64u64).map(Op::get).collect();
+        list.execute(&mut batch);
+        let stats = ConcurrentIndex::stats(&list);
+        let leaf_locks = stats.get("batch_leaf_locks").unwrap();
+        // 64 height-0 keys across B=8 leaves: the walk must touch each
+        // leaf about once, far fewer than one lock per operation.
+        assert!(
+            (64 / 8..64).contains(&leaf_locks),
+            "expected per-leaf locking, got {leaf_locks} acquisitions for 64 ops"
+        );
+        for (key, op) in batch.iter().enumerate() {
+            assert_eq!(op.result().value(), Some(key as u64), "key {key}");
+        }
+    }
+
+    #[test]
+    fn structural_operations_fall_back_and_stay_correct() {
+        let list = List::with_config(small_config().with_stats(true));
+        // A promoted key whose removal needs the tower...
+        for key in 0..8u64 {
+            list.insert_with_height(key * 10, key, 0);
+        }
+        list.insert_with_height(45, 45, 2);
+        // ... and a guaranteed-full left leaf ([0..40] plus three fillers)
+        // so the batch insert must overflow-split.
+        for key in [1u64, 2, 3] {
+            list.insert_with_height(key, key, 0);
+        }
+        list.reset_stats();
+
+        let mut batch = vec![
+            Op::insert(11, 11), // lands in the full leaf: overflow split
+            Op::remove(45),     // header of a promoted tower
+            Op::get(70),
+        ];
+        list.execute(&mut batch);
+        let stats = ConcurrentIndex::stats(&list);
+        assert!(
+            stats.get("batch_fallbacks").unwrap() >= 2,
+            "split and header removal must take the point path"
+        );
+        assert_eq!(*batch[0].result(), OpResult::Missing);
+        assert_eq!(batch[1].result().value(), Some(45));
+        assert_eq!(batch[2].result().value(), Some(7));
+        assert_eq!(list.get(&11), Some(11));
+        assert_eq!(list.get(&45), None);
+        list.validate().expect("structure after fallback batch");
+    }
+
+    #[test]
+    fn random_batches_match_oracle_under_sampled_heights() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let list = List::with_config(small_config());
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for round in 0..40 {
+            let mut batch: Vec<Op<u64, u64>> = (0..64)
+                .map(|_| {
+                    let key = rng.gen_range(0..300u64);
+                    match rng.gen_range(0..4) {
+                        0 => Op::get(key),
+                        1 => Op::insert(key, rng.gen()),
+                        2 => Op::update(key, rng.gen()),
+                        _ => Op::remove(key),
+                    }
+                })
+                .collect();
+            let mut expected = batch.clone();
+            list.execute(&mut batch);
+            for op in expected.iter_mut() {
+                match op {
+                    Op::Get { key, result } => *result = oracle.get(key).copied().into(),
+                    Op::Insert { key, value, result } | Op::Update { key, value, result } => {
+                        *result = oracle.insert(*key, *value).into();
+                    }
+                    Op::Remove { key, result } => *result = oracle.remove(key).into(),
+                }
+            }
+            assert_eq!(batch, expected, "round {round}");
+            list.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        assert_eq!(list.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_batches_on_disjoint_stripes_are_exact() {
+        let list = std::sync::Arc::new(BSkipList::<u64, u64, 16>::new());
+        let threads = 4u64;
+        let rounds = 50u64;
+        std::thread::scope(|scope| {
+            for thread_id in 0..threads {
+                let list = std::sync::Arc::clone(&list);
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let base = thread_id + threads * 64 * round;
+                        let mut batch: Vec<Op<u64, u64>> = (0..64)
+                            .map(|i| Op::insert(base + threads * i, round))
+                            .collect();
+                        list.execute(&mut batch);
+                        // Remove half of what this thread just inserted.
+                        let mut removals: Vec<Op<u64, u64>> = (0..32)
+                            .map(|i| Op::remove(base + threads * (2 * i)))
+                            .collect();
+                        list.execute(&mut removals);
+                        for op in &removals {
+                            assert_eq!(op.result().value(), Some(round));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len(), (threads * rounds * 32) as usize);
+        list.validate().expect("structure after concurrent batches");
+    }
+}

@@ -19,6 +19,7 @@
 //! levels — is total, so the scheme is deadlock-free (Appendix B).
 
 pub(crate) mod cursor;
+mod execute;
 mod insert;
 mod remove;
 mod validate;
@@ -28,7 +29,9 @@ use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bskip_index::cursor::clone_bound;
-use bskip_index::{ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats};
+use bskip_index::{
+    ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, Op, ReclamationStats,
+};
 use bskip_sync::{EbrCollector, EbrGuard, EbrStats};
 
 use self::cursor::LeafCursor;
@@ -324,6 +327,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
     /// covers `key`: the shared traversal of point lookups and forward
     /// cursor positioning.  Returns the leaf locked in read mode.
     ///
+    /// (The batched [`BSkipList::execute`] path does not reuse this — it
+    /// needs the level-1 ancestor retained and coverage bounds captured,
+    /// so it descends through its own `descend_frontier`.)
+    ///
     /// # Safety
     ///
     /// The caller must release the returned leaf's read lock.
@@ -531,6 +538,14 @@ impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkip
 
     fn get(&self, key: &K) -> Option<V> {
         BSkipList::get(self, key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        BSkipList::contains_key(self, key)
+    }
+
+    fn execute(&self, ops: &mut [Op<K, V>]) {
+        BSkipList::execute(self, ops)
     }
 
     fn remove(&self, key: &K) -> Option<V> {

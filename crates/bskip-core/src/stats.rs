@@ -34,6 +34,17 @@ pub struct BSkipStats {
     /// Leaf nodes visited by range queries (the paper reports ~2 nodes per
     /// scan of length 100 for the B-skiplist vs. ~1.5 for the B+-tree).
     pub range_leaf_nodes: CachePadded<RelaxedCounter>,
+    /// Batches executed through the native `execute` path (each pins the
+    /// epoch collector exactly once).
+    pub batch_executes: CachePadded<RelaxedCounter>,
+    /// Operations carried by those batches.
+    pub batched_ops: CachePadded<RelaxedCounter>,
+    /// Leaf write-lock acquisitions performed by the batch path (descents
+    /// plus right-walk steps); a whole same-leaf run costs one.
+    pub batch_leaf_locks: CachePadded<RelaxedCounter>,
+    /// Batch operations that fell back to the per-op point path (splits,
+    /// promoted inserts, header removals).
+    pub batch_fallbacks: CachePadded<RelaxedCounter>,
 }
 
 impl BSkipStats {
@@ -54,6 +65,10 @@ impl BSkipStats {
         self.promotion_splits.reset();
         self.overflow_splits.reset();
         self.range_leaf_nodes.reset();
+        self.batch_executes.reset();
+        self.batched_ops.reset();
+        self.batch_leaf_locks.reset();
+        self.batch_fallbacks.reset();
     }
 
     /// Exports the counters in the uniform [`IndexStats`] format.
@@ -69,6 +84,10 @@ impl BSkipStats {
             .with("promotion_splits", self.promotion_splits.get())
             .with("overflow_splits", self.overflow_splits.get())
             .with("range_leaf_nodes", self.range_leaf_nodes.get())
+            .with("batch_executes", self.batch_executes.get())
+            .with("batched_ops", self.batched_ops.get())
+            .with("batch_leaf_locks", self.batch_leaf_locks.get())
+            .with("batch_fallbacks", self.batch_fallbacks.get())
     }
 
     /// Average horizontal steps per level descended, the statistic the
@@ -105,7 +124,7 @@ mod tests {
         let snapshot = stats.snapshot();
         assert_eq!(snapshot.get("finds"), Some(3));
         assert_eq!(snapshot.get("top_level_write_locks"), Some(1));
-        assert_eq!(snapshot.len(), 10);
+        assert_eq!(snapshot.len(), 14);
     }
 
     #[test]

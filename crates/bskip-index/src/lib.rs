@@ -10,6 +10,14 @@
 //! * [`ConcurrentIndex`] — the key-value dictionary operations of Section 2
 //!   (`find`, `insert`, scans) plus `remove`, usable concurrently from
 //!   many threads through `&self`.
+//! * [`Op`] / [`OpResult`] / [`ConcurrentIndex::execute`] — the **bulk
+//!   path**: a batch of first-class operations applied in one call, with
+//!   results written back in place.  A provided default loops over the
+//!   point methods, so every index takes batches; indices with exploitable
+//!   structure override it (the B-skiplist amortizes its epoch pin, its
+//!   descent and its leaf locks over every operation landing in the same
+//!   fat leaf; the baselines apply the shared sorted-loop strategy of
+//!   [`ops::execute_sorted`]).  See [`ops`] for the batch semantics.
 //! * [`Cursor`] / [`IndexCursor`] — the seekable-cursor scan interface:
 //!   every index opens cursors via [`ConcurrentIndex::scan`] (any
 //!   `RangeBounds` expression) or the object-safe
@@ -44,10 +52,12 @@
 
 pub mod cursor;
 mod key;
+pub mod ops;
 mod stats;
 mod traits;
 
 pub use cursor::{BatchCursor, Cursor, IndexCursor};
 pub use key::{IndexKey, IndexValue};
+pub use ops::{Op, OpResult};
 pub use stats::{IndexStats, ReclamationStats, StatValue};
 pub use traits::{ConcurrentIndex, ConcurrentIndexExt};

@@ -1,0 +1,325 @@
+//! First-class operations for the batched-execution API.
+//!
+//! Every method on [`ConcurrentIndex`] describes a
+//! *single* trip into the index: one traversal, one epoch pin, one lock
+//! protocol run.  Real write paths — LSM memtable ingest, YCSB-style
+//! drivers, replication apply loops — hold *many* operations at once, and
+//! an index that concentrates neighbouring keys in fat nodes (the
+//! B-skiplist's whole design) can amortize traversal, pinning and locking
+//! across every operation that lands in the same node.  This module defines
+//! the vocabulary for that bulk path:
+//!
+//! * [`Op`] — one dictionary operation (`Get`, `Insert`, `Update`,
+//!   `Remove`) carrying its own [`OpResult`] slot, so a batch is just
+//!   `&mut [Op<K, V>]` and results come back in place;
+//! * [`OpResult`] — `Pending` until executed, then `Value(previous)` or
+//!   [`OpResult::Missing`] with the same meaning the point methods give
+//!   `Option<V>`;
+//! * [`execute_sorted`] — the shared sorted-loop strategy: apply the batch
+//!   through the point methods but in ascending key order, which turns a
+//!   random batch into a cache-friendly sweep.  Indices without a native
+//!   batch path (the `BatchCursor`-based baselines) override
+//!   [`ConcurrentIndex::execute`] with
+//!   this so `dyn` callers get the sorted loop for free.
+//!
+//! # Semantics
+//!
+//! A batch executed through `execute` is **observationally equivalent to
+//! applying its operations in slot order**, one linearizable point
+//! operation each; it is *not* atomic as a whole (operations from
+//! concurrent threads may interleave between — never inside — the batch's
+//! operations).  Implementations may reorder operations on *distinct* keys
+//! (dictionary operations on different keys commute), but must preserve
+//! the relative order of operations on the *same* key; [`sorted_order`]
+//! computes exactly such an order.
+//!
+//! `Insert` and `Update` are both upserts returning the previous value —
+//! the same semantics as
+//! [`ConcurrentIndex::insert`] — and
+//! differ only in declared intent (YCSB drivers count them separately and
+//! coalesce them into separate batches).
+
+use crate::{ConcurrentIndex, IndexKey, IndexValue};
+
+/// Outcome slot of one [`Op`]: unexecuted, or the `Option<V>` the
+/// corresponding point method would have returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpResult<V> {
+    /// The operation has not been executed yet.
+    #[default]
+    Pending,
+    /// The operation observed this value: the current value for a get, the
+    /// displaced previous value for an insert/update, the removed value
+    /// for a remove.
+    Value(V),
+    /// The key was absent: a miss for a get/remove, a fresh insertion for
+    /// an insert/update.
+    Missing,
+}
+
+impl<V: Copy> OpResult<V> {
+    /// The executed result as the `Option<V>` the point method would have
+    /// returned; `None` also for [`OpResult::Pending`] (use
+    /// [`OpResult::is_executed`] to distinguish).
+    pub fn value(&self) -> Option<V> {
+        match self {
+            OpResult::Value(value) => Some(*value),
+            OpResult::Pending | OpResult::Missing => None,
+        }
+    }
+
+    /// Whether the operation has been executed.
+    pub fn is_executed(&self) -> bool {
+        !matches!(self, OpResult::Pending)
+    }
+}
+
+impl<V> From<Option<V>> for OpResult<V> {
+    fn from(value: Option<V>) -> Self {
+        match value {
+            Some(value) => OpResult::Value(value),
+            None => OpResult::Missing,
+        }
+    }
+}
+
+/// One dictionary operation of a batch, with an in-place result slot.
+///
+/// Construct with [`Op::get`], [`Op::insert`], [`Op::update`] or
+/// [`Op::remove`]; execute through
+/// [`ConcurrentIndex::execute`]; read the
+/// outcome back with [`Op::result`].
+///
+/// ```
+/// use bskip_index::{ConcurrentIndex, Op, OpResult};
+/// # use std::collections::BTreeMap;
+/// # use std::sync::Mutex;
+/// # struct Map(Mutex<BTreeMap<u64, u64>>);
+/// # impl ConcurrentIndex<u64, u64> for Map {
+/// #     fn insert(&self, k: u64, v: u64) -> Option<u64> { self.0.lock().unwrap().insert(k, v) }
+/// #     fn get(&self, k: &u64) -> Option<u64> { self.0.lock().unwrap().get(k).copied() }
+/// #     fn remove(&self, k: &u64) -> Option<u64> { self.0.lock().unwrap().remove(k) }
+/// #     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+/// #     fn name(&self) -> &'static str { "map" }
+/// #     fn scan_bounds(
+/// #         &self,
+/// #         lo: std::ops::Bound<u64>,
+/// #         hi: std::ops::Bound<u64>,
+/// #     ) -> bskip_index::Cursor<'_, u64, u64> {
+/// #         bskip_index::Cursor::new(bskip_index::BatchCursor::new(
+/// #             lo,
+/// #             hi,
+/// #             8,
+/// #             Box::new(move |from, max, out| {
+/// #                 out.extend(
+/// #                     self.0.lock().unwrap()
+/// #                         .range((from, std::ops::Bound::Unbounded))
+/// #                         .take(max)
+/// #                         .map(|(k, v)| (*k, *v)),
+/// #                 )
+/// #             }),
+/// #         ))
+/// #     }
+/// # }
+/// # let index = Map(Mutex::new(BTreeMap::new()));
+/// let mut batch = vec![Op::insert(1, 10), Op::insert(2, 20), Op::get(1), Op::remove(2)];
+/// index.execute(&mut batch);
+/// assert_eq!(batch[2].result().value(), Some(10));
+/// assert_eq!(batch[3].result().value(), Some(20));
+/// assert_eq!(*batch[0].result(), OpResult::Missing); // freshly inserted
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op<K, V> {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: K,
+        /// Result slot.
+        result: OpResult<V>,
+    },
+    /// Upsert of a (possibly new) record.
+    Insert {
+        /// Key to insert.
+        key: K,
+        /// Value to store.
+        value: V,
+        /// Result slot (the displaced previous value, if any).
+        result: OpResult<V>,
+    },
+    /// Upsert declared as a read-modify-write of an existing record.  Same
+    /// semantics as [`Op::Insert`]; the distinction lets drivers count and
+    /// coalesce the two intents separately.
+    Update {
+        /// Key to update.
+        key: K,
+        /// Value to store.
+        value: V,
+        /// Result slot (the displaced previous value, if any).
+        result: OpResult<V>,
+    },
+    /// Removal.
+    Remove {
+        /// Key to remove.
+        key: K,
+        /// Result slot (the removed value, if any).
+        result: OpResult<V>,
+    },
+}
+
+impl<K: IndexKey, V: IndexValue> Op<K, V> {
+    /// A pending point lookup of `key`.
+    pub fn get(key: K) -> Self {
+        Op::Get {
+            key,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// A pending upsert of `key → value`.
+    pub fn insert(key: K, value: V) -> Self {
+        Op::Insert {
+            key,
+            value,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// A pending update (upsert declared as read-modify-write) of
+    /// `key → value`.
+    pub fn update(key: K, value: V) -> Self {
+        Op::Update {
+            key,
+            value,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// A pending removal of `key`.
+    pub fn remove(key: K) -> Self {
+        Op::Remove {
+            key,
+            result: OpResult::Pending,
+        }
+    }
+
+    /// The key this operation targets.
+    pub fn key(&self) -> &K {
+        match self {
+            Op::Get { key, .. }
+            | Op::Insert { key, .. }
+            | Op::Update { key, .. }
+            | Op::Remove { key, .. } => key,
+        }
+    }
+
+    /// The operation's result slot.
+    pub fn result(&self) -> &OpResult<V> {
+        match self {
+            Op::Get { result, .. }
+            | Op::Insert { result, .. }
+            | Op::Update { result, .. }
+            | Op::Remove { result, .. } => result,
+        }
+    }
+
+    /// Whether the operation mutates the index.
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, Op::Get { .. })
+    }
+
+    /// Executes this operation through the index's point methods, storing
+    /// the outcome in the result slot.  This is the building block of the
+    /// provided [`ConcurrentIndex::execute`]
+    /// default and of per-operation fallbacks inside native batch paths.
+    pub fn apply_point<I>(&mut self, index: &I)
+    where
+        I: ConcurrentIndex<K, V> + ?Sized,
+    {
+        match self {
+            Op::Get { key, result } => *result = index.get(key).into(),
+            Op::Insert { key, value, result } | Op::Update { key, value, result } => {
+                *result = index.insert(*key, *value).into();
+            }
+            Op::Remove { key, result } => *result = index.remove(key).into(),
+        }
+    }
+}
+
+/// The key-order application schedule of a batch: indices into `ops`
+/// sorted by key, with the original slot position as tie-break so that
+/// operations on the *same* key keep their relative order (the reordering
+/// constraint under which sorted application is observationally equivalent
+/// to slot-order application — see the module docs).
+pub fn sorted_order<K: IndexKey, V: IndexValue>(ops: &[Op<K, V>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_unstable_by_key(|&slot| (*ops[slot].key(), slot));
+    order
+}
+
+/// The shared sorted-loop batch strategy: applies `ops` through the
+/// index's point methods in ascending key order ([`sorted_order`]).
+///
+/// Every descent-based index benefits — consecutive operations revisit the
+/// same upper-level nodes and the same (or adjacent) leaves, so the sweep
+/// runs against a warm cache instead of hopping across the key space.
+/// Indices without a native batch path override
+/// [`ConcurrentIndex::execute`] with this
+/// function, which keeps the behaviour reachable through
+/// `dyn ConcurrentIndex` references.
+pub fn execute_sorted<K, V, I>(index: &I, ops: &mut [Op<K, V>])
+where
+    K: IndexKey,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V> + ?Sized,
+{
+    for slot in sorted_order(ops) {
+        ops[slot].apply_point(index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_start_pending() {
+        let ops: [Op<u64, u64>; 4] = [
+            Op::get(1),
+            Op::insert(2, 20),
+            Op::update(3, 30),
+            Op::remove(4),
+        ];
+        for op in &ops {
+            assert_eq!(*op.result(), OpResult::Pending);
+            assert!(!op.result().is_executed());
+            assert_eq!(op.result().value(), None);
+        }
+        assert_eq!(*ops[0].key(), 1);
+        assert_eq!(*ops[3].key(), 4);
+        assert!(!ops[0].is_mutation());
+        assert!(ops[1].is_mutation());
+        assert!(ops[2].is_mutation());
+        assert!(ops[3].is_mutation());
+    }
+
+    #[test]
+    fn op_result_from_option() {
+        assert_eq!(OpResult::from(Some(7u64)), OpResult::Value(7));
+        assert_eq!(OpResult::<u64>::from(None), OpResult::Missing);
+        assert_eq!(OpResult::Value(7u64).value(), Some(7));
+        assert_eq!(OpResult::<u64>::Missing.value(), None);
+        assert!(OpResult::<u64>::Missing.is_executed());
+    }
+
+    #[test]
+    fn sorted_order_is_stable_per_key() {
+        let ops: Vec<Op<u64, u64>> = vec![
+            Op::insert(5, 0), // slot 0
+            Op::remove(1),    // slot 1
+            Op::insert(5, 1), // slot 2: same key as slot 0, must stay after it
+            Op::get(3),       // slot 3
+            Op::remove(5),    // slot 4: same key again, must stay last
+        ];
+        assert_eq!(sorted_order(&ops), vec![1, 3, 0, 2, 4]);
+    }
+}

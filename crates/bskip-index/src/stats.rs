@@ -101,17 +101,21 @@ pub struct ReclamationStats {
     pub epoch: u64,
     /// Successful epoch advancements.
     pub advances: u64,
+    /// Guards created (collector pins) since construction; batched
+    /// operations amortize this — one pin per batch, not per op.
+    pub pins: u64,
 }
 
 impl ReclamationStats {
     /// The stat names under which the counters appear in an
     /// [`IndexStats`] snapshot, in field order.
-    pub const NAMES: [&'static str; 5] = [
+    pub const NAMES: [&'static str; 6] = [
         "ebr_retired",
         "ebr_freed",
         "ebr_backlog",
         "ebr_epoch",
         "ebr_advances",
+        "ebr_pins",
     ];
 
     /// Appends the counters to a snapshot under the uniform names.
@@ -122,6 +126,7 @@ impl ReclamationStats {
             .with("ebr_backlog", self.backlog)
             .with("ebr_epoch", self.epoch)
             .with("ebr_advances", self.advances)
+            .with("ebr_pins", self.pins)
     }
 
     /// Recovers the counters from a snapshot; `None` when the index does
@@ -133,6 +138,7 @@ impl ReclamationStats {
             backlog: stats.get("ebr_backlog")?,
             epoch: stats.get("ebr_epoch")?,
             advances: stats.get("ebr_advances")?,
+            pins: stats.get("ebr_pins")?,
         })
     }
 }
@@ -145,6 +151,7 @@ impl From<bskip_sync::EbrStats> for ReclamationStats {
             backlog: ebr.backlog,
             epoch: ebr.epoch,
             advances: ebr.advances,
+            pins: ebr.pins,
         }
     }
 }
@@ -230,6 +237,7 @@ mod tests {
             backlog: 10,
             epoch: 7,
             advances: 6,
+            pins: 1_000,
         };
         let stats = reclamation.append_to(IndexStats::new().with("finds", 1));
         assert_eq!(stats.get("finds"), Some(1));
@@ -244,6 +252,6 @@ mod tests {
         let collector = bskip_sync::EbrCollector::new();
         let reclamation = ReclamationStats::from(collector.stats());
         assert_eq!(reclamation, ReclamationStats::default());
-        assert_eq!(ReclamationStats::NAMES.len(), 5);
+        assert_eq!(ReclamationStats::NAMES.len(), 6);
     }
 }

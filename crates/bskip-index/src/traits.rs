@@ -3,6 +3,7 @@
 use std::ops::{Bound, RangeBounds};
 
 use crate::cursor::{clone_bound, Cursor};
+use crate::ops::Op;
 use crate::{IndexKey, IndexStats, IndexValue};
 
 /// A concurrent ordered key-value dictionary.
@@ -20,6 +21,19 @@ use crate::{IndexKey, IndexStats, IndexValue};
 /// simultaneously; implementations provide their own concurrency control
 /// (hand-over-hand RW locking for the B-skiplist, CAS for the lock-free
 /// skiplist, OCC for the B+-tree, ...).
+///
+/// # Batched execution
+///
+/// [`ConcurrentIndex::execute`] is the bulk entry point: it applies a whole
+/// slice of [`Op`]s (`Get`/`Insert`/`Update`/`Remove`, each carrying its
+/// own result slot) in one call.  The provided default simply loops over
+/// the point methods, so every implementation supports batches out of the
+/// box; indices with exploitable structure override it — the B-skiplist
+/// sort-groups the batch, pins its epoch collector **once**, and applies
+/// every run of keys landing in the same fat leaf under a single leaf lock
+/// acquisition, while the `BatchCursor`-based baselines use the shared
+/// sorted-loop strategy ([`crate::ops::execute_sorted`]).  See
+/// [`crate::ops`] for the equivalence contract batches must satisfy.
 ///
 /// # Scanning
 ///
@@ -47,6 +61,30 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
 
     /// Point lookup: returns the value associated with `key`, if any.
     fn get(&self, key: &K) -> Option<V>;
+
+    /// Whether `key` is present.
+    ///
+    /// Provided on top of [`ConcurrentIndex::get`]; indices with a cheaper
+    /// existence check may override it.
+    fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Executes a batch of operations, writing each outcome into the
+    /// operation's own [`crate::OpResult`] slot.
+    ///
+    /// The batch behaves exactly as if its operations were applied in slot
+    /// order, one linearizable point operation each (operations from other
+    /// threads may interleave *between* them — the batch is a throughput
+    /// construct, not a transaction).  The provided default does literally
+    /// that; overrides may reorder operations on distinct keys to amortize
+    /// traversal, pinning and locking, but must preserve the relative
+    /// order of operations on the same key (see [`crate::ops`]).
+    fn execute(&self, ops: &mut [Op<K, V>]) {
+        for op in ops.iter_mut() {
+            op.apply_point(self);
+        }
+    }
 
     /// Removes `key`, returning its value if it was present.
     ///
@@ -182,6 +220,12 @@ macro_rules! forward_concurrent_index {
         fn get(&self, key: &K) -> Option<V> {
             (**self).get(key)
         }
+        fn contains_key(&self, key: &K) -> bool {
+            (**self).contains_key(key)
+        }
+        fn execute(&self, ops: &mut [Op<K, V>]) {
+            (**self).execute(ops)
+        }
         fn remove(&self, key: &K) -> Option<V> {
             (**self).remove(key)
         }
@@ -300,6 +344,69 @@ mod tests {
         assert_eq!(index.len(), 1);
         assert_eq!(index.remove(&1), Some(11));
         assert!(index.is_empty());
+    }
+
+    #[test]
+    fn provided_execute_applies_ops_in_slot_order() {
+        use crate::ops::{Op, OpResult};
+        let index = MutexBTreeMap::new();
+        index.insert(1, 10);
+        let mut batch = vec![
+            Op::get(1),
+            Op::insert(1, 11),
+            Op::update(2, 20),
+            Op::get(2),
+            Op::remove(1),
+            Op::remove(3),
+        ];
+        index.execute(&mut batch);
+        assert_eq!(*batch[0].result(), OpResult::Value(10));
+        assert_eq!(*batch[1].result(), OpResult::Value(10));
+        assert_eq!(*batch[2].result(), OpResult::Missing);
+        assert_eq!(*batch[3].result(), OpResult::Value(20));
+        assert_eq!(*batch[4].result(), OpResult::Value(11));
+        assert_eq!(*batch[5].result(), OpResult::Missing);
+        assert_eq!(index.len(), 1);
+        assert!(index.contains_key(&2));
+        assert!(!index.contains_key(&1));
+
+        // Batches flow through `dyn` references and the blanket impls.
+        let by_ref: &dyn ConcurrentIndex<u64, u64> = &index;
+        let mut batch = vec![Op::insert(9, 90), Op::get(9)];
+        by_ref.execute(&mut batch);
+        assert_eq!(batch[1].result().value(), Some(90));
+        assert!(by_ref.contains_key(&9));
+        let boxed: Box<dyn ConcurrentIndex<u64, u64>> = Box::new(MutexBTreeMap::new());
+        let mut batch = vec![Op::insert(4, 40), Op::remove(4)];
+        boxed.execute(&mut batch);
+        assert_eq!(batch[1].result().value(), Some(40));
+        assert!(!boxed.contains_key(&4));
+    }
+
+    #[test]
+    fn execute_sorted_matches_slot_order_semantics() {
+        use crate::ops::{execute_sorted, Op};
+        let sequential = MutexBTreeMap::new();
+        let sorted = MutexBTreeMap::new();
+        // Includes same-key sequences whose order must be preserved.
+        let batch = vec![
+            Op::insert(5, 50),
+            Op::insert(2, 20),
+            Op::remove(5),
+            Op::get(5),
+            Op::insert(5, 51),
+            Op::update(2, 21),
+            Op::get(2),
+        ];
+        let mut a = batch.clone();
+        sequential.execute(&mut a);
+        let mut b = batch;
+        execute_sorted(&sorted, &mut b);
+        assert_eq!(a, b, "results must agree op-for-op");
+        assert_eq!(
+            sequential.scan(..).collect::<Vec<_>>(),
+            sorted.scan(..).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! backlog stays bounded by a small constant times the number of active
 //! participants — it does not grow with the total operation count.
 //!
+//! When every participant slot is taken, `pin` degrades instead of
+//! blocking: it hands out an **overflow-mode** guard that suspends all
+//! reclamation (no bag is drained while any overflow guard is alive,
+//! though the epoch counter itself may still move) until the guard
+//! population drops back under the slot count; see [`EbrCollector::pin`].
+//!
 //! # Grace period
 //!
 //! A bag filed under epoch `e` is drained only once the global epoch
@@ -57,11 +63,20 @@ use std::sync::Mutex;
 
 use crate::{Backoff, CachePadded};
 
-/// Number of participant slots: the maximum number of simultaneously
-/// pinned guards.  `pin` spins (it never fails) when all slots are taken;
-/// the workspace never holds more than a few guards per thread, so this
-/// accommodates far more threads than any benchmark configuration.
+/// Number of participant slots: the number of simultaneously pinned guards
+/// the collector tracks individually.  The workspace never holds more than
+/// a few guards per thread, so this accommodates far more threads than any
+/// benchmark configuration; guards beyond it fall back to the degraded
+/// overflow mode (see [`EbrCollector::pin`]).
 const SLOTS: usize = 256;
+
+/// Sentinel slot index marking an overflow-mode guard (one that holds the
+/// shared overflow pin instead of a participant slot).
+const OVERFLOW_SLOT: usize = usize::MAX;
+
+/// Scan passes over the slot array before `pin` gives up and takes the
+/// overflow path.
+const PIN_ATTEMPTS: usize = 2;
 
 /// Retirements between amortized collection attempts.
 const RETIRES_PER_COLLECT: u64 = 64;
@@ -96,6 +111,10 @@ pub struct EbrStats {
     pub epoch: u64,
     /// Number of successful epoch advancements.
     pub advances: u64,
+    /// Guards created since construction ([`EbrCollector::pin`] calls,
+    /// including overflow-mode pins).  Lets callers verify that a batched
+    /// operation really pinned once rather than once per element.
+    pub pins: u64,
 }
 
 /// An epoch-based garbage collector for one concurrent data structure.
@@ -125,8 +144,20 @@ pub struct EbrCollector {
     global: CachePadded<AtomicUsize>,
     /// Participant slots: `0` = vacant, otherwise `(epoch << 1) | 1`.
     slots: Box<[CachePadded<AtomicUsize>]>,
+    /// Per-slot pin counters (same indexing as `slots`); split from the
+    /// slot words and padded so counting a pin never contends with another
+    /// thread's slot CAS.
+    slot_pins: Box<[CachePadded<AtomicU64>]>,
     /// Deferred-drop bags, indexed by `epoch % BAGS`.
     bags: [Mutex<Vec<Deferred>>; BAGS],
+    /// Guards currently alive in overflow mode (pinned while every slot
+    /// was taken).  While this is non-zero the global epoch is frozen:
+    /// overflow guards advertise no epoch of their own, so the only safe
+    /// course is to refuse advancement (and therefore all reclamation)
+    /// until they drop — degraded, but never unsound.
+    overflow_pins: CachePadded<AtomicUsize>,
+    /// Total overflow-mode pins since construction.
+    overflow_pin_total: AtomicU64,
     retired: AtomicU64,
     freed: AtomicU64,
     advances: AtomicU64,
@@ -154,7 +185,13 @@ impl EbrCollector {
                 .map(|_| CachePadded::new(AtomicUsize::new(0)))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
+            slot_pins: (0..SLOTS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             bags: [const { Mutex::new(Vec::new()) }; BAGS],
+            overflow_pins: CachePadded::new(AtomicUsize::new(0)),
+            overflow_pin_total: AtomicU64::new(0),
             retired: AtomicU64::new(0),
             freed: AtomicU64::new(0),
             advances: AtomicU64::new(0),
@@ -169,10 +206,27 @@ impl EbrCollector {
     /// created will be freed — that is the protection traversals rely on.
     /// Guards should therefore be short-lived: a guard held across a long
     /// pause blocks epoch advancement and lets the retired backlog grow.
+    ///
+    /// # Slot exhaustion
+    ///
+    /// When every participant slot is taken (more than `SLOTS`
+    /// simultaneously live guards), `pin` does **not** block or panic: it
+    /// returns an *overflow-mode* guard after a couple of scan passes.
+    /// Overflow guards provide the full safety guarantee by suspending
+    /// reclamation for as long as any of them is alive — `try_collect`
+    /// refuses to drain any bag while an overflow pin is visible (checked
+    /// again after its epoch CAS, so racing collectors may advance the
+    /// counter but never free), and overflow retirements file under the
+    /// live epoch so the grace arithmetic holds even across such
+    /// advances.  No object can be freed, so every pointer an overflow
+    /// guard protects stays valid.  The cost is that reclamation stalls
+    /// (the retired backlog grows) until the guard population drops back
+    /// under the slot count; this degraded mode trades memory for
+    /// guaranteed progress.
     pub fn pin(&self) -> EbrGuard<'_> {
         let start = slot_hint();
         let mut backoff = Backoff::new();
-        loop {
+        for attempt in 0..PIN_ATTEMPTS {
             let epoch = self.global.load(Ordering::SeqCst);
             let tagged = (epoch << 1) | 1;
             for offset in 0..SLOTS {
@@ -181,6 +235,7 @@ impl EbrCollector {
                     .compare_exchange(0, tagged, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
                 {
+                    self.slot_pins[slot].fetch_add(1, Ordering::Relaxed);
                     // Republish until the advertised epoch matches the
                     // global epoch observed *after* publication; this is
                     // the usual store-then-validate pin protocol that
@@ -201,9 +256,27 @@ impl EbrCollector {
                     }
                 }
             }
-            // All slots taken: another guard must end before this thread
-            // can participate.
-            backoff.snooze();
+            // All slots taken; retry once after a pause in case another
+            // guard is just ending, then fall back to overflow mode.
+            if attempt + 1 < PIN_ATTEMPTS {
+                backoff.snooze();
+            }
+        }
+        // Overflow mode.  The guard advertises no epoch; safety instead
+        // comes from `try_collect` re-checking `overflow_pins` *after*
+        // its epoch CAS and refusing to drain while any overflow pin is
+        // visible — so in-flight collectors may keep advancing the
+        // counter, but nothing is freed while this guard lives.  Because
+        // the counter can run ahead, overflow retirements file under the
+        // *current* epoch at retire time (see [`EbrGuard::retire_box`]),
+        // not the value recorded here.
+        self.overflow_pins.fetch_add(1, Ordering::SeqCst);
+        self.overflow_pin_total.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.global.load(Ordering::SeqCst);
+        EbrGuard {
+            collector: self,
+            slot: OVERFLOW_SLOT,
+            epoch,
         }
     }
 
@@ -227,6 +300,11 @@ impl EbrCollector {
     /// code (a memtable flush, a test harness) can drain the backlog at a
     /// quiescent point — with no guard alive, four calls empty every bag.
     pub fn try_collect(&self) -> usize {
+        if self.overflow_pins.load(Ordering::SeqCst) > 0 {
+            // Overflow-mode guards advertise no epoch, so no reclamation
+            // can run while any is alive; bail before doing any work.
+            return 0;
+        }
         let epoch = self.global.load(Ordering::SeqCst);
         for slot in self.slots.iter() {
             let value = slot.load(Ordering::SeqCst);
@@ -242,6 +320,23 @@ impl EbrCollector {
             return 0; // Another thread advanced concurrently.
         }
         self.advances.fetch_add(1, Ordering::Relaxed);
+        // Re-check AFTER the advance: any number of threads may have
+        // passed the cheap pre-check above before an overflow pin became
+        // visible, and each may still perform one epoch CAS — so the
+        // counter can move while overflow guards are alive.  Advancing is
+        // harmless; *draining* is not.  If this load sees zero, then (in
+        // the SeqCst total order) every overflow pin either already ended
+        // or was published after this point — and a guard pinned after
+        // this point observes an epoch at least three ahead of anything
+        // in the bag drained below, so it cannot have captured a pointer
+        // to any object in it (the objects were unlinked before their
+        // retirement epochs, which the global counter has long passed).
+        // If it sees an overflow pin, the aged bag is simply left for a
+        // later cycle (bag indices repeat every `BAGS` epochs, and bags
+        // only ever drain here, so nothing is lost).
+        if self.overflow_pins.load(Ordering::SeqCst) > 0 {
+            return 0;
+        }
         // The new epoch is `epoch + 1`; the bag for `epoch + 2 (mod BAGS)`
         // holds garbage filed under epoch `epoch - 2`, which has now aged
         // three full epochs.
@@ -266,12 +361,19 @@ impl EbrCollector {
     pub fn stats(&self) -> EbrStats {
         let retired = self.retired.load(Ordering::Relaxed);
         let freed = self.freed.load(Ordering::Relaxed);
+        let pins = self
+            .slot_pins
+            .iter()
+            .map(|count| count.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.overflow_pin_total.load(Ordering::Relaxed);
         EbrStats {
             retired,
             freed,
             backlog: retired.saturating_sub(freed),
             epoch: self.global.load(Ordering::Relaxed) as u64,
             advances: self.advances.load(Ordering::Relaxed),
+            pins,
         }
     }
 
@@ -363,8 +465,20 @@ impl EbrGuard<'_> {
         unsafe fn drop_box<T>(ptr: *mut ()) {
             drop(Box::from_raw(ptr as *mut T));
         }
+        // Slotted guards file under their advertised epoch, which the
+        // global counter cannot be more than one ahead of.  An overflow
+        // guard advertises nothing and the counter may have run ahead of
+        // its recorded epoch, so it must file under the *live* epoch:
+        // anyone who could still reach the object was pinned before this
+        // retirement, hence at or below this value, and the drain of its
+        // bag requires the counter to move three epochs further still.
+        let epoch = if self.slot == OVERFLOW_SLOT {
+            self.collector.global.load(Ordering::SeqCst)
+        } else {
+            self.epoch
+        };
         self.collector.retire(
-            self.epoch,
+            epoch,
             Deferred {
                 ptr: ptr as *mut (),
                 drop_fn: drop_box::<T>,
@@ -378,6 +492,12 @@ impl EbrGuard<'_> {
     /// pointers into the protected structure — any pointer obtained before
     /// `repin` must be considered dangling afterwards.
     pub fn repin(&mut self) {
+        if self.slot == OVERFLOW_SLOT {
+            // Overflow guards advertise no epoch, so there is nothing to
+            // republish; just refresh the recorded (informational) value.
+            self.epoch = self.collector.global.load(Ordering::SeqCst);
+            return;
+        }
         self.collector.slots[self.slot].store(0, Ordering::SeqCst);
         let mut advertised = None;
         loop {
@@ -394,7 +514,11 @@ impl EbrGuard<'_> {
 
 impl Drop for EbrGuard<'_> {
     fn drop(&mut self) {
-        self.collector.slots[self.slot].store(0, Ordering::Release);
+        if self.slot == OVERFLOW_SLOT {
+            self.collector.overflow_pins.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            self.collector.slots[self.slot].store(0, Ordering::Release);
+        }
     }
 }
 
@@ -548,5 +672,44 @@ mod tests {
         drop(guards);
         collector.try_collect();
         assert!(collector.stats().epoch >= 1);
+        assert_eq!(collector.stats().pins, 64);
+    }
+
+    #[test]
+    fn slot_exhaustion_falls_back_to_a_safe_overflow_mode() {
+        let collector = EbrCollector::new();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        // Register far more simultaneous guards than there are slots; this
+        // must neither panic nor spin forever.
+        let total = SLOTS + 40;
+        let mut guards: Vec<_> = (0..total).map(|_| collector.pin()).collect();
+        assert_eq!(collector.stats().pins, total as u64);
+        // Overflow guards still support retirement, and their protection
+        // holds: with the epoch frozen, nothing can be freed.
+        retire_counted(guards.last().unwrap(), &drops);
+        let epoch_before = collector.stats().epoch;
+        for _ in 0..8 {
+            assert_eq!(collector.try_collect(), 0, "epoch must be frozen");
+        }
+        assert_eq!(collector.stats().epoch, epoch_before);
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+        // Overflow repin is a safe no-op (the epoch cannot move anyway).
+        guards.last_mut().unwrap().repin();
+        // Dropping back under the slot count unfreezes the epoch and lets
+        // the backlog drain at the next quiescent point.
+        drop(guards);
+        for _ in 0..2 * BAGS {
+            collector.try_collect();
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        assert_eq!(collector.stats().backlog, 0);
+        // The collector is fully usable after the episode.
+        let guard = collector.pin();
+        retire_counted(&guard, &drops);
+        drop(guard);
+        for _ in 0..2 * BAGS {
+            collector.try_collect();
+        }
+        assert_eq!(collector.stats().backlog, 0);
     }
 }

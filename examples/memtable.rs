@@ -2,12 +2,15 @@
 //!
 //! The paper motivates the B-skiplist as a drop-in replacement for the
 //! skiplist memtables of LSM key-value stores.  This example sketches that
-//! use: writer threads append versioned puts and deletes concurrently while
-//! reader threads serve gets, and when the memtable exceeds its budget it is
-//! "flushed" — drained in sorted order exactly as an SSTable writer would
-//! consume it — and then **evicted**: every flushed entry is physically
-//! removed from the memtable so the next write wave starts from a small
-//! structure.
+//! use: writer threads ingest **write batches** (group-commit style, puts
+//! and tombstones applied through the index's bulk `execute` path, which
+//! pins the epoch collector once per batch and shares leaf locks across
+//! neighbouring keys) alongside a latency-sensitive foreground writer
+//! issuing single puts, while reader threads serve lookups; when the
+//! memtable exceeds its budget it is "flushed" — drained in sorted order
+//! exactly as an SSTable writer would consume it — and then **evicted**:
+//! every flushed entry is physically removed from the memtable so the next
+//! write wave starts from a small structure.
 //!
 //! The eviction half of the cycle is what the epoch-based reclamation
 //! subsystem enables: each removal unlinks nodes while readers keep
@@ -21,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bskip_suite::{BSkipConfig, BSkipList};
+use bskip_suite::{BSkipConfig, BSkipList, Op, OpResult};
 
 /// A value entry: either a put of a payload id or a tombstone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,8 +81,29 @@ impl MemTable {
         }
     }
 
+    /// Applies a write batch (puts and tombstones) through the index's
+    /// bulk `execute` path — the write shape an LSM engine's group-commit
+    /// produces.  The batch's result slots report which keys were new, so
+    /// the size estimate stays exact without a second lookup per key.
+    fn apply_batch(&self, batch: &mut [Op<u64, u64>]) {
+        self.index.execute(batch);
+        let fresh = batch
+            .iter()
+            .filter(|op| matches!(op.result(), OpResult::Missing))
+            .count() as u64;
+        if fresh > 0 {
+            self.approximate_entries.fetch_add(fresh, Ordering::Relaxed);
+        }
+    }
+
     fn get(&self, key: u64) -> Option<Entry> {
         self.index.get(&key).map(decode)
+    }
+
+    /// Whether the memtable holds an entry (a put *or* a tombstone) for
+    /// `key`; readers use this to decide whether to consult lower levels.
+    fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
     }
 
     fn should_flush(&self) -> bool {
@@ -134,6 +158,9 @@ impl MemTable {
     }
 }
 
+/// Write-batch width of the bulk writers (a typical group-commit size).
+const BATCH: u64 = 128;
+
 fn main() {
     let memtable = Arc::new(MemTable::new(400_000));
     let writers = 4u64;
@@ -146,16 +173,44 @@ fn main() {
     // what keeps the total footprint flat across waves.
     for wave in 0..waves {
         std::thread::scope(|scope| {
-            // Writers: puts with occasional deletes over a shared key space.
+            // Bulk writers: group-commit style ingest.  Each writer fills
+            // a write batch (puts with occasional tombstones) and applies
+            // it through the index's bulk `execute` path, which the
+            // B-skiplist serves with one epoch pin per batch and one leaf
+            // lock per run of neighbouring keys.
             for writer in 0..writers {
                 let memtable = Arc::clone(&memtable);
                 scope.spawn(move || {
+                    let mut batch: Vec<Op<u64, u64>> = Vec::with_capacity(BATCH as usize);
                     for i in 0..ops_per_writer {
                         let key = (i * writers + writer) % 500_000;
-                        if i % 16 == 0 {
+                        let entry = if i % 16 == 0 {
+                            Entry::Tombstone
+                        } else {
+                            Entry::Put(key + writer)
+                        };
+                        batch.push(Op::insert(key, encode(entry)));
+                        if batch.len() == BATCH as usize {
+                            memtable.apply_batch(&mut batch);
+                            batch.clear();
+                        }
+                    }
+                    if !batch.is_empty() {
+                        memtable.apply_batch(&mut batch);
+                    }
+                });
+            }
+            // A foreground writer: latency-sensitive single puts/deletes
+            // (an LSM serves both shapes against the same memtable).
+            {
+                let memtable = Arc::clone(&memtable);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        let key = 500_000 + (i % 1_000);
+                        if i % 50 == 0 {
                             memtable.delete(key);
                         } else {
-                            memtable.put(key, key + writer);
+                            memtable.put(key, i);
                         }
                     }
                 });
@@ -166,7 +221,7 @@ fn main() {
                 scope.spawn(move || {
                     let mut hits = 0u64;
                     for i in 0..100_000u64 {
-                        if memtable.get((i * 7 + reader) % 500_000).is_some() {
+                        if memtable.contains((i * 7 + reader) % 500_000) {
                             hits += 1;
                         }
                     }
@@ -190,6 +245,7 @@ fn main() {
         // The SSTable is "durable": drop the flushed entries.
         let evicted = memtable.evict_flushed();
         assert!(memtable.index.is_empty(), "eviction must empty the index");
+        assert_eq!(memtable.get(1), None, "evicted keys must miss");
         let reclamation = memtable.index.reclamation();
         println!(
             "wave {wave}: evicted {evicted} entries; collector retired {} nodes, \

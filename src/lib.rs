@@ -17,7 +17,7 @@ pub use bskip_ycsb as ycsb;
 pub use bskip_baselines::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree};
 pub use bskip_core::{BSkipConfig, BSkipList, BSkipStats};
 pub use bskip_index::{
-    BatchCursor, ConcurrentIndex, ConcurrentIndexExt, Cursor, IndexCursor, IndexStats,
-    ReclamationStats,
+    BatchCursor, ConcurrentIndex, ConcurrentIndexExt, Cursor, IndexCursor, IndexStats, Op,
+    OpResult, ReclamationStats,
 };
 pub use bskip_sync::{EbrCollector, EbrGuard, EbrStats};
