@@ -21,8 +21,32 @@
 //! Leaves are chained left-to-right so range scans (YCSB workload E) can
 //! stream across leaf nodes with hand-over-hand read locks.
 //!
-//! Removals delete from the leaf without rebalancing (underflowing leaves
-//! are tolerated); the paper's workloads never delete.
+//! # Structural deletion
+//!
+//! Removals rebalance: when deleting from a leaf would drop it to the
+//! configurable underflow threshold (see
+//! [`OccBTree::with_underflow_threshold`]), the operation retires to the
+//! root exactly like a splitting insert — tree-level write lock, then a
+//! writer-latch-crabbing descent that **pre-balances** every child on the
+//! way down: a child at the threshold either borrows entries from an
+//! adjacent sibling (through the parent separator) or, when the combined
+//! contents fit in one node, merges with it; a root drained to a single
+//! child is collapsed away.  Freed nodes (merge victims, collapsed root
+//! shells) are retired through an epoch-based collector
+//! ([`bskip_sync::EbrCollector`]).
+//!
+//! Strictly speaking the lock protocol alone already guarantees
+//! exclusivity at free time: every structural change holds exclusive
+//! locks on the parent and both siblings, and readers never hold an
+//! unlocked pointer to a node that is not still protected by a lock they
+//! hold on its predecessor (hand-over-hand descent, leaf-chain scans) —
+//! so nobody can reach an unlinked node.  Retirement through the
+//! collector adds grace-period slack on top of that argument and exports
+//! the uniform [`bskip_index::ReclamationStats`] surface the churn tests
+//! and `stat_shrink` rely on.
+//!
+//! Sibling pairs are always locked left-to-right, the same order as the
+//! leaf chain, so rebalancing cannot deadlock against range scans.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -30,8 +54,10 @@ use std::ops::Bound;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
-use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
-use bskip_sync::{RawRwSpinLock, RelaxedCounter};
+use bskip_index::{
+    BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats,
+};
+use bskip_sync::{EbrCollector, EbrStats, RawRwSpinLock, RelaxedCounter};
 
 /// Payload of a node: values in leaves, children in internal nodes.
 enum Payload<K, V, const F: usize> {
@@ -184,6 +210,20 @@ pub struct OccBTree<K, V, const F: usize = 64> {
     root: AtomicPtr<Node<K, V, F>>,
     len: AtomicUsize,
     root_write_locks: RelaxedCounter,
+    /// Underflow threshold: a leaf removal that would leave `<= min_keys`
+    /// entries (and every descent step towards it) rebalances first.
+    min_keys: usize,
+    /// Collector for merge victims and collapsed root shells.
+    collector: EbrCollector,
+    /// Nodes ever allocated (root, splits); `nodes_allocated - retired`
+    /// is the live structural node count.
+    nodes_allocated: RelaxedCounter,
+    /// Sibling pairs merged into one node (one victim retired each).
+    nodes_merged: RelaxedCounter,
+    /// Sibling rebalances that redistributed entries instead of merging.
+    nodes_borrowed: RelaxedCounter,
+    /// Single-child root shells collapsed away (one retired each).
+    root_collapses: RelaxedCounter,
 }
 
 // SAFETY: node state is only accessed under per-node locks (plus the tree
@@ -199,15 +239,42 @@ impl<K: IndexKey, V: IndexValue, const F: usize> Default for OccBTree<K, V, F> {
 }
 
 impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
-    /// Creates an empty tree.
+    /// Creates an empty tree with the default underflow threshold of
+    /// `F / 4` keys.
     pub fn new() -> Self {
+        Self::with_underflow_threshold((F / 4).max(1))
+    }
+
+    /// Creates an empty tree with an explicit underflow threshold: a node
+    /// holding `min_keys` or fewer entries is rebalanced (borrow or merge)
+    /// before a removal may shrink it further.  Higher thresholds keep
+    /// nodes fuller under churn at the cost of more pessimistic passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min_keys <= F / 2 - 1` (fresh split halves must
+    /// satisfy the threshold, and a rebalanced pair must always end up
+    /// strictly above it).
+    pub fn with_underflow_threshold(min_keys: usize) -> Self {
         assert!(F >= 4, "fanout must be at least 4");
-        OccBTree {
+        assert!(
+            (1..=F / 2 - 1).contains(&min_keys),
+            "underflow threshold must lie in 1..=F/2-1"
+        );
+        let tree = OccBTree {
             tree_lock: RawRwSpinLock::new(),
             root: AtomicPtr::new(Node::alloc_leaf()),
             len: AtomicUsize::new(0),
             root_write_locks: RelaxedCounter::new(),
-        }
+            min_keys,
+            collector: EbrCollector::new(),
+            nodes_allocated: RelaxedCounter::new(),
+            nodes_merged: RelaxedCounter::new(),
+            nodes_borrowed: RelaxedCounter::new(),
+            root_collapses: RelaxedCounter::new(),
+        };
+        tree.nodes_allocated.incr();
+        tree
     }
 
     /// Number of keys stored.
@@ -218,6 +285,54 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The underflow threshold this tree was created with.
+    pub fn underflow_threshold(&self) -> usize {
+        self.min_keys
+    }
+
+    /// Sibling pairs merged into one node by structural deletion.
+    pub fn nodes_merged(&self) -> u64 {
+        self.nodes_merged.get()
+    }
+
+    /// Sibling rebalances that redistributed entries instead of merging.
+    pub fn nodes_borrowed(&self) -> u64 {
+        self.nodes_borrowed.get()
+    }
+
+    /// Single-child root shells collapsed away.
+    pub fn root_collapses(&self) -> u64 {
+        self.root_collapses.get()
+    }
+
+    /// Live structural node count: nodes allocated minus nodes retired.
+    pub fn live_nodes(&self) -> u64 {
+        self.nodes_allocated
+            .get()
+            .saturating_sub(self.collector.stats().retired)
+    }
+
+    /// Epoch-reclamation counters for nodes retired by merges/collapses.
+    pub fn reclamation(&self) -> EbrStats {
+        self.collector.stats()
+    }
+
+    /// Attempts one epoch advancement (see
+    /// [`bskip_sync::EbrCollector::try_collect`]); returns the number of
+    /// nodes freed.
+    pub fn try_reclaim(&self) -> usize {
+        self.collector.try_collect()
+    }
+
+    /// Retires an unlinked node through the collector.
+    fn retire_node(&self, node: *mut Node<K, V, F>) {
+        let guard = self.collector.pin();
+        // SAFETY: the caller unlinked `node` while holding the exclusive
+        // locks the rebalance protocol requires (so no traversal can reach
+        // it any more) and retires it exactly once.
+        unsafe { guard.retire_box(node) };
     }
 
     /// How many operations retired to the root and took the tree-level lock
@@ -411,7 +526,9 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
             if (*root).inner().len == F {
                 // Split the root: the old root becomes the left half.
                 let (right, separator) = split_node(root);
+                self.nodes_allocated.incr();
                 let new_root = Node::alloc_internal(root);
+                self.nodes_allocated.incr();
                 {
                     let inner = (*new_root).inner_mut();
                     inner.keys[0] = MaybeUninit::new(separator);
@@ -436,6 +553,7 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
                 (*child).lock.lock_exclusive();
                 let child = if (*child).inner().len == F {
                     let (right, separator) = split_node(child);
+                    self.nodes_allocated.incr();
                     let position = (*node).lower_bound(&separator);
                     insert_child(&mut *(*node).inner_mut(), position, separator, right);
                     if key >= separator {
@@ -472,13 +590,17 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
         }
     }
 
-    /// Removes `key` from its leaf (no rebalancing), returning its value.
+    /// Removes `key`, returning its value.  The common case is optimistic
+    /// (reader locks down, exclusive lock on the leaf); a removal that
+    /// would push the leaf to the underflow threshold retires to the root
+    /// and rebalances on the way down (see the module docs).
     pub fn remove(&self, key: &K) -> Option<V> {
         // SAFETY: HOH locking with an exclusive lock on the leaf only.
         unsafe {
             self.tree_lock.lock_shared();
             let root = self.root.load(Ordering::Acquire);
-            if (*root).is_leaf {
+            let root_is_leaf = (*root).is_leaf;
+            if root_is_leaf {
                 (*root).lock.lock_exclusive();
             } else {
                 (*root).lock.lock_shared();
@@ -497,22 +619,83 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
             }
             let slot = (*node).lower_bound(key);
             let inner = (*node).inner_mut();
+            if slot < inner.len && inner.keys[slot].assume_init_ref() == key {
+                // A root leaf may shrink to empty; any other leaf must
+                // stay above the threshold or rebalance pessimistically.
+                if root_is_leaf || inner.len > self.min_keys {
+                    let old = remove_from_leaf(inner, slot);
+                    (*node).lock.unlock_exclusive();
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(old);
+                }
+                (*node).lock.unlock_exclusive();
+            } else {
+                (*node).lock.unlock_exclusive();
+                return None;
+            }
+        }
+        self.remove_pessimistic(key)
+    }
+
+    /// The pessimistic removal: take the tree lock in write mode, fix the
+    /// root (collapse single-child shells), then descend with writer
+    /// latch crabbing, pre-balancing every child at the underflow
+    /// threshold before stepping into it — so the final leaf removal can
+    /// never underflow a node.
+    fn remove_pessimistic(&self, key: &K) -> Option<V> {
+        self.root_write_locks.incr();
+        // SAFETY: every touched node is locked exclusively before being
+        // read or modified; root-pointer changes happen under the
+        // exclusive tree lock, which also excludes `acquire_root_shared`.
+        unsafe {
+            self.tree_lock.lock_exclusive();
+            let mut node = self.root.load(Ordering::Acquire);
+            (*node).lock.lock_exclusive();
+            // Root fixes under the tree lock: collapse single-child
+            // shells, including one produced by rebalancing the root's
+            // own children just below.
+            loop {
+                if (*node).is_leaf {
+                    break;
+                }
+                if (*node).inner().len == 0 {
+                    let child = child_at(node, 0);
+                    (*child).lock.lock_exclusive();
+                    self.root.store(child, Ordering::Release);
+                    (*node).lock.unlock_exclusive();
+                    self.root_collapses.incr();
+                    self.retire_node(node);
+                    node = child;
+                    continue;
+                }
+                let child = self.lock_child_rebalanced(node, key);
+                if (*node).inner().len == 0 {
+                    // The rebalance merged the root's only two children.
+                    debug_assert_eq!(child_at(node, 0), child);
+                    self.root.store(child, Ordering::Release);
+                    (*node).lock.unlock_exclusive();
+                    self.root_collapses.incr();
+                    self.retire_node(node);
+                    node = child;
+                    continue;
+                }
+                (*node).lock.unlock_exclusive();
+                node = child;
+                break;
+            }
+            self.tree_lock.unlock_exclusive();
+
+            // Crab down with writer locks, pre-balancing each child.
+            while !(*node).is_leaf {
+                let child = self.lock_child_rebalanced(node, key);
+                (*node).lock.unlock_exclusive();
+                node = child;
+            }
+            // The leaf is above the threshold (or it is the root leaf).
+            let slot = (*node).lower_bound(key);
+            let inner = (*node).inner_mut();
             let result = if slot < inner.len && inner.keys[slot].assume_init_ref() == key {
-                let len = inner.len;
-                let keys_ptr = inner.keys.as_mut_ptr();
-                ptr::copy(keys_ptr.add(slot + 1), keys_ptr.add(slot), len - slot - 1);
-                let values = match &mut inner.payload {
-                    Payload::Leaf(values) => values,
-                    Payload::Internal { .. } => unreachable!(),
-                };
-                let old = values[slot].assume_init();
-                let values_ptr = values.as_mut_ptr();
-                ptr::copy(
-                    values_ptr.add(slot + 1),
-                    values_ptr.add(slot),
-                    len - slot - 1,
-                );
-                inner.len -= 1;
+                let old = remove_from_leaf(inner, slot);
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 Some(old)
             } else {
@@ -522,6 +705,331 @@ impl<K: IndexKey, V: IndexValue, const F: usize> OccBTree<K, V, F> {
             result
         }
     }
+
+    /// Locks the child of `parent` covering `key`; if the child sits at
+    /// the underflow threshold, rebalances it with an adjacent sibling
+    /// first (borrow or merge) so one removal below cannot underflow it.
+    /// Returns the (exclusively locked) child covering `key` after the
+    /// fix; the parent stays exclusively locked and loses at most one
+    /// separator.
+    ///
+    /// # Safety
+    ///
+    /// The caller holds `parent`'s exclusive lock; `parent` is internal
+    /// with at least one key (so a sibling always exists).
+    unsafe fn lock_child_rebalanced(
+        &self,
+        parent: *mut Node<K, V, F>,
+        key: &K,
+    ) -> *mut Node<K, V, F> {
+        let slot = (*parent).upper_bound(key);
+        let child = child_at(parent, slot);
+        (*child).lock.lock_exclusive();
+        if (*child).inner().len > self.min_keys {
+            return child;
+        }
+        // Pair the child with a neighbour under the same parent.  The
+        // pair is always locked left-to-right — the leaf-chain order — so
+        // rebalancing cannot deadlock against range scans.
+        let (left, right, sep_idx) = if slot == 0 {
+            let right = child_at(parent, 1);
+            (*right).lock.lock_exclusive();
+            (child, right, 0)
+        } else {
+            // The left sibling must be locked first; dropping the child's
+            // lock is safe because the parent's exclusive lock keeps every
+            // descent (and thus every child mutation) out.
+            (*child).lock.unlock_exclusive();
+            let left = child_at(parent, slot - 1);
+            (*left).lock.lock_exclusive();
+            (*child).lock.lock_exclusive();
+            (left, child, slot - 1)
+        };
+        let sep_cost = usize::from(!(*left).is_leaf);
+        if (*left).inner().len + (*right).inner().len + sep_cost <= F {
+            self.merge_into_left(parent, left, right, sep_idx);
+            left
+        } else {
+            self.rebalance_pair(parent, left, right, sep_idx);
+            let separator = (*parent).inner().keys[sep_idx].assume_init();
+            if &separator <= key {
+                (*left).lock.unlock_exclusive();
+                right
+            } else {
+                (*right).lock.unlock_exclusive();
+                left
+            }
+        }
+    }
+
+    /// Merges `right` into `left` (adjacent children of `parent` separated
+    /// by `parent.keys[sep_idx]`), removes the separator and `right`'s
+    /// child slot from the parent, and retires `right`.
+    ///
+    /// # Safety
+    ///
+    /// The caller holds exclusive locks on all three nodes and the
+    /// combined contents fit: `left.len + right.len + sep_cost <= F`.
+    unsafe fn merge_into_left(
+        &self,
+        parent: *mut Node<K, V, F>,
+        left: *mut Node<K, V, F>,
+        right: *mut Node<K, V, F>,
+        sep_idx: usize,
+    ) {
+        let parent_inner = (*parent).inner_mut();
+        let left_inner = (*left).inner_mut();
+        let right_inner = (*right).inner_mut();
+        let left_len = left_inner.len;
+        let right_len = right_inner.len;
+        if (*left).is_leaf {
+            for offset in 0..right_len {
+                left_inner.keys[left_len + offset] =
+                    MaybeUninit::new(right_inner.keys[offset].assume_init());
+            }
+            match (&mut left_inner.payload, &right_inner.payload) {
+                (Payload::Leaf(dst), Payload::Leaf(src)) => {
+                    for offset in 0..right_len {
+                        dst[left_len + offset] = MaybeUninit::new(src[offset].assume_init());
+                    }
+                }
+                _ => unreachable!(),
+            }
+            left_inner.len = left_len + right_len;
+            left_inner.next_leaf = right_inner.next_leaf;
+        } else {
+            // Pull the separator down, then append right's keys/children.
+            left_inner.keys[left_len] = MaybeUninit::new(parent_inner.keys[sep_idx].assume_init());
+            for offset in 0..right_len {
+                left_inner.keys[left_len + 1 + offset] =
+                    MaybeUninit::new(right_inner.keys[offset].assume_init());
+            }
+            let (right_first, right_children) = match &right_inner.payload {
+                Payload::Internal {
+                    first_child,
+                    children,
+                } => (*first_child, children),
+                Payload::Leaf(_) => unreachable!(),
+            };
+            match &mut left_inner.payload {
+                Payload::Internal { children, .. } => {
+                    children[left_len] = right_first;
+                    children[left_len + 1..left_len + 1 + right_len]
+                        .copy_from_slice(&right_children[..right_len]);
+                }
+                Payload::Leaf(_) => unreachable!(),
+            }
+            left_inner.len = left_len + 1 + right_len;
+        }
+        // Remove the separator and the right child's slot from the parent.
+        let parent_len = parent_inner.len;
+        let keys_ptr = parent_inner.keys.as_mut_ptr();
+        ptr::copy(
+            keys_ptr.add(sep_idx + 1),
+            keys_ptr.add(sep_idx),
+            parent_len - sep_idx - 1,
+        );
+        match &mut parent_inner.payload {
+            Payload::Internal { children, .. } => {
+                children.copy_within(sep_idx + 1..parent_len, sep_idx)
+            }
+            Payload::Leaf(_) => unreachable!(),
+        }
+        parent_inner.len = parent_len - 1;
+        (*right).lock.unlock_exclusive();
+        self.nodes_merged.incr();
+        self.retire_node(right);
+    }
+
+    /// Redistributes entries between adjacent siblings until both sit at
+    /// roughly half of the combined total, updating the parent separator.
+    ///
+    /// # Safety
+    ///
+    /// The caller holds exclusive locks on all three nodes and the
+    /// combined contents do **not** fit in one node (so both halves end up
+    /// strictly above the underflow threshold).
+    unsafe fn rebalance_pair(
+        &self,
+        parent: *mut Node<K, V, F>,
+        left: *mut Node<K, V, F>,
+        right: *mut Node<K, V, F>,
+        sep_idx: usize,
+    ) {
+        let total = (*left).inner().len + (*right).inner().len;
+        let target_left = total / 2;
+        while (*left).inner().len > target_left {
+            rotate_right(parent, left, right, sep_idx);
+        }
+        while (*left).inner().len < target_left {
+            rotate_left(parent, left, right, sep_idx);
+        }
+        self.nodes_borrowed.incr();
+    }
+}
+
+/// Removes the entry at `slot` from a leaf, returning its value.
+///
+/// # Safety: the caller holds the leaf's exclusive lock and `slot < len`.
+unsafe fn remove_from_leaf<K: Copy + Ord, V: Copy, const F: usize>(
+    inner: &mut Inner<K, V, F>,
+    slot: usize,
+) -> V {
+    let len = inner.len;
+    let keys_ptr = inner.keys.as_mut_ptr();
+    ptr::copy(keys_ptr.add(slot + 1), keys_ptr.add(slot), len - slot - 1);
+    let values = match &mut inner.payload {
+        Payload::Leaf(values) => values,
+        Payload::Internal { .. } => unreachable!("remove_from_leaf on an internal node"),
+    };
+    let old = values[slot].assume_init();
+    let values_ptr = values.as_mut_ptr();
+    ptr::copy(
+        values_ptr.add(slot + 1),
+        values_ptr.add(slot),
+        len - slot - 1,
+    );
+    inner.len -= 1;
+    old
+}
+
+/// Child at position `pos` of an internal node (`0` is `first_child`,
+/// `p >= 1` is `children[p - 1]`).
+///
+/// # Safety: the caller holds the node's lock; the node is internal and
+/// `pos <= len`.
+unsafe fn child_at<K: Copy + Ord, V: Copy, const F: usize>(
+    node: *mut Node<K, V, F>,
+    pos: usize,
+) -> *mut Node<K, V, F> {
+    match &(*node).inner().payload {
+        Payload::Internal {
+            first_child,
+            children,
+        } => {
+            if pos == 0 {
+                *first_child
+            } else {
+                children[pos - 1]
+            }
+        }
+        Payload::Leaf(_) => unreachable!("child_at on a leaf"),
+    }
+}
+
+/// Moves the last entry of `left` to the front of `right` through the
+/// parent separator at `sep_idx` (one step of a borrow).
+///
+/// # Safety: the caller holds exclusive locks on all three nodes;
+/// `left.len >= 1` and `right.len < F`.
+unsafe fn rotate_right<K: Copy + Ord, V: Copy, const F: usize>(
+    parent: *mut Node<K, V, F>,
+    left: *mut Node<K, V, F>,
+    right: *mut Node<K, V, F>,
+    sep_idx: usize,
+) {
+    let parent_inner = (*parent).inner_mut();
+    let left_inner = (*left).inner_mut();
+    let right_inner = (*right).inner_mut();
+    let left_len = left_inner.len;
+    let right_len = right_inner.len;
+    debug_assert!(left_len >= 1 && right_len < F);
+    let keys_ptr = right_inner.keys.as_mut_ptr();
+    ptr::copy(keys_ptr, keys_ptr.add(1), right_len);
+    if (*left).is_leaf {
+        right_inner.keys[0] = MaybeUninit::new(left_inner.keys[left_len - 1].assume_init());
+        match (&mut left_inner.payload, &mut right_inner.payload) {
+            (Payload::Leaf(src), Payload::Leaf(dst)) => {
+                let values_ptr = dst.as_mut_ptr();
+                ptr::copy(values_ptr, values_ptr.add(1), right_len);
+                dst[0] = MaybeUninit::new(src[left_len - 1].assume_init());
+            }
+            _ => unreachable!(),
+        }
+        // The leaf separator convention is "right's first key".
+        parent_inner.keys[sep_idx] = MaybeUninit::new(right_inner.keys[0].assume_init());
+    } else {
+        // The separator rotates down into `right`; left's last key
+        // rotates up to replace it; left's last child leads `right`.
+        right_inner.keys[0] = MaybeUninit::new(parent_inner.keys[sep_idx].assume_init());
+        let moved_child = match &left_inner.payload {
+            Payload::Internal { children, .. } => children[left_len - 1],
+            Payload::Leaf(_) => unreachable!(),
+        };
+        match &mut right_inner.payload {
+            Payload::Internal {
+                first_child,
+                children,
+            } => {
+                children.copy_within(0..right_len, 1);
+                children[0] = *first_child;
+                *first_child = moved_child;
+            }
+            Payload::Leaf(_) => unreachable!(),
+        }
+        parent_inner.keys[sep_idx] = MaybeUninit::new(left_inner.keys[left_len - 1].assume_init());
+    }
+    left_inner.len = left_len - 1;
+    right_inner.len = right_len + 1;
+}
+
+/// Moves the first entry of `right` to the end of `left` through the
+/// parent separator at `sep_idx` (one step of a borrow).
+///
+/// # Safety: the caller holds exclusive locks on all three nodes;
+/// `right.len >= 2` (so a first key remains for the new separator) and
+/// `left.len < F`.
+unsafe fn rotate_left<K: Copy + Ord, V: Copy, const F: usize>(
+    parent: *mut Node<K, V, F>,
+    left: *mut Node<K, V, F>,
+    right: *mut Node<K, V, F>,
+    sep_idx: usize,
+) {
+    let parent_inner = (*parent).inner_mut();
+    let left_inner = (*left).inner_mut();
+    let right_inner = (*right).inner_mut();
+    let left_len = left_inner.len;
+    let right_len = right_inner.len;
+    debug_assert!(right_len >= 2 && left_len < F);
+    if (*left).is_leaf {
+        left_inner.keys[left_len] = MaybeUninit::new(right_inner.keys[0].assume_init());
+        match (&mut left_inner.payload, &mut right_inner.payload) {
+            (Payload::Leaf(dst), Payload::Leaf(src)) => {
+                dst[left_len] = MaybeUninit::new(src[0].assume_init());
+                let values_ptr = src.as_mut_ptr();
+                ptr::copy(values_ptr.add(1), values_ptr, right_len - 1);
+            }
+            _ => unreachable!(),
+        }
+        let keys_ptr = right_inner.keys.as_mut_ptr();
+        ptr::copy(keys_ptr.add(1), keys_ptr, right_len - 1);
+        parent_inner.keys[sep_idx] = MaybeUninit::new(right_inner.keys[0].assume_init());
+    } else {
+        // The separator rotates down into `left`; right's first key
+        // rotates up to replace it; right's leading child joins `left`.
+        left_inner.keys[left_len] = MaybeUninit::new(parent_inner.keys[sep_idx].assume_init());
+        parent_inner.keys[sep_idx] = MaybeUninit::new(right_inner.keys[0].assume_init());
+        let keys_ptr = right_inner.keys.as_mut_ptr();
+        ptr::copy(keys_ptr.add(1), keys_ptr, right_len - 1);
+        let moved_child = match &mut right_inner.payload {
+            Payload::Internal {
+                first_child,
+                children,
+            } => {
+                let moved = *first_child;
+                *first_child = children[0];
+                children.copy_within(1..right_len, 0);
+                moved
+            }
+            Payload::Leaf(_) => unreachable!(),
+        };
+        match &mut left_inner.payload {
+            Payload::Internal { children, .. } => children[left_len] = moved_child,
+            Payload::Leaf(_) => unreachable!(),
+        }
+    }
+    left_inner.len = left_len + 1;
+    right_inner.len = right_len - 1;
 }
 
 /// Inserts a key/value pair into a (non-full) leaf at `slot`.
@@ -686,6 +1194,9 @@ impl<K: IndexKey, V: IndexValue, const F: usize> ConcurrentIndex<K, V> for OccBT
             Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
         ))
     }
+    fn try_reclaim(&self) -> usize {
+        OccBTree::try_reclaim(self)
+    }
     fn len(&self) -> usize {
         OccBTree::len(self)
     }
@@ -693,7 +1204,14 @@ impl<K: IndexKey, V: IndexValue, const F: usize> ConcurrentIndex<K, V> for OccBT
         "OCC B+-tree"
     }
     fn stats(&self) -> IndexStats {
-        IndexStats::new().with("root_write_locks", self.root_write_locks())
+        ReclamationStats::from(self.collector.stats()).append_to(
+            IndexStats::new()
+                .with("root_write_locks", self.root_write_locks())
+                .with("nodes_merged", self.nodes_merged())
+                .with("nodes_borrowed", self.nodes_borrowed())
+                .with("root_collapses", self.root_collapses())
+                .with("live_nodes", self.live_nodes()),
+        )
     }
     fn reset_stats(&self) {
         self.reset_root_write_locks();
@@ -834,6 +1352,135 @@ mod tests {
             count += 1;
         });
         assert_eq!(count as u64, threads * per_thread);
+    }
+
+    #[test]
+    fn deleting_everything_shrinks_back_to_a_root_leaf() {
+        let tree = SmallTree::new();
+        for key in 0..5000u64 {
+            tree.insert(key, key);
+        }
+        let grown = tree.live_nodes();
+        assert!(grown > 100, "5000 keys over 8-key nodes need many nodes");
+        for key in 0..5000u64 {
+            assert_eq!(tree.remove(&key), Some(key), "missing {key}");
+        }
+        assert!(tree.is_empty());
+        assert!(tree.nodes_merged() > 0, "merges must have happened");
+        assert!(tree.root_collapses() > 0, "the root must have collapsed");
+        assert_eq!(
+            tree.live_nodes(),
+            1,
+            "an empty tree is a single root leaf again"
+        );
+        // Quiesce: a few epoch advancements free the whole backlog.
+        for _ in 0..8 {
+            tree.try_reclaim();
+        }
+        let stats = tree.reclamation();
+        assert_eq!(stats.backlog, 0);
+        assert_eq!(stats.freed, stats.retired);
+        // The tree stays fully usable after shrinking to nothing.
+        assert_eq!(tree.insert(7, 70), None);
+        assert_eq!(tree.get(&7), Some(70));
+    }
+
+    #[test]
+    fn contiguous_deletion_merges_while_scans_continue() {
+        let tree = Arc::new(OccBTree::<u64, u64, 8>::new());
+        for key in 0..8000u64 {
+            tree.insert(key, key);
+        }
+        let grown = tree.live_nodes();
+        std::thread::scope(|scope| {
+            {
+                let tree = Arc::clone(&tree);
+                scope.spawn(move || {
+                    for key in 0..7200u64 {
+                        assert_eq!(tree.remove(&key), Some(key));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let tree = Arc::clone(&tree);
+                scope.spawn(move || {
+                    for _ in 0..300 {
+                        let mut previous = None;
+                        tree.range(&0, 200, &mut |k, _| {
+                            if let Some(p) = previous {
+                                assert!(p < *k, "scan out of order under merges");
+                            }
+                            previous = Some(*k);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 800);
+        assert!(
+            tree.live_nodes() < grown / 4,
+            "structural shrink: {} live nodes after churn vs {} grown",
+            tree.live_nodes(),
+            grown
+        );
+        for key in 7200..8000u64 {
+            assert_eq!(tree.get(&key), Some(key));
+        }
+        let mut scanned = Vec::new();
+        tree.range(&0, usize::MAX - 1, &mut |k, _| scanned.push(*k));
+        assert_eq!(scanned, (7200..8000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn underflow_threshold_is_configurable_and_validated() {
+        let tree = OccBTree::<u64, u64, 16>::with_underflow_threshold(7);
+        assert_eq!(tree.underflow_threshold(), 7);
+        for key in 0..2000u64 {
+            tree.insert(key, key);
+        }
+        for key in 0..2000u64 {
+            assert_eq!(tree.remove(&key), Some(key));
+        }
+        assert_eq!(tree.live_nodes(), 1);
+        assert!(std::panic::catch_unwind(|| {
+            OccBTree::<u64, u64, 8>::with_underflow_threshold(4)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            OccBTree::<u64, u64, 8>::with_underflow_threshold(0)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn differential_with_heavy_deletes_against_btreemap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let tree = SmallTree::new();
+        let mut oracle = BTreeMap::new();
+        for round in 0..6 {
+            // Alternate grow-heavy and shrink-heavy phases so the tree
+            // repeatedly crosses merge/collapse territory.
+            let insert_weight = if round % 2 == 0 { 7 } else { 2 };
+            for _ in 0..4000 {
+                let key = rng.gen_range(0..1200u64);
+                if rng.gen_range(0..10) < insert_weight {
+                    let value = rng.gen::<u64>();
+                    assert_eq!(tree.insert(key, value), oracle.insert(key, value));
+                } else {
+                    assert_eq!(tree.remove(&key), oracle.remove(&key));
+                }
+            }
+            assert_eq!(tree.len(), oracle.len());
+            let mut scanned = Vec::new();
+            tree.range(&0, usize::MAX - 1, &mut |k, v| scanned.push((*k, *v)));
+            assert_eq!(
+                scanned,
+                oracle.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+            );
+        }
+        assert!(tree.nodes_merged() > 0);
     }
 
     #[test]

@@ -16,10 +16,25 @@
 //! Masstree's relative behaviour in the paper: competitive but slightly
 //! slower point operations and much slower range scans than the blocked
 //! indices.  DESIGN.md records this substitution.
+//!
+//! # Structural deletion
+//!
+//! The trie layer shrinks structurally under churn: leaf underflow
+//! triggers sibling borrow/merge through the OCC write protocol, freed
+//! nodes are retired to an epoch-based collector, and a layer root
+//! drained to a single child is collapsed away (see
+//! [`OccBTree`](crate::OccBTree)'s module docs).  In full Masstree,
+//! deleting the last key of a lower trie layer retires that entire
+//! layer's tree; with fixed 8-byte keys there is exactly one layer, so
+//! "retiring an emptied layer" degenerates to the layer tree collapsing
+//! back to a single empty root leaf — which is precisely what the
+//! underflow machinery produces.  The narrow 15-key nodes make the
+//! underflow threshold proportionally tighter (3 keys by default).
 
 use std::ops::Bound;
 
 use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
+use bskip_sync::EbrStats;
 
 use crate::OccBTree;
 
@@ -50,11 +65,41 @@ impl<K: IndexKey, V: IndexValue> Default for MasstreeLite<K, V> {
 }
 
 impl<K: IndexKey, V: IndexValue> MasstreeLite<K, V> {
-    /// Creates an empty index.
+    /// Creates an empty index (underflow threshold of 3 keys, the
+    /// 15-key-node equivalent of the B+-tree default).
     pub fn new() -> Self {
         MasstreeLite {
             layer: OccBTree::new(),
         }
+    }
+
+    /// Creates an empty index with an explicit underflow threshold for
+    /// the trie-layer nodes (see
+    /// [`OccBTree::with_underflow_threshold`]).
+    pub fn with_underflow_threshold(min_keys: usize) -> Self {
+        MasstreeLite {
+            layer: OccBTree::with_underflow_threshold(min_keys),
+        }
+    }
+
+    /// Live structural node count of the trie layer.
+    pub fn live_nodes(&self) -> u64 {
+        self.layer.live_nodes()
+    }
+
+    /// Sibling pairs merged by structural deletion.
+    pub fn nodes_merged(&self) -> u64 {
+        self.layer.nodes_merged()
+    }
+
+    /// Epoch-reclamation counters for retired trie-layer nodes.
+    pub fn reclamation(&self) -> EbrStats {
+        self.layer.reclamation()
+    }
+
+    /// Attempts one epoch advancement; returns the number of nodes freed.
+    pub fn try_reclaim(&self) -> usize {
+        self.layer.try_reclaim()
     }
 
     /// Point lookup.
@@ -119,6 +164,9 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for MasstreeLite<K, V> {
             Box::new(move |from, max, out| self.layer.fetch_batch(from, max, out)),
         ))
     }
+    fn try_reclaim(&self) -> usize {
+        MasstreeLite::try_reclaim(self)
+    }
     fn len(&self) -> usize {
         MasstreeLite::len(self)
     }
@@ -126,7 +174,12 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for MasstreeLite<K, V> {
         "Masstree-lite"
     }
     fn stats(&self) -> IndexStats {
-        IndexStats::new().with("root_write_locks", self.root_write_locks())
+        // The trie layer's snapshot carries the reclamation block,
+        // merge/collapse counters and the live node count.
+        ConcurrentIndex::stats(&self.layer)
+    }
+    fn reset_stats(&self) {
+        ConcurrentIndex::reset_stats(&self.layer)
     }
 }
 
@@ -182,6 +235,32 @@ mod tests {
         let mut scanned = Vec::new();
         tree.range(&0, usize::MAX - 1, &mut |k, v| scanned.push((*k, *v)));
         assert_eq!(scanned, oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emptying_the_layer_retires_its_tree() {
+        let tree: MasstreeLite<u64, u64> = MasstreeLite::new();
+        for key in 0..4000u64 {
+            tree.insert(key, key);
+        }
+        let grown = tree.live_nodes();
+        assert!(grown > 300, "15-key nodes over 4000 keys");
+        for key in 0..4000u64 {
+            assert_eq!(tree.remove(&key), Some(key));
+        }
+        // The emptied single trie layer degenerates to one root leaf —
+        // the layered-Masstree equivalent of retiring the layer's tree.
+        assert_eq!(tree.live_nodes(), 1);
+        assert!(tree.nodes_merged() > 0);
+        for _ in 0..8 {
+            tree.try_reclaim();
+        }
+        let stats = tree.reclamation();
+        assert_eq!(stats.backlog, 0);
+        assert_eq!(stats.freed, stats.retired);
+        let index_stats = ConcurrentIndex::stats(&tree);
+        assert_eq!(index_stats.get("live_nodes"), Some(1));
+        assert!(index_stats.reclamation().is_some());
     }
 
     #[test]

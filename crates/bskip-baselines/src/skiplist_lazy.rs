@@ -29,7 +29,7 @@
 //! advancement instead of growing with the delete count.
 
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use bskip_index::{
     BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats,
@@ -112,6 +112,9 @@ pub struct LazySkipList<K, V> {
     len: AtomicUsize,
     /// Epoch-based collector for towers unlinked by `remove`.
     collector: EbrCollector,
+    /// Towers ever linked into the list; minus the collector's retired
+    /// count this is the live structural node count.
+    towers_published: AtomicU64,
 }
 
 // SAFETY: nodes are mutated only through atomics, the per-node locks and
@@ -136,12 +139,20 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
             head_lock: RawRwSpinLock::new(),
             len: AtomicUsize::new(0),
             collector: EbrCollector::new(),
+            towers_published: AtomicU64::new(0),
         }
     }
 
     /// Epoch-reclamation counters for towers retired by `remove`.
     pub fn reclamation(&self) -> EbrStats {
         self.collector.stats()
+    }
+
+    /// Live structural node count: towers linked in minus towers retired.
+    pub fn live_nodes(&self) -> u64 {
+        self.towers_published
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.collector.stats().retired)
     }
 
     /// Attempts one epoch advancement (see
@@ -301,6 +312,7 @@ impl<K: IndexKey, V: IndexValue> LazySkipList<K, V> {
                     self.lock_of(pred).unlock_exclusive();
                 }
                 self.len.fetch_add(1, Ordering::Relaxed);
+                self.towers_published.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         }
@@ -485,12 +497,18 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LazySkipList<K, V> {
     fn len(&self) -> usize {
         LazySkipList::len(self)
     }
+    fn try_reclaim(&self) -> usize {
+        LazySkipList::try_reclaim(self)
+    }
     fn name(&self) -> &'static str {
         "lazy skiplist"
     }
     fn stats(&self) -> IndexStats {
-        ReclamationStats::from(self.collector.stats())
-            .append_to(IndexStats::new().with("keys", self.len() as u64))
+        ReclamationStats::from(self.collector.stats()).append_to(
+            IndexStats::new()
+                .with("keys", self.len() as u64)
+                .with("live_nodes", self.live_nodes()),
+        )
     }
 }
 

@@ -47,7 +47,7 @@
 //! traversal is never handed to the collector.
 
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use bskip_index::{
     BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats,
@@ -162,6 +162,9 @@ pub struct LockFreeSkipList<K, V> {
     len: AtomicUsize,
     /// Epoch-based collector for towers unlinked by `remove`.
     collector: EbrCollector,
+    /// Towers ever linked into the list; minus the collector's retired
+    /// count this is the live structural node count.
+    towers_published: AtomicU64,
 }
 
 // SAFETY: towers are only mutated through atomics and the per-node value
@@ -187,12 +190,20 @@ impl<K: IndexKey, V: IndexValue> LockFreeSkipList<K, V> {
             head,
             len: AtomicUsize::new(0),
             collector: EbrCollector::new(),
+            towers_published: AtomicU64::new(0),
         }
     }
 
     /// Epoch-reclamation counters for towers retired by `remove`.
     pub fn reclamation(&self) -> EbrStats {
         self.collector.stats()
+    }
+
+    /// Live structural node count: towers linked in minus towers retired.
+    pub fn live_nodes(&self) -> u64 {
+        self.towers_published
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.collector.stats().retired)
     }
 
     /// Attempts one epoch advancement (see
@@ -373,6 +384,7 @@ impl<K: IndexKey, V: IndexValue> LockFreeSkipList<K, V> {
                 }
                 (*node).link_done.store(true, Ordering::Release);
                 self.len.fetch_add(1, Ordering::Relaxed);
+                self.towers_published.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         }
@@ -593,6 +605,9 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LockFreeSkipList<K, V
             Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
         ))
     }
+    fn try_reclaim(&self) -> usize {
+        LockFreeSkipList::try_reclaim(self)
+    }
     fn len(&self) -> usize {
         LockFreeSkipList::len(self)
     }
@@ -600,8 +615,11 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for LockFreeSkipList<K, V
         "lock-free skiplist"
     }
     fn stats(&self) -> IndexStats {
-        ReclamationStats::from(self.collector.stats())
-            .append_to(IndexStats::new().with("keys", self.len() as u64))
+        ReclamationStats::from(self.collector.stats()).append_to(
+            IndexStats::new()
+                .with("keys", self.len() as u64)
+                .with("live_nodes", self.live_nodes()),
+        )
     }
 }
 

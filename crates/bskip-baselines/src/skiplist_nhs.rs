@@ -8,7 +8,7 @@
 //! reproduces that architecture:
 //!
 //! * the bottom lane is a lock-free sorted linked list (CAS insertion,
-//!   logical deletion);
+//!   Harris-style mark-then-unlink deletion);
 //! * the index is an immutable snapshot of evenly spaced "guard" entries,
 //!   swapped in by a background thread every `sleep_time` (the same
 //!   parameter the paper tunes: small during the load phase, large during
@@ -19,14 +19,48 @@
 //! Between rebuilds the index lags behind the data, so freshly inserted
 //! regions require long bottom-lane walks — exactly the behaviour that
 //! makes NHS slow on insert-heavy YCSB phases in the paper's evaluation.
+//!
+//! # Removal and reclamation
+//!
+//! Removal is **physical**: `remove` marks the victim's `next` pointer
+//! (the low tag bit, freezing its successor), unlinks it from the bottom
+//! lane with the usual Harris helping protocol, and hands it to the
+//! list's epoch-based collector ([`bskip_sync::EbrCollector`]) — but not
+//! immediately.  Unlike the other baselines, an unlinked NHS node can
+//! still be *reachable*: the current index snapshot (and, because the
+//! snapshot is `Arc`-shared, any clone a concurrent reader holds) may
+//! carry a guard pointer to it, and a snapshot whose rebuild walk was in
+//! flight when the node was marked may even be published *after* the
+//! unlink.  Retirement is therefore deferred through a **limbo list**
+//! stamped with the snapshot generation:
+//!
+//! * `remove` marks + unlinks the node and pushes it onto the limbo list
+//!   stamped with the current generation `g`;
+//! * every snapshot publication bumps the generation; when it reaches
+//!   `g + 2` the node can no longer be referenced by any *current*
+//!   snapshot — the only snapshots that may have sampled it are `g` and
+//!   `g + 1` (the in-flight walk), both since replaced — and it is
+//!   retired to the collector;
+//! * the collector's own grace period then covers readers still holding a
+//!   clone of a replaced snapshot: every operation pins the collector for
+//!   its whole duration and snapshot clones never outlive the pin, so a
+//!   reader that can still reach the node through an old clone is pinned
+//!   and blocks the epoch from advancing past it.
+//!
+//! Rebuilds are serialized (a mutex) so that generation order matches
+//! walk order, and the lane CAS/load operations on the rebuild path use
+//! `SeqCst` so a walk that starts after a publication observes every
+//! unlink stamped before it.
 
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use bskip_index::{BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue};
-use bskip_sync::{RwSpinLock, SpinLatch};
+use bskip_index::{
+    BatchCursor, ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, ReclamationStats,
+};
+use bskip_sync::{EbrCollector, EbrStats, RwSpinLock, SpinLatch};
 
 /// Every `INDEX_STRIDE`-th bottom-lane node becomes a guard in the index.
 const INDEX_STRIDE: usize = 16;
@@ -35,10 +69,30 @@ const INDEX_STRIDE: usize = 16;
 /// refill typically pays one guard lookup plus one stride of lane walking.
 const SCAN_BATCH: usize = INDEX_STRIDE * 4;
 
+/// The deletion mark: the low bit of a node's `next` pointer.  Nodes are
+/// `Box`-allocated and word-aligned, so the bit is always free.  A set bit
+/// means "this node is logically deleted; its successor is frozen".
+const MARK: usize = 1;
+
+#[inline]
+fn marked<T>(ptr: *mut T) -> *mut T {
+    (ptr as usize | MARK) as *mut T
+}
+
+#[inline]
+fn unmark<T>(ptr: *mut T) -> *mut T {
+    (ptr as usize & !MARK) as *mut T
+}
+
+#[inline]
+fn is_marked<T>(ptr: *mut T) -> bool {
+    ptr as usize & MARK != 0
+}
+
 struct NhsNode<K, V> {
     key: K,
     value: RwSpinLock<V>,
-    deleted: AtomicBool,
+    /// Tagged successor pointer; see [`MARK`].
     next: AtomicPtr<NhsNode<K, V>>,
 }
 
@@ -47,8 +101,10 @@ struct IndexSnapshot<K, V> {
     guards: Vec<(K, *mut NhsNode<K, V>)>,
 }
 
-// SAFETY: guard pointers refer to nodes that are never freed while the
-// owning `Inner` is alive; the snapshot itself is immutable.
+// SAFETY: guard pointers refer to nodes whose retirement is deferred until
+// no snapshot that may reference them is current and every reader that may
+// hold a clone has unpinned (see the module docs); the snapshot itself is
+// immutable.
 unsafe impl<K: IndexKey, V: IndexValue> Send for IndexSnapshot<K, V> {}
 unsafe impl<K: IndexKey, V: IndexValue> Sync for IndexSnapshot<K, V> {}
 
@@ -58,11 +114,26 @@ struct Inner<K, V> {
     len: AtomicUsize,
     stop: SpinLatch,
     rebuilds: AtomicUsize,
+    /// Epoch-based collector for unlinked nodes (final stage of the
+    /// two-stage retirement described in the module docs).
+    collector: EbrCollector,
+    /// Unlinked nodes awaiting a safe retirement generation, stamped with
+    /// the snapshot generation at unlink time.
+    limbo: Mutex<Vec<(u64, *mut NhsNode<K, V>)>>,
+    /// Number of snapshot publications; see the module docs.
+    generation: AtomicU64,
+    /// Serializes rebuilds so generation order matches walk order.
+    rebuild_lock: Mutex<()>,
+    /// Nodes ever linked into the bottom lane.
+    published: AtomicU64,
+    /// Nodes marked + unlinked (structurally removed, possibly not yet
+    /// freed); `published - unlinked` is the live structural node count.
+    unlinked: AtomicU64,
 }
 
-// SAFETY: same argument as the lock-free skiplist — nodes are only mutated
-// through atomics and the per-node value lock, and are never freed while
-// shared.
+// SAFETY: lane nodes are only mutated through atomics and the per-node
+// value lock, and are freed only through the deferred retirement protocol
+// in the module docs.
 unsafe impl<K: IndexKey, V: IndexValue> Send for Inner<K, V> {}
 unsafe impl<K: IndexKey, V: IndexValue> Sync for Inner<K, V> {}
 
@@ -74,11 +145,21 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
             len: AtomicUsize::new(0),
             stop: SpinLatch::new(),
             rebuilds: AtomicUsize::new(0),
+            collector: EbrCollector::new(),
+            limbo: Mutex::new(Vec::new()),
+            generation: AtomicU64::new(0),
+            rebuild_lock: Mutex::new(()),
+            published: AtomicU64::new(0),
+            unlinked: AtomicU64::new(0),
         }
     }
 
     /// Starting point for a bottom-lane walk towards `key`: the guard with
     /// the largest key not exceeding `key`, or the list head.
+    ///
+    /// The snapshot `Arc` clone is dropped before returning; the caller's
+    /// pin keeps the returned pointer safe (guards may point at marked or
+    /// even unlinked nodes, whose frozen `next` chains remain walkable).
     fn start_for(&self, key: &K) -> *mut NhsNode<K, V> {
         let snapshot = self.index.read().clone();
         let position = snapshot.guards.partition_point(|(guard, _)| guard <= key);
@@ -89,7 +170,8 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
         }
     }
 
-    /// # Safety: `pred`, when non-null, must point to a live node.
+    /// # Safety: `pred`, when non-null, must point to a node that is still
+    /// protected by the caller's pin.
     unsafe fn slot(&self, pred: *mut NhsNode<K, V>) -> &AtomicPtr<NhsNode<K, V>> {
         if pred.is_null() {
             &self.head
@@ -98,53 +180,121 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
         }
     }
 
-    /// Finds the last node with key `< key` (null = head position) and its
-    /// successor, starting from the index-provided guard.
+    /// Finds the last unmarked node with key `< key` (null = head position)
+    /// and the first unmarked node with key `>= key`, **helping to unlink**
+    /// every marked node encountered on the way (Harris-style).
     ///
-    /// # Safety: nodes are never freed while the `Inner` is shared.
-    unsafe fn find_from_index(&self, key: &K) -> (*mut NhsNode<K, V>, *mut NhsNode<K, V>) {
-        let mut pred = self.start_for(key);
-        // The guard's key is <= key, but the guard node itself might be the
-        // match; walk from the guard's predecessor position.
-        if !pred.is_null() && (*pred).key >= *key {
-            pred = std::ptr::null_mut();
+    /// The first attempt starts from the index-provided guard; helping
+    /// failures (a predecessor changed or was itself marked) restart from
+    /// the head, which guarantees progress even when the guard is stale.
+    ///
+    /// # Safety: the caller must hold a pinned guard on `self.collector`.
+    unsafe fn find(&self, key: &K) -> (*mut NhsNode<K, V>, *mut NhsNode<K, V>) {
+        let mut attempt = 0usize;
+        'retry: loop {
+            let mut pred = if attempt == 0 {
+                self.start_for(key)
+            } else {
+                std::ptr::null_mut()
+            };
+            attempt += 1;
+            // A guard at or past the key (or one already marked) cannot
+            // serve as the CAS predecessor; fall back to the head.
+            if !pred.is_null()
+                && ((*pred).key >= *key || is_marked((*pred).next.load(Ordering::SeqCst)))
+            {
+                pred = std::ptr::null_mut();
+            }
+            let mut curr = unmark(self.slot(pred).load(Ordering::SeqCst));
+            loop {
+                if curr.is_null() {
+                    return (pred, curr);
+                }
+                let next = (*curr).next.load(Ordering::SeqCst);
+                if is_marked(next) {
+                    // Help unlink the marked node before moving past it.
+                    if self
+                        .slot(pred)
+                        .compare_exchange(curr, unmark(next), Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    curr = unmark(next);
+                    continue;
+                }
+                if (*curr).key < *key {
+                    pred = curr;
+                    curr = unmark(next);
+                } else {
+                    return (pred, curr);
+                }
+            }
         }
-        let mut curr = self.slot(pred).load(Ordering::Acquire);
-        while !curr.is_null() && (*curr).key < *key {
-            pred = curr;
-            curr = (*curr).next.load(Ordering::Acquire);
-        }
-        (pred, curr)
     }
 
     /// Rebuilds the index snapshot by sampling every `INDEX_STRIDE`-th
-    /// bottom-lane node (the background thread's job).
-    fn rebuild_index(&self) {
+    /// live bottom-lane node, then advances the retirement generation and
+    /// retires limbo nodes that have aged out (the background thread's
+    /// job; see the module docs for the generation argument).  Returns
+    /// the number of nodes freed by the collection attempt at the end.
+    fn rebuild_index(&self) -> usize {
+        let _serialize = self.rebuild_lock.lock().unwrap();
+        let guard = self.collector.pin();
         let mut guards = Vec::new();
-        // SAFETY: nodes are never freed while the `Inner` is shared.
+        // SAFETY: the pin protects every node reached through the lane.
         unsafe {
-            let mut curr = self.head.load(Ordering::Acquire);
+            let mut curr = self.head.load(Ordering::SeqCst);
             let mut position = 0usize;
             while !curr.is_null() {
-                if position.is_multiple_of(INDEX_STRIDE) {
-                    guards.push(((*curr).key, curr));
+                let next = (*curr).next.load(Ordering::SeqCst);
+                if !is_marked(next) {
+                    if position.is_multiple_of(INDEX_STRIDE) {
+                        guards.push(((*curr).key, curr));
+                    }
+                    position += 1;
                 }
-                position += 1;
-                curr = (*curr).next.load(Ordering::Acquire);
+                curr = unmark(next);
             }
         }
         *self.index.write() = Arc::new(IndexSnapshot { guards });
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        // Retire limbo nodes unlinked at least two publications ago: no
+        // current snapshot can reference them, and the collector's grace
+        // period covers readers still pinned on an older snapshot clone.
+        let mut limbo = self.limbo.lock().unwrap();
+        limbo.retain(|&(stamp, node)| {
+            if stamp + 2 <= generation {
+                // SAFETY: `node` was unlinked from the lane by the remove
+                // protocol, is referenced by no current snapshot per the
+                // generation argument, and is retired exactly once (it
+                // leaves the limbo list here).
+                unsafe { guard.retire_box(node) };
+                false
+            } else {
+                true
+            }
+        });
+        drop(limbo);
+        drop(guard);
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.collector.try_collect()
     }
 }
 
 impl<K, V> Drop for Inner<K, V> {
     fn drop(&mut self) {
         // SAFETY: the background thread has been joined; exclusive access.
+        // Limbo nodes are unlinked (disjoint from the lane) and have not
+        // been handed to the collector; lane nodes are walked from the
+        // head; nodes already retired are freed by the collector's drop.
         unsafe {
+            for &(_, node) in self.limbo.get_mut().unwrap().iter() {
+                drop(Box::from_raw(node));
+            }
             let mut curr = self.head.load(Ordering::Relaxed);
             while !curr.is_null() {
-                let next = (*curr).next.load(Ordering::Relaxed);
+                let next = unmark((*curr).next.load(Ordering::Relaxed));
                 drop(Box::from_raw(curr));
                 curr = next;
             }
@@ -208,6 +358,9 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
     /// Forces an immediate index rebuild (the paper waits for the
     /// background thread to finish balancing between the load and run
     /// phases; benchmarks call this to do the same deterministically).
+    ///
+    /// Rebuilds also drive reclamation: each publication advances the
+    /// retirement generation and retires limbo nodes that have aged out.
     pub fn rebuild_index_now(&self) {
         self.inner.rebuild_index();
     }
@@ -217,12 +370,39 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
         self.inner.rebuilds.load(Ordering::Relaxed)
     }
 
+    /// Epoch-reclamation counters for nodes retired by `remove`.
+    pub fn reclamation(&self) -> EbrStats {
+        self.inner.collector.stats()
+    }
+
+    /// Nodes structurally linked into the bottom lane minus nodes marked
+    /// and unlinked: the live structural node count.
+    pub fn live_nodes(&self) -> u64 {
+        self.inner
+            .published
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.inner.unlinked.load(Ordering::Relaxed))
+    }
+
+    /// Unlinked nodes still awaiting their retirement generation.
+    pub fn limbo_len(&self) -> usize {
+        self.inner.limbo.lock().unwrap().len()
+    }
+
+    /// Publishes a fresh index snapshot (advancing the retirement
+    /// generation, which moves limbo nodes into the collector) and
+    /// attempts one epoch advancement; returns the number of nodes freed.
+    pub fn try_reclaim(&self) -> usize {
+        self.inner.rebuild_index()
+    }
+
     /// Point lookup.
     pub fn get(&self, key: &K) -> Option<V> {
-        // SAFETY: nodes are never freed while the list is shared.
+        let _guard = self.inner.collector.pin();
+        // SAFETY: the pin protects every node the traversal can reach.
         unsafe {
-            let (_, curr) = self.inner.find_from_index(key);
-            if !curr.is_null() && (*curr).key == *key && !(*curr).deleted.load(Ordering::Acquire) {
+            let (_, curr) = self.inner.find(key);
+            if !curr.is_null() && (*curr).key == *key {
                 Some(*(*curr).value.read())
             } else {
                 None
@@ -233,34 +413,36 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
     /// Inserts `key → value` with upsert semantics (bottom lane only; the
     /// index catches up at the next adaptation).
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        // SAFETY: CAS insertion into the bottom lane.
+        let _guard = self.inner.collector.pin();
+        // SAFETY: CAS insertion into the bottom lane under the pin.
         unsafe {
             loop {
-                let (pred, curr) = self.inner.find_from_index(&key);
+                let (pred, curr) = self.inner.find(&key);
                 if !curr.is_null() && (*curr).key == key {
-                    let old = {
-                        let mut guard = (*curr).value.write();
-                        std::mem::replace(&mut *guard, value)
-                    };
-                    if (*curr).deleted.swap(false, Ordering::AcqRel) {
-                        self.inner.len.fetch_add(1, Ordering::Relaxed);
-                        return None;
+                    // Upsert in place.  The value lock serializes us with a
+                    // racing remove (which marks while holding it): if the
+                    // node is marked by the time we hold the lock, the
+                    // remove linearized first and we must insert afresh.
+                    let mut slot = (*curr).value.write();
+                    if is_marked((*curr).next.load(Ordering::SeqCst)) {
+                        drop(slot);
+                        continue;
                     }
-                    return Some(old);
+                    return Some(std::mem::replace(&mut *slot, value));
                 }
                 let node = Box::into_raw(Box::new(NhsNode {
                     key,
                     value: RwSpinLock::new(value),
-                    deleted: AtomicBool::new(false),
                     next: AtomicPtr::new(curr),
                 }));
                 if self
                     .inner
                     .slot(pred)
-                    .compare_exchange(curr, node, Ordering::Release, Ordering::Relaxed)
+                    .compare_exchange(curr, node, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
                     self.inner.len.fetch_add(1, Ordering::Relaxed);
+                    self.inner.published.fetch_add(1, Ordering::Relaxed);
                     return None;
                 }
                 drop(Box::from_raw(node));
@@ -268,19 +450,54 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
         }
     }
 
-    /// Logically removes `key`.
+    /// Removes `key`: marks the node (freezing its successor), physically
+    /// unlinks it from the bottom lane, and queues it for retirement (see
+    /// the module docs for the deferral protocol).
     pub fn remove(&self, key: &K) -> Option<V> {
-        // SAFETY: nodes are never freed while the list is shared.
+        let _guard = self.inner.collector.pin();
+        // SAFETY: mark-then-unlink under the pin; the victim is pushed to
+        // limbo exactly once (only the winning marker reaches that code).
         unsafe {
-            let (_, curr) = self.inner.find_from_index(key);
+            let (pred, curr) = self.inner.find(key);
             if curr.is_null() || (*curr).key != *key {
                 return None;
             }
-            if (*curr).deleted.swap(true, Ordering::AcqRel) {
-                return None;
-            }
+            // Mark while holding the value lock so racing upserts cannot
+            // write into a node whose removal already linearized.
+            let (value, successor) = {
+                let slot = (*curr).value.write();
+                loop {
+                    let next = (*curr).next.load(Ordering::SeqCst);
+                    if is_marked(next) {
+                        return None; // another remover won
+                    }
+                    if (*curr)
+                        .next
+                        .compare_exchange(next, marked(next), Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break (*slot, next);
+                    }
+                    // An insert linked a new successor; retry the mark.
+                }
+            };
             self.inner.len.fetch_sub(1, Ordering::Relaxed);
-            Some(*(*curr).value.read())
+            self.inner.unlinked.fetch_add(1, Ordering::Relaxed);
+            // Physical unlink: the common case is one CAS on the
+            // predecessor the lookup already found; if the neighbourhood
+            // changed (or `pred` was itself marked) one helping traversal
+            // guarantees the node is no longer lane-reachable on return.
+            if self
+                .inner
+                .slot(pred)
+                .compare_exchange(curr, successor, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                let _ = self.inner.find(key);
+            }
+            let generation = self.inner.generation.load(Ordering::SeqCst);
+            self.inner.limbo.lock().unwrap().push((generation, curr));
+            Some(value)
         }
     }
 
@@ -301,20 +518,23 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
     /// how far the walk starts from the target key, never which entries are
     /// produced, so cursors see the same contract as the other baselines.
     fn fetch_batch(&self, from: Bound<K>, max: usize, out: &mut Vec<(K, V)>) {
-        // SAFETY: nodes are never freed while the list is shared.
+        let _guard = self.inner.collector.pin();
+        // SAFETY: the pin protects the whole walk; marked nodes are
+        // skipped but their frozen `next` pointers remain walkable.
         unsafe {
             let mut curr = match &from {
-                Bound::Unbounded => self.inner.head.load(Ordering::Acquire),
+                Bound::Unbounded => self.inner.head.load(Ordering::SeqCst),
                 Bound::Included(key) | Bound::Excluded(key) => {
-                    let (_, curr) = self.inner.find_from_index(key);
+                    let (_, curr) = self.inner.find(key);
                     curr
                 }
             };
             while !curr.is_null() && out.len() < max {
-                if !(*curr).deleted.load(Ordering::Acquire) {
+                let next = (*curr).next.load(Ordering::SeqCst);
+                if !is_marked(next) {
                     out.push(((*curr).key, *(*curr).value.read()));
                 }
-                curr = (*curr).next.load(Ordering::Acquire);
+                curr = unmark(next);
             }
         }
     }
@@ -362,6 +582,9 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for NhsSkipList<K, V> {
             Box::new(move |from, max, out| self.fetch_batch(from, max, out)),
         ))
     }
+    fn try_reclaim(&self) -> usize {
+        NhsSkipList::try_reclaim(self)
+    }
     fn len(&self) -> usize {
         NhsSkipList::len(self)
     }
@@ -369,9 +592,13 @@ impl<K: IndexKey, V: IndexValue> ConcurrentIndex<K, V> for NhsSkipList<K, V> {
         "NHS skiplist"
     }
     fn stats(&self) -> IndexStats {
-        IndexStats::new()
-            .with("keys", self.len() as u64)
-            .with("index_rebuilds", self.index_rebuilds() as u64)
+        ReclamationStats::from(self.reclamation()).append_to(
+            IndexStats::new()
+                .with("keys", self.len() as u64)
+                .with("index_rebuilds", self.index_rebuilds() as u64)
+                .with("live_nodes", self.live_nodes())
+                .with("limbo", self.limbo_len() as u64),
+        )
     }
 }
 
@@ -393,6 +620,44 @@ mod tests {
         assert_eq!(list.remove(&5), Some(51));
         assert_eq!(list.get(&5), None);
         assert_eq!(list.len(), 0);
+    }
+
+    #[test]
+    fn remove_then_insert_creates_a_fresh_node() {
+        let list = fast_list();
+        assert_eq!(list.insert(7, 70), None);
+        assert_eq!(list.remove(&7), Some(70));
+        assert_eq!(list.remove(&7), None, "double remove must miss");
+        // The key is re-insertable (a fresh node, not a resurrection).
+        assert_eq!(list.insert(7, 71), None);
+        assert_eq!(list.get(&7), Some(71));
+        assert_eq!(list.live_nodes(), 1);
+    }
+
+    #[test]
+    fn removal_physically_unlinks_and_eventually_retires() {
+        let list = fast_list();
+        for key in 0..500u64 {
+            list.insert(key, key);
+        }
+        assert_eq!(list.live_nodes(), 500);
+        for key in 0..450u64 {
+            assert_eq!(list.remove(&key), Some(key));
+        }
+        assert_eq!(list.len(), 50);
+        assert_eq!(list.live_nodes(), 50, "unlinked nodes leave the lane");
+        // Quiesce: rebuilds advance the retirement generation, then epoch
+        // advances free the retired backlog.
+        for _ in 0..8 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.limbo_len(), 0, "limbo drains after two rebuilds");
+        let stats = list.reclamation();
+        assert_eq!(stats.retired, 450);
+        assert_eq!(stats.backlog, 0, "backlog drains at quiescence");
+        let mut scanned = Vec::new();
+        list.range(&0, usize::MAX - 1, &mut |k, _| scanned.push(*k));
+        assert_eq!(scanned, (450..500).collect::<Vec<_>>());
     }
 
     #[test]
@@ -451,12 +716,50 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_churn_with_rebuilds_stays_consistent() {
+        let list = std::sync::Arc::new(NhsSkipList::<u64, u64>::with_sleep_time(
+            Duration::from_micros(100),
+        ));
+        let threads = 4u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let list = std::sync::Arc::clone(&list);
+                scope.spawn(move || {
+                    let base = t * 100_000;
+                    for round in 0..40u64 {
+                        for key in base..base + 100 {
+                            assert_eq!(list.insert(key, round), None, "key {key}");
+                        }
+                        for key in base..base + 100 {
+                            assert_eq!(list.remove(&key), Some(round), "key {key}");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(list.is_empty());
+        for _ in 0..8 {
+            list.try_reclaim();
+        }
+        assert_eq!(list.live_nodes(), 0);
+        assert_eq!(list.limbo_len(), 0);
+        let stats = list.reclamation();
+        assert_eq!(stats.retired, threads * 40 * 100);
+        assert_eq!(stats.backlog, 0);
+    }
+
+    #[test]
     fn background_thread_shuts_down_on_drop() {
         let list = NhsSkipList::<u64, u64>::with_sleep_time(Duration::from_millis(1));
         for key in 0..100u64 {
             list.insert(key, key);
         }
-        // Dropping must join the worker without hanging.
+        for key in 0..50u64 {
+            list.remove(&key);
+        }
+        // Dropping must join the worker without hanging and free limbo,
+        // lane and retired nodes exactly once (asan/miri would catch a
+        // double free here).
         drop(list);
     }
 }

@@ -111,6 +111,7 @@ fn main() {
     );
 
     let stream = make_stream(config.operation_count, config.record_count, config.seed);
+    let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
     for kind in IndexKind::ALL {
         let index = kind.build();
         let handle = index.as_index();
@@ -139,18 +140,32 @@ fn main() {
             "{}",
             format_row(&["point".into(), format!("{point:.3}"), "1.00x".into()])
         );
+        rows.push(vec![
+            ("index", kind.label().to_string()),
+            ("mode", "point".to_string()),
+            ("ops_per_us", format!("{point:.3}")),
+            ("speedup", "1.00".to_string()),
+        ]);
         for (mode, batch_size) in BATCH_SIZES.iter().enumerate() {
             let batched = median(&batched_trials[mode]);
+            let speedup = batched / point.max(f64::MIN_POSITIVE);
             println!(
                 "{}",
                 format_row(&[
                     format!("execute({batch_size})"),
                     format!("{batched:.3}"),
-                    format!("{:.2}x", batched / point.max(f64::MIN_POSITIVE)),
+                    format!("{speedup:.2}x"),
                 ])
             );
+            rows.push(vec![
+                ("index", kind.label().to_string()),
+                ("mode", format!("execute({batch_size})")),
+                ("ops_per_us", format!("{batched:.3}")),
+                ("speedup", format!("{speedup:.2}")),
+            ]);
         }
     }
+    bskip_bench::write_artifact("stat_batched", &rows);
     println!(
         "\nPass criterion: the B-skiplist rows at batch size >= 64 show speedup > 1.00x \
          (one pin per batch, same-leaf runs under one leaf lock)."

@@ -27,12 +27,10 @@ use bskip_ycsb::{run_load_phase, run_run_phase, Workload, YcsbConfig};
 /// or linear.
 const SLICES: usize = 8;
 
-/// The indices that retire removed nodes through the collector.
-const RECLAIMING: [IndexKind; 3] = [
-    IndexKind::BSkipList,
-    IndexKind::LockFreeSkipList,
-    IndexKind::LazySkipList,
-];
+/// Every index retires removed nodes through the collector now — the
+/// skiplists per removed tower, the trees per merged/collapsed node, the
+/// NHS list through its rebuild-generation limbo.
+const RECLAIMING: [IndexKind; 6] = IndexKind::ALL;
 
 fn main() {
     let (config, _) = experiment_config();
@@ -44,6 +42,7 @@ fn main() {
         config.threads
     );
 
+    let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
     for kind in RECLAIMING {
         let index = kind.build();
         let handle = index.as_index();
@@ -88,6 +87,15 @@ fn main() {
                     reclamation.epoch.to_string(),
                 ])
             );
+            rows.push(vec![
+                ("index", kind.label().to_string()),
+                ("slice", slice.to_string()),
+                ("mops", format!("{:.3}", result.mops())),
+                ("live_keys", handle.len().to_string()),
+                ("retired", reclamation.retired.to_string()),
+                ("freed", reclamation.freed.to_string()),
+                ("backlog", reclamation.backlog.to_string()),
+            ]);
         }
         let final_stats = handle.stats();
         let reclamation = final_stats.reclamation().unwrap();
@@ -123,5 +131,6 @@ fn main() {
             ])
         );
     }
+    bskip_bench::write_artifact("stat_reclamation", &rows);
     println!("\nA bounded backlog column (flat, not growing with slices) is the pass criterion.");
 }

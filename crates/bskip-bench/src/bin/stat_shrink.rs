@@ -1,0 +1,174 @@
+//! Memory-over-time on a grow → delete-90% → regrow cycle (all six
+//! indices).
+//!
+//! The YCSB figures never delete, so they cannot distinguish an index that
+//! physically shrinks from one that only clears value slots.  This
+//! experiment runs the memtable flush/evict pattern directly: fill the
+//! index with a contiguous key range, delete the oldest 90% (the
+//! contiguous prefix an eviction would drop), quiesce, and regrow — and
+//! tracks the **live structural node count** (`live_nodes`), the merge
+//! counters and the collector's retired/freed/backlog totals at every
+//! phase boundary.
+//!
+//! Pass criteria:
+//!
+//! * `live_nodes` after the shrink phase is a small fraction of the grown
+//!   count on every index — deletion is structural everywhere, nothing
+//!   grows monotonically under churn;
+//! * the collector backlog is zero after each quiescent point — retired
+//!   nodes are actually freed, not parked forever;
+//! * the regrown count is in the same ballpark as the first fill — space
+//!   is genuinely reused cycle after cycle.
+//!
+//! Scale via `BSKIP_RECORDS` / `BSKIP_THREADS`; with `BSKIP_JSON_DIR` set
+//! the per-phase numbers are also written as a JSON artifact.
+
+use bskip_bench::{experiment_config, format_row, json, print_header, IndexKind};
+use bskip_index::ConcurrentIndex;
+
+/// Fraction of the key space (oldest prefix) deleted in the shrink phase.
+const DELETE_PERCENT: u64 = 90;
+
+/// Fraction of the grown live-node count allowed to survive the delete
+/// phase (matches the `tests/shrink_churn.rs` proptest threshold).
+const SURVIVOR_FRACTION: f64 = 0.6;
+
+fn run_phase(threads: usize, records: u64, op: impl Fn(u64) + Sync) {
+    let per_thread = records.div_ceil(threads as u64).max(1);
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let op = &op;
+            scope.spawn(move || {
+                let start = t * per_thread;
+                let end = (start + per_thread).min(records);
+                for key in start..end {
+                    op(key);
+                }
+            });
+        }
+    });
+}
+
+fn snapshot_row(
+    kind: IndexKind,
+    phase: &str,
+    index: &dyn ConcurrentIndex<u64, u64>,
+) -> bskip_bench::JsonRow {
+    let stats = index.stats();
+    let reclamation = stats.reclamation().unwrap_or_default();
+    let row: bskip_bench::JsonRow = vec![
+        ("index", kind.label().to_string()),
+        ("phase", phase.to_string()),
+        ("keys", index.len().to_string()),
+        (
+            "live_nodes",
+            stats.get("live_nodes").unwrap_or(0).to_string(),
+        ),
+        (
+            "nodes_merged",
+            stats.get("nodes_merged").unwrap_or(0).to_string(),
+        ),
+        ("ebr_retired", reclamation.retired.to_string()),
+        ("ebr_freed", reclamation.freed.to_string()),
+        ("ebr_backlog", reclamation.backlog.to_string()),
+    ];
+    println!(
+        "{}",
+        format_row(&row.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>())
+    );
+    row
+}
+
+fn main() {
+    let (config, _) = experiment_config();
+    let records = config.record_count as u64;
+    let threads = config.threads;
+    let cut = records * DELETE_PERCENT / 100;
+    println!(
+        "Shrink cycle: fill {records} keys, delete the oldest {DELETE_PERCENT}% \
+         ({cut} keys), quiesce, regrow; {threads} threads"
+    );
+
+    let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for kind in IndexKind::ALL {
+        let index = kind.build();
+        let handle = index.as_index();
+        print_header(
+            kind.label(),
+            &[
+                "index",
+                "phase",
+                "keys",
+                "live_nodes",
+                "nodes_merged",
+                "ebr_retired",
+                "ebr_freed",
+                "ebr_backlog",
+            ],
+        );
+
+        run_phase(threads, records, |key| {
+            handle.insert(key, key);
+        });
+        index.settle_after_load();
+        rows.push(snapshot_row(kind, "fill", handle));
+        let grown = index.live_nodes();
+
+        run_phase(threads, cut, |key| {
+            handle.remove(&key);
+        });
+        index.quiesce();
+        rows.push(snapshot_row(kind, "shrink", handle));
+        let shrunk = index.live_nodes();
+        let backlog = index
+            .stats()
+            .reclamation()
+            .map_or(0, |reclamation| reclamation.backlog);
+
+        run_phase(threads, cut, |key| {
+            handle.insert(key, key);
+        });
+        index.settle_after_load();
+        rows.push(snapshot_row(kind, "regrow", handle));
+        let regrown = index.live_nodes();
+
+        if grown > 0 && (shrunk as f64) > (grown as f64) * SURVIVOR_FRACTION {
+            failures.push(format!(
+                "{}: live nodes did not shrink structurally after a {DELETE_PERCENT}% delete \
+                 ({grown} -> {shrunk})",
+                kind.label()
+            ));
+        }
+        if backlog != 0 {
+            failures.push(format!(
+                "{}: retired backlog {backlog} survived the quiescent point",
+                kind.label()
+            ));
+        }
+        if regrown > grown * 2 {
+            failures.push(format!(
+                "{}: regrow did not reuse space ({regrown} live nodes vs {grown} at first fill)",
+                kind.label()
+            ));
+        }
+        println!(
+            "shrink ratio: {:.2}% of grown structure survives the delete phase",
+            if grown > 0 {
+                100.0 * shrunk as f64 / grown as f64
+            } else {
+                0.0
+            }
+        );
+    }
+
+    json::write_artifact("stat_shrink", &rows);
+    if failures.is_empty() {
+        println!("\nPASS: every index shrinks structurally and drains its backlog under churn.");
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

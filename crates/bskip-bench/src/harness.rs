@@ -120,6 +120,23 @@ impl AnyIndex {
     pub fn stats(&self) -> IndexStats {
         self.as_index().stats()
     }
+
+    /// Drives reclamation at a known-quiescent point: repeatedly calls
+    /// the index's [`ConcurrentIndex::try_reclaim`] (for the NHS skiplist
+    /// each call also publishes a fresh index snapshot, which is what
+    /// moves its unlinked nodes out of limbo and into the collector).
+    /// With no operation in flight, the retired backlog drains to zero.
+    pub fn quiesce(&self) {
+        for _ in 0..8 {
+            self.as_index().try_reclaim();
+        }
+    }
+
+    /// The index's live structural node count (the `live_nodes` statistic
+    /// every index now exports).
+    pub fn live_nodes(&self) -> u64 {
+        self.stats().get("live_nodes").unwrap_or(0)
+    }
 }
 
 /// Experiment scale, read from the environment with laptop-friendly

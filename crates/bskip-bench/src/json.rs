@@ -1,0 +1,176 @@
+//! Machine-readable experiment output.
+//!
+//! The experiment binaries print human tables on stdout; CI additionally
+//! wants the same numbers as build artifacts it can archive and diff
+//! across runs.  When the `BSKIP_JSON_DIR` environment variable is set,
+//! [`write_artifact`] serializes the rows a binary collected into
+//! `<dir>/<binary>.json` (creating the directory if needed); when it is
+//! unset the call is a no-op, so local runs stay file-free.
+//!
+//! The workspace builds offline without serde, so the writer emits the
+//! tiny JSON subset it needs by hand: an object with the binary name and
+//! an array of flat string-keyed rows.  Values that parse as plain
+//! numbers are emitted as numbers, everything else as escaped strings.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One row of an artifact: ordered `(column, value)` pairs.
+pub type JsonRow = Vec<(&'static str, String)>;
+
+/// Environment variable naming the artifact output directory.
+pub const JSON_DIR_ENV: &str = "BSKIP_JSON_DIR";
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether `value` matches the JSON number grammar exactly (Rust's f64
+/// parser also accepts forms JSON rejects, such as `+1`, `.5` or `1.`).
+fn is_json_number(value: &str) -> bool {
+    let bytes = value.as_bytes();
+    let mut i = 0;
+    if bytes.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match bytes.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if bytes.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(bytes.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(bytes.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    i == bytes.len()
+}
+
+/// Renders a value: bare if it is a valid JSON number, quoted otherwise.
+fn render_value(value: &str) -> String {
+    if is_json_number(value) {
+        value.to_string()
+    } else {
+        format!("\"{}\"", escape(value))
+    }
+}
+
+/// Serializes `rows` to a JSON document (exposed for tests).
+pub fn render_artifact(binary: &str, rows: &[JsonRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"binary\": \"{}\",\n", escape(binary)));
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|(name, value)| format!("\"{}\": {}", escape(name), render_value(value)))
+            .collect();
+        out.push_str(&format!("    {{{}}}", fields.join(", ")));
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the collected rows to `$BSKIP_JSON_DIR/<binary>.json`; a no-op
+/// when the variable is unset.  IO failures are reported on stderr rather
+/// than failing the experiment.
+pub fn write_artifact(binary: &str, rows: &[JsonRow]) {
+    let Ok(dir) = std::env::var(JSON_DIR_ENV) else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let path = dir.join(format!("{binary}.json"));
+    let attempt = std::fs::create_dir_all(&dir).and_then(|()| {
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(render_artifact(binary, rows).as_bytes())
+    });
+    match attempt {
+        Ok(()) => println!("wrote JSON artifact to {}", path.display()),
+        Err(error) => eprintln!("failed to write JSON artifact {}: {error}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_numbers_bare_and_strings_quoted() {
+        let rows = vec![
+            vec![
+                ("index", "B-skiplist".to_string()),
+                ("mops", "1.25".to_string()),
+            ],
+            vec![
+                ("index", "OCC \"B+\"-tree".to_string()),
+                ("mops", "-3e2".to_string()),
+            ],
+        ];
+        let doc = render_artifact("stat_demo", &rows);
+        assert!(doc.contains("\"binary\": \"stat_demo\""));
+        assert!(doc.contains("\"mops\": 1.25"));
+        assert!(doc.contains("\"mops\": -3e2"));
+        assert!(doc.contains("\"index\": \"OCC \\\"B+\\\"-tree\""));
+        // Exactly one trailing comma pattern: row 0 ends with a comma.
+        assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_and_weird_values_stay_strings() {
+        let rows = vec![vec![("v", String::new()), ("w", "1 2".to_string())]];
+        let doc = render_artifact("x", &rows);
+        assert!(doc.contains("\"v\": \"\""));
+        assert!(doc.contains("\"w\": \"1 2\""));
+    }
+
+    #[test]
+    fn number_grammar_is_json_not_rust() {
+        for valid in [
+            "0", "-0", "7", "1234", "1.25", "-3e2", "0.5", "2E+8", "1e-9",
+        ] {
+            assert!(is_json_number(valid), "{valid} should be bare");
+        }
+        // Rust's f64 parser accepts these; the JSON grammar does not.
+        for invalid in [
+            "+1", ".5", "1.", "01", "1e", "e5", "NaN", "inf", "--1", "1.2.3", "",
+        ] {
+            assert!(!is_json_number(invalid), "{invalid} must be quoted");
+            assert!(render_value(invalid).starts_with('"'));
+        }
+    }
+}

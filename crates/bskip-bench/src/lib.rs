@@ -18,7 +18,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod json;
 
 pub use harness::{
     experiment_config, format_row, print_header, run_workload_fresh, AnyIndex, IndexKind,
 };
+pub use json::{write_artifact, JsonRow};

@@ -259,6 +259,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                                 (*new_node).set_next((*curr).next());
                                 (*curr).set_next(new_node);
                                 release.push(new_node, Mode::Write);
+                                self.note_nodes_linked(1);
                                 if let Some(stats) = self.stats_enabled() {
                                     stats.overflow_splits.incr();
                                 }
@@ -313,6 +314,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                                 (*pnode).set_next(spill);
                                 (*curr).set_next(pnode);
                                 release.push(spill, Mode::Write);
+                                self.note_nodes_linked(1);
                                 if let Some(stats) = self.stats_enabled() {
                                     stats.overflow_splits.incr();
                                 }
@@ -383,6 +385,8 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         for &node in &prealloc[..free_below] {
             Node::free(node);
         }
+        // Pre-allocated nodes at `free_below..height` were linked in.
+        self.note_nodes_linked(height - free_below);
         if old_value.is_none() {
             self.bump_len();
         }

@@ -26,7 +26,7 @@ mod validate;
 
 use std::marker::PhantomData;
 use std::ops::{Bound, RangeBounds};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use bskip_index::cursor::clone_bound;
 use bskip_index::{
@@ -132,6 +132,10 @@ where
     /// still reach them.  See the crate documentation for the reclamation
     /// discussion.
     collector: EbrCollector,
+    /// Nodes ever linked into the structure (splits, promotions); together
+    /// with the head spine and the collector's retired count this yields
+    /// the live structural node count ([`BSkipList::live_nodes`]).
+    nodes_linked: AtomicU64,
     _marker: PhantomData<(K, V)>,
 }
 
@@ -183,6 +187,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             len: AtomicUsize::new(0),
             stats: BSkipStats::new(),
             collector: EbrCollector::new(),
+            nodes_linked: AtomicU64::new(0),
             _marker: PhantomData,
         }
     }
@@ -273,6 +278,26 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         // `Box::into_raw` in `Node::alloc_*` and their keys/values are
         // `Copy` + `Send`, so the deferred drop may run on any thread.
         unsafe { guard.retire_box(node) };
+    }
+
+    /// Records that `count` freshly allocated nodes were linked into the
+    /// structure (called from the insert pass; never for pre-allocations
+    /// that were discarded unlinked).
+    #[inline]
+    pub(crate) fn note_nodes_linked(&self, count: usize) {
+        if count > 0 {
+            self.nodes_linked.fetch_add(count as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Live structural node count: the head spine plus every node linked
+    /// in, minus every node unlinked and retired.  Under delete churn this
+    /// is the quantity that must *not* grow monotonically.
+    pub fn live_nodes(&self) -> u64 {
+        // Saturating: with relaxed counters a racing link/retire pair may
+        // transiently be observed in either order.
+        (self.max_height as u64 + self.nodes_linked.load(Ordering::Relaxed))
+            .saturating_sub(self.collector.stats().retired)
     }
 
     /// Epoch-reclamation counters: how many unlinked nodes were retired,
@@ -556,6 +581,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkip
         BSkipList::scan_bounds(self, lo, hi)
     }
 
+    fn try_reclaim(&self) -> usize {
+        BSkipList::try_reclaim(self)
+    }
+
     fn len(&self) -> usize {
         BSkipList::len(self)
     }
@@ -565,7 +594,8 @@ impl<K: IndexKey, V: IndexValue, const B: usize> ConcurrentIndex<K, V> for BSkip
     }
 
     fn stats(&self) -> IndexStats {
-        ReclamationStats::from(self.collector.stats()).append_to(self.stats.snapshot())
+        ReclamationStats::from(self.collector.stats())
+            .append_to(self.stats.snapshot().with("live_nodes", self.live_nodes()))
     }
 
     fn reset_stats(&self) {

@@ -90,12 +90,14 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
     ///
     /// The YCSB core workloads used in the paper (Load, A, B, C, E) never
     /// delete, but the workspace's delete-churn workloads (D, churn) do —
-    /// so removal must be *physical*: the B-skiplist and the skiplist
-    /// baselines unlink removed nodes and retire them to an epoch-based
-    /// collector ([`bskip_sync::EbrCollector`]), keeping steady-state
-    /// memory bounded under any mix.  Indices that retire nodes surface
-    /// the collector's counters through [`ConcurrentIndex::stats`] (see
-    /// [`crate::ReclamationStats`]).
+    /// so removal must be *physical*: every index unlinks removed nodes
+    /// and retires them to an epoch-based collector
+    /// ([`bskip_sync::EbrCollector`]) — the skiplists per emptied node or
+    /// tower, the tree indices through underflow rebalancing (sibling
+    /// borrow/merge and root collapse) — keeping steady-state memory
+    /// bounded under any mix.  Indices surface the collector's counters
+    /// and their live structural node count (`live_nodes`) through
+    /// [`ConcurrentIndex::stats`] (see [`crate::ReclamationStats`]).
     fn remove(&self, key: &K) -> Option<V>;
 
     /// Opens a [`Cursor`] over the entries whose keys lie between `lo` and
@@ -144,6 +146,21 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
             }
         }
         visited
+    }
+
+    /// Attempts one step of deferred-memory reclamation — typically an
+    /// epoch advancement on the index's collector — and returns the
+    /// number of objects freed.  Maintenance code (a memtable flush, a
+    /// test harness) calls this at known-quiescent points to drain the
+    /// retired backlog; with no operation in flight, a handful of calls
+    /// empties every deferred-drop bag.  (For the NHS skiplist a call
+    /// also publishes a fresh index snapshot, which is what moves its
+    /// unlinked nodes out of limbo and into the collector.)
+    ///
+    /// The provided default does nothing, for indices without deferred
+    /// reclamation; every reclaiming index overrides it.
+    fn try_reclaim(&self) -> usize {
+        0
     }
 
     /// Approximate number of keys currently stored.
@@ -234,6 +251,9 @@ macro_rules! forward_concurrent_index {
         }
         fn range(&self, start: &K, len: usize, visit: &mut dyn FnMut(&K, &V)) -> usize {
             (**self).range(start, len, visit)
+        }
+        fn try_reclaim(&self) -> usize {
+            (**self).try_reclaim()
         }
         fn len(&self) -> usize {
             (**self).len()

@@ -82,6 +82,8 @@ mod tests {
         latch.wait();
     }
 
+    // Spin-waits across threads; too slow under Miri.
+    #[cfg(not(miri))]
     #[test]
     fn releases_waiting_threads() {
         let latch = Arc::new(SpinLatch::new());

@@ -258,6 +258,18 @@ fn main() {
             memtable.index.try_reclaim();
         }
         assert_eq!(memtable.index.reclamation().backlog, 0);
+        // Eviction is structural: the emptied memtable is back to its
+        // head spine, not a husk of empty nodes.
+        println!(
+            "wave {wave}: {} live structural nodes after eviction (head spine = {})",
+            memtable.index.live_nodes(),
+            memtable.index.max_height()
+        );
+        assert_eq!(
+            memtable.index.live_nodes(),
+            memtable.index.max_height() as u64,
+            "an evicted memtable must shrink back to its head spine"
+        );
         memtable
             .index
             .validate()

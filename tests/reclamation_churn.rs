@@ -18,14 +18,17 @@
 
 use std::sync::Barrier;
 
-use bskip_suite::{BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList};
+use bskip_suite::{
+    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite,
+    NhsSkipList, OccBTree,
+};
 
 const THREADS: u64 = 4;
 const ROUNDS: u64 = 50;
 const KEYS_PER_THREAD: u64 = 200;
 
 /// Runs the churn loop and returns the total retired-node count.
-fn churn<I>(index: &I, collect: &(dyn Fn() -> usize + Sync)) -> u64
+fn churn<I>(index: &I) -> u64
 where
     I: ConcurrentIndex<u64, u64> + Sync,
 {
@@ -51,7 +54,7 @@ where
                     barrier.wait();
                     if t == 0 {
                         for _ in 0..8 {
-                            collect();
+                            index.try_reclaim();
                         }
                         let reclamation = index
                             .stats()
@@ -90,7 +93,7 @@ fn bskiplist_churn_backlog_stays_bounded() {
     // constantly rather than occasionally.
     let list: BSkipList<u64, u64, 8> =
         BSkipList::with_config(BSkipConfig::default().with_max_height(8));
-    let retired = churn(&list, &|| list.try_reclaim());
+    let retired = churn(&list);
     println!("B-skiplist: retired and reclaimed {retired} nodes");
     list.validate().expect("structure after churn");
 }
@@ -98,7 +101,7 @@ fn bskiplist_churn_backlog_stays_bounded() {
 #[test]
 fn lockfree_skiplist_churn_backlog_stays_bounded() {
     let list: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
-    let retired = churn(&list, &|| list.try_reclaim());
+    let retired = churn(&list);
     // One tower per removed element: retirement is exact.
     assert_eq!(retired, THREADS * ROUNDS * KEYS_PER_THREAD);
 }
@@ -106,8 +109,58 @@ fn lockfree_skiplist_churn_backlog_stays_bounded() {
 #[test]
 fn lazy_skiplist_churn_backlog_stays_bounded() {
     let list: LazySkipList<u64, u64> = LazySkipList::new();
-    let retired = churn(&list, &|| list.try_reclaim());
+    let retired = churn(&list);
     assert_eq!(retired, THREADS * ROUNDS * KEYS_PER_THREAD);
+}
+
+#[test]
+fn nhs_skiplist_churn_backlog_stays_bounded() {
+    // A fast adaptation interval so the background thread also publishes
+    // snapshots (and thus advances the retirement generation) mid-round;
+    // the quiescent-point `try_reclaim` calls publish deterministically.
+    let list: NhsSkipList<u64, u64> =
+        NhsSkipList::with_sleep_time(std::time::Duration::from_millis(1));
+    let retired = churn(&list);
+    // One lane node per removed element: retirement is exact once the
+    // limbo list has aged through its two snapshot generations.
+    assert_eq!(retired, THREADS * ROUNDS * KEYS_PER_THREAD);
+    // The usability probe at the end of `churn` unlinked one more node;
+    // two further snapshot publications age it out of limbo.
+    for _ in 0..3 {
+        list.try_reclaim();
+    }
+    assert_eq!(list.limbo_len(), 0, "limbo must be empty at quiescence");
+    assert_eq!(list.live_nodes(), 0);
+}
+
+#[test]
+fn occ_btree_churn_backlog_stays_bounded() {
+    // Narrow nodes (F = 8) so removals underflow leaves — and thus merge
+    // and retire them — constantly rather than occasionally.
+    let tree: OccBTree<u64, u64, 8> = OccBTree::new();
+    let retired = churn(&tree);
+    println!(
+        "OCC B+-tree: merged {} node pairs, retired {retired}",
+        tree.nodes_merged()
+    );
+    assert!(tree.nodes_merged() > 0, "churn must trigger merges");
+    assert_eq!(
+        tree.live_nodes(),
+        1,
+        "an emptied tree shrinks back to a single root leaf"
+    );
+}
+
+#[test]
+fn masstree_churn_backlog_stays_bounded() {
+    let tree: MasstreeLite<u64, u64> = MasstreeLite::new();
+    let retired = churn(&tree);
+    println!(
+        "Masstree-lite: merged {} node pairs, retired {retired}",
+        tree.nodes_merged()
+    );
+    assert!(tree.nodes_merged() > 0);
+    assert_eq!(tree.live_nodes(), 1);
 }
 
 /// Mixed churn with overlapping key ranges plus concurrent scans: no
