@@ -1,0 +1,198 @@
+//! Hot-path point-operation baseline: get/insert/remove latency and
+//! throughput across thread counts on all six indices.
+//!
+//! Every point operation pays a fixed per-op constant factor before any
+//! useful work happens: an EBR pin, a tower descent of in-node searches,
+//! and (for writers) lock hand-off.  This binary measures exactly that tax
+//! — uniform point `get`s over a loaded key space, then batches of fresh
+//! `insert`s and their matching `remove`s — at 1..16 threads, and writes
+//! the `BENCH_hotpath` JSON artifact that serves as the regression gate
+//! for hot-path work: any PR touching the pin protocol, the in-node search
+//! or the descent loop reruns this and diffs the artifact.
+//!
+//! Output per (index, threads, op) cell: ops/us summed over all threads
+//! and the per-op latency in nanoseconds (elapsed × threads / ops — the
+//! average time one thread spends per operation, including all fixed
+//! overheads).
+//!
+//! Scale via `BSKIP_RECORDS` / `BSKIP_OPS` / `BSKIP_TRIALS`;
+//! `BSKIP_THREADS` caps the thread ladder (default: every rung up to 16).
+//! Each index's section ends with its EBR pin counters: with thread-local
+//! participant handles, `ebr_slot_cache_hits` must dominate
+//! `ebr_slot_registrations` (steady-state pins reuse the cached slot and
+//! never rescan the slot array).
+
+use bskip_bench::{experiment_config, format_row, print_header, IndexKind};
+use bskip_index::ConcurrentIndex;
+use bskip_ycsb::keygen::record_key;
+use bskip_ycsb::{median, run_load_phase, run_trials};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Barrier, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The thread ladder: every rung up to the `BSKIP_THREADS` cap.
+const LADDER: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Barrier-released multi-threaded timing of `work(thread_id)`: all
+/// workers start together on a shared clock; the cell is timed to the
+/// last finisher (the usual closed-workload convention).  Returns ops/us
+/// summed over all threads; per-op latency is derived by the caller.
+fn timed<F>(threads: usize, total_ops: usize, work: F) -> f64
+where
+    F: Fn(usize) + Sync,
+{
+    let barrier = Barrier::new(threads);
+    let start: OnceLock<Instant> = OnceLock::new();
+    let longest = Mutex::new(0.0f64);
+    std::thread::scope(|scope| {
+        for thread_id in 0..threads {
+            let barrier = &barrier;
+            let start = &start;
+            let longest = &longest;
+            let work = &work;
+            scope.spawn(move || {
+                barrier.wait();
+                let begin = *start.get_or_init(Instant::now);
+                work(thread_id);
+                let elapsed = begin.elapsed().as_secs_f64();
+                let mut slot = longest.lock().unwrap();
+                if elapsed > *slot {
+                    *slot = elapsed;
+                }
+            });
+        }
+    });
+    let elapsed = *longest.lock().unwrap();
+    total_ops as f64 / (elapsed * 1e6)
+}
+
+/// Runs one phase of `op` at the given thread count and returns its
+/// throughput in ops/us.
+///
+/// `insert` adds fresh keys above the loaded key space (disjoint
+/// per-thread stripes) and `remove` deletes exactly those keys.  The
+/// trial harness reuses the phase body for the warm-up and for every
+/// trial, so each timed pass is preceded by an *untimed* restore that
+/// puts the stripe back in the state the operation expects — absent
+/// before an insert pass, present before a remove pass.  Without it,
+/// every pass after the first would measure the wrong thing: overwrites
+/// (no splits, no height sampling) instead of fresh inserts, and
+/// absent-key misses (no unlink, no retirement) instead of real removes.
+fn measure(
+    handle: &dyn ConcurrentIndex<u64, u64>,
+    op: &str,
+    threads: usize,
+    per_thread: usize,
+    config: &bskip_ycsb::YcsbConfig,
+) -> f64 {
+    let records = config.record_count.max(1) as u64;
+    let total = per_thread * threads;
+    let stripe = |thread_id: usize| {
+        let base = records + (thread_id * per_thread) as u64;
+        (0..per_thread as u64).map(move |i| record_key(base + i))
+    };
+    match op {
+        "get" => timed(threads, total, |thread_id| {
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ ((thread_id as u64) << 32));
+            let mut sink = 0u64;
+            for _ in 0..per_thread {
+                let key = record_key(rng.gen_range(0..records));
+                if let Some(value) = handle.get(&key) {
+                    sink = sink.wrapping_add(value);
+                }
+            }
+            std::hint::black_box(sink);
+        }),
+        "insert" => {
+            for thread_id in 0..threads {
+                for key in stripe(thread_id) {
+                    handle.remove(&key);
+                }
+            }
+            timed(threads, total, |thread_id| {
+                for (i, key) in stripe(thread_id).enumerate() {
+                    handle.insert(key, i as u64);
+                }
+            })
+        }
+        "remove" => {
+            for thread_id in 0..threads {
+                for key in stripe(thread_id) {
+                    handle.insert(key, 0);
+                }
+            }
+            timed(threads, total, |thread_id| {
+                for key in stripe(thread_id) {
+                    handle.remove(&key);
+                }
+            })
+        }
+        _ => unreachable!("unknown op {op}"),
+    }
+}
+
+fn main() {
+    let (config, trials) = experiment_config();
+    let max_threads = config.threads.clamp(1, 16);
+    let ladder: Vec<usize> = LADDER
+        .iter()
+        .copied()
+        .filter(|threads| *threads <= max_threads)
+        .collect();
+    println!(
+        "Hot-path point ops, {} records loaded, {} ops/phase, threads {:?}, median of {} trial(s)",
+        config.record_count, config.operation_count, ladder, trials
+    );
+
+    let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
+    for kind in IndexKind::ALL {
+        let index = kind.build();
+        let handle = index.as_index();
+        run_load_phase(&handle, &config);
+        index.settle_after_load();
+        print_header(
+            &format!("{} — point hot path", kind.label()),
+            &["threads", "op", "ops/us", "ns/op"],
+        );
+        for &threads in &ladder {
+            let per_thread = (config.operation_count / threads).max(1);
+            for op in ["get", "insert", "remove"] {
+                let samples = run_trials(trials, true, |_| {
+                    measure(handle, op, threads, per_thread, &config)
+                });
+                let ops_per_us = median(&samples);
+                let ns_per_op = threads as f64 * 1e3 / ops_per_us.max(f64::MIN_POSITIVE);
+                println!(
+                    "{}",
+                    format_row(&[
+                        threads.to_string(),
+                        op.into(),
+                        format!("{ops_per_us:.3}"),
+                        format!("{ns_per_op:.0}"),
+                    ])
+                );
+                rows.push(vec![
+                    ("index", kind.label().to_string()),
+                    ("threads", threads.to_string()),
+                    ("op", op.to_string()),
+                    ("ops_per_us", format!("{ops_per_us:.3}")),
+                    ("ns_per_op", format!("{ns_per_op:.0}")),
+                ]);
+            }
+        }
+        // Pin-path counters: after the whole ladder, steady-state pins must
+        // be slot-cache hits, not slot-array scans.
+        let stats = handle.stats();
+        for name in ["ebr_pins", "ebr_slot_cache_hits", "ebr_slot_registrations"] {
+            if let Some(value) = stats.get(name) {
+                println!("{name} = {value}");
+            }
+        }
+    }
+    bskip_bench::write_artifact("BENCH_hotpath", &rows);
+    println!(
+        "\nGate: B-skiplist get ops/us at 8 threads vs. the committed BENCH_hotpath.json \
+         baseline; hot-path PRs must not regress it."
+    );
+}

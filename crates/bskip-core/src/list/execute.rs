@@ -74,7 +74,7 @@ use bskip_index::ops::{sorted_order, Op, OpResult};
 use bskip_index::{IndexKey, IndexValue};
 
 use super::{lock_node, unlock_node, BSkipList, Mode};
-use crate::node::{Node, NodeSearch};
+use crate::node::{prefetch_node, Node, NodeSearch};
 
 /// Level-1 right-walk budget between runs before the batch path gives up
 /// and re-descends through the tower: one level-1 step skips a whole
@@ -187,6 +187,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                     let start = if jump.is_null() {
                         leaf
                     } else {
+                        prefetch_node(jump);
                         unlock_node(leaf, Mode::Write);
                         lock_node(jump, Mode::Write);
                         if let Some(stats) = self.stats_enabled() {
@@ -301,6 +302,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             if next.is_null() {
                 return (curr, None, false);
             }
+            prefetch_node(next);
             lock_node(next, mode);
             let header = (*next).header();
             if header <= *key {

@@ -29,7 +29,7 @@ use bskip_index::{IndexKey, IndexValue};
 use bskip_sync::EbrGuard;
 
 use super::{lock_node, unlock_node, BSkipList, Mode};
-use crate::node::{Node, NodeSearch};
+use crate::node::{prefetch_node, Node, NodeSearch};
 
 /// Nodes locked at the current level that must be released before moving to
 /// the next level (after the child has been locked).  At most five nodes
@@ -155,8 +155,9 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                 if next.is_null() {
                     break;
                 }
+                prefetch_node(next);
                 lock_node(next, mode);
-                if (*next).header() <= key {
+                if (*next).header_covers(&key) {
                     match mode {
                         Mode::Write => {
                             if !prev.is_null() {
@@ -366,6 +367,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                 break;
             }
             debug_assert!(!descend_child.is_null());
+            prefetch_node(descend_child);
             let child_mode = mode_of(level - 1);
             lock_node(descend_child, child_mode);
             release.release();

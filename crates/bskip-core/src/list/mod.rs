@@ -38,7 +38,7 @@ use self::cursor::LeafCursor;
 
 use crate::config::BSkipConfig;
 use crate::height::sample_height;
-use crate::node::{Node, NodeSearch};
+use crate::node::{prefetch_node, Node, NodeSearch};
 use crate::stats::BSkipStats;
 
 /// Lock mode used during a traversal step.
@@ -327,23 +327,59 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
     /// Takes read locks hand-over-hand, left-to-right within a level and
     /// top-to-bottom across levels, holding at most two locks at a time.
     pub fn get(&self, key: &K) -> Option<V> {
+        // One shared read path: `peek` pins, descends and searches; values
+        // are `Copy`, so copying out of the borrow is the whole operation.
+        self.peek(key, |value| *value)
+    }
+
+    /// Applies `f` to the value stored under `key` — without copying it
+    /// out — and returns the result, or `None` when the key is absent.
+    ///
+    /// This is the no-clone read path — and the one shared read
+    /// traversal: [`BSkipList::get`] is `peek(key, |v| *v)`, while
+    /// membership tests and reads of one field of a wide value skip the
+    /// copy entirely.  It pins the epoch collector for the descent
+    /// (between reading a node's `next` pointer and locking the
+    /// successor, the traversal holds pointers a concurrent remove may
+    /// have just retired).  `f` runs under the leaf's *read* lock, so it
+    /// must be short and must not call back into this list (the
+    /// traversal lock order forbids re-entry); the borrow it receives
+    /// cannot escape.
+    ///
+    /// ```
+    /// use bskip_core::BSkipList;
+    ///
+    /// let list: BSkipList<u64, [u8; 32]> = BSkipList::new();
+    /// list.insert(7, [9u8; 32]);
+    /// assert_eq!(list.peek(&7, |value| value[0]), Some(9));
+    /// assert_eq!(list.peek(&8, |value| value[0]), None);
+    /// ```
+    pub fn peek<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
         if let Some(stats) = self.stats_enabled() {
             stats.finds.incr();
         }
-        // Pin the epoch: between reading a node's `next` pointer and
-        // locking the successor (and while spinning on a lock owned by a
-        // concurrent remover), the traversal holds pointers to nodes that
-        // a remove may have just unlinked and retired.
         let _guard = self.collector.pin();
-        // SAFETY: `descend_to_leaf_read` returns the leaf read-locked; its
-        // contents are read under that lock, which is then released.
+        // SAFETY: the leaf returned by the descent is read-locked; the
+        // value reference handed to `f` lives only inside the locked
+        // region (the closure signature keeps the borrow from escaping),
+        // and the unlock runs even if `f` panics (the drop guard below),
+        // keeping the spinlock protocol intact on unwind.
         unsafe {
             let leaf = self.descend_to_leaf_read(key);
+            struct Unlock<K: IndexKey, V: IndexValue, const B: usize>(*mut Node<K, V, B>);
+            impl<K: IndexKey, V: IndexValue, const B: usize> Drop for Unlock<K, V, B> {
+                fn drop(&mut self) {
+                    // SAFETY: constructed only around a leaf this thread
+                    // read-locked and not yet unlocked.
+                    unsafe { unlock_node(self.0, Mode::Read) };
+                }
+            }
+            let unlock = Unlock(leaf);
             let result = match (*leaf).search(key) {
-                NodeSearch::Found(idx) => Some((*leaf).value_at(idx)),
+                NodeSearch::Found(idx) => Some(f((*leaf).value_ref_at(idx))),
                 _ => None,
             };
-            unlock_node(leaf, Mode::Read);
+            drop(unlock);
             result
         }
     }
@@ -379,9 +415,10 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         }
     }
 
-    /// Whether `key` is present.
+    /// Whether `key` is present.  Routed through [`BSkipList::peek`], so
+    /// the membership check never copies the value out of the leaf.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.get(key).is_some()
+        self.peek(key, |_| ()).is_some()
     }
 
     /// Opens a seekable [`Cursor`] over the entries whose keys lie in
@@ -496,8 +533,9 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             if next.is_null() {
                 return curr;
             }
+            prefetch_node(next);
             lock_node(next, Mode::Read);
-            if (*next).header() <= *key {
+            if (*next).header_covers(key) {
                 unlock_node(curr, Mode::Read);
                 curr = next;
                 if let Some(stats) = self.stats_enabled() {
@@ -522,9 +560,8 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         curr: *mut Node<K, V, B>,
         key: &K,
     ) -> *mut Node<K, V, B> {
-        match (*curr).search(key) {
-            NodeSearch::Found(idx) => (*curr).child_at(idx),
-            NodeSearch::Pred(idx) => (*curr).child_at(idx),
+        let child = match (*curr).search(key) {
+            NodeSearch::Found(idx) | NodeSearch::Pred(idx) => (*curr).child_at(idx),
             NodeSearch::Before => {
                 debug_assert!(
                     (*curr).is_head(),
@@ -532,7 +569,11 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                 );
                 (*curr).head_child()
             }
-        }
+        };
+        // Start pulling the child's first line in while the caller is
+        // still busy on this level (stat bumps, unlocking `curr`).
+        prefetch_node(child);
+        child
     }
 }
 

@@ -25,7 +25,7 @@ use bskip_index::{IndexKey, IndexValue};
 use bskip_sync::EbrGuard;
 
 use super::{lock_node, unlock_node, BSkipList, Mode};
-use crate::node::{Node, NodeSearch};
+use crate::node::{prefetch_node, Node, NodeSearch};
 
 impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
     pub(super) fn remove_impl(&self, key: &K) -> Option<V> {
@@ -55,8 +55,9 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                 if next.is_null() {
                     break;
                 }
+                prefetch_node(next);
                 lock_node(next, Mode::Write);
-                if (*next).header() <= *key {
+                if (*next).header_covers(key) {
                     if !prev.is_null() {
                         unlock_node(prev, Mode::Write);
                     }
@@ -137,6 +138,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                 break;
             }
             debug_assert!(!descend_child.is_null());
+            prefetch_node(descend_child);
             lock_node(descend_child, Mode::Write);
             if !prev.is_null() {
                 unlock_node(prev, Mode::Write);

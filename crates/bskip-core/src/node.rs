@@ -272,6 +272,22 @@ where
         }
     }
 
+    /// Borrow of the value at slot `index` (leaf nodes only): the no-copy
+    /// variant of [`Node::value_at`] behind [`crate::BSkipList::peek`].
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held, the node must be a leaf and
+    /// `index < len()`; the returned borrow must not outlive the lock.
+    #[inline]
+    pub(crate) unsafe fn value_ref_at(&self, index: usize) -> &V {
+        debug_assert!(index < self.len());
+        match &self.inner().data {
+            Data::Leaf(values) => values[index].assume_init_ref(),
+            Data::Internal(_) => unreachable!("value_ref_at called on an internal node"),
+        }
+    }
+
     /// Overwrites the value at slot `index`, returning the previous value.
     ///
     /// # Safety
@@ -321,37 +337,93 @@ where
         }
     }
 
+    /// Number of stored keys strictly less than `key`: the branchless
+    /// in-node search core.
+    ///
+    /// Every node visit of every operation funnels through this, so it is
+    /// written for the branch predictor rather than for the comparison
+    /// count: a *branchless* binary search whose loop runs exactly
+    /// `ceil(log2(len))` iterations for a given occupancy — the trip count
+    /// depends on `len` alone, never on the probed key, and the interval
+    /// update is a select over two precomputed values (`cmov` material for
+    /// the backend) instead of the classic three-way `Ordering` ladder
+    /// whose per-probe taken/not-taken pattern is exactly what a random
+    /// key stream makes unpredictable.  Equality is resolved once by the
+    /// caller ([`Node::search`]) after the loop, not per probe.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive).
+    #[inline]
+    pub(crate) unsafe fn keys_below(&self, key: &K) -> usize {
+        let inner = self.inner();
+        let mut len = inner.len;
+        if len == 0 {
+            return 0;
+        }
+        let mut low = 0usize;
+        while len > 1 {
+            let half = len / 2;
+            // Select, not branch: both operands are computed and `low`
+            // picks one.  (A conditional jump here would mispredict every
+            // other probe on uniform keys.)
+            let probe = *inner.keys[low + half - 1].assume_init_ref();
+            low = if probe < *key { low + half } else { low };
+            len -= half;
+        }
+        low + usize::from(*inner.keys[low].assume_init_ref() < *key)
+    }
+
     /// Binary-searches the node for `key`.
     ///
     /// Returns [`NodeSearch::Found`] with the slot when present, otherwise
     /// the predecessor slot ([`NodeSearch::Pred`]) or [`NodeSearch::Before`]
     /// when `key` is smaller than every stored key (which only happens for
-    /// head nodes during correct traversals).
+    /// head nodes during correct traversals).  Built on the branchless
+    /// [`Node::keys_below`] core with a single trailing equality check.
     ///
     /// # Safety
     ///
     /// The node's lock must be held (shared or exclusive).
+    #[inline]
     pub(crate) unsafe fn search(&self, key: &K) -> NodeSearch {
         let inner = self.inner();
-        let len = inner.len;
-        // Binary search over the initialized prefix.
-        let mut lo = 0usize;
-        let mut hi = len;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            let mid_key = inner.keys[mid].assume_init_ref();
-            match mid_key.cmp(key) {
-                std::cmp::Ordering::Less => lo = mid + 1,
-                std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => return NodeSearch::Found(mid),
-            }
-        }
-        // `lo` is the number of keys strictly less than `key`.
-        if lo == 0 {
+        let below = self.keys_below(key);
+        if below < inner.len && *inner.keys[below].assume_init_ref() == *key {
+            NodeSearch::Found(below)
+        } else if below == 0 {
             NodeSearch::Before
         } else {
-            NodeSearch::Pred(lo - 1)
+            NodeSearch::Pred(below - 1)
         }
+    }
+
+    /// Whether this node's header (smallest) key is `<= key` — the "does
+    /// the traversal advance into this node?" test that every horizontal
+    /// walk repeats once per visited node.  A single read of slot 0 and
+    /// one ordering comparison, no equality pass.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive) and the node
+    /// must be non-empty.
+    #[inline]
+    pub(crate) unsafe fn header_covers(&self, key: &K) -> bool {
+        debug_assert!(!self.is_empty());
+        *key >= *self.inner().keys[0].assume_init_ref()
+    }
+
+    /// Whether this node's header key is strictly `< key`; the reverse
+    /// traversal's variant of [`Node::header_covers`] (exclusive upper
+    /// bounds advance only while the successor stays strictly below).
+    ///
+    /// # Safety
+    ///
+    /// As for [`Node::header_covers`].
+    #[inline]
+    pub(crate) unsafe fn header_below(&self, key: &K) -> bool {
+        debug_assert!(!self.is_empty());
+        *self.inner().keys[0].assume_init_ref() < *key
     }
 
     /// Inserts `key`/`value` at slot `index`, shifting later slots right.
@@ -493,6 +565,30 @@ where
     /// The node's lock must be held (shared or exclusive).
     pub(crate) unsafe fn keys_vec(&self) -> Vec<K> {
         (0..self.len()).map(|i| self.key_at(i)).collect()
+    }
+}
+
+/// Best-effort prefetch of the first cache line of the node `ptr` points
+/// at (lock word, level, `len`, `next` and the leading keys all share it —
+/// see the `#[repr(align(64))]` layout note on [`Node`]).
+///
+/// Traversals call this as soon as a neighbour/child pointer is *known*
+/// but before it is *locked*, overlapping the line fill with the work
+/// still to do on the current node (header checks, stat bumps, unlocking).
+/// A prefetch is a hint: it never faults, so no precondition is placed on
+/// `ptr` beyond non-null, and on architectures without a stable prefetch
+/// intrinsic it compiles to nothing.
+#[inline(always)]
+pub(crate) fn prefetch_node<K, V, const B: usize>(ptr: *mut Node<K, V, B>) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is architecturally incapable of faulting and
+    // SSE is baseline on x86_64.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
     }
 }
 
@@ -646,6 +742,63 @@ mod tests {
             TestNode::free(left);
             TestNode::free(right);
         }
+    }
+
+    #[test]
+    fn keys_below_matches_a_linear_scan_for_every_occupancy() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            for len in 0..=8usize {
+                for probe in 0..90u64 {
+                    let expected = (0..len).filter(|i| ((i + 1) as u64) * 10 < probe).count();
+                    assert_eq!(
+                        (*node).keys_below(&probe),
+                        expected,
+                        "len {len} probe {probe}"
+                    );
+                    // And the full search agrees with the classic one.
+                    let search = (*node).search(&probe);
+                    let stored = (1..=len as u64).map(|i| i * 10).collect::<Vec<_>>();
+                    match search {
+                        NodeSearch::Found(idx) => assert_eq!(stored[idx], probe),
+                        NodeSearch::Pred(idx) => {
+                            assert!(stored[idx] < probe);
+                            assert!(stored.get(idx + 1).is_none_or(|next| *next > probe));
+                        }
+                        NodeSearch::Before => assert!(stored.first().is_none_or(|k| *k > probe)),
+                    }
+                }
+                if len < 8 {
+                    (*node).push_leaf(((len + 1) as u64) * 10, 0);
+                }
+            }
+            TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn header_cover_checks_match_full_comparisons() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            (*node).push_leaf(50, 0);
+            (*node).push_leaf(60, 0);
+            for probe in [0u64, 49, 50, 51, 60, 100] {
+                assert_eq!((*node).header_covers(&probe), (*node).header() <= probe);
+                assert_eq!((*node).header_below(&probe), (*node).header() < probe);
+            }
+            TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn prefetch_is_a_harmless_hint() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            prefetch_node(node);
+            TestNode::free(node);
+        }
+        // Even a dangling-but-non-null pointer must not fault.
+        prefetch_node(std::ptr::NonNull::<TestNode>::dangling().as_ptr());
     }
 
     #[test]

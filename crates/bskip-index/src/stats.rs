@@ -104,18 +104,30 @@ pub struct ReclamationStats {
     /// Guards created (collector pins) since construction; batched
     /// operations amortize this — one pin per batch, not per op.
     pub pins: u64,
+    /// Pins served by the pinning thread's cached participant slot (one
+    /// publication store, no CAS slot scan); the steady-state pin path.
+    pub slot_cache_hits: u64,
+    /// Cold-path pins that claimed and registered a participant slot as a
+    /// thread's cached handle (at most one per live thread).
+    pub slot_registrations: u64,
+    /// Overflow-mode pins taken with every participant slot occupied
+    /// (reclamation-suspending degraded mode; should stay 0).
+    pub overflow_pins: u64,
 }
 
 impl ReclamationStats {
     /// The stat names under which the counters appear in an
     /// [`IndexStats`] snapshot, in field order.
-    pub const NAMES: [&'static str; 6] = [
+    pub const NAMES: [&'static str; 9] = [
         "ebr_retired",
         "ebr_freed",
         "ebr_backlog",
         "ebr_epoch",
         "ebr_advances",
         "ebr_pins",
+        "ebr_slot_cache_hits",
+        "ebr_slot_registrations",
+        "ebr_overflow_pins",
     ];
 
     /// Appends the counters to a snapshot under the uniform names.
@@ -127,6 +139,9 @@ impl ReclamationStats {
             .with("ebr_epoch", self.epoch)
             .with("ebr_advances", self.advances)
             .with("ebr_pins", self.pins)
+            .with("ebr_slot_cache_hits", self.slot_cache_hits)
+            .with("ebr_slot_registrations", self.slot_registrations)
+            .with("ebr_overflow_pins", self.overflow_pins)
     }
 
     /// Recovers the counters from a snapshot; `None` when the index does
@@ -139,6 +154,9 @@ impl ReclamationStats {
             epoch: stats.get("ebr_epoch")?,
             advances: stats.get("ebr_advances")?,
             pins: stats.get("ebr_pins")?,
+            slot_cache_hits: stats.get("ebr_slot_cache_hits")?,
+            slot_registrations: stats.get("ebr_slot_registrations")?,
+            overflow_pins: stats.get("ebr_overflow_pins")?,
         })
     }
 }
@@ -152,6 +170,9 @@ impl From<bskip_sync::EbrStats> for ReclamationStats {
             epoch: ebr.epoch,
             advances: ebr.advances,
             pins: ebr.pins,
+            slot_cache_hits: ebr.slot_cache_hits,
+            slot_registrations: ebr.slot_registrations,
+            overflow_pins: ebr.overflow_pins,
         }
     }
 }
@@ -238,6 +259,9 @@ mod tests {
             epoch: 7,
             advances: 6,
             pins: 1_000,
+            slot_cache_hits: 990,
+            slot_registrations: 10,
+            overflow_pins: 0,
         };
         let stats = reclamation.append_to(IndexStats::new().with("finds", 1));
         assert_eq!(stats.get("finds"), Some(1));
@@ -252,6 +276,6 @@ mod tests {
         let collector = bskip_sync::EbrCollector::new();
         let reclamation = ReclamationStats::from(collector.stats());
         assert_eq!(reclamation, ReclamationStats::default());
-        assert_eq!(ReclamationStats::NAMES.len(), 6);
+        assert_eq!(ReclamationStats::NAMES.len(), 9);
     }
 }
