@@ -10,9 +10,15 @@
 //! * the bottom lane is a lock-free sorted linked list (CAS insertion,
 //!   Harris-style mark-then-unlink deletion);
 //! * the index is an immutable snapshot of evenly spaced "guard" entries,
-//!   swapped in by a background thread every `sleep_time` (the same
+//!   swapped in by a background thread at a `sleep_time` cadence (the same
 //!   parameter the paper tunes: small during the load phase, large during
-//!   the run phase);
+//!   the run phase).  The cadence is **adaptive**: the worker counts
+//!   structural mutations since the last publication and skips the O(n)
+//!   rebuild walk entirely when nothing changed, backing its interval off
+//!   toward a cap while the list is idle and snapping back to `sleep_time`
+//!   the moment write traffic resumes.  A fixed cadence re-walked the
+//!   whole lane every 100µs even on an idle list, which starved foreground
+//!   threads on single-core hosts;
 //! * searches consult the current index snapshot to find a starting guard
 //!   and then walk the bottom lane.
 //!
@@ -129,6 +135,11 @@ struct Inner<K, V> {
     /// Nodes marked + unlinked (structurally removed, possibly not yet
     /// freed); `published - unlinked` is the live structural node count.
     unlinked: AtomicU64,
+    /// Structural mutations (fresh links + unlinks) since the last index
+    /// publication; the background worker's signal that a rebuild would
+    /// observe something new.  Reset at the start of every rebuild walk,
+    /// so mutations racing the walk roll over into the next interval.
+    mutations: AtomicU64,
 }
 
 // SAFETY: lane nodes are only mutated through atomics and the per-node
@@ -151,6 +162,7 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
             rebuild_lock: Mutex::new(()),
             published: AtomicU64::new(0),
             unlinked: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
         }
     }
 
@@ -240,6 +252,7 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
     /// the number of nodes freed by the collection attempt at the end.
     fn rebuild_index(&self) -> usize {
         let _serialize = self.rebuild_lock.lock().unwrap();
+        self.mutations.store(0, Ordering::SeqCst);
         let guard = self.collector.pin();
         let mut guards = Vec::new();
         // SAFETY: the pin protects every node reached through the lane.
@@ -333,20 +346,51 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
         Self::with_sleep_time(Duration::from_micros(100))
     }
 
-    /// Creates a list with an explicit adaptation interval.
+    /// Creates a list with an explicit base adaptation interval.
+    ///
+    /// `sleep_time` is the cadence under write load; the worker adapts it
+    /// to the op count since the last rebuild.  A rebuild is an O(n) walk
+    /// of the whole bottom lane, so an idle list must not pay it every
+    /// 100µs forever — that starved foreground threads on single-core
+    /// hosts (and made the NHS rows in `BENCH_hotpath.json` 100–1000x
+    /// outliers, since the read-only `get` phase ran against a busy-loop
+    /// of full-lane walks).
     pub fn with_sleep_time(sleep_time: Duration) -> Self {
         let inner = Arc::new(Inner::new());
         let worker_inner = Arc::clone(&inner);
         let worker = std::thread::spawn(move || {
-            let slice = Duration::from_millis(1).min(sleep_time.max(Duration::from_micros(50)));
+            let base = sleep_time.max(Duration::from_micros(50));
+            let slice = Duration::from_millis(1).min(base);
+            // Idle back-off cap: far above any useful cadence, far below
+            // "never notices traffic resumed".
+            let idle_cap = base.max(Duration::from_millis(50));
+            let mut interval = base;
             let mut elapsed = Duration::ZERO;
             while !worker_inner.stop.is_set() {
                 std::thread::sleep(slice);
                 elapsed += slice;
-                if elapsed >= sleep_time {
-                    worker_inner.rebuild_index();
-                    elapsed = Duration::ZERO;
+                if elapsed < interval {
+                    continue;
                 }
+                elapsed = Duration::ZERO;
+                let mutations = worker_inner.mutations.load(Ordering::SeqCst);
+                let limbo_waiting = !worker_inner.limbo.lock().unwrap().is_empty();
+                if mutations == 0 && !limbo_waiting {
+                    // Nothing a rebuild could observe: skip the O(n) walk
+                    // and back off (limbo nodes still force publications,
+                    // since retirement needs the generation to advance).
+                    interval = (interval * 2).min(idle_cap);
+                    continue;
+                }
+                worker_inner.rebuild_index();
+                // Busy: resume the tuned cadence.  Trickling (less than
+                // one guard stride of change): keep backing off — the
+                // index barely lags, so staleness costs a short walk.
+                interval = if mutations as usize >= INDEX_STRIDE {
+                    base
+                } else {
+                    (interval * 2).min(idle_cap)
+                };
             }
         });
         NhsSkipList {
@@ -443,6 +487,7 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
                 {
                     self.inner.len.fetch_add(1, Ordering::Relaxed);
                     self.inner.published.fetch_add(1, Ordering::Relaxed);
+                    self.inner.mutations.fetch_add(1, Ordering::SeqCst);
                     return None;
                 }
                 drop(Box::from_raw(node));
@@ -483,6 +528,7 @@ impl<K: IndexKey, V: IndexValue> NhsSkipList<K, V> {
             };
             self.inner.len.fetch_sub(1, Ordering::Relaxed);
             self.inner.unlinked.fetch_add(1, Ordering::Relaxed);
+            self.inner.mutations.fetch_add(1, Ordering::SeqCst);
             // Physical unlink: the common case is one CAS on the
             // predecessor the lookup already found; if the neighbourhood
             // changed (or `pred` was itself marked) one helping traversal
@@ -746,6 +792,46 @@ mod tests {
         let stats = list.reclamation();
         assert_eq!(stats.retired, threads * 40 * 100);
         assert_eq!(stats.backlog, 0);
+    }
+
+    #[test]
+    fn idle_worker_skips_rebuilds_until_traffic_resumes() {
+        let list = NhsSkipList::<u64, u64>::with_sleep_time(Duration::from_millis(1));
+        // Idle from birth: no mutations and no limbo means the worker has
+        // nothing to observe and must not burn O(n) walks.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(
+            list.index_rebuilds(),
+            0,
+            "an idle list must not rebuild in the background"
+        );
+        // Traffic resumes: the worker notices within its backed-off
+        // interval (capped at 50ms) and publishes again.
+        for key in 0..200u64 {
+            list.insert(key, key);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while list.index_rebuilds() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            list.index_rebuilds() >= 1,
+            "write traffic must wake the adaptive worker"
+        );
+        // Removals leave limbo nodes behind; even with no further inserts
+        // the worker must keep publishing until retirement drains them.
+        for key in 0..200u64 {
+            list.remove(&key);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while list.limbo_len() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            list.limbo_len(),
+            0,
+            "the worker must drain limbo without explicit rebuilds"
+        );
     }
 
     #[test]

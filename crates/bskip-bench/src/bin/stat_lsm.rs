@@ -1,0 +1,216 @@
+//! Durable-engine characterization: group-commit ingest, read-after-flush
+//! and WAL-replay recovery for `bskip-lsm`.
+//!
+//! The in-memory figures measure the B-skiplist as an index; this binary
+//! measures it as a **memtable** — the write buffer of the LSM engine —
+//! through three phases:
+//!
+//! 1. **ingest** — `execute`-shaped batches (one WAL record and one
+//!    `write(2)` per batch: the group-commit lane) loading `BSKIP_RECORDS`
+//!    keys, reporting throughput plus the WAL/rotation/flush/compaction
+//!    work the load provoked;
+//! 2. **read-after-flush** — after `maintain()` settles the on-disk
+//!    shape, uniform point `get`s that traverse memtable → bloom-gated
+//!    SSTables, and a full bounded scan through the K-way merged cursor;
+//! 3. **recover** — a tail of un-flushed writes is left in the WAL, the
+//!    engine is dropped without a clean shutdown, and a timed re-`open`
+//!    replays the tail; the phase asserts no acknowledged write is lost.
+//!
+//! Emits the `BENCH_lsm` JSON artifact (phase-tagged rows) when
+//! `BSKIP_JSON_DIR` is set.  Scale via `BSKIP_RECORDS` / `BSKIP_OPS`;
+//! the ingest batch size sweeps 1 / 64 / 512 to show the group-commit
+//! effect on WAL record counts.
+
+use bskip_bench::{experiment_config, format_row, print_header, JsonRow};
+use bskip_index::{ConcurrentIndex, Op};
+use bskip_lsm::{LsmConfig, LsmEngine};
+use bskip_ycsb::keygen::record_key;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Bound;
+use std::time::Instant;
+
+/// Ingest batch sizes: 1 shows the per-record WAL floor, the larger rungs
+/// show group commit amortizing it away.
+const BATCHES: [usize; 3] = [1, 64, 512];
+
+/// Extra un-flushed writes left in the WAL tail for the recovery phase.
+const RECOVERY_TAIL: usize = 4_096;
+
+fn scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bskip-stat-lsm-{}", std::process::id()))
+}
+
+/// Loads `records` keys in `batch`-sized execute batches, returning ops/us.
+fn ingest(engine: &LsmEngine<u64, u64>, records: usize, batch: usize) -> f64 {
+    let start = Instant::now();
+    let mut ops: Vec<Op<u64, u64>> = Vec::with_capacity(batch);
+    for i in 0..records as u64 {
+        ops.push(Op::insert(record_key(i), i));
+        if ops.len() == batch {
+            engine.execute(&mut ops);
+            ops.clear();
+        }
+    }
+    if !ops.is_empty() {
+        engine.execute(&mut ops);
+    }
+    records as f64 / (start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Pulls the named counters out of the engine's stats into artifact cells.
+fn stat_cells(engine: &LsmEngine<u64, u64>, names: &[&'static str]) -> Vec<(&'static str, String)> {
+    let stats = engine.stats();
+    names
+        .iter()
+        .map(|name| (*name, stats.get(name).unwrap_or(0).to_string()))
+        .collect()
+}
+
+fn main() {
+    let (config, _trials) = experiment_config();
+    let records = config.record_count.max(1);
+    let ops = config.operation_count.max(1);
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "bskip-lsm characterization: {} records, {} read ops, dir {}",
+        records,
+        ops,
+        dir.display()
+    );
+
+    let mut rows: Vec<JsonRow> = Vec::new();
+
+    // Phase 1: group-commit ingest at each batch size (fresh engine each).
+    print_header(
+        "ingest (group commit)",
+        &["batch", "ops/us", "wal_records", "wal_bytes", "rotations"],
+    );
+    for batch in BATCHES {
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = LsmEngine::open(&dir, LsmConfig::default()).expect("open LSM engine");
+        let ops_per_us = ingest(&engine, records, batch);
+        let stats = engine.stats();
+        let cell = |name: &str| stats.get(name).unwrap_or(0).to_string();
+        println!(
+            "{}",
+            format_row(&[
+                batch.to_string(),
+                format!("{ops_per_us:.3}"),
+                cell("wal_records"),
+                cell("wal_bytes"),
+                cell("memtable_rotations"),
+            ])
+        );
+        let mut row: JsonRow = vec![
+            ("phase", "ingest".to_string()),
+            ("batch", batch.to_string()),
+            ("records", records.to_string()),
+            ("ops_per_us", format!("{ops_per_us:.3}")),
+        ];
+        row.extend(stat_cells(
+            &engine,
+            &[
+                "wal_records",
+                "wal_bytes",
+                "memtable_rotations",
+                "sst_flushes",
+                "compactions",
+            ],
+        ));
+        rows.push(row);
+    }
+
+    // Phase 2: settle the on-disk shape, then read through it.  The last
+    // ingest pass (batch = 512) left the engine loaded; reuse it.
+    let engine = LsmEngine::open(&dir, LsmConfig::default()).expect("reopen LSM engine");
+    engine.maintain().expect("settle flush/compaction backlog");
+    let per_level = engine.tables_per_level();
+    println!("\ntables per level after maintain: {per_level:?}");
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..ops {
+        let key = record_key(rng.gen_range(0..records as u64));
+        if let Some(value) = engine.get(&key) {
+            sink = sink.wrapping_add(value);
+        }
+    }
+    std::hint::black_box(sink);
+    let get_ops_per_us = ops as f64 / (start.elapsed().as_secs_f64() * 1e6);
+
+    let start = Instant::now();
+    let mut scanned = 0u64;
+    {
+        let mut cursor = engine.scan_bounds(Bound::Unbounded, Bound::Unbounded);
+        while cursor.next().is_some() {
+            scanned += 1;
+        }
+    }
+    let scan_ops_per_us = scanned as f64 / (start.elapsed().as_secs_f64() * 1e6);
+    assert_eq!(scanned as usize, records, "full scan must see every record");
+
+    print_header("read after flush", &["op", "ops/us"]);
+    println!(
+        "{}",
+        format_row(&["get".into(), format!("{get_ops_per_us:.3}")])
+    );
+    println!(
+        "{}",
+        format_row(&["scan".into(), format!("{scan_ops_per_us:.3}")])
+    );
+    let mut row: JsonRow = vec![
+        ("phase", "read_after_flush".to_string()),
+        ("get_ops_per_us", format!("{get_ops_per_us:.3}")),
+        ("scan_ops_per_us", format!("{scan_ops_per_us:.3}")),
+        ("levels", per_level.len().to_string()),
+    ];
+    row.extend(stat_cells(
+        &engine,
+        &["tables_l0", "tables_l1", "tables_l2", "live_keys"],
+    ));
+    rows.push(row);
+
+    // Phase 3: leave an un-flushed tail in the WAL, drop the engine with
+    // no clean shutdown, and time the replay on re-open.
+    let tail = RECOVERY_TAIL.min(records);
+    for i in 0..tail as u64 {
+        engine.insert(record_key(i), u64::MAX - i);
+    }
+    drop(engine);
+
+    let start = Instant::now();
+    let engine = LsmEngine::open(&dir, LsmConfig::default()).expect("recover LSM engine");
+    let open_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        engine.len(),
+        records,
+        "recovery must restore every acknowledged key"
+    );
+    assert_eq!(
+        engine.get(&record_key(0)),
+        Some(u64::MAX),
+        "recovery must replay the un-flushed WAL tail"
+    );
+    print_header("recover (WAL replay)", &["tail writes", "open ms"]);
+    println!(
+        "{}",
+        format_row(&[tail.to_string(), format!("{open_ms:.2}")])
+    );
+    rows.push(vec![
+        ("phase", "recover".to_string()),
+        ("tail_writes", tail.to_string()),
+        ("open_ms", format!("{open_ms:.2}")),
+        ("live_keys", engine.len().to_string()),
+    ]);
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    bskip_bench::write_artifact("BENCH_lsm", &rows);
+    println!(
+        "\nGate: recovery asserts above (acknowledged writes survive re-open); ingest and \
+         read rows diff against the committed BENCH_lsm.json baseline."
+    );
+}

@@ -4,7 +4,10 @@
 use bskip_baselines::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree};
 use bskip_core::{BSkipConfig, BSkipList};
 use bskip_index::{ConcurrentIndex, IndexStats};
+use bskip_lsm::{LsmConfig, LsmEngine};
 use bskip_ycsb::{run_load_phase, run_run_phase, PhaseResult, Workload, YcsbConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The indices evaluated in the paper's Section 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +24,10 @@ pub enum IndexKind {
     OccBTree,
     /// Masstree-style narrow-node B+-tree.
     Masstree,
+    /// The durable LSM engine (B-skiplist memtable + WAL + SSTables).
+    /// Not part of the paper's in-memory comparison; opt-in for the
+    /// persistence experiments (`stat_lsm`, YCSB with durability).
+    Lsm,
 }
 
 impl IndexKind {
@@ -59,6 +66,7 @@ impl IndexKind {
             IndexKind::NhsSkipList => "NoHotSpot SL",
             IndexKind::OccBTree => "OCC B+-tree",
             IndexKind::Masstree => "Masstree-lite",
+            IndexKind::Lsm => "bskip-lsm",
         }
     }
 
@@ -73,7 +81,54 @@ impl IndexKind {
             IndexKind::NhsSkipList => AnyIndex::Nhs(Box::new(NhsSkipList::new())),
             IndexKind::OccBTree => AnyIndex::BTree(Box::new(OccBTree::new())),
             IndexKind::Masstree => AnyIndex::Masstree(Box::new(MasstreeLite::new())),
+            IndexKind::Lsm => AnyIndex::Lsm(Box::new(LsmHandle::fresh())),
         }
+    }
+}
+
+/// A freshly-opened [`LsmEngine`] rooted in a scratch directory that is
+/// removed when the handle is dropped.  Benchmarks get a disposable,
+/// self-cleaning durable engine with the same lifecycle as the in-memory
+/// indices.
+pub struct LsmHandle {
+    engine: LsmEngine<u64, u64>,
+    dir: PathBuf,
+}
+
+impl LsmHandle {
+    /// Opens a fresh engine in a unique scratch directory.  Honours
+    /// `BSKIP_LSM_DIR` as the parent for the scratch directories (so the
+    /// benchmark can target a specific device); defaults to the system
+    /// temp dir.
+    pub fn fresh() -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let parent = std::env::var_os("BSKIP_LSM_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = parent.join(format!(
+            "bskip-lsm-bench-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let engine = LsmEngine::open(&dir, LsmConfig::default())
+            .expect("open scratch LSM engine for benchmarking");
+        LsmHandle { engine, dir }
+    }
+
+    /// The engine itself.
+    pub fn engine(&self) -> &LsmEngine<u64, u64> {
+        &self.engine
+    }
+
+    /// The scratch directory backing the engine.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+}
+
+impl Drop for LsmHandle {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
     }
 }
 
@@ -91,6 +146,8 @@ pub enum AnyIndex {
     BTree(Box<OccBTree<u64, u64>>),
     /// The Masstree-style tree.
     Masstree(Box<MasstreeLite<u64, u64>>),
+    /// The durable LSM engine, rooted in a self-cleaning scratch dir.
+    Lsm(Box<LsmHandle>),
 }
 
 impl AnyIndex {
@@ -103,6 +160,7 @@ impl AnyIndex {
             AnyIndex::Nhs(index) => index.as_ref(),
             AnyIndex::BTree(index) => index.as_ref(),
             AnyIndex::Masstree(index) => index.as_ref(),
+            AnyIndex::Lsm(handle) => handle.engine(),
         }
     }
 
@@ -111,8 +169,16 @@ impl AnyIndex {
     /// run phase (and does not count that time); this does the same
     /// deterministically.
     pub fn settle_after_load(&self) {
-        if let AnyIndex::Nhs(index) = self {
-            index.rebuild_index_now();
+        match self {
+            AnyIndex::Nhs(index) => index.rebuild_index_now(),
+            // Drain the flush/compaction backlog so the run phase starts
+            // from a settled on-disk shape (mirrors LevelDB's practice of
+            // waiting for compactions between fill and read benchmarks).
+            AnyIndex::Lsm(handle) => handle
+                .engine()
+                .maintain()
+                .expect("settle LSM maintenance after load"),
+            _ => {}
         }
     }
 
@@ -210,9 +276,16 @@ pub fn format_row(cells: &[String]) -> String {
 mod tests {
     use super::*;
 
+    /// Every registry kind: the paper's six in-memory indices plus the
+    /// durable engine (kept out of `ALL` so the figure binaries keep the
+    /// paper's exact comparison set).
+    fn every_kind() -> impl Iterator<Item = IndexKind> {
+        IndexKind::ALL.into_iter().chain([IndexKind::Lsm])
+    }
+
     #[test]
     fn every_kind_builds_and_serves_operations() {
-        for kind in IndexKind::ALL {
+        for kind in every_kind() {
             let index = kind.build();
             let handle = index.as_index();
             assert!(handle.is_empty(), "{} should start empty", kind.label());
@@ -230,7 +303,7 @@ mod tests {
     #[test]
     fn every_kind_serves_cursor_scans() {
         use std::ops::Bound;
-        for kind in IndexKind::ALL {
+        for kind in every_kind() {
             let index = kind.build();
             let handle = index.as_index();
             for key in 0..64u64 {
@@ -250,10 +323,21 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let mut labels: Vec<_> = IndexKind::ALL.iter().map(|k| k.label()).collect();
+        let all: Vec<_> = every_kind().collect();
+        let mut labels: Vec<_> = all.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), IndexKind::ALL.len());
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn lsm_handle_cleans_its_scratch_dir() {
+        let handle = LsmHandle::fresh();
+        let dir = handle.dir().clone();
+        handle.engine().insert(7, 70);
+        assert!(dir.is_dir());
+        drop(handle);
+        assert!(!dir.exists());
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod harness;
 pub mod json;
 
 pub use harness::{
-    experiment_config, format_row, print_header, run_workload_fresh, AnyIndex, IndexKind,
+    experiment_config, format_row, print_header, run_workload_fresh, AnyIndex, IndexKind, LsmHandle,
 };
 pub use json::{write_artifact, JsonRow};

@@ -201,6 +201,32 @@ impl<'a, K: IndexKey, V: IndexValue> Cursor<'a, K, V> {
     }
 }
 
+/// A [`Cursor`] is itself a raw cursor, so heterogeneous cursors (native
+/// index cursors, adapters, external-table cursors) compose — a K-way
+/// merging cursor can hold `Box<dyn IndexCursor>` sources built from any
+/// mix of them.
+impl<K: IndexKey, V: IndexValue> IndexCursor<K, V> for Cursor<'_, K, V> {
+    fn next(&mut self) -> Option<(K, V)> {
+        Cursor::next(self)
+    }
+
+    fn prev(&mut self) -> Option<(K, V)> {
+        Cursor::prev(self)
+    }
+
+    fn seek(&mut self, key: &K) -> Option<(K, V)> {
+        Cursor::seek(self, key)
+    }
+
+    fn entry(&self) -> Option<(K, V)> {
+        Cursor::entry(self)
+    }
+
+    fn supports_prev(&self) -> bool {
+        Cursor::supports_prev(self)
+    }
+}
+
 impl<K: IndexKey, V: IndexValue> Iterator for Cursor<'_, K, V> {
     type Item = (K, V);
 

@@ -1,0 +1,1051 @@
+//! The LSM engine: WAL + memtables + leveled SSTables behind the
+//! workspace's [`ConcurrentIndex`] interface.
+//!
+//! # Write path
+//!
+//! Every mutation is (1) appended to the write-ahead log as one framed
+//! record — a whole [`ConcurrentIndex::execute`] batch becomes a *single*
+//! record, the group-commit unit — and (2) applied to the mutable
+//! memtable, a `BSkipList<K, Slot<V>>`.  Writes are acknowledged after the
+//! WAL append returns, so an acknowledged write survives process death
+//! (and, with [`SyncPolicy::Always`], power loss).  All mutations and all
+//! maintenance serialize on one writer mutex; reads never take it.
+//!
+//! # Rotation, flush, compaction
+//!
+//! When the memtable's ingested bytes cross
+//! [`LsmConfig::memtable_bytes`], it is sealed (pushed onto the immutable
+//! list, still serving reads) and a fresh memtable + WAL segment take
+//! over.  A *flush* drains the oldest immutable memtable through its
+//! cursor into a level-0 SSTable, commits the manifest, and only then
+//! deletes the WAL segments the memtable covered.  *Compaction* merges
+//! level 0 into level 1 once enough L0 tables pile up, and spills
+//! oversized deeper levels downward, dropping shadowed versions always and
+//! tombstones once nothing below could still hold the key.
+//!
+//! With [`LsmConfig::auto_maintain`] (the default) flush and compaction
+//! run inline on the writer thread at rotation points — the LevelDB-style
+//! write stall, deterministic and sanitizer-friendly (no background
+//! thread).  With it off, callers pump [`LsmEngine::flush`] /
+//! [`LsmEngine::compact`] explicitly.
+//!
+//! # Read path
+//!
+//! A lookup consults the layers newest-first — mutable memtable, immutable
+//! memtables, L0 tables by recency, then one candidate table per deeper
+//! level — and resolves at the first layer that mentions the key (a
+//! [`Slot::Tombstone`] answer means *deleted*, not *keep looking*).  Range
+//! scans open a K-way [`MergeCursor`] over the same layers with the same
+//! newest-wins rule.
+//!
+//! # Crash recovery
+//!
+//! There is no shutdown path at all — dropping the engine flushes nothing,
+//! so reopening *always* exercises recovery: orphan tables from an
+//! uncommitted flush are deleted (their WAL segments still exist), the
+//! manifest's tables are opened, and every WAL segment replays its valid
+//! prefix into a fresh memtable.  A torn final frame is truncated and the
+//! segment resumes appending.
+//!
+//! # Errors
+//!
+//! [`LsmEngine::open`] and the explicit maintenance entry points return
+//! [`io::Result`].  The `ConcurrentIndex` methods cannot (the trait has no
+//! error channel); an I/O failure on the hot path — a WAL append or table
+//! read failing on a healthy engine — is unrecoverable state corruption
+//! and panics with context.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use bskip_index::{
+    BatchCursor, ConcurrentIndex, Cursor, IndexCursor, IndexKey, IndexStats, IndexValue, Op,
+};
+
+use crate::codec::Persist;
+use crate::entry::Slot;
+use crate::manifest::{
+    scan_table_ids, scan_wal_ids, table_file, wal_file, Manifest, ManifestTable,
+};
+use crate::memtable::Memtable;
+use crate::merge::MergeCursor;
+use crate::sstable::{Table, TableBuilder, TableOptions};
+use crate::wal::{decode_batch, encode_batch, read_segment, SyncPolicy, WalOp, WalWriter};
+
+/// Tuning knobs for an [`LsmEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Ingested bytes after which the memtable rotates (default 4 MiB).
+    pub memtable_bytes: u64,
+    /// WAL durability policy (default: survive process death, not power
+    /// loss).
+    pub sync: SyncPolicy,
+    /// SSTable block / restart / bloom parameters.
+    pub table: TableOptions,
+    /// Run flush + compaction inline at rotation points (default).  Off:
+    /// immutable memtables accumulate until [`LsmEngine::flush`] /
+    /// [`LsmEngine::compact`] are pumped explicitly.
+    pub auto_maintain: bool,
+    /// Number of L0 tables that triggers an L0 → L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Byte budget of level 1; level `n` gets
+    /// `level_base_bytes · level_multiplier^(n-1)`.
+    pub level_base_bytes: u64,
+    /// Growth factor between consecutive level budgets.
+    pub level_multiplier: u64,
+    /// Compaction splits its output into tables of roughly this size.
+    pub table_target_bytes: u64,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_bytes: 4 << 20,
+            sync: SyncPolicy::Never,
+            table: TableOptions::default(),
+            auto_maintain: true,
+            l0_compaction_trigger: 4,
+            level_base_bytes: 8 << 20,
+            level_multiplier: 10,
+            table_target_bytes: 2 << 20,
+        }
+    }
+}
+
+impl LsmConfig {
+    /// A configuration scaled down so rotation, flush and compaction all
+    /// trigger within a few hundred operations — for tests and examples
+    /// that must exercise every layer at small scale.
+    pub fn small() -> Self {
+        LsmConfig {
+            memtable_bytes: 4 << 10,
+            table: TableOptions {
+                block_bytes: 512,
+                restart_interval: 4,
+                bloom_bits_per_key: 10,
+            },
+            l0_compaction_trigger: 3,
+            level_base_bytes: 16 << 10,
+            level_multiplier: 4,
+            table_target_bytes: 8 << 10,
+            ..LsmConfig::default()
+        }
+    }
+}
+
+/// Everything the serialized write path owns.
+struct WriteState {
+    wal: WalWriter,
+    /// Exact number of live (non-deleted) keys across all layers;
+    /// maintained from the previous-value of every mutation.
+    live_keys: u64,
+    next_wal_id: u64,
+    next_table_id: u64,
+}
+
+/// The layer set readers traverse; swapped under a write lock only at
+/// rotation / flush / compaction commit points.
+struct EngineState<K: IndexKey, V: IndexValue> {
+    memtable: Arc<Memtable<K, V>>,
+    /// Sealed memtables awaiting flush, newest first.
+    immutables: Vec<Arc<Memtable<K, V>>>,
+    /// `levels[0]` newest-first by table id (overlapping); `levels[n≥1]`
+    /// sorted by `min_key` (non-overlapping within the level).
+    levels: Vec<Vec<Arc<Table<K, V>>>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    wal_bytes: AtomicU64,
+    wal_records: AtomicU64,
+    rotations: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+}
+
+/// One compaction's inputs and placement, decided under a read lock.
+struct CompactionPlan<K: IndexKey, V: IndexValue> {
+    /// Input tables in newest-first priority order.
+    inputs: Vec<Arc<Table<K, V>>>,
+    output_level: usize,
+    drop_tombstones: bool,
+}
+
+/// A durable LSM storage engine with the B-skiplist as its memtable.
+///
+/// Implements [`ConcurrentIndex`], so it drops into every driver, test
+/// harness and benchmark in the workspace that an in-memory index fits —
+/// the difference being that its contents survive `open` → kill → `open`.
+///
+/// ```
+/// use bskip_index::ConcurrentIndex;
+/// use bskip_lsm::{LsmConfig, LsmEngine};
+///
+/// let dir = std::env::temp_dir().join(format!("lsm-doc-{}", std::process::id()));
+/// let engine: LsmEngine<u64, u64> = LsmEngine::open(&dir, LsmConfig::small()).unwrap();
+/// engine.insert(1, 10);
+/// engine.insert(2, 20);
+/// engine.remove(&1);
+/// assert_eq!(engine.get(&2), Some(20));
+/// assert_eq!(engine.len(), 1);
+/// drop(engine);
+///
+/// // Reopen: recovery replays the WAL; nothing acknowledged is lost.
+/// let engine: LsmEngine<u64, u64> = LsmEngine::open(&dir, LsmConfig::small()).unwrap();
+/// assert_eq!(engine.get(&1), None);
+/// assert_eq!(engine.get(&2), Some(20));
+/// # drop(engine);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct LsmEngine<K: IndexKey + Persist, V: IndexValue + Persist> {
+    dir: PathBuf,
+    config: LsmConfig,
+    write: Mutex<WriteState>,
+    state: RwLock<EngineState<K, V>>,
+    counters: Counters,
+}
+
+impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
+    /// Opens (or creates) an engine directory, running full recovery: the
+    /// manifest's tables are opened, orphan files are removed, and every
+    /// WAL segment's valid prefix is replayed into a fresh memtable.
+    pub fn open(dir: impl AsRef<Path>, config: LsmConfig) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let _ = fs::remove_file(dir.join("MANIFEST.tmp"));
+        let manifest = Manifest::load(&dir)?;
+
+        // Tables on disk but not in the manifest are leftovers of a flush
+        // or compaction that never committed; their contents are still
+        // covered by the WAL (or by the input tables), so drop them.
+        let live_ids: HashSet<u64> = manifest.tables.iter().map(|t| t.id).collect();
+        for id in scan_table_ids(&dir)? {
+            if !live_ids.contains(&id) {
+                let _ = fs::remove_file(table_file(&dir, id));
+            }
+        }
+
+        let mut levels: Vec<Vec<Arc<Table<K, V>>>> = Vec::new();
+        for entry in &manifest.tables {
+            let table = Arc::new(Table::open(&table_file(&dir, entry.id), entry.id)?);
+            if levels.len() <= entry.level {
+                levels.resize_with(entry.level + 1, Vec::new);
+            }
+            levels[entry.level].push(table);
+        }
+        Self::sort_levels(&mut levels);
+        let next_table_id = manifest.tables.iter().map(|t| t.id + 1).max().unwrap_or(0);
+
+        // Replay every WAL segment, oldest first, into one fresh memtable;
+        // later records overwrite earlier ones exactly as the original
+        // applies did.
+        let wal_ids = scan_wal_ids(&dir)?;
+        let memtable: Arc<Memtable<K, V>> = Arc::new(Memtable::new(if wal_ids.is_empty() {
+            vec![0]
+        } else {
+            wal_ids.clone()
+        }));
+        let mut newest_valid_len = 0u64;
+        for (at, &id) in wal_ids.iter().enumerate() {
+            let scan = read_segment(&wal_file(&dir, id))?;
+            for payload in &scan.records {
+                let ops = decode_batch::<K, V>(payload).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "undecodable WAL record")
+                })?;
+                for op in ops {
+                    match op {
+                        WalOp::Put { key, value } => memtable.apply(key, Slot::Put(value)),
+                        WalOp::Delete { key } => memtable.apply(key, Slot::Tombstone),
+                    };
+                }
+            }
+            if at + 1 == wal_ids.len() {
+                newest_valid_len = scan.valid_len;
+            }
+        }
+        let (wal, next_wal_id) = match wal_ids.last() {
+            Some(&newest) => (
+                WalWriter::open_for_append(&wal_file(&dir, newest), newest_valid_len, config.sync)?,
+                newest + 1,
+            ),
+            None => (WalWriter::create(&wal_file(&dir, 0), config.sync)?, 1),
+        };
+
+        let engine = LsmEngine {
+            dir,
+            config,
+            write: Mutex::new(WriteState {
+                wal,
+                live_keys: 0,
+                next_wal_id,
+                next_table_id,
+            }),
+            state: RwLock::new(EngineState {
+                memtable,
+                immutables: Vec::new(),
+                levels,
+            }),
+            counters: Counters::default(),
+        };
+
+        // Exact live-key count: one merged sweep over every layer.
+        let live_keys = {
+            let state = engine.state.read().unwrap();
+            let mut merge = MergeCursor::new(Self::sources_from(&state, Bound::Unbounded));
+            let mut count = 0u64;
+            while merge.next_live().is_some() {
+                count += 1;
+            }
+            count
+        };
+        engine.write.lock().unwrap().live_keys = live_keys;
+        Ok(engine)
+    }
+
+    /// The engine's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// Number of tables at each level, `[l0, l1, …]`.
+    pub fn tables_per_level(&self) -> Vec<usize> {
+        self.state
+            .read()
+            .unwrap()
+            .levels
+            .iter()
+            .map(Vec::len)
+            .collect()
+    }
+
+    fn sort_levels(levels: &mut [Vec<Arc<Table<K, V>>>]) {
+        for (at, level) in levels.iter_mut().enumerate() {
+            if at == 0 {
+                level.sort_by_key(|table| std::cmp::Reverse(table.id));
+            } else {
+                level.sort_by_key(|table| table.min_key);
+            }
+        }
+    }
+
+    /// Every layer as merge sources in newest-first priority order, from
+    /// `from` upward.
+    fn sources_from<'a>(
+        state: &'a EngineState<K, V>,
+        from: Bound<K>,
+    ) -> Vec<Box<dyn IndexCursor<K, Slot<V>> + 'a>> {
+        let mut sources: Vec<Box<dyn IndexCursor<K, Slot<V>> + 'a>> = Vec::new();
+        sources.push(Box::new(state.memtable.cursor(from, Bound::Unbounded)));
+        for immutable in &state.immutables {
+            sources.push(Box::new(immutable.cursor(from, Bound::Unbounded)));
+        }
+        for level in &state.levels {
+            for table in level {
+                sources.push(Box::new(table.cursor(from, Bound::Unbounded)));
+            }
+        }
+        sources
+    }
+
+    /// Newest-first lookup across every layer; a tombstone answer settles
+    /// the key as deleted.  `skip_memtable` serves the write path, which
+    /// has already consulted the mutable memtable.
+    fn lookup(&self, state: &EngineState<K, V>, key: &K, skip_memtable: bool) -> Option<Slot<V>> {
+        if !skip_memtable {
+            if let Some(slot) = state.memtable.get(key) {
+                return Some(slot);
+            }
+        }
+        for immutable in &state.immutables {
+            if let Some(slot) = immutable.get(key) {
+                return Some(slot);
+            }
+        }
+        for (at, level) in state.levels.iter().enumerate() {
+            if at == 0 {
+                for table in level {
+                    if table.may_contain(key) {
+                        if let Some(slot) = Self::table_get(table, key) {
+                            return Some(slot);
+                        }
+                    }
+                }
+            } else {
+                // Non-overlapping: at most one candidate table.
+                let candidate = level.partition_point(|table| table.max_key < *key);
+                if let Some(table) = level.get(candidate) {
+                    if table.may_contain(key) {
+                        if let Some(slot) = Self::table_get(table, key) {
+                            return Some(slot);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn table_get(table: &Table<K, V>, key: &K) -> Option<Slot<V>> {
+        table
+            .get(key)
+            .unwrap_or_else(|error| panic!("bskip-lsm: SSTable read failed: {error}"))
+    }
+
+    /// The serialized write path shared by `insert` and `remove`: WAL
+    /// append, previous-value lookup, memtable apply, rotation check.
+    fn put_slot(&self, key: K, slot: Slot<V>) -> Option<V> {
+        let mut write = self.write.lock().unwrap();
+        let wal_op = match slot {
+            Slot::Put(value) => WalOp::Put { key, value },
+            Slot::Tombstone => WalOp::Delete { key },
+        };
+        self.wal_append(&mut write, &encode_batch(&[wal_op]));
+        let previous = {
+            let state = self.state.read().unwrap();
+            let previous = state
+                .memtable
+                .apply(key, slot)
+                .or_else(|| self.lookup(&state, &key, true));
+            previous.and_then(Slot::value)
+        };
+        match (previous.is_some(), slot.is_tombstone()) {
+            (false, false) => write.live_keys += 1,
+            (true, true) => write.live_keys -= 1,
+            _ => {}
+        }
+        self.maybe_rotate(&mut write);
+        previous
+    }
+
+    fn wal_append(&self, write: &mut WriteState, payload: &[u8]) {
+        let frame = write
+            .wal
+            .append(payload)
+            .unwrap_or_else(|error| panic!("bskip-lsm: WAL append failed: {error}"));
+        self.counters.wal_bytes.fetch_add(frame, Ordering::Relaxed);
+        self.counters.wal_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Seals the memtable if it has outgrown its budget, then (in
+    /// auto-maintain mode) flushes and compacts inline.
+    fn maybe_rotate(&self, write: &mut WriteState) {
+        let over = {
+            let state = self.state.read().unwrap();
+            state.memtable.bytes() >= self.config.memtable_bytes && !state.memtable.is_empty()
+        };
+        if !over {
+            return;
+        }
+        self.rotate_locked(write)
+            .unwrap_or_else(|error| panic!("bskip-lsm: rotation failed: {error}"));
+        if self.config.auto_maintain {
+            self.maintain_locked(write)
+                .unwrap_or_else(|error| panic!("bskip-lsm: maintenance failed: {error}"));
+        }
+    }
+
+    fn rotate_locked(&self, write: &mut WriteState) -> io::Result<()> {
+        let new_id = write.next_wal_id;
+        write.next_wal_id += 1;
+        let new_wal = WalWriter::create(&wal_file(&self.dir, new_id), self.config.sync)?;
+        write.wal = new_wal;
+        let mut state = self.state.write().unwrap();
+        let sealed = std::mem::replace(&mut state.memtable, Arc::new(Memtable::new(vec![new_id])));
+        state.immutables.insert(0, sealed);
+        drop(state);
+        self.counters.rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn maintain_locked(&self, write: &mut WriteState) -> io::Result<()> {
+        while self.flush_locked(write)? {}
+        while self.compact_locked(write)? {}
+        Ok(())
+    }
+
+    /// Flushes the oldest immutable memtable into an L0 table.  Returns
+    /// whether an immutable memtable was drained.
+    fn flush_locked(&self, write: &mut WriteState) -> io::Result<bool> {
+        let Some(immutable) = self.state.read().unwrap().immutables.last().cloned() else {
+            return Ok(false);
+        };
+        if immutable.is_empty() {
+            self.state.write().unwrap().immutables.pop();
+        } else {
+            let id = write.next_table_id;
+            write.next_table_id += 1;
+            let path = table_file(&self.dir, id);
+            let mut builder: TableBuilder<K, V> = TableBuilder::create(&path, self.config.table)?;
+            for (key, slot) in immutable.cursor(Bound::Unbounded, Bound::Unbounded) {
+                builder.add(key, slot)?;
+            }
+            builder.finish()?;
+            let table = Arc::new(Table::open(&path, id)?);
+            {
+                let mut state = self.state.write().unwrap();
+                state.immutables.pop();
+                if state.levels.is_empty() {
+                    state.levels.push(Vec::new());
+                }
+                state.levels[0].insert(0, table);
+                self.persist_manifest(&state)?;
+            }
+            self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        // The manifest now covers (or never needed) this memtable's data;
+        // its WAL segments are done.
+        for &id in immutable.wal_ids() {
+            let _ = fs::remove_file(wal_file(&self.dir, id));
+        }
+        // A flush is a quiescent point for the drained list: drain its
+        // retirement backlog before the structure is dropped.
+        while immutable.try_reclaim() > 0 {}
+        Ok(true)
+    }
+
+    /// Runs one compaction if any trigger fires.  Returns whether work was
+    /// done.
+    fn compact_locked(&self, write: &mut WriteState) -> io::Result<bool> {
+        let Some(plan) = self.plan_compaction() else {
+            return Ok(false);
+        };
+        let mut output_metas = Vec::new();
+        {
+            let sources = plan
+                .inputs
+                .iter()
+                .map(|table| {
+                    Box::new(table.cursor(Bound::Unbounded, Bound::Unbounded))
+                        as Box<dyn IndexCursor<K, Slot<V>>>
+                })
+                .collect();
+            let mut merge = MergeCursor::new(sources);
+            let mut builder: Option<(u64, TableBuilder<K, V>)> = None;
+            while let Some((key, slot)) = merge.next_raw() {
+                if plan.drop_tombstones && slot.is_tombstone() {
+                    continue;
+                }
+                let (_, active) = builder.get_or_insert_with(|| {
+                    let id = write.next_table_id;
+                    write.next_table_id += 1;
+                    let built = TableBuilder::create(&table_file(&self.dir, id), self.config.table)
+                        .unwrap_or_else(|error| {
+                            panic!("bskip-lsm: compaction output create failed: {error}")
+                        });
+                    (id, built)
+                });
+                active.add(key, slot)?;
+                if active.bytes_estimate() >= self.config.table_target_bytes {
+                    let (id, full) = builder.take().unwrap();
+                    output_metas.push((id, full.finish()?));
+                }
+            }
+            if let Some((id, rest)) = builder.take() {
+                output_metas.push((id, rest.finish()?));
+            }
+        }
+        let input_ids: HashSet<u64> = plan.inputs.iter().map(|table| table.id).collect();
+        {
+            let mut state = self.state.write().unwrap();
+            for level in state.levels.iter_mut() {
+                level.retain(|table| !input_ids.contains(&table.id));
+            }
+            if state.levels.len() <= plan.output_level {
+                state.levels.resize_with(plan.output_level + 1, Vec::new);
+            }
+            for (id, meta) in &output_metas {
+                state.levels[plan.output_level].push(Arc::new(Table::open(&meta.path, *id)?));
+            }
+            state.levels[plan.output_level].sort_by_key(|table| table.min_key);
+            self.persist_manifest(&state)?;
+        }
+        for table in &plan.inputs {
+            let _ = fs::remove_file(table.path());
+        }
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    fn plan_compaction(&self) -> Option<CompactionPlan<K, V>> {
+        let state = self.state.read().unwrap();
+        let drop_below = |output_level: usize| {
+            state
+                .levels
+                .iter()
+                .enumerate()
+                .all(|(at, level)| at <= output_level || level.is_empty())
+        };
+        // L0 → L1: too many overlapping tables.
+        let l0 = state.levels.first().map_or(0, Vec::len);
+        if l0 >= self.config.l0_compaction_trigger {
+            let mut inputs: Vec<Arc<Table<K, V>>> = state.levels[0].clone();
+            let lo = inputs.iter().map(|t| t.min_key).min().unwrap();
+            let hi = inputs.iter().map(|t| t.max_key).max().unwrap();
+            if let Some(next) = state.levels.get(1) {
+                inputs.extend(
+                    next.iter()
+                        .filter(|t| t.min_key <= hi && t.max_key >= lo)
+                        .cloned(),
+                );
+            }
+            return Some(CompactionPlan {
+                output_level: 1,
+                drop_tombstones: drop_below(1),
+                inputs,
+            });
+        }
+        // Deeper levels: spill one table down when over budget.
+        for (at, level) in state.levels.iter().enumerate().skip(1) {
+            let bytes: u64 = level.iter().map(|t| t.bytes).sum();
+            let budget = self
+                .config
+                .level_base_bytes
+                .saturating_mul(self.config.level_multiplier.saturating_pow(at as u32 - 1));
+            if bytes <= budget || level.is_empty() {
+                continue;
+            }
+            let victim = Arc::clone(&level[0]);
+            let mut inputs = vec![Arc::clone(&victim)];
+            if let Some(next) = state.levels.get(at + 1) {
+                inputs.extend(
+                    next.iter()
+                        .filter(|t| t.min_key <= victim.max_key && t.max_key >= victim.min_key)
+                        .cloned(),
+                );
+            }
+            return Some(CompactionPlan {
+                output_level: at + 1,
+                drop_tombstones: drop_below(at + 1),
+                inputs,
+            });
+        }
+        None
+    }
+
+    fn persist_manifest(&self, state: &EngineState<K, V>) -> io::Result<()> {
+        let mut tables = Vec::new();
+        for (level, level_tables) in state.levels.iter().enumerate() {
+            for table in level_tables {
+                tables.push(ManifestTable {
+                    level,
+                    id: table.id,
+                    entries: table.entries,
+                    bytes: table.bytes,
+                });
+            }
+        }
+        Manifest { tables }.store(&self.dir)
+    }
+
+    /// Seals the current memtable unconditionally (if non-empty), making
+    /// its contents flushable.
+    pub fn rotate(&self) -> io::Result<()> {
+        let mut write = self.write.lock().unwrap();
+        let non_empty = !self.state.read().unwrap().memtable.is_empty();
+        if non_empty {
+            self.rotate_locked(&mut write)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes every sealed memtable to level-0 tables, oldest first.
+    /// Returns the number of memtables drained.
+    pub fn flush(&self) -> io::Result<usize> {
+        let mut write = self.write.lock().unwrap();
+        let mut drained = 0;
+        while self.flush_locked(&mut write)? {
+            drained += 1;
+        }
+        Ok(drained)
+    }
+
+    /// Runs compactions until no trigger fires.  Returns the number of
+    /// compactions performed.
+    pub fn compact(&self) -> io::Result<usize> {
+        let mut write = self.write.lock().unwrap();
+        let mut ran = 0;
+        while self.compact_locked(&mut write)? {
+            ran += 1;
+        }
+        Ok(ran)
+    }
+
+    /// Full maintenance pump: seal, flush everything, compact to
+    /// quiescence.  What auto-maintain mode does at rotation points, made
+    /// explicit.
+    pub fn maintain(&self) -> io::Result<()> {
+        self.rotate()?;
+        let mut write = self.write.lock().unwrap();
+        self.maintain_locked(&mut write)
+    }
+}
+
+impl<K: IndexKey + Persist, V: IndexValue + Persist> ConcurrentIndex<K, V> for LsmEngine<K, V> {
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.put_slot(key, Slot::Put(value))
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        let state = self.state.read().unwrap();
+        self.lookup(&state, key, false).and_then(Slot::value)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        self.put_slot(*key, Slot::Tombstone)
+    }
+
+    /// The group-commit ingest lane: the batch's mutations become **one**
+    /// WAL record (one `write(2)`, one `fdatasync` under
+    /// [`SyncPolicy::Always`]), then the operations apply in slot order.
+    fn execute(&self, ops: &mut [Op<K, V>]) {
+        let mut write = self.write.lock().unwrap();
+        let wal_ops: Vec<WalOp<K, V>> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert { key, value, .. } | Op::Update { key, value, .. } => Some(WalOp::Put {
+                    key: *key,
+                    value: *value,
+                }),
+                Op::Remove { key, .. } => Some(WalOp::Delete { key: *key }),
+                Op::Get { .. } => None,
+            })
+            .collect();
+        if !wal_ops.is_empty() {
+            self.wal_append(&mut write, &encode_batch(&wal_ops));
+        }
+        {
+            let state = self.state.read().unwrap();
+            for op in ops.iter_mut() {
+                match op {
+                    Op::Get { key, result } => {
+                        *result = self.lookup(&state, key, false).and_then(Slot::value).into();
+                    }
+                    Op::Insert { key, value, result } | Op::Update { key, value, result } => {
+                        let previous = state
+                            .memtable
+                            .apply(*key, Slot::Put(*value))
+                            .or_else(|| self.lookup(&state, key, true))
+                            .and_then(Slot::value);
+                        if previous.is_none() {
+                            write.live_keys += 1;
+                        }
+                        *result = previous.into();
+                    }
+                    Op::Remove { key, result } => {
+                        let previous = state
+                            .memtable
+                            .apply(*key, Slot::Tombstone)
+                            .or_else(|| self.lookup(&state, key, true))
+                            .and_then(Slot::value);
+                        if previous.is_some() {
+                            write.live_keys -= 1;
+                        }
+                        *result = previous.into();
+                    }
+                }
+            }
+        }
+        self.maybe_rotate(&mut write);
+    }
+
+    /// A merged scan: each batch refill snapshots the layer set under the
+    /// state lock and K-way-merges all layers from the resume key, so the
+    /// cursor observes rotations and compactions without ever yielding a
+    /// shadowed or deleted version.
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        Cursor::new(BatchCursor::new(
+            lo,
+            hi,
+            128,
+            Box::new(move |from, max, out| {
+                let state = self.state.read().unwrap();
+                let mut merge = MergeCursor::new(Self::sources_from(&state, from));
+                while out.len() < max {
+                    match merge.next_live() {
+                        Some(entry) => out.push(entry),
+                        None => break,
+                    }
+                }
+            }),
+        ))
+    }
+
+    fn try_reclaim(&self) -> usize {
+        self.state.read().unwrap().memtable.try_reclaim()
+    }
+
+    fn len(&self) -> usize {
+        self.write.lock().unwrap().live_keys as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "bskip-lsm"
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Lock order everywhere: writer mutex before state lock.
+        let write = self.write.lock().unwrap();
+        let state = self.state.read().unwrap();
+        let mut stats = IndexStats::new()
+            .with("wal_bytes", self.counters.wal_bytes.load(Ordering::Relaxed))
+            .with(
+                "wal_records",
+                self.counters.wal_records.load(Ordering::Relaxed),
+            )
+            .with(
+                "memtable_rotations",
+                self.counters.rotations.load(Ordering::Relaxed),
+            )
+            .with("sst_flushes", self.counters.flushes.load(Ordering::Relaxed))
+            .with(
+                "compactions",
+                self.counters.compactions.load(Ordering::Relaxed),
+            )
+            .with("live_keys", write.live_keys)
+            .with("memtable_bytes", state.memtable.bytes())
+            .with("memtable_live_nodes", state.memtable.live_nodes())
+            .with("immutable_memtables", state.immutables.len() as u64);
+        const LEVEL_NAMES: [&str; 7] = [
+            "tables_l0",
+            "tables_l1",
+            "tables_l2",
+            "tables_l3",
+            "tables_l4",
+            "tables_l5",
+            "tables_l6",
+        ];
+        for (at, name) in LEVEL_NAMES.iter().enumerate() {
+            stats.push(name, state.levels.get(at).map_or(0, |l| l.len() as u64));
+        }
+        state.memtable.reclamation().append_to(stats)
+    }
+
+    fn reset_stats(&self) {
+        self.counters.wal_bytes.store(0, Ordering::Relaxed);
+        self.counters.wal_records.store(0, Ordering::Relaxed);
+        self.counters.rotations.store(0, Ordering::Relaxed);
+        self.counters.flushes.store(0, Ordering::Relaxed);
+        self.counters.compactions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bskip_index::ConcurrentIndexExt;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("bskip-lsm-test-{}-{n}-{tag}", std::process::id()))
+    }
+
+    fn open_small(dir: &Path) -> LsmEngine<u64, u64> {
+        LsmEngine::open(dir, LsmConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn point_operations_and_len() {
+        let dir = temp_dir("point");
+        let engine = open_small(&dir);
+        assert!(engine.is_empty());
+        assert_eq!(engine.insert(1, 10), None);
+        assert_eq!(engine.insert(1, 11), Some(10));
+        assert_eq!(engine.get(&1), Some(11));
+        assert_eq!(engine.get(&2), None);
+        assert_eq!(engine.remove(&1), Some(11));
+        assert_eq!(engine.remove(&1), None);
+        assert_eq!(engine.get(&1), None);
+        assert_eq!(engine.len(), 0);
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_flush_compaction_preserve_contents() {
+        let dir = temp_dir("layers");
+        let engine = open_small(&dir);
+        // Enough volume to drive several rotations, flushes and at least
+        // one compaction through the small config.
+        for key in 0..4_000u64 {
+            engine.insert(key % 1_000, key);
+        }
+        for key in (0..1_000u64).step_by(3) {
+            engine.remove(&key);
+        }
+        let stats = engine.stats();
+        assert!(stats.get("memtable_rotations").unwrap() > 0, "{stats}");
+        assert!(stats.get("sst_flushes").unwrap() > 0, "{stats}");
+        assert!(stats.get("compactions").unwrap() > 0, "{stats}");
+        for key in 0..1_000u64 {
+            let expected = if key % 3 == 0 {
+                None
+            } else {
+                Some(3_000 + key)
+            };
+            assert_eq!(engine.get(&key), expected, "key {key}");
+        }
+        let live: Vec<(u64, u64)> = engine.scan_range(..).collect();
+        assert_eq!(live.len(), engine.len());
+        assert!(live.windows(2).all(|w| w[0].0 < w[1].0));
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_everything() {
+        let dir = temp_dir("reopen");
+        let engine = open_small(&dir);
+        for key in 0..2_000u64 {
+            engine.insert(key, key * 7);
+        }
+        for key in (0..2_000u64).step_by(5) {
+            engine.remove(&key);
+        }
+        let before: Vec<(u64, u64)> = engine.scan_range(..).collect();
+        let len_before = engine.len();
+        drop(engine);
+
+        let engine = open_small(&dir);
+        assert_eq!(engine.len(), len_before);
+        let after: Vec<(u64, u64)> = engine.scan_range(..).collect();
+        assert_eq!(after, before);
+        // And the reopened engine keeps accepting writes.
+        engine.insert(5_000, 1);
+        assert_eq!(engine.get(&5_000), Some(1));
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_maintenance_pump() {
+        let dir = temp_dir("manual");
+        let mut config = LsmConfig::small();
+        config.auto_maintain = false;
+        let engine: LsmEngine<u64, u64> = LsmEngine::open(&dir, config).unwrap();
+        for key in 0..3_000u64 {
+            engine.insert(key, key);
+        }
+        // Nothing flushed yet; sealed memtables may have piled up.
+        assert_eq!(engine.tables_per_level(), Vec::<usize>::new());
+        engine.maintain().unwrap();
+        let levels = engine.tables_per_level();
+        assert!(levels.iter().sum::<usize>() > 0, "{levels:?}");
+        for key in (0..3_000u64).step_by(97) {
+            assert_eq!(engine.get(&key), Some(key));
+        }
+        assert_eq!(engine.len(), 3_000);
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn execute_batches_group_commit() {
+        let dir = temp_dir("batch");
+        let engine = open_small(&dir);
+        let mut batch = vec![
+            Op::insert(1, 10),
+            Op::insert(2, 20),
+            Op::get(1),
+            Op::remove(2),
+            Op::get(2),
+            Op::insert(1, 11),
+        ];
+        engine.execute(&mut batch);
+        assert_eq!(batch[2].result().value(), Some(10));
+        assert_eq!(batch[3].result().value(), Some(20));
+        assert_eq!(batch[4].result().value(), None);
+        assert_eq!(batch[5].result().value(), Some(10));
+        // One record for the whole batch (group commit).
+        assert_eq!(engine.stats().get("wal_records"), Some(1));
+        assert_eq!(engine.len(), 1);
+        // A read-only batch appends nothing.
+        let mut reads = vec![Op::<u64, u64>::get(1)];
+        engine.execute(&mut reads);
+        assert_eq!(engine.stats().get("wal_records"), Some(1));
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scans_observe_all_layers_with_bounds_and_seek() {
+        let dir = temp_dir("scan");
+        let engine = open_small(&dir);
+        for key in 0..1_500u64 {
+            engine.insert(key * 2, key);
+        }
+        engine.maintain().unwrap();
+        // Updates and deletes land in the memtable, above the tables.
+        engine.insert(10, 999);
+        engine.remove(&20);
+        let window: Vec<(u64, u64)> = engine.scan_range(8..=24).collect();
+        assert_eq!(
+            window,
+            vec![
+                (8, 4),
+                (10, 999),
+                (12, 6),
+                (14, 7),
+                (16, 8),
+                (18, 9),
+                (22, 11),
+                (24, 12)
+            ]
+        );
+        {
+            let mut cursor = engine.scan_range(..);
+            assert_eq!(cursor.seek(&9), Some((10, 999)));
+            assert_eq!(cursor.next(), Some((12, 6)));
+        }
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let dir = temp_dir("mt");
+        let engine = Arc::new(open_small(&dir));
+        let writer = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for key in 0..3_000u64 {
+                    engine.insert(key % 500, key);
+                    if key % 7 == 0 {
+                        engine.remove(&(key % 500));
+                    }
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|seed| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for round in 0..2_000u64 {
+                        let key = (round * 31 + seed) % 500;
+                        let _ = engine.get(&key);
+                        if round % 100 == 0 {
+                            let page: Vec<_> = engine.scan_range(key..).take(20).collect();
+                            assert!(page.windows(2).all(|w| w[0].0 < w[1].0));
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        drop(engine);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

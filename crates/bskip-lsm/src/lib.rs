@@ -1,0 +1,54 @@
+//! A durable single-node LSM storage engine with the B-skiplist as its
+//! memtable.
+//!
+//! The paper's structure is evaluated in-memory, but its design brief —
+//! batch-friendly fat nodes, sequential leaf drains, sorted-run-shaped
+//! ingest — is the job description of an LSM **memtable** (the role
+//! skiplists famously play in LevelDB/RocksDB and in bLSM).  This crate
+//! closes that loop: a log-structured merge engine whose write buffer is a
+//! `BSkipList<K, Slot<V>>`, layered as
+//!
+//! ```text
+//! writes ──▶ WAL (group commit) ──▶ memtable ──▶ immutable memtables
+//!                                                  │ flush (cursor drain)
+//!                                                  ▼
+//!                              level 0 SSTables (overlapping, newest first)
+//!                                                  │ compaction (K-way merge)
+//!                                                  ▼
+//!                              levels 1+ (non-overlapping, size-tiered)
+//! ```
+//!
+//! The engine ([`LsmEngine`]) implements the workspace's
+//! [`bskip_index::ConcurrentIndex`] trait, so the YCSB driver, the
+//! differential proptests and the benchmark harness all run against it
+//! unchanged — the only observable difference from the in-memory indices
+//! is that its contents survive a kill.
+//!
+//! Module map: [`wal`] (framed, CRC-checked log with torn-tail recovery),
+//! [`memtable`] (the B-skiplist write buffer), [`sstable`] (block-
+//! structured tables with prefix compression and bloom filters),
+//! [`merge`] (the newest-wins K-way merge), [`manifest`] (the durable
+//! table listing), [`engine`] (the assembled engine), with [`codec`],
+//! [`crc`] and [`entry`] underneath.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bloom;
+pub mod codec;
+pub mod crc;
+pub mod engine;
+pub mod entry;
+pub mod manifest;
+pub mod memtable;
+pub mod merge;
+pub mod sstable;
+pub mod wal;
+
+pub use codec::Persist;
+pub use engine::{LsmConfig, LsmEngine};
+pub use entry::Slot;
+pub use memtable::Memtable;
+pub use merge::MergeCursor;
+pub use sstable::{Table, TableBuilder, TableCursor, TableOptions};
+pub use wal::{SyncPolicy, WalOp, WalWriter};

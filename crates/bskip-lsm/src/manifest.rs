@@ -1,0 +1,227 @@
+//! The manifest: the engine's durable record of which tables exist.
+//!
+//! A line-oriented text file, rewritten atomically (write to a temporary,
+//! fsync, rename over `MANIFEST`, fsync the directory) on every flush and
+//! compaction:
+//!
+//! ```text
+//! bskip-lsm-manifest v1
+//! table <level> <id> <entries> <bytes>
+//! table <level> <id> <entries> <bytes>
+//! …
+//! ```
+//!
+//! Everything else is derived at open: table key ranges are re-read from
+//! the table files themselves, the next table/WAL ids are one past the
+//! largest id on disk, and table files present in the directory but absent
+//! from the manifest are orphans of a crashed flush or compaction — their
+//! data is still covered by the WAL (flush deletes segments only after the
+//! manifest commits), so the orphans are simply deleted.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the engine directory.
+pub const MANIFEST: &str = "MANIFEST";
+
+const HEADER: &str = "bskip-lsm-manifest v1";
+
+/// One table the manifest records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestTable {
+    /// Level the table lives at (0 = newest, overlapping).
+    pub level: usize,
+    /// The table's file id (see [`table_file`]).
+    pub id: u64,
+    /// Entries in the table.
+    pub entries: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// The decoded manifest: the complete table listing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Every live table, in no particular order.
+    pub tables: Vec<ManifestTable>,
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt manifest: {what}"),
+    )
+}
+
+impl Manifest {
+    /// Loads the manifest from `dir`; a missing file is an empty manifest
+    /// (fresh engine directory).
+    pub fn load(dir: &Path) -> io::Result<Manifest> {
+        let text = match fs::read_to_string(dir.join(MANIFEST)) {
+            Ok(text) => text,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(Manifest::default()),
+            Err(error) => return Err(error),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(corrupt("bad header"));
+        }
+        let mut tables = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["table", level, id, entries, bytes] => tables.push(ManifestTable {
+                    level: level.parse().map_err(|_| corrupt("bad level"))?,
+                    id: id.parse().map_err(|_| corrupt("bad id"))?,
+                    entries: entries.parse().map_err(|_| corrupt("bad entries"))?,
+                    bytes: bytes.parse().map_err(|_| corrupt("bad bytes"))?,
+                }),
+                _ => return Err(corrupt("unknown line")),
+            }
+        }
+        Ok(Manifest { tables })
+    }
+
+    /// Atomically replaces the manifest in `dir` with this listing.
+    pub fn store(&self, dir: &Path) -> io::Result<()> {
+        let mut text = String::from(HEADER);
+        text.push('\n');
+        for table in &self.tables {
+            text.push_str(&format!(
+                "table {} {} {} {}\n",
+                table.level, table.id, table.entries, table.bytes
+            ));
+        }
+        let tmp = dir.join("MANIFEST.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, dir.join(MANIFEST))?;
+        // Persist the rename itself (directory metadata).
+        #[cfg(unix)]
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Path of table file `id` inside `dir`.
+pub fn table_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("tab-{id:08}.sst"))
+}
+
+/// Path of WAL segment `id` inside `dir`.
+pub fn wal_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:08}.log"))
+}
+
+fn scan_ids(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(suffix))
+        {
+            if let Ok(id) = stem.parse::<u64>() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// Ids of every WAL segment in `dir`, ascending.
+pub fn scan_wal_ids(dir: &Path) -> io::Result<Vec<u64>> {
+    scan_ids(dir, "wal-", ".log")
+}
+
+/// Ids of every table file in `dir`, ascending.
+pub fn scan_table_ids(dir: &Path) -> io::Result<Vec<u64>> {
+    scan_ids(dir, "tab-", ".sst")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "bskip-manifest-test-{}-{n}-{tag}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_missing_file_is_empty() {
+        let dir = temp_dir("roundtrip");
+        assert_eq!(Manifest::load(&dir).unwrap(), Manifest::default());
+        let manifest = Manifest {
+            tables: vec![
+                ManifestTable {
+                    level: 0,
+                    id: 3,
+                    entries: 100,
+                    bytes: 4096,
+                },
+                ManifestTable {
+                    level: 1,
+                    id: 1,
+                    entries: 900,
+                    bytes: 65536,
+                },
+            ],
+        };
+        manifest.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+        // Store is a full replacement, not an append.
+        let smaller = Manifest {
+            tables: vec![ManifestTable {
+                level: 1,
+                id: 4,
+                entries: 1000,
+                bytes: 70000,
+            }],
+        };
+        smaller.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), smaller);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let dir = temp_dir("corrupt");
+        fs::write(dir.join(MANIFEST), "not a manifest\n").unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        fs::write(dir.join(MANIFEST), format!("{HEADER}\ntable zero 1 2 3\n")).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        fs::write(dir.join(MANIFEST), format!("{HEADER}\nfrob 1\n")).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_naming_and_directory_scans() {
+        let dir = temp_dir("scan");
+        assert_eq!(table_file(&dir, 7), dir.join("tab-00000007.sst"));
+        assert_eq!(wal_file(&dir, 12), dir.join("wal-00000012.log"));
+        fs::write(table_file(&dir, 2), b"").unwrap();
+        fs::write(table_file(&dir, 10), b"").unwrap();
+        fs::write(wal_file(&dir, 5), b"").unwrap();
+        fs::write(dir.join("MANIFEST.tmp"), b"").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"").unwrap();
+        assert_eq!(scan_table_ids(&dir).unwrap(), vec![2, 10]);
+        assert_eq!(scan_wal_ids(&dir).unwrap(), vec![5]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

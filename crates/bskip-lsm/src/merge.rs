@@ -1,0 +1,187 @@
+//! The K-way merging cursor behind the engine's read and compaction paths.
+//!
+//! Every layer of the engine — the mutable memtable, each immutable
+//! memtable, each SSTable — serves a sorted stream of `(K, Slot<V>)`.
+//! A read over the whole engine is a merge of those streams with a
+//! *newest-wins* rule: when several layers mention the same key, the
+//! version from the newest layer is the truth and the older ones are
+//! shadowed.  [`MergeCursor`] implements exactly that: sources are ordered
+//! newest first, and at each step it emits the smallest key across all
+//! sources, taking the slot from the lowest-indexed (newest) source that
+//! holds it and discarding the shadowed versions.
+//!
+//! Two consumers, two views:
+//!
+//! * [`MergeCursor::next_raw`] keeps tombstones — compaction must carry
+//!   them forward (unless writing the bottom level) so they keep shadowing
+//!   tables it did not merge;
+//! * [`MergeCursor::next_live`] resolves them — the merged scan path
+//!   yields only live entries.
+
+use bskip_index::{IndexCursor, IndexKey, IndexValue};
+
+use crate::entry::Slot;
+
+/// One source stream plus its lookahead entry.
+struct Source<'a, K: IndexKey, V: IndexValue> {
+    cursor: Box<dyn IndexCursor<K, Slot<V>> + 'a>,
+    peek: Option<(K, Slot<V>)>,
+}
+
+/// A K-way merge over sorted `(K, Slot<V>)` streams, newest source first.
+pub struct MergeCursor<'a, K: IndexKey, V: IndexValue> {
+    sources: Vec<Source<'a, K, V>>,
+}
+
+impl<'a, K: IndexKey, V: IndexValue> MergeCursor<'a, K, V> {
+    /// Builds a merge over `cursors`, which must be ordered **newest data
+    /// first** — index 0 shadows index 1 shadows index 2 …
+    pub fn new(cursors: Vec<Box<dyn IndexCursor<K, Slot<V>> + 'a>>) -> Self {
+        MergeCursor {
+            sources: cursors
+                .into_iter()
+                .map(|mut cursor| {
+                    let peek = cursor.next();
+                    Source { cursor, peek }
+                })
+                .collect(),
+        }
+    }
+
+    /// The next key in ascending order with its winning (newest) slot —
+    /// tombstones included.  Shadowed versions from older sources are
+    /// consumed and discarded.
+    pub fn next_raw(&mut self) -> Option<(K, Slot<V>)> {
+        let min_key = self
+            .sources
+            .iter()
+            .filter_map(|source| source.peek.map(|(key, _)| key))
+            .min()?;
+        let mut winner = None;
+        for source in &mut self.sources {
+            if source.peek.is_some_and(|(key, _)| key == min_key) {
+                // First (newest) source at the key wins; every source at
+                // the key advances past it.
+                let entry = source.peek.take().unwrap();
+                if winner.is_none() {
+                    winner = Some(entry);
+                }
+                source.peek = source.cursor.next();
+            }
+        }
+        winner
+    }
+
+    /// The next *live* entry in ascending order (tombstones and everything
+    /// they shadow resolved away).
+    pub fn next_live(&mut self) -> Option<(K, V)> {
+        loop {
+            let (key, slot) = self.next_raw()?;
+            if let Some(value) = slot.value() {
+                return Some((key, value));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bskip_index::BatchCursor;
+    use std::ops::Bound;
+
+    /// A boxed cursor over a fixed sorted slice.
+    fn fixed(entries: Vec<(u64, Slot<u64>)>) -> Box<dyn IndexCursor<u64, Slot<u64>>> {
+        Box::new(BatchCursor::new(
+            Bound::Unbounded,
+            Bound::Unbounded,
+            4,
+            Box::new(move |from, max, out| {
+                out.extend(
+                    entries
+                        .iter()
+                        .filter(|(key, _)| bskip_index::cursor::above_lower(key, &from))
+                        .take(max)
+                        .copied(),
+                );
+            }),
+        ))
+    }
+
+    #[test]
+    fn newest_source_wins_ties() {
+        let newest = fixed(vec![(1, Slot::Put(100)), (3, Slot::Put(300))]);
+        let older = fixed(vec![
+            (1, Slot::Put(1)),
+            (2, Slot::Put(2)),
+            (3, Slot::Put(3)),
+        ]);
+        let mut merge = MergeCursor::new(vec![newest, older]);
+        assert_eq!(merge.next_raw(), Some((1, Slot::Put(100))));
+        assert_eq!(merge.next_raw(), Some((2, Slot::Put(2))));
+        assert_eq!(merge.next_raw(), Some((3, Slot::Put(300))));
+        assert_eq!(merge.next_raw(), None);
+        assert_eq!(merge.next_raw(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn tombstones_shadow_in_live_view_and_survive_in_raw_view() {
+        let newest = fixed(vec![(2, Slot::Tombstone)]);
+        let older = fixed(vec![
+            (1, Slot::Put(1)),
+            (2, Slot::Put(2)),
+            (3, Slot::Put(3)),
+        ]);
+        let mut live = MergeCursor::new(vec![
+            fixed(vec![(2, Slot::Tombstone)]),
+            fixed(vec![
+                (1, Slot::Put(1)),
+                (2, Slot::Put(2)),
+                (3, Slot::Put(3)),
+            ]),
+        ]);
+        assert_eq!(live.next_live(), Some((1, 1)));
+        assert_eq!(live.next_live(), Some((3, 3)));
+        assert_eq!(live.next_live(), None);
+
+        let mut raw = MergeCursor::new(vec![newest, older]);
+        let raw_all: Vec<_> = std::iter::from_fn(|| raw.next_raw()).collect();
+        assert_eq!(
+            raw_all,
+            vec![(1, Slot::Put(1)), (2, Slot::Tombstone), (3, Slot::Put(3))]
+        );
+    }
+
+    #[test]
+    fn three_way_merge_with_layered_history() {
+        // Layer 0 (newest): re-insert of key 1 after the tombstone below.
+        // Layer 1: tombstones for 1 and 2.
+        // Layer 2 (oldest): original values for 1, 2, 3.
+        let mut merge = MergeCursor::new(vec![
+            fixed(vec![(1, Slot::Put(111))]),
+            fixed(vec![(1, Slot::Tombstone), (2, Slot::Tombstone)]),
+            fixed(vec![
+                (1, Slot::Put(1)),
+                (2, Slot::Put(2)),
+                (3, Slot::Put(3)),
+            ]),
+        ]);
+        assert_eq!(merge.next_live(), Some((1, 111)));
+        assert_eq!(merge.next_live(), Some((3, 3)));
+        assert_eq!(merge.next_live(), None);
+    }
+
+    #[test]
+    fn empty_and_disjoint_sources() {
+        let mut merge = MergeCursor::new(vec![
+            fixed(Vec::new()),
+            fixed(vec![(5, Slot::Put(5))]),
+            fixed(vec![(1, Slot::Put(1)), (9, Slot::Put(9))]),
+        ]);
+        let all: Vec<_> = std::iter::from_fn(|| merge.next_live()).collect();
+        assert_eq!(all, vec![(1, 1), (5, 5), (9, 9)]);
+
+        let mut none = MergeCursor::<u64, u64>::new(Vec::new());
+        assert_eq!(none.next_raw(), None);
+    }
+}

@@ -1,227 +1,112 @@
-//! A RocksDB/LevelDB-style memtable built on the concurrent B-skiplist.
+//! The B-skiplist as a real LSM memtable: `bskip-lsm` end to end.
 //!
-//! The paper motivates the B-skiplist as a drop-in replacement for the
-//! skiplist memtables of LSM key-value stores.  This example sketches that
-//! use: writer threads ingest **write batches** (group-commit style, puts
-//! and tombstones applied through the index's bulk `execute` path, which
-//! pins the epoch collector once per batch and shares leaf locks across
-//! neighbouring keys) alongside a latency-sensitive foreground writer
-//! issuing single puts, while reader threads serve lookups; when the
-//! memtable exceeds its budget it is "flushed" — drained in sorted order
-//! exactly as an SSTable writer would consume it — and then **evicted**:
-//! every flushed entry is physically removed from the memtable so the next
-//! write wave starts from a small structure.
+//! Earlier revisions of this example *sketched* the memtable lifecycle by
+//! hand (flush = stream the index in order, evict = remove every flushed
+//! key).  The `bskip-lsm` crate made that lifecycle real, so the example
+//! now drives the genuine article: writer threads ingest write batches
+//! (group-commit style — each batch is one WAL record and one `execute`
+//! through the B-skiplist memtable) alongside a latency-sensitive
+//! foreground writer and racing readers; when the memtable exceeds its
+//! configured budget the engine **rotates** it (a fresh B-skiplist takes
+//! over, the full one becomes immutable) and **flushes** it — drained
+//! through its cursor in sorted order into an SSTable — and compaction
+//! folds overlapping tables together below.
 //!
-//! The eviction half of the cycle is what the epoch-based reclamation
-//! subsystem enables: each removal unlinks nodes while readers keep
-//! running, unlinked nodes are retired to the list's collector, and the
-//! retired backlog is drained by epoch advancement — so a memtable that
-//! flushes and evicts forever runs in bounded memory instead of leaking
-//! every evicted node until process exit.
+//! The bounded-memory story is unchanged, just no longer simulated: a
+//! memtable that rotates and flushes forever runs in *bounded* memory
+//! because each flushed B-skiplist is dropped wholesale and its nodes are
+//! retired through the epoch collector, while the data itself now lives
+//! in SSTables on disk.  Every wave asserts exactly that — the in-memory
+//! footprint (memtable bytes, structural nodes, immutable backlog,
+//! retired-node backlog) stays flat no matter how many waves run.
 //!
 //! Run with: `cargo run --release --example memtable`
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ops::Bound;
 use std::sync::Arc;
 
-use bskip_suite::{BSkipConfig, BSkipList, Op, OpResult};
-
-/// A value entry: either a put of a payload id or a tombstone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Entry {
-    Put(u64),
-    Tombstone,
-}
-
-/// Encode the entry in a u64 so it fits the index's value slot (bit 63 marks
-/// tombstones, as an LSM engine would pack flags).
-fn encode(entry: Entry) -> u64 {
-    match entry {
-        Entry::Put(payload) => payload & !(1 << 63),
-        Entry::Tombstone => 1 << 63,
-    }
-}
-
-fn decode(raw: u64) -> Entry {
-    if raw & (1 << 63) != 0 {
-        Entry::Tombstone
-    } else {
-        Entry::Put(raw)
-    }
-}
-
-struct MemTable {
-    index: BSkipList<u64, u64>,
-    approximate_entries: AtomicU64,
-    flush_threshold: u64,
-}
-
-impl MemTable {
-    fn new(flush_threshold: u64) -> Self {
-        MemTable {
-            index: BSkipList::with_config(BSkipConfig::paper_default()),
-            approximate_entries: AtomicU64::new(0),
-            flush_threshold,
-        }
-    }
-
-    fn put(&self, key: u64, payload: u64) {
-        if self
-            .index
-            .insert(key, encode(Entry::Put(payload)))
-            .is_none()
-        {
-            self.approximate_entries.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn delete(&self, key: u64) {
-        if self.index.insert(key, encode(Entry::Tombstone)).is_none() {
-            self.approximate_entries.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Applies a write batch (puts and tombstones) through the index's
-    /// bulk `execute` path — the write shape an LSM engine's group-commit
-    /// produces.  The batch's result slots report which keys were new, so
-    /// the size estimate stays exact without a second lookup per key.
-    fn apply_batch(&self, batch: &mut [Op<u64, u64>]) {
-        self.index.execute(batch);
-        let fresh = batch
-            .iter()
-            .filter(|op| matches!(op.result(), OpResult::Missing))
-            .count() as u64;
-        if fresh > 0 {
-            self.approximate_entries.fetch_add(fresh, Ordering::Relaxed);
-        }
-    }
-
-    fn get(&self, key: u64) -> Option<Entry> {
-        self.index.get(&key).map(decode)
-    }
-
-    /// Whether the memtable holds an entry (a put *or* a tombstone) for
-    /// `key`; readers use this to decide whether to consult lower levels.
-    fn contains(&self, key: u64) -> bool {
-        self.index.contains_key(&key)
-    }
-
-    fn should_flush(&self) -> bool {
-        self.approximate_entries.load(Ordering::Relaxed) >= self.flush_threshold
-    }
-
-    /// Drains the memtable in sorted order, returning (live puts,
-    /// tombstones).  An SSTable writer consumes exactly this cursor: it
-    /// streams the whole index without holding any lock for longer than
-    /// one node, so foreground traffic keeps flowing during the flush.
-    fn flush(&self) -> (usize, usize) {
-        let mut puts = 0;
-        let mut tombstones = 0;
-        let mut last_key = None;
-        for (key, raw) in self.index.iter() {
-            if let Some(previous) = last_key {
-                assert!(previous < key, "flush must stream keys in sorted order");
-            }
-            last_key = Some(key);
-            match decode(raw) {
-                Entry::Put(_) => puts += 1,
-                Entry::Tombstone => tombstones += 1,
-            }
-        }
-        (puts, tombstones)
-    }
-
-    /// Streams one shard's worth of entries (a compaction input): all
-    /// entries with keys in `[lo, hi)`, resuming via the cursor API.
-    fn shard(&self, lo: u64, hi: u64) -> Vec<(u64, Entry)> {
-        self.index
-            .scan(lo..hi)
-            .map(|(key, raw)| (key, decode(raw)))
-            .collect()
-    }
-
-    /// The second half of a flush: once the SSTable is durable, every
-    /// flushed entry is deleted from the memtable.  Removal is physical —
-    /// emptied nodes are unlinked and retired to the list's epoch-based
-    /// collector — and concurrent readers stay safe throughout.  Returns
-    /// the number of entries evicted.
-    fn evict_flushed(&self) -> usize {
-        let keys: Vec<u64> = self.index.iter().map(|(key, _)| key).collect();
-        let mut evicted = 0;
-        for key in keys {
-            if self.index.remove(&key).is_some() {
-                evicted += 1;
-                self.approximate_entries.fetch_sub(1, Ordering::Relaxed);
-            }
-        }
-        evicted
-    }
-}
+use bskip_suite::{ConcurrentIndex, LsmConfig, LsmEngine, Op};
 
 /// Write-batch width of the bulk writers (a typical group-commit size).
-const BATCH: u64 = 128;
+const BATCH: usize = 128;
+
+/// Memtable budget: small enough that every wave provokes several
+/// real rotations and flushes.
+const MEMTABLE_BYTES: u64 = 256 << 10;
 
 fn main() {
-    let memtable = Arc::new(MemTable::new(400_000));
+    let dir = std::env::temp_dir().join(format!("bskip-memtable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LsmConfig {
+        memtable_bytes: MEMTABLE_BYTES,
+        ..LsmConfig::default()
+    };
+    let engine = Arc::new(
+        LsmEngine::<u64, u64>::open(&dir, config).expect("open LSM engine in the temp dir"),
+    );
+
     let writers = 4u64;
     let ops_per_writer = 75_000u64;
     let waves = 3u64;
+    // The in-memory footprint cap the waves are asserted against: the
+    // active memtable may hold at most its budget plus one overshooting
+    // batch; everything beyond that must be on disk, not in memory.
+    let footprint_cap = MEMTABLE_BYTES + (BATCH as u64) * 64;
 
-    // Several flush-and-evict cycles: each wave writes concurrently, then
-    // the memtable is flushed (streamed in sorted order) and evicted
-    // (every flushed entry physically removed).  Bounded reclamation is
-    // what keeps the total footprint flat across waves.
     for wave in 0..waves {
         std::thread::scope(|scope| {
-            // Bulk writers: group-commit style ingest.  Each writer fills
-            // a write batch (puts with occasional tombstones) and applies
-            // it through the index's bulk `execute` path, which the
-            // B-skiplist serves with one epoch pin per batch and one leaf
-            // lock per run of neighbouring keys.
+            // Bulk writers: group-commit ingest.  Each full batch goes
+            // through `execute`, which the engine turns into ONE framed WAL
+            // record (one `write(2)`) and one bulk apply into the
+            // B-skiplist memtable — the write shape LevelDB calls a
+            // WriteBatch.  Tombstones ride along as deletes.
             for writer in 0..writers {
-                let memtable = Arc::clone(&memtable);
+                let engine = Arc::clone(&engine);
                 scope.spawn(move || {
-                    let mut batch: Vec<Op<u64, u64>> = Vec::with_capacity(BATCH as usize);
+                    let mut batch: Vec<Op<u64, u64>> = Vec::with_capacity(BATCH);
                     for i in 0..ops_per_writer {
                         let key = (i * writers + writer) % 500_000;
-                        let entry = if i % 16 == 0 {
-                            Entry::Tombstone
+                        if i % 16 == 0 {
+                            batch.push(Op::remove(key));
                         } else {
-                            Entry::Put(key + writer)
-                        };
-                        batch.push(Op::insert(key, encode(entry)));
-                        if batch.len() == BATCH as usize {
-                            memtable.apply_batch(&mut batch);
+                            batch.push(Op::insert(key, key + writer));
+                        }
+                        if batch.len() == BATCH {
+                            engine.execute(&mut batch);
                             batch.clear();
                         }
                     }
                     if !batch.is_empty() {
-                        memtable.apply_batch(&mut batch);
+                        engine.execute(&mut batch);
                     }
                 });
             }
             // A foreground writer: latency-sensitive single puts/deletes
-            // (an LSM serves both shapes against the same memtable).
+            // (an LSM serves both shapes against the same memtable; each
+            // single op is its own WAL record).
             {
-                let memtable = Arc::clone(&memtable);
+                let engine = Arc::clone(&engine);
                 scope.spawn(move || {
                     for i in 0..10_000u64 {
                         let key = 500_000 + (i % 1_000);
                         if i % 50 == 0 {
-                            memtable.delete(key);
+                            engine.remove(&key);
                         } else {
-                            memtable.put(key, i);
+                            engine.insert(key, i);
                         }
                     }
                 });
             }
-            // Readers: point lookups racing with the writers.
+            // Readers: point lookups racing with writers and rotations.
+            // A hit may come from the memtable, an immutable memtable
+            // mid-flush, or a bloom-gated SSTable — the merged read path
+            // hides which.
             for reader in 0..2u64 {
-                let memtable = Arc::clone(&memtable);
+                let engine = Arc::clone(&engine);
                 scope.spawn(move || {
                     let mut hits = 0u64;
                     for i in 0..100_000u64 {
-                        if memtable.contains((i * 7 + reader) % 500_000) {
+                        if engine.contains_key(&((i * 7 + reader) % 500_000)) {
                             hits += 1;
                         }
                     }
@@ -230,55 +115,83 @@ fn main() {
             }
         });
 
-        println!(
-            "wave {wave}: memtable holds ~{} distinct keys; should_flush = {}",
-            memtable.approximate_entries.load(Ordering::Relaxed),
-            memtable.should_flush()
-        );
-        let (puts, tombstones) = memtable.flush();
-        println!(
-            "wave {wave}: flush streamed {puts} live puts and {tombstones} tombstones in order"
-        );
-        let shard = memtable.shard(1_000, 2_000);
-        assert!(shard.iter().all(|(key, _)| (1_000..2_000).contains(key)));
+        // Settle the wave: flush every immutable memtable and run
+        // compaction until the level budgets hold.
+        engine.maintain().expect("flush and compact the wave");
 
-        // The SSTable is "durable": drop the flushed entries.
-        let evicted = memtable.evict_flushed();
-        assert!(memtable.index.is_empty(), "eviction must empty the index");
-        assert_eq!(memtable.get(1), None, "evicted keys must miss");
-        let reclamation = memtable.index.reclamation();
+        let stats = engine.stats();
+        let stat = |name: &str| stats.get(name).unwrap_or(0);
         println!(
-            "wave {wave}: evicted {evicted} entries; collector retired {} nodes, \
-             freed {}, backlog {}",
-            reclamation.retired, reclamation.freed, reclamation.backlog
+            "wave {wave}: {} live keys | {} rotations, {} flushes, {} compactions | \
+             wal {} KiB across {} records",
+            stat("live_keys"),
+            stat("memtable_rotations"),
+            stat("sst_flushes"),
+            stat("compactions"),
+            stat("wal_bytes") >> 10,
+            stat("wal_records"),
         );
-        // Quiescent between waves: a few explicit collections drain the
-        // backlog completely, so footprint does not accumulate per wave.
-        for _ in 0..4 {
-            memtable.index.try_reclaim();
-        }
-        assert_eq!(memtable.index.reclamation().backlog, 0);
-        // Eviction is structural: the emptied memtable is back to its
-        // head spine, not a husk of empty nodes.
-        println!(
-            "wave {wave}: {} live structural nodes after eviction (head spine = {})",
-            memtable.index.live_nodes(),
-            memtable.index.max_height()
+        let levels: Vec<u64> = (0..7).map(|at| stat(&format!("tables_l{at}"))).collect();
+        println!("wave {wave}: tables per level {levels:?}");
+        assert!(
+            stat("memtable_rotations") > 0,
+            "each wave must overflow the memtable budget"
         );
         assert_eq!(
-            memtable.index.live_nodes(),
-            memtable.index.max_height() as u64,
-            "an evicted memtable must shrink back to its head spine"
+            stat("immutable_memtables"),
+            0,
+            "maintain() must flush the immutable backlog"
         );
-        memtable
-            .index
-            .validate()
-            .expect("memtable structure is consistent after eviction");
+
+        // The bounded-memory assertion, now against the real engine: the
+        // ~500k distinct keys ingested so far live in SSTables; in memory
+        // there is only the active memtable, which must be under its
+        // budget (plus at most one overshooting batch).
+        assert!(
+            stat("memtable_bytes") <= footprint_cap,
+            "active memtable ({} bytes) must stay within its budget ({footprint_cap})",
+            stat("memtable_bytes"),
+        );
+
+        // Flushed memtables are dropped wholesale and their B-skiplist
+        // nodes retired to the epoch collector; quiescent collections
+        // drain the backlog completely, so footprint does not accumulate
+        // per wave.
+        for _ in 0..4 {
+            engine.try_reclaim();
+        }
+        let settled = engine.stats();
+        let backlog = settled.reclamation().map_or(0, |r| r.backlog);
+        assert_eq!(backlog, 0, "quiescent drain must empty the retired backlog");
+        println!(
+            "wave {wave}: active memtable {} bytes in {} structural nodes, retired backlog {}",
+            settled.get("memtable_bytes").unwrap_or(0),
+            settled.get("memtable_live_nodes").unwrap_or(0),
+            backlog,
+        );
     }
-    let reclamation = memtable.index.reclamation();
-    println!(
-        "after {waves} flush-and-evict cycles: {} nodes retired in total, all {} freed",
-        reclamation.retired, reclamation.freed
+
+    // The flushed data is really there: a full merged scan (memtable +
+    // SSTables, tombstones dropped) agrees with the engine's live count.
+    let scanned = {
+        let mut cursor = engine.scan_bounds(Bound::Unbounded, Bound::Unbounded);
+        let mut count = 0u64;
+        while cursor.next().is_some() {
+            count += 1;
+        }
+        count
+    };
+    assert_eq!(
+        scanned,
+        engine.len() as u64,
+        "merged scan matches live_keys"
     );
-    println!("validate() passed on every wave");
+    println!(
+        "after {waves} waves: merged scan saw all {scanned} live keys; \
+         in-memory footprint stayed under {} KiB throughout",
+        footprint_cap >> 10
+    );
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -5,20 +5,41 @@
 //! coalescing runs of 1 / 64 / 256 / 1024 consecutive same-type operations
 //! through each index's bulk `execute` path.
 //!
+//! The last row is the durable `bskip-lsm` engine (WAL + SSTables with the
+//! B-skiplist as its memtable) running the same workloads through the same
+//! `ConcurrentIndex` surface — the cost of durability in one table.
+//!
 //! Run with: `cargo run --release --example ycsb_shootout`
 //! Scale with the BSKIP_RECORDS / BSKIP_OPS / BSKIP_THREADS variables.
+//! Select engines with `BSKIP_ENGINES=B-skiplist,bskip-lsm` (substring
+//! match on the labels, comma-separated; unset runs everything).
 
 use bskip_suite::{
-    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite,
-    NhsSkipList, OccBTree,
+    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, LsmConfig, LsmEngine,
+    MasstreeLite, NhsSkipList, OccBTree,
 };
 use bskip_ycsb::{run_load_phase, run_run_phase, Workload, YcsbConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn env(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Scratch parent for the durable engine's per-build directories; removed
+/// wholesale at the end of `main`.
+fn lsm_scratch_parent() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bskip-shootout-{}", std::process::id()))
+}
+
+/// Opens a fresh durable engine in a unique subdirectory of the scratch
+/// parent (each measurement cell gets its own empty store).
+fn fresh_lsm() -> Box<dyn ConcurrentIndex<u64, u64>> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = lsm_scratch_parent().join(SEQ.fetch_add(1, Ordering::Relaxed).to_string());
+    Box::new(LsmEngine::<u64, u64>::open(&dir, LsmConfig::default()).expect("open LSM engine"))
 }
 
 fn measure(
@@ -78,7 +99,31 @@ fn main() {
             "Masstree-lite",
             Box::new(|| Box::new(MasstreeLite::<u64, u64>::new()) as _),
         ),
+        ("bskip-lsm", Box::new(fresh_lsm)),
     ];
+
+    // Engine selector: BSKIP_ENGINES=label,label keeps matching rows only.
+    let systems: Vec<(&str, IndexBuilder)> = match std::env::var("BSKIP_ENGINES") {
+        Ok(wanted) => {
+            let wanted: Vec<String> = wanted
+                .split(',')
+                .map(|s| s.trim().to_ascii_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            systems
+                .into_iter()
+                .filter(|(label, _)| {
+                    let label = label.to_ascii_lowercase();
+                    wanted.iter().any(|want| label.contains(want))
+                })
+                .collect()
+        }
+        Err(_) => systems,
+    };
+    if systems.is_empty() {
+        eprintln!("BSKIP_ENGINES matched no engine labels; nothing to run");
+        return;
+    }
 
     println!(
         "\n{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -123,6 +168,8 @@ fn main() {
     }
     println!(
         "(larger batches amortize pins/descents; the B-skiplist's native \
-         sorted-batch path gains the most)"
+         sorted-batch path gains the most; for bskip-lsm a batch is one \
+         WAL record — the group-commit lane)"
     );
+    let _ = std::fs::remove_dir_all(lsm_scratch_parent());
 }

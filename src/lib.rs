@@ -11,6 +11,7 @@ pub use bskip_baselines as baselines;
 pub use bskip_cachesim as cachesim;
 pub use bskip_core as core;
 pub use bskip_index as index;
+pub use bskip_lsm as lsm;
 pub use bskip_sync as sync;
 pub use bskip_ycsb as ycsb;
 
@@ -20,4 +21,5 @@ pub use bskip_index::{
     BatchCursor, ConcurrentIndex, ConcurrentIndexExt, Cursor, IndexCursor, IndexStats, Op,
     OpResult, ReclamationStats,
 };
+pub use bskip_lsm::{LsmConfig, LsmEngine, SyncPolicy};
 pub use bskip_sync::{EbrCollector, EbrGuard, EbrStats};

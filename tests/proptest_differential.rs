@@ -32,6 +32,39 @@ fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
     ]
 }
 
+/// A dictionary operation against the durable LSM engine; `Pump` forces a
+/// memtable rotation plus a full flush+compaction pass mid-sequence, so
+/// the oracle comparison crosses every storage layer transition.
+#[derive(Debug, Clone)]
+enum LsmOp {
+    Insert { key: u64, value: u64 },
+    Remove { key: u64 },
+    Get { key: u64 },
+    Range { start: u64, len: usize },
+    Pump,
+}
+
+fn lsm_op_strategy(key_space: u64) -> impl Strategy<Value = LsmOp> {
+    prop_oneof![
+        4 => (0..key_space, any::<u64>()).prop_map(|(key, value)| LsmOp::Insert { key, value }),
+        2 => (0..key_space).prop_map(|key| LsmOp::Remove { key }),
+        2 => (0..key_space).prop_map(|key| LsmOp::Get { key }),
+        1 => (0..key_space, 0usize..50).prop_map(|(start, len)| LsmOp::Range { start, len }),
+        1 => (0u64..1).prop_map(|_| LsmOp::Pump),
+    ]
+}
+
+/// A unique scratch directory for one durable-engine test case.
+fn lsm_scratch() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "bskip-proptest-lsm-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -114,11 +147,13 @@ proptest! {
         prop_assert_eq!(scanned.len(), expected_count);
     }
 
-    /// Cursor differential: on every one of the six `ConcurrentIndex`
-    /// implementations, `scan_bounds` must agree with `BTreeMap::range`
-    /// for arbitrary bounded ranges (half-open and inclusive), empty
-    /// ranges, full scans, trait-level `range` calls, and seeks past the
-    /// end of the data.
+    /// Cursor differential: on every `ConcurrentIndex` implementation —
+    /// the six in-memory indices plus the durable LSM engine —
+    /// `scan_bounds` must agree with `BTreeMap::range` for arbitrary
+    /// bounded ranges (half-open and inclusive), empty ranges, full scans,
+    /// trait-level `range` calls, and seeks past the end of the data.
+    /// The LSM engine runs with a tiny memtable and is pumped mid-load, so
+    /// its cursors merge memtable, immutables and SSTables.
     #[test]
     fn cursors_match_btreemap_range_on_all_implementations(
         pairs in proptest::collection::vec((0u64..600, any::<u64>()), 0..250),
@@ -128,7 +163,8 @@ proptest! {
     ) {
         use std::ops::Bound;
         use bskip_suite::{
-            ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree,
+            ConcurrentIndex, LazySkipList, LockFreeSkipList, LsmConfig, LsmEngine, MasstreeLite,
+            NhsSkipList, OccBTree,
         };
 
         let bskip: BSkipList<u64, u64, 8> =
@@ -138,13 +174,22 @@ proptest! {
         let nhs: NhsSkipList<u64, u64> = NhsSkipList::new();
         let btree: OccBTree<u64, u64, 8> = OccBTree::new();
         let masstree: MasstreeLite<u64, u64> = MasstreeLite::new();
+        let lsm_dir = lsm_scratch();
+        let lsm: LsmEngine<u64, u64> =
+            LsmEngine::open(&lsm_dir, LsmConfig::small()).expect("open LSM engine");
         let indices: Vec<&dyn ConcurrentIndex<u64, u64>> =
-            vec![&bskip, &lockfree, &lazy, &nhs, &btree, &masstree];
+            vec![&bskip, &lockfree, &lazy, &nhs, &btree, &masstree, &lsm];
         let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
-        for (key, value) in &pairs {
+        for (at, (key, value)) in pairs.iter().enumerate() {
             oracle.insert(*key, *value);
             for index in &indices {
                 index.insert(*key, *value);
+            }
+            if at == pairs.len() / 2 {
+                // Seal the engine's first half into SSTables so the scans
+                // below cross the memtable/table boundary.
+                lsm.rotate().expect("rotate LSM memtable");
+                lsm.maintain().expect("flush+compact LSM backlog");
             }
         }
         let hi = lo.saturating_add(span);
@@ -201,6 +246,71 @@ proptest! {
             let expected = oracle.range(seek_to..).nth(1).map(|(k, v)| (*k, *v));
             prop_assert_eq!(after, expected, "{} entry after seek", index.name());
         }
+        drop(indices);
+        drop(lsm);
+        let _ = std::fs::remove_dir_all(&lsm_dir);
+    }
+
+    /// The durable LSM engine behaves exactly like `BTreeMap` under any
+    /// sequence of inserts, removes, gets and range scans, with forced
+    /// rotation+flush+compaction transitions (`Pump`) interleaved at
+    /// arbitrary points — and a reopen at the end recovers the exact same
+    /// contents from WAL + manifest.
+    #[test]
+    fn lsm_engine_matches_btreemap_across_rotation_flush_compaction(
+        ops in proptest::collection::vec(lsm_op_strategy(300), 1..300),
+    ) {
+        use std::ops::Bound;
+        use bskip_suite::{ConcurrentIndex, LsmConfig, LsmEngine};
+
+        let dir = lsm_scratch();
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        {
+            let engine: LsmEngine<u64, u64> =
+                LsmEngine::open(&dir, LsmConfig::small()).expect("open LSM engine");
+            for op in &ops {
+                match *op {
+                    LsmOp::Insert { key, value } => {
+                        prop_assert_eq!(engine.insert(key, value), oracle.insert(key, value));
+                    }
+                    LsmOp::Remove { key } => {
+                        prop_assert_eq!(engine.remove(&key), oracle.remove(&key));
+                    }
+                    LsmOp::Get { key } => {
+                        prop_assert_eq!(engine.get(&key), oracle.get(&key).copied());
+                    }
+                    LsmOp::Range { start, len } => {
+                        let mut got = Vec::new();
+                        engine.range(&start, len, &mut |k, v| got.push((*k, *v)));
+                        let expected: Vec<(u64, u64)> =
+                            oracle.range(start..).take(len).map(|(k, v)| (*k, *v)).collect();
+                        prop_assert_eq!(got, expected);
+                    }
+                    LsmOp::Pump => {
+                        engine.rotate().expect("rotate memtable");
+                        engine.maintain().expect("flush and compact");
+                    }
+                }
+            }
+            prop_assert_eq!(engine.len(), oracle.len());
+            let collected: Vec<(u64, u64)> = engine
+                .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+                .collect();
+            let expected: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(collected, expected);
+        }
+
+        // Reopen: WAL replay + manifest load reproduce the exact contents.
+        let reopened: LsmEngine<u64, u64> =
+            LsmEngine::open(&dir, LsmConfig::small()).expect("reopen LSM engine");
+        prop_assert_eq!(reopened.len(), oracle.len());
+        let collected: Vec<(u64, u64)> = reopened
+            .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+            .collect();
+        let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Reverse-cursor differential for the B-skiplist, the implementation

@@ -2,8 +2,8 @@
 //! machinery run against every index through the public API.
 
 use bskip_suite::{
-    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite,
-    NhsSkipList, OccBTree,
+    BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, LsmConfig, LsmEngine,
+    MasstreeLite, NhsSkipList, OccBTree,
 };
 use bskip_ycsb::{run_load_phase, run_run_phase, Distribution, Workload, YcsbConfig};
 
@@ -72,6 +72,41 @@ fn ycsb_pipeline_runs_against_every_index() {
     exercise(&NhsSkipList::<u64, u64>::new(), "NHS skiplist");
     exercise(&OccBTree::<u64, u64>::new(), "OCC B+-tree");
     exercise(&MasstreeLite::<u64, u64>::new(), "Masstree-lite");
+}
+
+#[test]
+fn ycsb_pipeline_runs_against_the_durable_lsm_engine() {
+    // The same end-to-end pipeline, but through the durable engine: every
+    // mutation goes WAL → memtable, the load triggers real rotations and
+    // flushes (the small config keeps the memtable tiny so all layers are
+    // exercised), and reads merge memtable/immutables/SSTables.
+    let dir = std::env::temp_dir().join(format!("bskip-ycsb-lsm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let engine = LsmEngine::<u64, u64>::open(&dir, LsmConfig::small()).expect("open engine");
+        exercise(&engine, "bskip-lsm");
+        let stats = engine.stats();
+        let stat = |name: &str| stats.get(name).unwrap_or(0);
+        assert!(
+            stat("memtable_rotations") > 0,
+            "10k-record load must rotate the tiny memtable"
+        );
+        assert!(stat("sst_flushes") > 0, "rotation backlog must flush");
+        assert!(
+            stat("compactions") > 0,
+            "L0 must reach the compaction trigger during the load"
+        );
+    }
+    // Reopen: YCSB's final state (including churn deletes) must survive.
+    let reopened = LsmEngine::<u64, u64>::open(&dir, LsmConfig::small()).expect("reopen engine");
+    let count = {
+        let mut cursor =
+            reopened.scan_bounds(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded);
+        std::iter::from_fn(|| cursor.next()).count()
+    };
+    assert_eq!(count, reopened.len(), "recovered scan must match live_keys");
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
