@@ -167,14 +167,21 @@ impl<K: IndexKey, V: IndexValue> Inner<K, V> {
     }
 
     /// Starting point for a bottom-lane walk towards `key`: the guard with
-    /// the largest key not exceeding `key`, or the list head.
+    /// the largest key **strictly below** `key`, or the list head.
+    ///
+    /// Strictly below, because [`NhsInner::find`] needs the start as a CAS
+    /// *predecessor* and discards any guard with `guard.key >= key`
+    /// (restarting from the head).  A `<=` floor here made every lookup
+    /// that landed exactly on a guard key — one in `INDEX_STRIDE` of all
+    /// hits — pay a full unindexed lane walk, which dominated the measured
+    /// get latency at scale.
     ///
     /// The snapshot `Arc` clone is dropped before returning; the caller's
     /// pin keeps the returned pointer safe (guards may point at marked or
     /// even unlinked nodes, whose frozen `next` chains remain walkable).
     fn start_for(&self, key: &K) -> *mut NhsNode<K, V> {
         let snapshot = self.index.read().clone();
-        let position = snapshot.guards.partition_point(|(guard, _)| guard <= key);
+        let position = snapshot.guards.partition_point(|(guard, _)| guard < key);
         if position == 0 {
             std::ptr::null_mut()
         } else {

@@ -1,14 +1,18 @@
-//! Hot-path point-operation baseline: get/insert/remove latency and
-//! throughput across thread counts on all six indices.
+//! Hot-path point-operation baseline: get/mixed/insert/remove latency and
+//! throughput across thread counts on all six in-memory indices plus the
+//! durable LSM engine.
 //!
 //! Every point operation pays a fixed per-op constant factor before any
 //! useful work happens: an EBR pin, a tower descent of in-node searches,
 //! and (for writers) lock hand-off.  This binary measures exactly that tax
-//! — uniform point `get`s over a loaded key space, then batches of fresh
-//! `insert`s and their matching `remove`s — at 1..16 threads, and writes
-//! the `BENCH_hotpath` JSON artifact that serves as the regression gate
-//! for hot-path work: any PR touching the pin protocol, the in-node search
-//! or the descent loop reruns this and diffs the artifact.
+//! — uniform point `get`s over a loaded key space, a 95/5 read-heavy
+//! mixed phase (reads racing occasional overwrites — the cell where the
+//! optimistic read path either pays off or restarts), then batches of
+//! fresh `insert`s and their matching `remove`s — at 1..16 threads, and
+//! writes the `BENCH_hotpath` JSON artifact that serves as the regression
+//! gate for hot-path work: any PR touching the pin protocol, the in-node
+//! search, the descent loop or the read-path locking reruns this and
+//! diffs the artifact.
 //!
 //! Output per (index, threads, op) cell: ops/us summed over all threads
 //! and the per-op latency in nanoseconds (elapsed × threads / ops — the
@@ -21,11 +25,19 @@
 //! participant handles, `ebr_slot_cache_hits` must dominate
 //! `ebr_slot_registrations` (steady-state pins reuse the cached slot and
 //! never rescan the slot array).
+//!
+//! The run ends with the **optimistic-read gate**: a stats-enabled
+//! B-skiplist serving single-threaded uniform gets must complete >95% of
+//! them on the first optimistic attempt and must never fall back to the
+//! locked descent (conflict-free reads take zero lock acquisitions).  The
+//! process exits non-zero if the gate fails, so CI can run this binary at
+//! smoke scale as a regression tripwire.
 
 use bskip_bench::{experiment_config, format_row, print_header, IndexKind};
+use bskip_core::{BSkipConfig, BSkipList};
 use bskip_index::ConcurrentIndex;
 use bskip_ycsb::keygen::record_key;
-use bskip_ycsb::{median, run_load_phase, run_trials};
+use bskip_ycsb::{median, run_load_phase, run_trials, YcsbConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::{Barrier, Mutex, OnceLock};
@@ -104,6 +116,25 @@ fn measure(
             }
             std::hint::black_box(sink);
         }),
+        // 95% uniform reads / 5% overwrites of loaded keys (YCSB-B mix):
+        // the read-heavy regime the optimistic read path is built for —
+        // readers mostly validate clean versions, occasionally racing a
+        // writer's version bump and restarting.
+        "mixed95" => timed(threads, total, |thread_id| {
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ ((thread_id as u64) << 32) ^ 0x5f);
+            let mut sink = 0u64;
+            for _ in 0..per_thread {
+                let key = record_key(rng.gen_range(0..records));
+                if rng.gen_range(0..100u32) < 95 {
+                    if let Some(value) = handle.get(&key) {
+                        sink = sink.wrapping_add(value);
+                    }
+                } else {
+                    handle.insert(key, sink);
+                }
+            }
+            std::hint::black_box(sink);
+        }),
         "insert" => {
             for thread_id in 0..threads {
                 for key in stripe(thread_id) {
@@ -146,7 +177,9 @@ fn main() {
     );
 
     let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
-    for kind in IndexKind::ALL {
+    // The paper's six in-memory indices plus the durable LSM engine, so
+    // the artifact also tracks the full-stack (WAL + memtable) hot path.
+    for kind in IndexKind::ALL.into_iter().chain([IndexKind::Lsm]) {
         let index = kind.build();
         let handle = index.as_index();
         run_load_phase(&handle, &config);
@@ -157,7 +190,7 @@ fn main() {
         );
         for &threads in &ladder {
             let per_thread = (config.operation_count / threads).max(1);
-            for op in ["get", "insert", "remove"] {
+            for op in ["get", "mixed95", "insert", "remove"] {
                 let samples = run_trials(trials, true, |_| {
                     measure(handle, op, threads, per_thread, &config)
                 });
@@ -195,4 +228,43 @@ fn main() {
         "\nGate: B-skiplist get ops/us at 8 threads vs. the committed BENCH_hotpath.json \
          baseline; hot-path PRs must not regress it."
     );
+    optimistic_gate(&config);
+}
+
+/// Smoke assertion on the optimistic read path: a single-threaded,
+/// conflict-free stream of uniform gets on a stats-enabled B-skiplist must
+/// resolve >95% of lookups on the first optimistic attempt and must never
+/// take the locked fallback (zero lock acquisitions on clean reads).
+/// Exits non-zero on failure so CI can use this binary as a tripwire.
+fn optimistic_gate(config: &YcsbConfig) {
+    let list = BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default().with_stats(true));
+    let records = config.record_count.clamp(1, 100_000) as u64;
+    for i in 0..records {
+        list.insert(record_key(i), i);
+    }
+    list.stats().reset();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut sink = 0u64;
+    for _ in 0..records {
+        let key = record_key(rng.gen_range(0..records));
+        if let Some(value) = list.get(&key) {
+            sink = sink.wrapping_add(value);
+        }
+    }
+    std::hint::black_box(sink);
+    let stats = list.stats();
+    let hit_rate = stats.optimistic_hit_rate();
+    let fallbacks = stats.locked_fallbacks.get();
+    let restarts = stats.optimistic_restarts.get();
+    println!(
+        "\nOptimistic-read gate (1 thread, {records} uniform gets): \
+         hit rate {hit_rate:.4}, restarts {restarts}, locked fallbacks {fallbacks}"
+    );
+    if fallbacks != 0 || hit_rate <= 0.95 {
+        eprintln!(
+            "optimistic-read gate FAILED: uncontended reads must stay lock-free \
+             (hit rate > 0.95, locked fallbacks == 0)"
+        );
+        std::process::exit(1);
+    }
 }

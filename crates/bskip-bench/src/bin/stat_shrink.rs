@@ -23,7 +23,8 @@
 //! Scale via `BSKIP_RECORDS` / `BSKIP_THREADS`; with `BSKIP_JSON_DIR` set
 //! the per-phase numbers are also written as a JSON artifact.
 
-use bskip_bench::{experiment_config, format_row, json, print_header, IndexKind};
+use bskip_bench::{experiment_config, format_row, json, print_header, AnyIndex, IndexKind};
+use bskip_core::{BSkipConfig, BSkipList};
 use bskip_index::ConcurrentIndex;
 
 /// Fraction of the key space (oldest prefix) deleted in the shrink phase.
@@ -92,7 +93,17 @@ fn main() {
     let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     for kind in IndexKind::ALL {
-        let index = kind.build();
+        // The B-skiplist runs with statistics on so its leaf-merge counter
+        // is visible in the per-phase rows (the counter overhead is
+        // irrelevant here — this experiment measures structure, not
+        // throughput).
+        let index = if kind == IndexKind::BSkipList {
+            AnyIndex::BSkip(Box::new(BSkipList::with_config(
+                BSkipConfig::paper_default().with_stats(true),
+            )))
+        } else {
+            kind.build()
+        };
         let handle = index.as_index();
         print_header(
             kind.label(),
@@ -151,6 +162,18 @@ fn main() {
                 "{}: regrow did not reuse space ({regrown} live nodes vs {grown} at first fill)",
                 kind.label()
             ));
+        }
+        // A contiguous prefix delete underflows leaf after leaf; once the
+        // structure is more than a handful of nodes, the B-skiplist's
+        // sparse-deletion merge must have fired.
+        if kind == IndexKind::BSkipList && grown > 8 {
+            let merged = index.stats().get("nodes_merged").unwrap_or(0);
+            if merged == 0 {
+                failures.push(format!(
+                    "{}: a {DELETE_PERCENT}% prefix delete over {grown} nodes merged no leaves",
+                    kind.label()
+                ));
+            }
         }
         println!(
             "shrink ratio: {:.2}% of grown structure survives the delete phase",

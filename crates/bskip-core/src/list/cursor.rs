@@ -11,8 +11,11 @@
 //!
 //! # Traversal scheme
 //!
-//! * **Forward** (`next`): the initial position comes from a standard
-//!   top-down read-locked descent to the leaf covering the lower bound.
+//! * **Forward** (`next`): the initial position comes from an optimistic
+//!   (lock-free, version-validated) descent to the leaf covering the lower
+//!   bound; the leaf itself is then read-locked for the snapshot and its
+//!   version re-checked under that lock, with the classic hand-over-hand
+//!   read-locked descent as the contention fallback.
 //!   While snapshotting a leaf, the cursor captures the leaf's `next`
 //!   pointer under the same lock; the following refill locks that
 //!   neighbour directly, so steady-state forward scans cost one lock
@@ -156,7 +159,13 @@ impl<'a, K: IndexKey, V: IndexValue, const B: usize> LeafCursor<'a, K, V, B> {
                     lock_node(head, Mode::Read);
                     head
                 }
-                Bound::Included(key) | Bound::Excluded(key) => self.list.descend_to_leaf_read(key),
+                Bound::Included(key) | Bound::Excluded(key) => {
+                    // Optimistic-first: the descent takes no locks; only
+                    // the leaf to snapshot is read-locked (and validated
+                    // under that lock).  `self.guard` supplies the epoch
+                    // pin the optimistic walk requires.
+                    self.list.descend_to_leaf_for_snapshot(key)
+                }
             };
             self.snapshot_forward(leaf, &bound);
         }

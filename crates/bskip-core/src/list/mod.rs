@@ -5,18 +5,65 @@
 //! structure exactly once, left-to-right within a level and top-to-bottom
 //! across levels, acquiring reader/writer locks hand-over-hand.
 //!
-//! * Queries ([`BSkipList::get`], [`BSkipList::range`]) acquire locks in
-//!   *read* mode only (Section 4, "concurrent finds and range queries").
+//! * Point queries ([`BSkipList::get`], [`BSkipList::peek`],
+//!   [`BSkipList::contains_key`]) use **optimistic lock coupling**: they
+//!   acquire *no* locks at all on the conflict-free path, reading node
+//!   versions instead and validating `version-read → node-read →
+//!   version-recheck` at every step (see the protocol notes below).  After
+//!   [`OPTIMISTIC_ATTEMPTS`] failed validations they fall back to the
+//!   paper's hand-over-hand read-locked descent.
+//! * Range queries ([`BSkipList::range`], cursors) take their per-leaf
+//!   snapshots under read locks (Section 4, "concurrent finds and range
+//!   queries"); only the *positioning* descent is optimistic.
 //! * Inserts ([`BSkipList::insert`]) draw the key's promotion height `h`
 //!   up front, pre-allocate (and pre-lock) the `h` new nodes the insertion
 //!   will link in, and then perform a single top-down pass that takes read
 //!   locks above level `h` and write locks at and below it (Section 3 and
 //!   Algorithm 1).
 //! * Removals ([`BSkipList::remove`]) perform the symmetric top-down pass
-//!   with write locks.
+//!   with write locks, merging underflowing leaves into their left
+//!   neighbour along the way.
 //!
 //! The lock order — left-to-right within a level, then top-to-bottom across
 //! levels — is total, so the scheme is deadlock-free (Appendix B).
+//!
+//! # The optimistic read protocol
+//!
+//! Every node's [`bskip_sync::RawRwSpinLock`] carries a version counter
+//! that is bumped once per exclusive acquire/release cycle.  An optimistic
+//! traversal never modifies the lock word; at each node it
+//!
+//! 1. reads the version (restarting if a writer holds the node),
+//! 2. reads whatever it needs from the node through relaxed-atomic
+//!    accessors (`len`, `next`, `*_racy` slot reads — possibly observing
+//!    torn or stale values),
+//! 3. re-checks the version before *acting* on what it read: before
+//!    descending through a child pointer (the classic OLC/Masstree
+//!    hand-over-hand: read child pointer from the parent, capture the
+//!    child's version, then validate the parent), before advancing to a
+//!    right neighbour, and before returning a value.
+//!
+//! If any validation fails — the version changed or a writer was active —
+//! the whole descent restarts from the top-level head with exponential
+//! backoff.  Conflicts are per-node and writers hold locks for O(B) work,
+//! so restarts are rare and bounded retry suffices; the locked descent
+//! remains as a strict fallback so a read can never livelock.
+//!
+//! ## Why racing structure changes is safe
+//!
+//! The traversal holds an epoch pin ([`bskip_sync::EbrGuard`]) from before
+//! its first unvalidated pointer read until after its last: a concurrent
+//! remove may *unlink* any node the reader stands on, but unlinked nodes
+//! are retired to the collector and survive (readable, lock word intact)
+//! through the grace period, so every pointer the reader follows —
+//! including one loaded from a torn slot of a node that validation is
+//! about to reject — stays dereferenceable.  Structure changes themselves
+//! cannot go unnoticed: splits, merges, unlinks and in-place updates all
+//! run under the affected nodes' exclusive locks, so they bump the
+//! version of every node they touch, and the reader's step-3 validation
+//! rejects any traversal step that overlapped one.  A node that validates
+//! was therefore — at the validation instant — the genuine, reachable
+//! node for the reader's key, which is the linearization argument.
 
 pub(crate) mod cursor;
 mod execute;
@@ -32,7 +79,7 @@ use bskip_index::cursor::clone_bound;
 use bskip_index::{
     ConcurrentIndex, Cursor, IndexKey, IndexStats, IndexValue, Op, ReclamationStats,
 };
-use bskip_sync::{EbrCollector, EbrGuard, EbrStats};
+use bskip_sync::{Backoff, EbrCollector, EbrGuard, EbrStats};
 
 use self::cursor::LeafCursor;
 
@@ -40,6 +87,18 @@ use crate::config::BSkipConfig;
 use crate::height::sample_height;
 use crate::node::{prefetch_node, Node, NodeSearch};
 use crate::stats::BSkipStats;
+
+/// Bound on optimistic descent attempts before a read falls back to the
+/// hand-over-hand locked descent.  Restarts are caused by a writer
+/// overlapping one specific node of the traversal, so a handful of retries
+/// (with [`Backoff`]) absorbs transient conflicts; the fallback only
+/// triggers under sustained write pressure on the reader's path.
+pub(crate) const OPTIMISTIC_ATTEMPTS: usize = 8;
+
+/// Marker error: an optimistic traversal step failed version validation
+/// and the whole descent must restart from the top-level head.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Restart;
 
 /// Lock mode used during a traversal step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -332,19 +391,29 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         self.peek(key, |value| *value)
     }
 
-    /// Applies `f` to the value stored under `key` — without copying it
-    /// out — and returns the result, or `None` when the key is absent.
+    /// Applies `f` to the value stored under `key` and returns the result,
+    /// or `None` when the key is absent.
     ///
-    /// This is the no-clone read path — and the one shared read
-    /// traversal: [`BSkipList::get`] is `peek(key, |v| *v)`, while
-    /// membership tests and reads of one field of a wide value skip the
-    /// copy entirely.  It pins the epoch collector for the descent
-    /// (between reading a node's `next` pointer and locking the
-    /// successor, the traversal holds pointers a concurrent remove may
-    /// have just retired).  `f` runs under the leaf's *read* lock, so it
-    /// must be short and must not call back into this list (the
-    /// traversal lock order forbids re-entry); the borrow it receives
-    /// cannot escape.
+    /// This is the one shared point-read traversal: [`BSkipList::get`] is
+    /// `peek(key, |v| *v)` and [`BSkipList::contains_key`] is
+    /// `peek(key, |_| ())`.  The common case completes through the
+    /// optimistic lock-free descent: `f` then runs on a **validated
+    /// copy-out** of the value — the value is copied from the leaf with
+    /// racy atomic loads, the leaf's version is re-checked, and only a
+    /// copy that validated is handed to `f`.  Copying is the right
+    /// trade-off here because index values are small `Copy` payloads: a
+    /// copy costs a few relaxed loads, while holding even a read lock
+    /// across `f` would put every reader back on the lock word's cache
+    /// line (the cursor keeps the locked path for its multi-entry
+    /// snapshots, where one lock amortizes over a whole node).  Under
+    /// sustained conflicts the read falls back to the hand-over-hand
+    /// locked descent and `f` runs under the leaf's read lock; in both
+    /// cases `f` must be short, must not call back into this list, and
+    /// the borrow it receives cannot escape.
+    ///
+    /// The epoch collector stays pinned for the whole call — including
+    /// every optimistic attempt — which is what makes chasing possibly
+    /// stale pointers safe (see the module-level protocol notes).
     ///
     /// ```
     /// use bskip_core::BSkipList;
@@ -359,6 +428,28 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
             stats.finds.incr();
         }
         let _guard = self.collector.pin();
+        let mut backoff = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            // SAFETY: the epoch pin above spans the attempt, and every
+            // racy read inside is validated before being acted upon.
+            match unsafe { self.try_peek_optimistic(key) } {
+                Ok(found) => {
+                    if let Some(stats) = self.stats_enabled() {
+                        stats.optimistic_reads.incr();
+                    }
+                    return found.map(|value| f(&value));
+                }
+                Err(Restart) => {
+                    if let Some(stats) = self.stats_enabled() {
+                        stats.optimistic_restarts.incr();
+                    }
+                    backoff.spin();
+                }
+            }
+        }
+        if let Some(stats) = self.stats_enabled() {
+            stats.locked_fallbacks.incr();
+        }
         // SAFETY: the leaf returned by the descent is read-locked; the
         // value reference handed to `f` lives only inside the locked
         // region (the closure signature keeps the borrow from escaping),
@@ -384,9 +475,160 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         }
     }
 
+    /// One optimistic descent attempt for a point read: returns the
+    /// validated lookup result, or [`Restart`] if any version validation
+    /// failed along the way.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold an epoch pin across the call.
+    unsafe fn try_peek_optimistic(&self, key: &K) -> Result<Option<V>, Restart> {
+        let (leaf, version) = self.try_descend_optimistic(key)?;
+        let len = (*leaf).len();
+        let found = match (*leaf).search_racy(key, len) {
+            NodeSearch::Found(idx) => Some((*leaf).value_at_racy(idx)),
+            _ => None,
+        };
+        // The copy-out is only real if no writer overlapped the search
+        // and the copy: one final validation covers both.
+        if !(*leaf).lock.validate_version(version) {
+            return Err(Restart);
+        }
+        Ok(found)
+    }
+
+    /// Optimistic lock-coupled descent to the leaf whose range covers
+    /// `key`.  On success the returned leaf was — at the moment its
+    /// parent validated — the reachable leaf for `key`, and the returned
+    /// version is the one the caller must re-validate after reading from
+    /// the leaf (or after read-locking it, for the cursor's
+    /// snapshot-under-lock positioning).
+    ///
+    /// Every internal step follows the OLC discipline (see the module
+    /// docs): capture the child's or successor's version *before*
+    /// validating the node the pointer was read from, so there is no
+    /// window in which the traversal stands on unverified ground.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold an epoch pin across the call *and* across any
+    /// subsequent use of the returned pointer.
+    unsafe fn try_descend_optimistic(&self, key: &K) -> Result<(*mut Node<K, V, B>, u64), Restart> {
+        let mut level = self.top_level();
+        let mut curr = self.head(level);
+        let mut version = (*curr).lock.optimistic_version().ok_or(Restart)?;
+        loop {
+            // Walk right while the successor's header covers the key.
+            loop {
+                let next = (*curr).next();
+                if next.is_null() {
+                    break;
+                }
+                prefetch_node(next);
+                let next_version = (*next).lock.optimistic_version().ok_or(Restart)?;
+                let next_len = (*next).len();
+                if next_len == 0 {
+                    // A linked node is never left empty (removal empties
+                    // and unlinks under one exclusive hold), so this is a
+                    // stale/torn read; restart rather than guess.
+                    return Err(Restart);
+                }
+                let covers = (*next).key_at_racy(0) <= *key;
+                // The `next` pointer and the successor's header were read
+                // without locks: re-validate the node they were read from
+                // before acting on them.
+                if !(*curr).lock.validate_version(version) {
+                    return Err(Restart);
+                }
+                if covers {
+                    curr = next;
+                    version = next_version;
+                    if let Some(stats) = self.stats_enabled() {
+                        stats.horizontal_steps.incr();
+                    }
+                } else {
+                    // Not advancing: the header that justified stopping
+                    // must itself be genuine.
+                    if !(*next).lock.validate_version(next_version) {
+                        return Err(Restart);
+                    }
+                    break;
+                }
+            }
+            if level == 0 {
+                return Ok((curr, version));
+            }
+            let len = (*curr).len();
+            let child = match (*curr).search_racy(key, len) {
+                NodeSearch::Found(idx) | NodeSearch::Pred(idx) => (*curr).child_at_racy(idx),
+                NodeSearch::Before => {
+                    if !(*curr).is_head() {
+                        // A non-head node whose header exceeds the key is
+                        // a torn read (the locked walk can never stand
+                        // here); restart.
+                        return Err(Restart);
+                    }
+                    (*curr).head_child()
+                }
+            };
+            if child.is_null() {
+                return Err(Restart);
+            }
+            prefetch_node(child);
+            let child_version = (*child).lock.optimistic_version().ok_or(Restart)?;
+            // Classic OLC hand-over-hand: the child pointer is only
+            // trustworthy if the parent did not change since we started
+            // reading it — validate the parent *after* capturing the
+            // child's version, *before* descending.
+            if !(*curr).lock.validate_version(version) {
+                return Err(Restart);
+            }
+            curr = child;
+            version = child_version;
+            level -= 1;
+            if let Some(stats) = self.stats_enabled() {
+                stats.levels_visited.incr();
+            }
+        }
+    }
+
+    /// Optimistic-first positioning for the cursor: descends without
+    /// locks, read-locks the candidate leaf and validates the version it
+    /// had when reached (shared acquisitions do not bump the version, so
+    /// an unchanged leaf still validates under the lock).  Falls back to
+    /// the hand-over-hand locked descent after bounded retries.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold an epoch pin across the call and must release
+    /// the returned leaf's read lock.
+    pub(crate) unsafe fn descend_to_leaf_for_snapshot(&self, key: &K) -> *mut Node<K, V, B> {
+        let mut backoff = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            if let Ok((leaf, version)) = self.try_descend_optimistic(key) {
+                lock_node(leaf, Mode::Read);
+                if (*leaf).lock.validate_version(version) {
+                    return leaf;
+                }
+                // The leaf changed (or was unlinked) between the descent
+                // and the lock: it may no longer cover `key`.
+                unlock_node(leaf, Mode::Read);
+            }
+            if let Some(stats) = self.stats_enabled() {
+                stats.optimistic_restarts.incr();
+            }
+            backoff.spin();
+        }
+        if let Some(stats) = self.stats_enabled() {
+            stats.locked_fallbacks.incr();
+        }
+        self.descend_to_leaf_read(key)
+    }
+
     /// Hand-over-hand read-locked descent to the leaf whose key range
-    /// covers `key`: the shared traversal of point lookups and forward
-    /// cursor positioning.  Returns the leaf locked in read mode.
+    /// covers `key`: the contention fallback behind the optimistic point
+    /// reads and cursor positioning.  Returns the leaf locked in read
+    /// mode.
     ///
     /// (The batched [`BSkipList::execute`] path does not reuse this — it
     /// needs the level-1 ancestor retained and coverage bounds captured,

@@ -9,7 +9,16 @@
 //! evaluation, whose YCSB workloads contain no deletes.
 //!
 //! When removing a key empties a non-head node, the node is unlinked from
-//! its level.  The predecessor needed for the unlink is available because
+//! its level.  Removing a leaf's *header* key additionally triggers the
+//! sparse-deletion merge: if the survivor is at or below the configured
+//! underflow threshold ([`crate::BSkipConfig::underflow_divisor`]) and its
+//! right neighbour has room, its entries are folded into the front of that
+//! neighbour and the emptied node is unlinked, so deletion churn shrinks
+//! the structure instead of leaving near-empty fixed-size nodes behind.
+//! The merge is gated on header removal because only then are the
+//! survivor's keys provably unpromoted (no upper-level down pointer can
+//! dangle at the unlinked node), and it merges *rightward* because the
+//! cursor contract forbids entries migrating behind a paused scan.  The predecessor needed for the unlink is available because
 //! the traversal retains the previous node's lock at each level (the same
 //! "at most three locks, two levels" discipline as insertion).  Unlinked
 //! nodes are **retired to the list's epoch-based collector** under the
@@ -84,6 +93,11 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                     if level == 0 {
                         removed = value;
                     }
+                    if idx == 0 && !(*curr).is_head() && !(*curr).is_empty() {
+                        // The node's new header is a former interior key,
+                        // and interior keys are never promoted.
+                        (*curr).set_header_promoted(false);
+                    }
                     if level > 0 {
                         // Descend from the predecessor of the removed key: if
                         // the key was not the first entry its predecessor is
@@ -107,7 +121,42 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                             }
                         };
                     }
-                    // Unlink the node if the removal emptied it.
+                    // Leaf merge under sparse deletion: removing a node's
+                    // *header* (idx == 0) leaves a node whose remaining
+                    // keys are provably unpromoted — this same pass just
+                    // removed the header's entries from every upper level,
+                    // and non-header keys are never promoted — so no down
+                    // pointer anywhere can target `curr`.  If it is now
+                    // underflowing, fold it into the *right* neighbour
+                    // (entries only ever migrate forward, preserving the
+                    // cursor contract) and let the empty-node unlink
+                    // below retire it.  The neighbour must be gated on
+                    // `header_promoted`: folding into a node whose header
+                    // still has upper-level entries would demote that
+                    // header to an interior slot while a level-1 down
+                    // pointer keeps targeting the neighbour — a later
+                    // merge would then unlink it out from under that
+                    // pointer.  All three nodes involved are write-locked,
+                    // so every touched version is bumped.
+                    if level == 0 && idx == 0 && !(*curr).is_head() && !(*curr).is_empty() {
+                        let threshold = self.config().underflow_threshold(B);
+                        if threshold > 0 && (*curr).len() <= threshold {
+                            let next = (*curr).next();
+                            if !next.is_null() {
+                                lock_node(next, Mode::Write);
+                                if !(*next).header_promoted() && (*curr).len() + (*next).len() <= B
+                                {
+                                    (*curr).merge_into_right(&*next);
+                                    if let Some(stats) = self.stats_enabled() {
+                                        stats.nodes_merged.incr();
+                                    }
+                                }
+                                unlock_node(next, Mode::Write);
+                            }
+                        }
+                    }
+                    // Unlink the node if the removal (or the merge above)
+                    // emptied it.
                     if (*curr).is_empty() && !(*curr).is_head() {
                         debug_assert!(!prev.is_null());
                         (*prev).set_next((*curr).next());
@@ -239,6 +288,108 @@ mod tests {
             }
         }
         assert!(list.is_empty());
+    }
+
+    /// Builds the canonical merge scenario on a `B = 4` list: the leaf
+    /// chain ends up `head{10,11,12,13} → {20,21} → {22,23,24}` where the
+    /// second leaf is headed by the promoted key 20 and the third was
+    /// created by an overflow split (so its header 22 is *not* promoted —
+    /// the precondition for merging into it).
+    fn merge_scenario(divisor: usize) -> BSkipList<u64, u64, 4> {
+        let list = BSkipList::<u64, u64, 4>::with_config(
+            BSkipConfig::default()
+                .with_max_height(4)
+                .with_stats(true)
+                .with_underflow_divisor(divisor),
+        );
+        for key in [10u64, 11, 12, 13] {
+            list.insert_with_height(key, key * 10, 0);
+        }
+        list.insert_with_height(20, 200, 1); // promotion split: leaf {20}
+        for key in [21u64, 22, 23] {
+            list.insert_with_height(key, key * 10, 0); // fill it
+        }
+        list.insert_with_height(24, 240, 0); // overflow split: {20,21} | {22,23,24}
+        list.validate().expect("scenario structure");
+        list
+    }
+
+    #[test]
+    fn header_removal_merges_underflowing_leaf_into_right_neighbour() {
+        // B = 4, divisor 4 → threshold 1: removing header 20 leaves the
+        // lone survivor 21, which must migrate right into {22,23,24}
+        // instead of living alone in a fat node.
+        let list = merge_scenario(4);
+        assert_eq!(list.remove(&20), Some(200));
+        assert_eq!(
+            list.stats().nodes_merged.get(),
+            1,
+            "header removal of an underflowing leaf must merge it"
+        );
+        list.validate().expect("post-merge structure");
+        for key in (10u64..14).chain(21..25) {
+            assert_eq!(list.get(&key), Some(key * 10), "key {key} lost by merge");
+        }
+    }
+
+    #[test]
+    fn merging_disabled_by_zero_divisor() {
+        let list = merge_scenario(0);
+        assert_eq!(list.remove(&20), Some(200));
+        assert_eq!(list.stats().nodes_merged.get(), 0);
+        list.validate().expect("structure without merging");
+        for key in (10u64..14).chain(21..25) {
+            assert_eq!(list.get(&key), Some(key * 10));
+        }
+    }
+
+    #[test]
+    fn merge_refuses_neighbour_with_promoted_header() {
+        // Folding into a node whose header still has upper-level entries
+        // would strand the upper level's down pointer; the gate must keep
+        // the underflowing leaf alive instead.
+        let list = BSkipList::<u64, u64, 4>::with_config(
+            BSkipConfig::default().with_max_height(4).with_stats(true),
+        );
+        for key in [10u64, 11, 12, 13] {
+            list.insert_with_height(key, key * 10, 0);
+        }
+        list.insert_with_height(20, 200, 1); // leaf {20}, header promoted
+        list.insert_with_height(21, 210, 0); // leaf {20,21}
+        list.insert_with_height(30, 300, 1); // leaf {30}, header promoted
+        list.validate().expect("scenario structure");
+        // Removing 20 underflows its leaf to {21}, but the right
+        // neighbour's header 30 is promoted: no merge may happen.
+        assert_eq!(list.remove(&20), Some(200));
+        assert_eq!(list.stats().nodes_merged.get(), 0);
+        list.validate().expect("post-remove structure");
+        for key in [10u64, 11, 12, 13, 21, 30] {
+            assert_eq!(list.get(&key), Some(key * 10));
+        }
+    }
+
+    #[test]
+    fn delete_churn_with_merging_keeps_live_nodes_bounded() {
+        // Interleave inserts and removes so leaves repeatedly underflow;
+        // the live structural node count must come back down instead of
+        // ratcheting up with every churn round.
+        let list = BSkipList::<u64, u64, 8>::with_config(
+            BSkipConfig::default().with_max_height(4).with_stats(true),
+        );
+        for round in 0..20u64 {
+            for key in 0..256u64 {
+                list.insert(key, key + round);
+            }
+            for key in 0..256u64 {
+                assert_eq!(list.remove(&key), Some(key + round));
+            }
+            list.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        assert!(list.is_empty());
+        // Spine only (plus transient reclamation slack).
+        let live = list.live_nodes();
+        assert!(live <= 8, "live nodes after full churn: {live}");
     }
 
     #[test]

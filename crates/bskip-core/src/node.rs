@@ -13,20 +13,43 @@
 //!
 //! # Safety protocol
 //!
-//! Every node embeds a [`RawRwSpinLock`].  All fields behind the
-//! [`UnsafeCell`] (`len`, `next`, `head_child`, keys, values, children) may
-//! only be read while holding the node's lock in shared or exclusive mode,
-//! and only written while holding it in exclusive mode.  The `level` and
-//! `is_head` fields are immutable after construction and may be read freely.
-//! Methods that touch guarded state are `unsafe fn` and state this
-//! requirement; the traversal code in [`crate::list`] upholds it via
-//! hand-over-hand locking.
+//! Every node embeds a [`RawRwSpinLock`].  The guarded state (`len`,
+//! `next`, `head_child`, keys, values, children) may only be **written**
+//! while holding the node's lock in exclusive mode.  It may be read two
+//! ways:
+//!
+//! * **locked** — under the lock in shared or exclusive mode, through the
+//!   plain accessors (`len`, `key_at`, `search`, ...), which return exact
+//!   values;
+//! * **optimistic** — with *no* lock held, through the `*_racy` accessors,
+//!   bracketed by the lock's version protocol
+//!   ([`RawRwSpinLock::optimistic_version`] /
+//!   [`RawRwSpinLock::validate_version`]).  Racy reads may return *torn*
+//!   values when a writer overlaps; the caller must validate the version
+//!   before trusting anything it read, and must hold an EBR guard pinned
+//!   from before the first racy dereference (retired nodes stay mapped
+//!   through the grace period, so even a pointer read from a torn slot is
+//!   dereferenceable — just invalid, and rejected by validation).
+//!
+//! To make the optimistic races defined behaviour, every *mutator* routes
+//! its stores through relaxed atomics: single-word fields (`len`, `next`,
+//! `head_child`, children) are plain atomics, and the key/value arrays are
+//! written via [`bskip_sync::racy`] (chunked relaxed-atomic stores).  The
+//! slot arrays are zero-initialized at allocation so that racy loads never
+//! touch uninitialized bytes.  This constrains `K` and `V` to types where
+//! any initialized bit pattern is a valid value, which the index key/value
+//! traits' `Copy + 'static` universe (integers, byte arrays) satisfies; it
+//! is documented as part of the crate-level optimistic-read contract.
+//!
+//! The `level` and `is_head` fields are immutable after construction and
+//! may be read freely in either mode.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
-use bskip_sync::RawRwSpinLock;
+use bskip_sync::{racy, RawRwSpinLock};
 
 /// Outcome of searching for a key inside one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,27 +66,16 @@ pub(crate) enum NodeSearch {
 
 /// Per-level payload of a node: values at the leaf level, child pointers at
 /// internal levels.
+///
+/// The discriminant is fixed at allocation (a node never changes kind), so
+/// matching on it is safe in both read modes; the payloads themselves
+/// follow the node's safety protocol.
 pub(crate) enum Data<K, V, const B: usize> {
     /// Leaf payload: one value per key.
-    Leaf([MaybeUninit<V>; B]),
+    Leaf(UnsafeCell<[MaybeUninit<V>; B]>),
     /// Internal payload: one down pointer per key; `children[i]` points to
     /// the node at the level below whose header key equals `keys[i]`.
-    Internal([*mut Node<K, V, B>; B]),
-}
-
-/// The mutable interior of a node, protected by the node's lock.
-pub(crate) struct Inner<K, V, const B: usize> {
-    /// Number of occupied key slots.
-    pub(crate) len: usize,
-    /// Right neighbour at the same level; null at the end of the level.
-    pub(crate) next: *mut Node<K, V, B>,
-    /// Down pointer of the implicit `-∞` entry; only used by head nodes at
-    /// levels greater than zero.
-    pub(crate) head_child: *mut Node<K, V, B>,
-    /// Sorted keys; slots `0..len` are initialized.
-    pub(crate) keys: [MaybeUninit<K>; B],
-    /// Values (leaf) or children (internal) aligned with `keys`.
-    pub(crate) data: Data<K, V, B>,
+    Internal([AtomicPtr<Node<K, V, B>>; B]),
 }
 
 /// A fixed-size B-skiplist node.
@@ -74,13 +86,38 @@ pub(crate) struct Inner<K, V, const B: usize> {
 /// instead of one line per element.
 #[repr(align(64))]
 pub(crate) struct Node<K, V, const B: usize> {
-    /// Reader-writer lock guarding `inner`.
+    /// Reader-writer lock (with optimistic version word) guarding the
+    /// mutable state below.
     pub(crate) lock: RawRwSpinLock,
     /// Level of this node (0 = leaf).
     level: u8,
     /// Whether this node is the left sentinel of its level.
     is_head: bool,
-    inner: UnsafeCell<Inner<K, V, B>>,
+    /// Whether this node's header key is a *promoted* key (the node was
+    /// created by a promotion split and its header has not been removed
+    /// since).  At the leaf level this is exactly "some upper level holds
+    /// a down pointer keyed by this node's header" — the predicate the
+    /// sparse-deletion merge must respect: folding a node whose header is
+    /// promoted into a neighbour would demote that header to an interior
+    /// slot while an upper-level down pointer still targets the node,
+    /// leaving the pointer dangling after the unlink.  Overflow splits
+    /// create nodes with unpromoted headers; removing a header (or
+    /// inheriting one through a merge) clears the flag.
+    header_promoted: AtomicBool,
+    /// Number of occupied key slots.  A single word, so racy readers see a
+    /// genuine (if possibly stale) length, never a torn one; every stored
+    /// value is `<= B`, which keeps unvalidated slot indices in bounds.
+    len: AtomicUsize,
+    /// Right neighbour at the same level; null at the end of the level.
+    next: AtomicPtr<Self>,
+    /// Down pointer of the implicit `-∞` entry; only used by head nodes at
+    /// levels greater than zero.
+    head_child: AtomicPtr<Self>,
+    /// Sorted keys; slots `0..len` are live, all `B` slots are initialized
+    /// (zeroed at allocation) so racy loads are always defined.
+    keys: UnsafeCell<[MaybeUninit<K>; B]>,
+    /// Values (leaf) or children (internal) aligned with `keys`.
+    data: Data<K, V, B>,
 }
 
 impl<K, V, const B: usize> Node<K, V, B>
@@ -88,25 +125,18 @@ where
     K: Copy + Ord,
     V: Copy,
 {
-    fn new_inner(data: Data<K, V, B>) -> Inner<K, V, B> {
-        Inner {
-            len: 0,
-            next: ptr::null_mut(),
-            head_child: ptr::null_mut(),
-            keys: [const { MaybeUninit::uninit() }; B],
-            data,
-        }
-    }
-
     /// Allocates an empty leaf node and leaks it, returning the raw pointer.
     pub(crate) fn alloc_leaf(is_head: bool) -> *mut Self {
         Box::into_raw(Box::new(Node {
             lock: RawRwSpinLock::new(),
             level: 0,
             is_head,
-            inner: UnsafeCell::new(Self::new_inner(Data::Leaf(
-                [const { MaybeUninit::uninit() }; B],
-            ))),
+            header_promoted: AtomicBool::new(false),
+            len: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            head_child: AtomicPtr::new(ptr::null_mut()),
+            keys: UnsafeCell::new([const { MaybeUninit::zeroed() }; B]),
+            data: Data::Leaf(UnsafeCell::new([const { MaybeUninit::zeroed() }; B])),
         }))
     }
 
@@ -117,7 +147,12 @@ where
             lock: RawRwSpinLock::new(),
             level,
             is_head,
-            inner: UnsafeCell::new(Self::new_inner(Data::Internal([ptr::null_mut(); B]))),
+            header_promoted: AtomicBool::new(false),
+            len: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            head_child: AtomicPtr::new(ptr::null_mut()),
+            keys: UnsafeCell::new([const { MaybeUninit::zeroed() }; B]),
+            data: Data::Internal([const { AtomicPtr::new(ptr::null_mut()) }; B]),
         }))
     }
 
@@ -146,36 +181,82 @@ where
         self.is_head
     }
 
+    /// Whether this node's header key is promoted (see the field docs).
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held (shared or exclusive), or the node must
+    /// not yet be published.
     #[inline]
-    fn inner(&self) -> &Inner<K, V, B> {
-        // SAFETY: callers of the unsafe accessor methods guarantee the lock
-        // is held in at least shared mode.
-        unsafe { &*self.inner.get() }
+    pub(crate) unsafe fn header_promoted(&self) -> bool {
+        self.header_promoted.load(Ordering::Relaxed)
     }
 
+    /// Records whether this node's header key is promoted.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively, or the node must not yet
+    /// be published.
     #[inline]
-    #[allow(clippy::mut_from_ref)]
-    fn inner_mut(&self) -> &mut Inner<K, V, B> {
-        // SAFETY: callers of the unsafe mutator methods guarantee the lock
-        // is held in exclusive mode.
-        unsafe { &mut *self.inner.get() }
+    pub(crate) unsafe fn set_header_promoted(&self, promoted: bool) {
+        self.header_promoted.store(promoted, Ordering::Relaxed);
+    }
+
+    /// Base pointer of the key slot array.
+    #[inline]
+    fn keys_ptr(&self) -> *mut MaybeUninit<K> {
+        self.keys.get() as *mut MaybeUninit<K>
+    }
+
+    /// Base pointer of the value slot array (leaf nodes only).
+    #[inline]
+    fn values_ptr(&self) -> *mut MaybeUninit<V> {
+        match &self.data {
+            Data::Leaf(values) => values.get() as *mut MaybeUninit<V>,
+            Data::Internal(_) => unreachable!("values_ptr called on an internal node"),
+        }
+    }
+
+    /// The child pointer slots (internal nodes only).
+    #[inline]
+    fn children(&self) -> &[AtomicPtr<Self>; B] {
+        match &self.data {
+            Data::Internal(children) => children,
+            Data::Leaf(_) => unreachable!("children called on a leaf node"),
+        }
+    }
+
+    /// Publishes a new length.
+    ///
+    /// # Safety
+    ///
+    /// The node's lock must be held exclusively and `len <= B`.
+    #[inline]
+    unsafe fn set_len(&self, len: usize) {
+        debug_assert!(len <= B);
+        self.len.store(len, Ordering::Relaxed);
     }
 
     /// Number of keys stored.
     ///
     /// # Safety
     ///
-    /// The node's lock must be held (shared or exclusive).
+    /// The node's lock must be held (shared or exclusive) for an exact
+    /// answer; optimistic readers may call it unlocked and treat the
+    /// result as provisional until their version validates.  Either way
+    /// the value is a genuine previously-published length (`<= B`), never
+    /// a torn word.
     #[inline]
     pub(crate) unsafe fn len(&self) -> usize {
-        self.inner().len
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the node holds no keys.
     ///
     /// # Safety
     ///
-    /// The node's lock must be held (shared or exclusive).
+    /// As for [`Node::len`].
     #[inline]
     pub(crate) unsafe fn is_empty(&self) -> bool {
         self.len() == 0
@@ -185,7 +266,7 @@ where
     ///
     /// # Safety
     ///
-    /// The node's lock must be held (shared or exclusive).
+    /// As for [`Node::len`].
     #[inline]
     pub(crate) unsafe fn is_full(&self) -> bool {
         self.len() == B
@@ -195,10 +276,11 @@ where
     ///
     /// # Safety
     ///
-    /// The node's lock must be held (shared or exclusive).
+    /// As for [`Node::len`]: exact under the lock, provisional (but never
+    /// torn — single word) for optimistic readers.
     #[inline]
     pub(crate) unsafe fn next(&self) -> *mut Self {
-        self.inner().next
+        self.next.load(Ordering::Relaxed)
     }
 
     /// Sets the right neighbour.
@@ -208,18 +290,18 @@ where
     /// The node's lock must be held exclusively.
     #[inline]
     pub(crate) unsafe fn set_next(&self, next: *mut Self) {
-        self.inner_mut().next = next;
+        self.next.store(next, Ordering::Relaxed);
     }
 
     /// Down pointer of the implicit `-∞` entry (head nodes only).
     ///
     /// # Safety
     ///
-    /// The node's lock must be held (shared or exclusive).
+    /// As for [`Node::len`] (head nodes only).
     #[inline]
     pub(crate) unsafe fn head_child(&self) -> *mut Self {
         debug_assert!(self.is_head);
-        self.inner().head_child
+        self.head_child.load(Ordering::Relaxed)
     }
 
     /// Sets the `-∞` down pointer (head nodes only; done once at
@@ -232,7 +314,7 @@ where
     #[inline]
     pub(crate) unsafe fn set_head_child(&self, child: *mut Self) {
         debug_assert!(self.is_head);
-        self.inner_mut().head_child = child;
+        self.head_child.store(child, Ordering::Relaxed);
     }
 
     /// The header (smallest) key of the node.
@@ -254,7 +336,21 @@ where
     #[inline]
     pub(crate) unsafe fn key_at(&self, index: usize) -> K {
         debug_assert!(index < self.len());
-        self.inner().keys[index].assume_init()
+        (*self.keys_ptr().add(index)).assume_init()
+    }
+
+    /// Racy key read at slot `index`: the optimistic counterpart of
+    /// [`Node::key_at`].  May return a torn value if a writer overlaps.
+    ///
+    /// # Safety
+    ///
+    /// `index < B` (the caller bounds it by a length it read through
+    /// [`Node::len`]); the result must be discarded unless the node's
+    /// version validates afterwards.
+    #[inline]
+    pub(crate) unsafe fn key_at_racy(&self, index: usize) -> K {
+        debug_assert!(index < B);
+        racy::load(self.keys_ptr().add(index) as *const K)
     }
 
     /// Value at slot `index` (leaf nodes only).
@@ -266,14 +362,24 @@ where
     #[inline]
     pub(crate) unsafe fn value_at(&self, index: usize) -> V {
         debug_assert!(index < self.len());
-        match &self.inner().data {
-            Data::Leaf(values) => values[index].assume_init(),
-            Data::Internal(_) => unreachable!("value_at called on an internal node"),
-        }
+        (*self.values_ptr().add(index)).assume_init()
+    }
+
+    /// Racy value read at slot `index`: the optimistic counterpart of
+    /// [`Node::value_at`].
+    ///
+    /// # Safety
+    ///
+    /// The node must be a leaf and `index < B`; the result must be
+    /// discarded unless the node's version validates afterwards.
+    #[inline]
+    pub(crate) unsafe fn value_at_racy(&self, index: usize) -> V {
+        debug_assert!(index < B);
+        racy::load(self.values_ptr().add(index) as *const V)
     }
 
     /// Borrow of the value at slot `index` (leaf nodes only): the no-copy
-    /// variant of [`Node::value_at`] behind [`crate::BSkipList::peek`].
+    /// variant of [`Node::value_at`] behind the cursor's locked snapshots.
     ///
     /// # Safety
     ///
@@ -282,10 +388,7 @@ where
     #[inline]
     pub(crate) unsafe fn value_ref_at(&self, index: usize) -> &V {
         debug_assert!(index < self.len());
-        match &self.inner().data {
-            Data::Leaf(values) => values[index].assume_init_ref(),
-            Data::Internal(_) => unreachable!("value_ref_at called on an internal node"),
-        }
+        (*self.values_ptr().add(index)).assume_init_ref()
     }
 
     /// Overwrites the value at slot `index`, returning the previous value.
@@ -297,14 +400,10 @@ where
     #[inline]
     pub(crate) unsafe fn replace_value_at(&self, index: usize, value: V) -> V {
         debug_assert!(index < self.len());
-        match &mut self.inner_mut().data {
-            Data::Leaf(values) => {
-                let old = values[index].assume_init();
-                values[index] = MaybeUninit::new(value);
-                old
-            }
-            Data::Internal(_) => unreachable!("replace_value_at called on an internal node"),
-        }
+        let slot = self.values_ptr().add(index);
+        let old = (*slot).assume_init();
+        racy::store(slot as *mut V, value);
+        old
     }
 
     /// Child pointer at slot `index` (internal nodes only).
@@ -316,10 +415,21 @@ where
     #[inline]
     pub(crate) unsafe fn child_at(&self, index: usize) -> *mut Self {
         debug_assert!(index < self.len());
-        match &self.inner().data {
-            Data::Internal(children) => children[index],
-            Data::Leaf(_) => unreachable!("child_at called on a leaf node"),
-        }
+        self.children()[index].load(Ordering::Relaxed)
+    }
+
+    /// Racy child read at slot `index`: the optimistic counterpart of
+    /// [`Node::child_at`].  Single-word atomic, so never torn — but
+    /// possibly stale or belonging to a different separator key than the
+    /// reader thinks; only validation makes it meaningful.
+    ///
+    /// # Safety
+    ///
+    /// The node must be internal and `index < B`.
+    #[inline]
+    pub(crate) unsafe fn child_at_racy(&self, index: usize) -> *mut Self {
+        debug_assert!(index < B);
+        self.children()[index].load(Ordering::Relaxed)
     }
 
     /// Overwrites the child pointer at slot `index` (internal nodes only).
@@ -331,10 +441,7 @@ where
     #[inline]
     pub(crate) unsafe fn set_child_at(&self, index: usize, child: *mut Self) {
         debug_assert!(index < self.len());
-        match &mut self.inner_mut().data {
-            Data::Internal(children) => children[index] = child,
-            Data::Leaf(_) => unreachable!("set_child_at called on a leaf node"),
-        }
+        self.children()[index].store(child, Ordering::Relaxed);
     }
 
     /// Number of stored keys strictly less than `key`: the branchless
@@ -356,22 +463,49 @@ where
     /// The node's lock must be held (shared or exclusive).
     #[inline]
     pub(crate) unsafe fn keys_below(&self, key: &K) -> usize {
-        let inner = self.inner();
-        let mut len = inner.len;
+        let mut len = self.len();
         if len == 0 {
             return 0;
         }
+        let keys = self.keys_ptr();
         let mut low = 0usize;
         while len > 1 {
             let half = len / 2;
             // Select, not branch: both operands are computed and `low`
             // picks one.  (A conditional jump here would mispredict every
             // other probe on uniform keys.)
-            let probe = *inner.keys[low + half - 1].assume_init_ref();
+            let probe = *(*keys.add(low + half - 1)).assume_init_ref();
             low = if probe < *key { low + half } else { low };
             len -= half;
         }
-        low + usize::from(*inner.keys[low].assume_init_ref() < *key)
+        low + usize::from(*(*keys.add(low)).assume_init_ref() < *key)
+    }
+
+    /// Racy counterpart of [`Node::keys_below`]: the same branchless core
+    /// over relaxed-atomic key loads, bounded by a caller-snapshotted
+    /// `len`.  Torn probes can misdirect the search, so the result is only
+    /// meaningful after version validation — but it is always in
+    /// `0..=min(len, B)`, so it is *safe* to use as a slot index bound.
+    ///
+    /// # Safety
+    ///
+    /// None beyond the node being alive (an EBR pin); every slot is
+    /// initialized and every load is atomic.
+    #[inline]
+    pub(crate) unsafe fn keys_below_racy(&self, key: &K, len: usize) -> usize {
+        let mut len = len.min(B);
+        if len == 0 {
+            return 0;
+        }
+        let keys = self.keys_ptr() as *const K;
+        let mut low = 0usize;
+        while len > 1 {
+            let half = len / 2;
+            let probe = racy::load(keys.add(low + half - 1));
+            low = if probe < *key { low + half } else { low };
+            len -= half;
+        }
+        low + usize::from(racy::load(keys.add(low)) < *key)
     }
 
     /// Binary-searches the node for `key`.
@@ -387,9 +521,29 @@ where
     /// The node's lock must be held (shared or exclusive).
     #[inline]
     pub(crate) unsafe fn search(&self, key: &K) -> NodeSearch {
-        let inner = self.inner();
         let below = self.keys_below(key);
-        if below < inner.len && *inner.keys[below].assume_init_ref() == *key {
+        if below < self.len() && *(*self.keys_ptr().add(below)).assume_init_ref() == *key {
+            NodeSearch::Found(below)
+        } else if below == 0 {
+            NodeSearch::Before
+        } else {
+            NodeSearch::Pred(below - 1)
+        }
+    }
+
+    /// Racy counterpart of [`Node::search`] over a caller-snapshotted
+    /// `len`.  The classification (and any slot index inside it) is
+    /// provisional until the node's version validates; indices are always
+    /// `< min(len, B)`.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Node::keys_below_racy`].
+    #[inline]
+    pub(crate) unsafe fn search_racy(&self, key: &K, len: usize) -> NodeSearch {
+        let len = len.min(B);
+        let below = self.keys_below_racy(key, len);
+        if below < len && racy::load(self.keys_ptr().add(below) as *const K) == *key {
             NodeSearch::Found(below)
         } else if below == 0 {
             NodeSearch::Before
@@ -410,7 +564,7 @@ where
     #[inline]
     pub(crate) unsafe fn header_covers(&self, key: &K) -> bool {
         debug_assert!(!self.is_empty());
-        *key >= *self.inner().keys[0].assume_init_ref()
+        *key >= *(*self.keys_ptr()).assume_init_ref()
     }
 
     /// Whether this node's header key is strictly `< key`; the reverse
@@ -423,7 +577,7 @@ where
     #[inline]
     pub(crate) unsafe fn header_below(&self, key: &K) -> bool {
         debug_assert!(!self.is_empty());
-        *self.inner().keys[0].assume_init_ref() < *key
+        *(*self.keys_ptr()).assume_init_ref() < *key
     }
 
     /// Inserts `key`/`value` at slot `index`, shifting later slots right.
@@ -433,19 +587,16 @@ where
     /// The node's lock must be held exclusively, the node must be a leaf,
     /// not full, and `index <= len()`.
     pub(crate) unsafe fn insert_leaf_at(&self, index: usize, key: K, value: V) {
-        let inner = self.inner_mut();
-        debug_assert!(inner.len < B);
-        debug_assert!(index <= inner.len);
-        shift_right(&mut inner.keys, index, inner.len);
-        inner.keys[index] = MaybeUninit::new(key);
-        match &mut inner.data {
-            Data::Leaf(values) => {
-                shift_right(values, index, inner.len);
-                values[index] = MaybeUninit::new(value);
-            }
-            Data::Internal(_) => unreachable!("insert_leaf_at called on an internal node"),
-        }
-        inner.len += 1;
+        let len = self.len();
+        debug_assert!(len < B);
+        debug_assert!(index <= len);
+        let keys = self.keys_ptr() as *mut K;
+        racy::copy(keys.add(index), keys.add(index + 1), len - index);
+        racy::store(keys.add(index), key);
+        let values = self.values_ptr() as *mut V;
+        racy::copy(values.add(index), values.add(index + 1), len - index);
+        racy::store(values.add(index), value);
+        self.set_len(len + 1);
     }
 
     /// Inserts `key` with down pointer `child` at slot `index`, shifting
@@ -456,20 +607,19 @@ where
     /// The node's lock must be held exclusively, the node must be internal,
     /// not full, and `index <= len()`.
     pub(crate) unsafe fn insert_internal_at(&self, index: usize, key: K, child: *mut Self) {
-        let inner = self.inner_mut();
-        debug_assert!(inner.len < B);
-        debug_assert!(index <= inner.len);
-        shift_right(&mut inner.keys, index, inner.len);
-        inner.keys[index] = MaybeUninit::new(key);
-        match &mut inner.data {
-            Data::Internal(children) => {
-                let len = inner.len;
-                children.copy_within(index..len, index + 1);
-                children[index] = child;
-            }
-            Data::Leaf(_) => unreachable!("insert_internal_at called on a leaf node"),
+        let len = self.len();
+        debug_assert!(len < B);
+        debug_assert!(index <= len);
+        let keys = self.keys_ptr() as *mut K;
+        racy::copy(keys.add(index), keys.add(index + 1), len - index);
+        racy::store(keys.add(index), key);
+        let children = self.children();
+        for slot in (index..len).rev() {
+            let moved = children[slot].load(Ordering::Relaxed);
+            children[slot + 1].store(moved, Ordering::Relaxed);
         }
-        inner.len += 1;
+        children[index].store(child, Ordering::Relaxed);
+        self.set_len(len + 1);
     }
 
     /// Removes the entry at slot `index`, shifting later slots left.
@@ -480,28 +630,32 @@ where
     ///
     /// The node's lock must be held exclusively and `index < len()`.
     pub(crate) unsafe fn remove_at(&self, index: usize) -> Option<V> {
-        let inner = self.inner_mut();
-        debug_assert!(index < inner.len);
-        let len = inner.len;
-        shift_left(&mut inner.keys, index, len);
-        let removed = match &mut inner.data {
-            Data::Leaf(values) => {
-                let value = values[index].assume_init();
-                shift_left(values, index, len);
+        let len = self.len();
+        debug_assert!(index < len);
+        let keys = self.keys_ptr() as *mut K;
+        racy::copy(keys.add(index + 1), keys.add(index), len - index - 1);
+        let removed = match &self.data {
+            Data::Leaf(_) => {
+                let values = self.values_ptr() as *mut V;
+                let value = (*(values.add(index) as *const MaybeUninit<V>)).assume_init();
+                racy::copy(values.add(index + 1), values.add(index), len - index - 1);
                 Some(value)
             }
             Data::Internal(children) => {
-                children.copy_within(index + 1..len, index);
+                for slot in index + 1..len {
+                    let moved = children[slot].load(Ordering::Relaxed);
+                    children[slot - 1].store(moved, Ordering::Relaxed);
+                }
                 None
             }
         };
-        inner.len -= 1;
+        self.set_len(len - 1);
         removed
     }
 
     /// Moves all entries in slots `from..len()` of `self` into `dst`,
     /// appending them after `dst`'s current entries.  Used by overflow and
-    /// promotion splits.
+    /// promotion splits, and (with `from == 0`) by leaf merges.
     ///
     /// # Safety
     ///
@@ -509,29 +663,96 @@ where
     /// same level and of the same kind (leaf/internal), `from <= self.len()`
     /// and `dst.len() + (self.len() - from) <= B`.
     pub(crate) unsafe fn move_suffix_to(&self, from: usize, dst: &Self) {
-        let src = self.inner_mut();
-        let dst_inner = dst.inner_mut();
-        let count = src.len - from;
-        debug_assert!(dst_inner.len + count <= B);
+        let src_len = self.len();
+        let dst_len = dst.len();
+        let count = src_len - from;
+        debug_assert!(dst_len + count <= B);
+        let src_keys = self.keys_ptr() as *const K;
+        let dst_keys = dst.keys_ptr() as *mut K;
         for offset in 0..count {
-            dst_inner.keys[dst_inner.len + offset] =
-                MaybeUninit::new(src.keys[from + offset].assume_init());
+            // Plain read from `self` (exclusively locked: nothing races a
+            // read), racy store into `dst` (optimistic readers may probe).
+            racy::store(dst_keys.add(dst_len + offset), *src_keys.add(from + offset));
         }
-        match (&mut src.data, &mut dst_inner.data) {
-            (Data::Leaf(src_values), Data::Leaf(dst_values)) => {
+        match (&self.data, &dst.data) {
+            (Data::Leaf(_), Data::Leaf(_)) => {
+                let src_values = self.values_ptr() as *const V;
+                let dst_values = dst.values_ptr() as *mut V;
                 for offset in 0..count {
-                    dst_values[dst_inner.len + offset] =
-                        MaybeUninit::new(src_values[from + offset].assume_init());
+                    racy::store(
+                        dst_values.add(dst_len + offset),
+                        *src_values.add(from + offset),
+                    );
                 }
             }
             (Data::Internal(src_children), Data::Internal(dst_children)) => {
-                dst_children[dst_inner.len..dst_inner.len + count]
-                    .copy_from_slice(&src_children[from..from + count]);
+                for offset in 0..count {
+                    let moved = src_children[from + offset].load(Ordering::Relaxed);
+                    dst_children[dst_len + offset].store(moved, Ordering::Relaxed);
+                }
             }
             _ => unreachable!("move_suffix_to across node kinds"),
         }
-        dst_inner.len += count;
-        src.len = from;
+        dst.set_len(dst_len + count);
+        self.set_len(from);
+    }
+
+    /// Moves **all** entries of `self` into the *front* of `dst`, leaving
+    /// `self` empty (ready for the unlink protocol).  The leaf-merge
+    /// direction: entries migrate only rightward/forward, so a paused
+    /// forward scan can never lose keys behind itself (it re-encounters
+    /// them in `dst` and its monotone filter drops any it already
+    /// emitted).
+    ///
+    /// # Safety
+    ///
+    /// Both nodes' locks must be held exclusively, both nodes must be at
+    /// the same level and of the same kind, every key in `self` must be
+    /// smaller than every key in `dst`, and
+    /// `self.len() + dst.len() <= B`.
+    pub(crate) unsafe fn merge_into_right(&self, dst: &Self) {
+        let src_len = self.len();
+        let dst_len = dst.len();
+        debug_assert!(src_len + dst_len <= B);
+        let src_keys = self.keys_ptr() as *const K;
+        let dst_keys = dst.keys_ptr() as *mut K;
+        // Make room at the front of `dst` (overlapping shift — the racy
+        // copy walks backward), then move `self`'s entries in.  Reads
+        // from `self` are plain (exclusively locked, nothing races a
+        // read); every store into `dst` is racy (optimistic readers may
+        // probe mid-merge and get rejected by validation).
+        racy::copy(dst_keys as *const K, dst_keys.add(src_len), dst_len);
+        for offset in 0..src_len {
+            racy::store(dst_keys.add(offset), *src_keys.add(offset));
+        }
+        match (&self.data, &dst.data) {
+            (Data::Leaf(_), Data::Leaf(_)) => {
+                let src_values = self.values_ptr() as *const V;
+                let dst_values = dst.values_ptr() as *mut V;
+                racy::copy(dst_values as *const V, dst_values.add(src_len), dst_len);
+                for offset in 0..src_len {
+                    racy::store(dst_values.add(offset), *src_values.add(offset));
+                }
+            }
+            (Data::Internal(src_children), Data::Internal(dst_children)) => {
+                for slot in (0..dst_len).rev() {
+                    let moved = dst_children[slot].load(Ordering::Relaxed);
+                    dst_children[slot + src_len].store(moved, Ordering::Relaxed);
+                }
+                for offset in 0..src_len {
+                    let moved = src_children[offset].load(Ordering::Relaxed);
+                    dst_children[offset].store(moved, Ordering::Relaxed);
+                }
+            }
+            _ => unreachable!("merge_into_right across node kinds"),
+        }
+        dst.set_len(dst_len + src_len);
+        self.set_len(0);
+        // `dst`'s header is now `self`'s old header, so it inherits the
+        // promotion flag (in the remove path this is always `false`: the
+        // merge is only attempted right after `self`'s promoted header was
+        // removed).
+        dst.set_header_promoted(self.header_promoted());
     }
 
     /// Appends a single `key`/`value` pair to a leaf node.
@@ -592,27 +813,6 @@ pub(crate) fn prefetch_node<K, V, const B: usize>(ptr: *mut Node<K, V, B>) {
     }
 }
 
-/// Shifts `array[index..len]` one slot to the right.  Slots are
-/// `MaybeUninit`, so this is a raw byte move of the initialized prefix.
-#[inline]
-unsafe fn shift_right<T, const B: usize>(
-    array: &mut [MaybeUninit<T>; B],
-    index: usize,
-    len: usize,
-) {
-    debug_assert!(len < B);
-    let base = array.as_mut_ptr();
-    ptr::copy(base.add(index), base.add(index + 1), len - index);
-}
-
-/// Shifts `array[index + 1..len]` one slot to the left, overwriting
-/// `array[index]`.
-#[inline]
-unsafe fn shift_left<T, const B: usize>(array: &mut [MaybeUninit<T>; B], index: usize, len: usize) {
-    let base = array.as_mut_ptr();
-    ptr::copy(base.add(index + 1), base.add(index), len - index - 1);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,6 +847,49 @@ mod tests {
             assert_eq!(node_ref.keys_vec(), vec![10, 30]);
             assert_eq!(node_ref.value_at(1), 300);
             TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn racy_accessors_agree_with_locked_ones_at_quiescence() {
+        unsafe {
+            let node = TestNode::alloc_leaf(false);
+            for i in 0..6u64 {
+                (*node).push_leaf(i * 10 + 5, i);
+            }
+            let len = (*node).len();
+            for i in 0..len {
+                assert_eq!((*node).key_at_racy(i), (*node).key_at(i));
+                assert_eq!((*node).value_at_racy(i), (*node).value_at(i));
+            }
+            for probe in 0..70u64 {
+                assert_eq!(
+                    (*node).keys_below_racy(&probe, len),
+                    (*node).keys_below(&probe),
+                    "probe {probe}"
+                );
+                assert_eq!((*node).search_racy(&probe, len), (*node).search(&probe));
+            }
+            // Over-long snapshotted lengths are clamped to B, staying in
+            // bounds even when the caller's len is stale garbage.
+            assert_eq!(
+                (*node).keys_below_racy(&u64::MAX, usize::MAX),
+                8,
+                "clamped to B"
+            );
+            TestNode::free(node);
+        }
+    }
+
+    #[test]
+    fn racy_child_reads_match_locked_reads() {
+        unsafe {
+            let internal = TestNode::alloc_internal(1, false);
+            let child = TestNode::alloc_leaf(false);
+            (*internal).insert_internal_at(0, 5, child);
+            assert_eq!((*internal).child_at_racy(0), (*internal).child_at(0));
+            TestNode::free(child);
+            TestNode::free(internal);
         }
     }
 
@@ -715,6 +958,75 @@ mod tests {
             (*left).move_suffix_to(2, &*right);
             assert_eq!((*right).keys_vec(), vec![9, 12, 13]);
             assert_eq!((*left).keys_vec(), vec![10, 11]);
+            TestNode::free(left);
+            TestNode::free(right);
+        }
+    }
+
+    #[test]
+    fn move_whole_prefix_empties_the_source() {
+        // The leaf-merge path: `from == 0` moves *everything* into `dst`,
+        // leaving the source empty (ready for the unlink protocol).
+        unsafe {
+            let left = TestNode::alloc_leaf(false);
+            let right = TestNode::alloc_leaf(false);
+            for i in 0..3u64 {
+                (*left).push_leaf(i, i);
+                (*right).push_leaf(100 + i, i);
+            }
+            (*right).move_suffix_to(0, &*left);
+            assert!((*right).is_empty());
+            assert_eq!((*left).keys_vec(), vec![0, 1, 2, 100, 101, 102]);
+            assert_eq!((*left).value_at(5), 2);
+            TestNode::free(left);
+            TestNode::free(right);
+        }
+    }
+
+    #[test]
+    fn merge_into_right_prepends_and_empties_the_source() {
+        unsafe {
+            let left = TestNode::alloc_leaf(false);
+            let right = TestNode::alloc_leaf(false);
+            for i in 0..3u64 {
+                (*left).push_leaf(i, i + 100);
+                (*right).push_leaf(10 + i, i + 200);
+            }
+            (*left).merge_into_right(&*right);
+            assert!((*left).is_empty());
+            assert_eq!((*right).keys_vec(), vec![0, 1, 2, 10, 11, 12]);
+            assert_eq!((*right).value_at(0), 100);
+            assert_eq!((*right).value_at(3), 200);
+            assert_eq!((*right).value_at(5), 202);
+            TestNode::free(left);
+            TestNode::free(right);
+        }
+    }
+
+    #[test]
+    fn merge_into_right_internal_carries_children() {
+        unsafe {
+            let left = TestNode::alloc_internal(1, false);
+            let right = TestNode::alloc_internal(1, false);
+            let mut children = Vec::new();
+            for i in 0..4u64 {
+                let child = TestNode::alloc_leaf(false);
+                children.push(child);
+                if i < 2 {
+                    (*left).push_internal(i, child);
+                } else {
+                    (*right).push_internal(10 + i, child);
+                }
+            }
+            (*left).merge_into_right(&*right);
+            assert!((*left).is_empty());
+            assert_eq!((*right).keys_vec(), vec![0, 1, 12, 13]);
+            for (slot, child) in children.iter().enumerate() {
+                assert_eq!((*right).child_at(slot), *child);
+            }
+            for child in children {
+                TestNode::free(child);
+            }
             TestNode::free(left);
             TestNode::free(right);
         }
@@ -807,6 +1119,7 @@ mod tests {
             let head = TestNode::alloc_leaf(true);
             assert!((*head).is_head());
             assert_eq!((*head).search(&42), NodeSearch::Before);
+            assert_eq!((*head).search_racy(&42, (*head).len()), NodeSearch::Before);
             TestNode::free(head);
         }
     }

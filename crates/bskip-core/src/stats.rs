@@ -45,6 +45,20 @@ pub struct BSkipStats {
     /// Batch operations that fell back to the per-op point path (splits,
     /// promoted inserts, header removals).
     pub batch_fallbacks: CachePadded<RelaxedCounter>,
+    /// Point reads (`get`/`peek`/`contains_key`) that completed through the
+    /// optimistic lock-free descent — zero lock acquisitions end to end.
+    pub optimistic_reads: CachePadded<RelaxedCounter>,
+    /// Optimistic descents abandoned because a version validation failed
+    /// (a writer overlapped the traversal); each restart retries from the
+    /// top with backoff.
+    pub optimistic_restarts: CachePadded<RelaxedCounter>,
+    /// Point reads that exhausted their optimistic attempts and fell back
+    /// to the hand-over-hand read-locked descent.  Zero in any
+    /// single-threaded run — the acceptance gate for the lock-free path.
+    pub locked_fallbacks: CachePadded<RelaxedCounter>,
+    /// Underflowing leaves merged into their left neighbour by the remove
+    /// path (sparse-deletion compaction).
+    pub nodes_merged: CachePadded<RelaxedCounter>,
 }
 
 impl BSkipStats {
@@ -69,6 +83,10 @@ impl BSkipStats {
         self.batched_ops.reset();
         self.batch_leaf_locks.reset();
         self.batch_fallbacks.reset();
+        self.optimistic_reads.reset();
+        self.optimistic_restarts.reset();
+        self.locked_fallbacks.reset();
+        self.nodes_merged.reset();
     }
 
     /// Exports the counters in the uniform [`IndexStats`] format.
@@ -88,6 +106,10 @@ impl BSkipStats {
             .with("batched_ops", self.batched_ops.get())
             .with("batch_leaf_locks", self.batch_leaf_locks.get())
             .with("batch_fallbacks", self.batch_fallbacks.get())
+            .with("optimistic_reads", self.optimistic_reads.get())
+            .with("optimistic_restarts", self.optimistic_restarts.get())
+            .with("locked_fallbacks", self.locked_fallbacks.get())
+            .with("nodes_merged", self.nodes_merged.get())
     }
 
     /// Average horizontal steps per level descended, the statistic the
@@ -98,6 +120,18 @@ impl BSkipStats {
             0.0
         } else {
             self.horizontal_steps.get() as f64 / levels as f64
+        }
+    }
+
+    /// Fraction of point reads that completed through the optimistic
+    /// lock-free path (0.0 when no reads were recorded).  The uncontended
+    /// expectation is 1.0; the `stat_hotpath` smoke gate asserts > 0.95.
+    pub fn optimistic_hit_rate(&self) -> f64 {
+        let finds = self.finds.get();
+        if finds == 0 {
+            0.0
+        } else {
+            self.optimistic_reads.get() as f64 / finds as f64
         }
     }
 
@@ -124,7 +158,7 @@ mod tests {
         let snapshot = stats.snapshot();
         assert_eq!(snapshot.get("finds"), Some(3));
         assert_eq!(snapshot.get("top_level_write_locks"), Some(1));
-        assert_eq!(snapshot.len(), 14);
+        assert_eq!(snapshot.len(), 18);
     }
 
     #[test]
@@ -147,5 +181,9 @@ mod tests {
         stats.range_leaf_nodes.add(8);
         assert!((stats.horizontal_steps_per_level() - 1.7).abs() < 1e-9);
         assert!((stats.leaf_nodes_per_range() - 2.0).abs() < 1e-9);
+        assert_eq!(stats.optimistic_hit_rate(), 0.0);
+        stats.finds.add(100);
+        stats.optimistic_reads.add(96);
+        assert!((stats.optimistic_hit_rate() - 0.96).abs() < 1e-9);
     }
 }

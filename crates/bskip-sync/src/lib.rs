@@ -6,8 +6,13 @@
 //!
 //! * [`RawRwSpinLock`] — a word-sized, writer-preferring reader/writer
 //!   spinlock that can be embedded directly inside index nodes (no heap
-//!   allocation, no poisoning).  This is the lock used by every node of the
-//!   B-skiplist and of the lock-based baselines.
+//!   allocation, no poisoning), carrying a version counter in its state
+//!   word so readers can *validate* instead of locking (optimistic lock
+//!   coupling).  This is the lock used by every node of the B-skiplist and
+//!   of the lock-based baselines.
+//! * [`racy`] — chunked relaxed-atomic loads/stores/copies that make the
+//!   optimistic readers' deliberately racy data accesses defined
+//!   behaviour (torn values are tolerated and rejected by validation).
 //! * [`RwSpinLock`] — an RAII wrapper around [`RawRwSpinLock`] guarding a
 //!   value, used where a conventional `RwLock<T>`-style API is convenient.
 //! * [`Backoff`] — bounded exponential backoff used while spinning.
@@ -37,6 +42,7 @@ mod counter;
 pub mod ebr;
 mod latch;
 mod padded;
+pub mod racy;
 mod rwlock;
 
 pub use backoff::Backoff;

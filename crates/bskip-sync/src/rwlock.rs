@@ -1,42 +1,99 @@
-//! A word-sized reader-writer spinlock.
+//! A word-sized reader-writer spinlock with an optimistic version word.
 //!
 //! The paper's top-down concurrency-control scheme acquires reader/writer
 //! locks hand-over-hand while descending the B-skiplist.  The lock it needs
-//! has three properties:
+//! has four properties:
 //!
 //! 1. it must be embeddable inside every index node without a heap
 //!    allocation (one word of state),
 //! 2. reader acquisition must be a single fetch-add on the uncontended path
-//!    (queries take two read locks per level), and
+//!    (queries take two read locks per level),
 //! 3. writers must not be starved by a continuous stream of readers
-//!    (inserts take write locks at the levels they modify).
+//!    (inserts take write locks at the levels they modify), and
+//! 4. readers that prefer not to acquire anything at all must be able to
+//!    *validate* that a node was untouched while they read it — the
+//!    optimistic-lock-coupling (OLC) read path.
 //!
-//! [`RawRwSpinLock`] provides exactly that: a 32-bit state word where the
-//! low 30 bits count active readers, bit 30 marks a *pending* writer (which
-//! blocks new readers, giving writer preference), and bit 31 marks an
-//! *active* writer.
+//! [`RawRwSpinLock`] provides exactly that: a 64-bit state word whose **low
+//! half** is the classic rwlock protocol (bits 0–29 count active readers,
+//! bit 30 marks a *pending* writer, which blocks new readers and gives
+//! writer preference, bit 31 marks an *active* writer) and whose **high
+//! half** is a 32-bit **version counter** bumped once per exclusive
+//! lock/unlock cycle.
+//!
+//! # The version protocol
+//!
+//! Optimistic readers never modify the word.  They run the seqlock-style
+//! sequence
+//!
+//! 1. [`optimistic_version`](RawRwSpinLock::optimistic_version) — load the
+//!    state (`Acquire`); fail immediately if a writer is *active* (the
+//!    node is mid-mutation).  A merely *pending* writer is fine: it has
+//!    not touched the data yet.
+//! 2. read the protected data **with relaxed atomic accesses** (see the
+//!    [`crate::racy`] module — the reads may race the writer's stores, so
+//!    they must be atomic to be defined behaviour, and the values obtained
+//!    are only trusted after step 3),
+//! 3. [`validate_version`](RawRwSpinLock::validate_version) — an `Acquire`
+//!    fence followed by a relaxed reload; succeed iff no writer is active
+//!    *and* the version still matches.
+//!
+//! Writers make this sound by (a) setting `WRITER_ACTIVE` *before* their
+//! first data store, with a `Release` fence between the acquisition and the
+//! stores, and (b) bumping the version in the same atomic op that clears
+//! `WRITER_ACTIVE` (`fetch_add(VERSION_UNIT - WRITER_ACTIVE)`), with
+//! `Release` ordering.  The fence pairing is Boehm's seqlock recipe: if any
+//! of the reader's step-2 loads observes a store the writer made after its
+//! `Release` fence, that fence synchronizes with the reader's `Acquire`
+//! fence in step 3, so the reload is guaranteed to see `WRITER_ACTIVE` (or
+//! a later, version-bumped state) and validation fails.  Conversely a
+//! successful validation proves every step-2 load saw pre-critical-section
+//! data of the version observed in step 1.
+//!
+//! Shared (read) acquisitions do not change the version: they cannot modify
+//! the data, so optimistic readers may overlap them freely.
+//!
+//! The version is 32 bits wide, so it wraps after 2³² exclusive cycles *on
+//! one node*.  A stalled optimistic reader could in principle validate
+//! against a wrapped version; like every published OLC structure we accept
+//! this (a reader would have to be descheduled across four billion
+//! writer critical sections on the very node it is reading), and the
+//! wraparound itself is exercised in the unit tests to show the state word
+//! stays coherent when it happens.
 
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::Backoff;
 
 /// Bit set while a writer holds the lock exclusively.
-const WRITER_ACTIVE: u32 = 1 << 31;
+const WRITER_ACTIVE: u64 = 1 << 31;
 /// Bit set while a writer is waiting; blocks new readers (writer preference).
-const WRITER_PENDING: u32 = 1 << 30;
+const WRITER_PENDING: u64 = 1 << 30;
 /// Mask extracting the active-reader count.
-const READER_MASK: u32 = WRITER_PENDING - 1;
+const READER_MASK: u64 = WRITER_PENDING - 1;
+/// Mask extracting the whole lock half (readers + pending + active).
+const LOCK_MASK: u64 = u32::MAX as u64;
+/// One version increment: the version occupies the high 32 bits.
+const VERSION_UNIT: u64 = 1 << 32;
+/// Mask extracting the version half.
+const VERSION_MASK: u64 = !LOCK_MASK;
 
-/// A raw reader-writer spinlock: no guards, no data — just the protocol.
+/// A raw reader-writer spinlock with an embedded version counter: no
+/// guards, no data — just the protocol.
 ///
 /// This is the lock embedded in every node of the concurrent B-skiplist and
 /// the lock-based baselines.  Lock and unlock are the caller's
 /// responsibility to pair correctly (the index code does so through
 /// hand-over-hand traversal); the safe [`RwSpinLock`] wrapper is provided for
-/// conventional uses.
+/// conventional uses.  The optimistic [`optimistic_version`] /
+/// [`validate_version`] pair implements the OLC read path described in the
+/// module-level documentation above.
+///
+/// [`optimistic_version`]: RawRwSpinLock::optimistic_version
+/// [`validate_version`]: RawRwSpinLock::validate_version
 ///
 /// # Example
 ///
@@ -49,20 +106,26 @@ const READER_MASK: u32 = WRITER_PENDING - 1;
 /// assert!(!lock.try_lock_exclusive()); // writer excluded
 /// lock.unlock_shared();
 /// lock.unlock_shared();
+///
+/// // Optimistic validation: stable across a write-free window ...
+/// let version = lock.optimistic_version().unwrap();
+/// assert!(lock.validate_version(version));
+/// // ... and invalidated by an exclusive cycle.
 /// lock.lock_exclusive();
 /// lock.unlock_exclusive();
+/// assert!(!lock.validate_version(version));
 /// ```
 #[derive(Default)]
 pub struct RawRwSpinLock {
-    state: AtomicU32,
+    state: AtomicU64,
 }
 
 impl RawRwSpinLock {
-    /// Creates an unlocked lock.
+    /// Creates an unlocked lock with version zero.
     #[inline]
     pub const fn new() -> Self {
         RawRwSpinLock {
-            state: AtomicU32::new(0),
+            state: AtomicU64::new(0),
         }
     }
 
@@ -95,6 +158,9 @@ impl RawRwSpinLock {
 
     /// Releases one shared (read) acquisition.
     ///
+    /// Readers never change the version: optimistic validation is only
+    /// about writers.
+    ///
     /// # Panics
     ///
     /// Debug builds panic if no reader currently holds the lock.
@@ -111,9 +177,28 @@ impl RawRwSpinLock {
     /// blocking.  Does not set the pending bit.
     #[inline]
     pub fn try_lock_exclusive(&self) -> bool {
-        self.state
-            .compare_exchange(0, WRITER_ACTIVE, Ordering::Acquire, Ordering::Relaxed)
+        let state = self.state.load(Ordering::Relaxed);
+        if state & LOCK_MASK != 0 {
+            return false;
+        }
+        if self
+            .state
+            .compare_exchange(
+                state,
+                state | WRITER_ACTIVE,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
+        {
+            // Publish the WRITER_ACTIVE store ahead of every data store in
+            // the critical section (the writer half of the seqlock fence
+            // pairing — see the module docs).  Free on x86; required for
+            // the protocol to be sound under the C++ memory model.
+            fence(Ordering::Release);
+            return true;
+        }
+        false
     }
 
     /// Acquires the lock in exclusive (write) mode, spinning until all
@@ -145,7 +230,11 @@ impl RawRwSpinLock {
                     continue;
                 }
                 // We own the pending bit; wait for readers to drain, then
-                // convert pending -> active.
+                // convert pending -> active.  The version half cannot move
+                // while we hold the pending bit (only an *active* writer's
+                // unlock bumps it, and the pending bit excludes writers),
+                // so re-reading `state` inside the loop keeps the compare
+                // value exact.
                 let mut drain = Backoff::new();
                 loop {
                     let state = self.state.load(Ordering::Relaxed);
@@ -154,13 +243,15 @@ impl RawRwSpinLock {
                         && self
                             .state
                             .compare_exchange_weak(
-                                WRITER_PENDING,
-                                WRITER_ACTIVE,
+                                (state & VERSION_MASK) | WRITER_PENDING,
+                                (state & VERSION_MASK) | WRITER_ACTIVE,
                                 Ordering::Acquire,
                                 Ordering::Relaxed,
                             )
                             .is_ok()
                     {
+                        // Same fence as in `try_lock_exclusive`.
+                        fence(Ordering::Release);
                         return;
                     }
                     drain.snooze();
@@ -170,18 +261,71 @@ impl RawRwSpinLock {
         }
     }
 
-    /// Releases an exclusive (write) acquisition.
+    /// Releases an exclusive (write) acquisition, bumping the version.
+    ///
+    /// While a writer is active the lock half is exactly `WRITER_ACTIVE`
+    /// (no readers can enter, no second writer, pending was consumed on
+    /// conversion), so a single `fetch_add` both clears the bit and
+    /// increments the version — including at wraparound, where the carry
+    /// out of the version half vanishes off the top of the u64 without
+    /// disturbing the lock half.
     ///
     /// # Panics
     ///
     /// Debug builds panic if the lock is not currently held exclusively.
     #[inline]
     pub fn unlock_exclusive(&self) {
-        let previous = self.state.fetch_and(!WRITER_ACTIVE, Ordering::Release);
+        let previous = self
+            .state
+            .fetch_add(VERSION_UNIT - WRITER_ACTIVE, Ordering::Release);
         debug_assert!(
-            previous & WRITER_ACTIVE != 0,
+            previous & LOCK_MASK == WRITER_ACTIVE,
             "unlock_exclusive called without a matching lock_exclusive"
         );
+    }
+
+    /// Begins an optimistic read: returns the current version, or `None`
+    /// if a writer is active (the caller should back off and retry, or
+    /// fall back to a shared lock).
+    ///
+    /// A *pending* writer does not fail the read — it has announced intent
+    /// but has not touched the data; if it activates mid-read, the final
+    /// [`validate_version`](RawRwSpinLock::validate_version) catches it.
+    /// This also means optimistic readers, unlike shared lockers, are
+    /// never stalled by writer preference.
+    #[inline]
+    pub fn optimistic_version(&self) -> Option<u64> {
+        let state = self.state.load(Ordering::Acquire);
+        if state & WRITER_ACTIVE != 0 {
+            None
+        } else {
+            Some(state & VERSION_MASK)
+        }
+    }
+
+    /// Ends an optimistic read: returns `true` iff no writer is currently
+    /// active **and** the version still equals `version` (as returned by
+    /// [`optimistic_version`](RawRwSpinLock::optimistic_version)), i.e. no
+    /// exclusive critical section overlapped the read.
+    ///
+    /// On success, every relaxed data load performed between the two calls
+    /// observed a consistent, fully-published snapshot (see the module docs
+    /// for the fence argument).  On failure the loaded data must be
+    /// discarded.
+    #[inline]
+    pub fn validate_version(&self, version: u64) -> bool {
+        debug_assert_eq!(
+            version & LOCK_MASK,
+            0,
+            "not a value from optimistic_version"
+        );
+        // Reader half of the seqlock fence pairing: order every preceding
+        // data load before the reload below.
+        fence(Ordering::Acquire);
+        let state = self.state.load(Ordering::Relaxed);
+        // Version bits have a zero lock half, so one comparison checks
+        // both "no active writer" and "version unchanged".
+        state & (VERSION_MASK | WRITER_ACTIVE) == version
     }
 
     /// Returns `true` if the lock is currently held in any mode.
@@ -207,6 +351,7 @@ impl fmt::Debug for RawRwSpinLock {
             .field("readers", &(state & READER_MASK))
             .field("writer_pending", &(state & WRITER_PENDING != 0))
             .field("writer_active", &(state & WRITER_ACTIVE != 0))
+            .field("version", &(state >> 32))
             .finish()
     }
 }
@@ -367,7 +512,7 @@ mod tests {
 
     #[test]
     fn raw_lock_is_one_word() {
-        assert_eq!(std::mem::size_of::<RawRwSpinLock>(), 4);
+        assert_eq!(std::mem::size_of::<RawRwSpinLock>(), 8);
     }
 
     #[test]
@@ -398,6 +543,91 @@ mod tests {
         lock.unlock_exclusive();
     }
 
+    #[test]
+    fn version_bumps_once_per_exclusive_cycle() {
+        let lock = RawRwSpinLock::new();
+        let v0 = lock.optimistic_version().unwrap();
+        lock.lock_exclusive();
+        assert_eq!(
+            lock.optimistic_version(),
+            None,
+            "active writer must fail optimistic begin"
+        );
+        lock.unlock_exclusive();
+        let v1 = lock.optimistic_version().unwrap();
+        assert_eq!(v1, v0 + VERSION_UNIT, "one cycle bumps the version once");
+        assert!(lock.validate_version(v1));
+        assert!(!lock.validate_version(v0));
+    }
+
+    #[test]
+    fn shared_acquisitions_do_not_invalidate() {
+        let lock = RawRwSpinLock::new();
+        let version = lock.optimistic_version().unwrap();
+        lock.lock_shared();
+        // A shared holder cannot mutate, so optimistic reads stay valid
+        // right through it.
+        assert_eq!(lock.optimistic_version(), Some(version));
+        assert!(lock.validate_version(version));
+        lock.unlock_shared();
+        assert!(lock.validate_version(version));
+    }
+
+    #[test]
+    fn validation_fails_while_writer_is_active() {
+        let lock = RawRwSpinLock::new();
+        let version = lock.optimistic_version().unwrap();
+        lock.lock_exclusive();
+        assert!(
+            !lock.validate_version(version),
+            "an active writer must fail validation even before the bump"
+        );
+        lock.unlock_exclusive();
+    }
+
+    #[test]
+    fn pending_writer_allows_optimistic_begin_and_validate() {
+        // A writer that has only *announced* intent has not touched the
+        // data: optimistic reads must still begin and validate, otherwise
+        // writer preference would starve the lock-free read path too.
+        let lock = RawRwSpinLock::new();
+        lock.state.fetch_or(WRITER_PENDING, Ordering::Relaxed);
+        let version = lock
+            .optimistic_version()
+            .expect("pending writer must not fail optimistic begin");
+        assert!(lock.validate_version(version));
+        lock.state.fetch_and(!WRITER_PENDING, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn version_wraparound_keeps_the_lock_word_coherent() {
+        // Force the version to its maximum, run one exclusive cycle and
+        // check that the carry disappears off the top: version wraps to
+        // zero, lock half unlocked, protocol still fully functional.
+        let lock = RawRwSpinLock::new();
+        lock.state.store((u32::MAX as u64) << 32, Ordering::Relaxed);
+        let pre = lock.optimistic_version().unwrap();
+        assert_eq!(pre, (u32::MAX as u64) << 32);
+        lock.lock_exclusive();
+        lock.unlock_exclusive();
+        assert_eq!(lock.optimistic_version(), Some(0), "version wraps to zero");
+        assert!(
+            !lock.is_locked(),
+            "wraparound must not corrupt the lock half"
+        );
+        assert!(
+            !lock.validate_version(pre),
+            "pre-wrap version must not validate after the cycle"
+        );
+        // The lock still works normally after wrapping.
+        lock.lock_shared();
+        assert!(!lock.try_lock_exclusive());
+        lock.unlock_shared();
+        lock.lock_exclusive();
+        lock.unlock_exclusive();
+        assert_eq!(lock.optimistic_version(), Some(VERSION_UNIT));
+    }
+
     // Spin-waits on another thread's progress; too slow under Miri's
     // interpreted scheduling.
     #[cfg(not(miri))]
@@ -426,6 +656,12 @@ mod tests {
         writer.join().unwrap();
         assert!(lock.try_lock_shared());
         lock.unlock_shared();
+        // The full pend-drain-activate cycle still bumped the version
+        // exactly once.
+        assert_eq!(
+            lock.state.load(Ordering::Relaxed) & VERSION_MASK,
+            VERSION_UNIT
+        );
     }
 
     #[test]
@@ -471,6 +707,11 @@ mod tests {
             }
         });
         assert_eq!(*lock.read(), threads as u64 * iterations);
+        // Every exclusive cycle bumped the version exactly once.
+        assert_eq!(
+            lock.raw.state.load(Ordering::Relaxed) & VERSION_MASK,
+            (threads as u64 * iterations) << 32
+        );
     }
 
     // Long-running contended stress case; gated from Miri.
@@ -510,12 +751,65 @@ mod tests {
         });
     }
 
+    // Miri-friendly concurrent check of the full optimistic protocol over
+    // a pair of racy atomics (small iteration counts; Miri explores the
+    // weak-memory behaviours).
+    #[test]
+    fn optimistic_reads_never_observe_torn_pairs() {
+        use std::sync::atomic::AtomicU64;
+
+        let lock = Arc::new(RawRwSpinLock::new());
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let rounds: u64 = if cfg!(miri) { 32 } else { 50_000 };
+
+        std::thread::scope(|scope| {
+            {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                scope.spawn(move || {
+                    for i in 1..=rounds {
+                        lock.lock_exclusive();
+                        a.store(i, Ordering::Relaxed);
+                        b.store(i, Ordering::Relaxed);
+                        lock.unlock_exclusive();
+                    }
+                });
+            }
+            {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                scope.spawn(move || {
+                    let mut validated = 0u64;
+                    while validated < rounds.min(64) {
+                        let Some(version) = lock.optimistic_version() else {
+                            std::hint::spin_loop();
+                            continue;
+                        };
+                        let seen_a = a.load(Ordering::Relaxed);
+                        let seen_b = b.load(Ordering::Relaxed);
+                        if lock.validate_version(version) {
+                            assert_eq!(seen_a, seen_b, "validated read must be consistent");
+                            validated += 1;
+                            if seen_a == rounds {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
     #[test]
     fn debug_output_mentions_state() {
         let lock = RawRwSpinLock::new();
         lock.lock_shared();
         let formatted = format!("{lock:?}");
         assert!(formatted.contains("readers"));
+        assert!(formatted.contains("version"));
         lock.unlock_shared();
     }
 }

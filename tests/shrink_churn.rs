@@ -5,9 +5,10 @@
 //! fill → delete-the-oldest-90% → quiesce cycle must shrink the *live
 //! structural node count* (`live_nodes`), not merely clear value slots —
 //! and the epoch collector must have actually freed what was retired
-//! (zero backlog at the quiescent point).  The tree indices must
-//! additionally report sibling merges, proving the shrink came from
-//! structural rebalancing rather than from emptied-node unlinking alone.
+//! (zero backlog at the quiescent point).  The tree indices and the
+//! B-skiplist must additionally report sibling/leaf merges, proving the
+//! shrink came from structural rebalancing rather than from emptied-node
+//! unlinking alone.
 //!
 //! The deletion pattern is a contiguous prefix — the memtable
 //! flush-and-evict shape — because that is what empties nodes and ranges:
@@ -109,9 +110,12 @@ proptest! {
     /// across randomized record counts.
     #[test]
     fn every_index_shrinks_structurally(records in 1200u64..2600) {
+        // Stats on so the leaf-merge counter is visible: a contiguous
+        // prefix delete underflows leaf after leaf, and the sparse-deletion
+        // merge must fold them into their right neighbours.
         let bskip: BSkipList<u64, u64, 16> =
-            BSkipList::with_config(BSkipConfig::default().with_max_height(8));
-        cycle("B-skiplist", &bskip, records, false)?;
+            BSkipList::with_config(BSkipConfig::default().with_max_height(8).with_stats(true));
+        cycle("B-skiplist", &bskip, records, true)?;
 
         let lockfree: LockFreeSkipList<u64, u64> = LockFreeSkipList::new();
         cycle("lock-free skiplist", &lockfree, records, false)?;
