@@ -1,0 +1,268 @@
+//! End-to-end network service loadgen: the "millions of users" numbers.
+//!
+//! Every other binary in this crate measures the indices *in process*;
+//! this one measures them behind the `bskip-net` socket service — framing,
+//! syscalls, pipelining and server-side request coalescing included.  For
+//! each backend (the in-memory B-skiplist and the durable LSM engine) it
+//! starts a server on an ephemeral port and sweeps
+//!
+//! * **client threads** — each thread drives its own pipelined
+//!   [`bskip_net::Connection`] (= its own server thread);
+//! * **pipeline depth** — the connection's in-flight window.  Depth 1 is
+//!   strict request/response; deeper windows let the server drain many
+//!   frames per socket read and coalesce them into one `execute` batch
+//!   (one EBR pin, one WAL group-commit record);
+//! * **value size** — the wire size of `Put` values (8-byte stored word
+//!   plus padding), which scales the framing/copy cost per request.
+//!
+//! Each cell reports throughput (ops/us across all threads) and
+//! per-request round-trip latency percentiles (p50/p95/p99 — the time
+//! from `send` to that request's response, queueing in the window
+//! included), plus the server's mean coalesced batch size for the cell.
+//! Rows land in the `BENCH_service` JSON artifact.
+//!
+//! Scale via `BSKIP_SERVICE_OPS` (requests per cell, default 20 000),
+//! `BSKIP_RECORDS` (preloaded keys, default 20 000) and `BSKIP_THREADS`
+//! (thread-ladder cap).
+//!
+//! The run ends with the **coalescing gate**: every cell with pipeline
+//! depth ≥ 16 must report a mean server-side batch size > 1 — pipelined
+//! traffic that degenerates to one-op batches means the drain/coalesce
+//! loop is broken, and the process exits non-zero so CI trips.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bskip_bench::harness::env_usize;
+use bskip_bench::{format_row, print_header, LsmHandle};
+use bskip_core::{BSkipConfig, BSkipList};
+use bskip_net::{Connection, KvServer, Request, Response, ServerConfig, ServerHandle, SharedIndex};
+use bskip_ycsb::LatencySummary;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Client-thread ladder (capped by `BSKIP_THREADS`).
+const THREADS: [usize; 2] = [1, 4];
+/// Pipeline-depth ladder; ≥ 16 cells are the coalescing-gate population.
+const DEPTHS: [usize; 3] = [1, 16, 64];
+/// Wire value sizes for the `Put` side of the mix.
+const VALUE_SIZES: [usize; 2] = [8, 256];
+/// Percent of requests that are `Get`s (the rest are `Put`s).
+const GET_PERCENT: u32 = 75;
+
+struct Backend {
+    label: &'static str,
+    index: SharedIndex,
+}
+
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend {
+            label: "B-skiplist",
+            index: Arc::new(BSkipList::<u64, u64>::with_config(
+                BSkipConfig::paper_default(),
+            )),
+        },
+        Backend {
+            label: "bskip-lsm",
+            index: Arc::new(LsmHandle::fresh()),
+        },
+    ]
+}
+
+/// Preloads `records` keys through the socket (pipelined), so the
+/// measured phase runs against a populated index *and* the server path is
+/// exercised for the load too.
+fn preload(handle: &ServerHandle, records: u64) {
+    let mut conn = Connection::connect_windowed(handle.addr(), 64).expect("preload connect");
+    for key in 0..records {
+        conn.send(&Request::put(key, key)).expect("preload send");
+    }
+    let responses = conn.drain().expect("preload drain");
+    assert_eq!(responses.len(), records as usize);
+}
+
+struct CellResult {
+    ops_per_us: f64,
+    latency: LatencySummary,
+    mean_batch: f64,
+}
+
+/// Runs one (threads × depth × value size) cell against a running server.
+fn run_cell(
+    handle: &ServerHandle,
+    threads: usize,
+    depth: usize,
+    value_len: usize,
+    records: u64,
+    total_ops: usize,
+) -> CellResult {
+    let stat = |snapshot: &[(String, u64)], name: &str| {
+        snapshot
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let before = handle.stats();
+    let per_thread = (total_ops / threads).max(1);
+    let addr = handle.addr();
+
+    let start = Instant::now();
+    let samples: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|thread_id| {
+                scope.spawn(move || {
+                    let mut conn = Connection::connect_windowed(addr, depth).expect("cell connect");
+                    let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ (thread_id as u64) << 32);
+                    let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(depth + 1);
+                    let mut samples_ns: Vec<f64> = Vec::with_capacity(per_thread);
+                    let mut claim = |sent_at: &mut VecDeque<Instant>, response: Response| {
+                        let sent = sent_at.pop_front().expect("response without request");
+                        samples_ns.push(sent.elapsed().as_nanos() as f64);
+                        debug_assert!(
+                            matches!(response, Response::Found { .. } | Response::Missing),
+                            "unexpected response {response:?}"
+                        );
+                    };
+                    for _ in 0..per_thread {
+                        // `send` may first pull finished responses into
+                        // the ready queue to make window room; claim them
+                        // so the timestamp queue stays aligned.
+                        let request = if rng.gen_range(0..100u32) < GET_PERCENT {
+                            Request::Get {
+                                key: rng.gen_range(0..records),
+                            }
+                        } else {
+                            Request::put_padded(rng.gen_range(0..records), rng.gen(), value_len)
+                        };
+                        sent_at.push_back(Instant::now());
+                        conn.send(&request).expect("cell send");
+                        while conn.ready() > 0 {
+                            let response = conn.recv().expect("cell recv");
+                            claim(&mut sent_at, response);
+                        }
+                    }
+                    for response in conn.drain().expect("cell drain") {
+                        claim(&mut sent_at, response);
+                    }
+                    samples_ns
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| worker.join().expect("cell worker"))
+            .collect()
+    });
+    let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+
+    let after = handle.stats();
+    let batches = stat(&after, "server_batches") - stat(&before, "server_batches");
+    let batched_ops = stat(&after, "server_batched_ops") - stat(&before, "server_batched_ops");
+    let all_samples: Vec<f64> = samples.into_iter().flatten().collect();
+    let ops = all_samples.len();
+    CellResult {
+        ops_per_us: ops as f64 / elapsed_us,
+        latency: LatencySummary::from_samples(all_samples),
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            batched_ops as f64 / batches as f64
+        },
+    }
+}
+
+fn main() {
+    let records = env_usize("BSKIP_RECORDS", 20_000).max(1) as u64;
+    let total_ops = env_usize("BSKIP_SERVICE_OPS", 20_000).max(1);
+    let max_threads = env_usize(
+        "BSKIP_THREADS",
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    );
+    let ladder: Vec<usize> = THREADS
+        .iter()
+        .copied()
+        .filter(|t| *t == 1 || *t <= max_threads)
+        .collect();
+    println!(
+        "Service loadgen: {records} records preloaded over the wire, {total_ops} requests/cell, \
+         {GET_PERCENT}% get / {}% put, threads {ladder:?}, depths {DEPTHS:?}, \
+         value sizes {VALUE_SIZES:?}",
+        100 - GET_PERCENT
+    );
+
+    let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    for backend in backends() {
+        let server = KvServer::bind(
+            Arc::clone(&backend.index),
+            ("127.0.0.1", 0),
+            ServerConfig::default(),
+        )
+        .expect("bind server");
+        let handle = server.spawn().expect("spawn server");
+        preload(&handle, records);
+
+        print_header(
+            &format!("{} — service sweep", backend.label),
+            &[
+                "threads", "depth", "vlen", "ops/us", "p50us", "p95us", "p99us", "batch",
+            ],
+        );
+        for &threads in &ladder {
+            for &depth in &DEPTHS {
+                for &value_len in &VALUE_SIZES {
+                    let cell = run_cell(&handle, threads, depth, value_len, records, total_ops);
+                    println!(
+                        "{}",
+                        format_row(&[
+                            threads.to_string(),
+                            depth.to_string(),
+                            value_len.to_string(),
+                            format!("{:.3}", cell.ops_per_us),
+                            format!("{:.1}", cell.latency.p50_us),
+                            format!("{:.1}", cell.latency.p95_us),
+                            format!("{:.1}", cell.latency.p99_us),
+                            format!("{:.2}", cell.mean_batch),
+                        ])
+                    );
+                    rows.push(vec![
+                        ("backend", backend.label.to_string()),
+                        ("threads", threads.to_string()),
+                        ("depth", depth.to_string()),
+                        ("value_len", value_len.to_string()),
+                        ("ops_per_us", format!("{:.4}", cell.ops_per_us)),
+                        ("p50_us", format!("{:.2}", cell.latency.p50_us)),
+                        ("p95_us", format!("{:.2}", cell.latency.p95_us)),
+                        ("p99_us", format!("{:.2}", cell.latency.p99_us)),
+                        ("mean_batch", format!("{:.3}", cell.mean_batch)),
+                    ]);
+                    if depth >= 16 && cell.mean_batch <= 1.0 {
+                        gate_failures.push(format!(
+                            "{} threads={threads} depth={depth} vlen={value_len}: \
+                             mean batch {:.3}",
+                            backend.label, cell.mean_batch
+                        ));
+                    }
+                }
+            }
+        }
+        handle.shutdown();
+    }
+    bskip_bench::write_artifact("BENCH_service", &rows);
+
+    if gate_failures.is_empty() {
+        println!(
+            "\nCoalescing gate passed: every depth >= 16 cell batched more than one \
+             request per execute."
+        );
+    } else {
+        eprintln!("\ncoalescing gate FAILED — pipelined cells degenerated to one-op batches:");
+        for failure in &gate_failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -132,6 +132,51 @@ impl Drop for LsmHandle {
     }
 }
 
+/// The handle forwards the index trait to its engine, so a whole
+/// `LsmHandle` can stand wherever a [`ConcurrentIndex`] is expected —
+/// in particular behind the network service's `Arc<dyn ConcurrentIndex>`
+/// backend slot, where the handle's drop keeps the scratch directory
+/// self-cleaning after the server shuts down.
+impl ConcurrentIndex<u64, u64> for LsmHandle {
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        self.engine.insert(key, value)
+    }
+    fn get(&self, key: &u64) -> Option<u64> {
+        self.engine.get(key)
+    }
+    fn contains_key(&self, key: &u64) -> bool {
+        self.engine.contains_key(key)
+    }
+    fn execute(&self, ops: &mut [bskip_index::Op<u64, u64>]) {
+        self.engine.execute(ops)
+    }
+    fn remove(&self, key: &u64) -> Option<u64> {
+        self.engine.remove(key)
+    }
+    fn scan_bounds(
+        &self,
+        lo: std::ops::Bound<u64>,
+        hi: std::ops::Bound<u64>,
+    ) -> bskip_index::Cursor<'_, u64, u64> {
+        self.engine.scan_bounds(lo, hi)
+    }
+    fn try_reclaim(&self) -> usize {
+        self.engine.try_reclaim()
+    }
+    fn len(&self) -> usize {
+        ConcurrentIndex::len(&self.engine)
+    }
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+    fn stats(&self) -> IndexStats {
+        ConcurrentIndex::stats(&self.engine)
+    }
+    fn reset_stats(&self) {
+        self.engine.reset_stats()
+    }
+}
+
 /// A uniform owner of any of the evaluated indices.
 pub enum AnyIndex {
     /// The concurrent B-skiplist.
@@ -232,7 +277,9 @@ pub fn experiment_config() -> (YcsbConfig, usize) {
     )
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
+/// Reads a `usize` experiment knob from the environment, falling back to
+/// `default` when the variable is unset or unparsable.
+pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|value| value.parse().ok())

@@ -8,9 +8,17 @@
 //! unset the call is a no-op, so local runs stay file-free.
 //!
 //! The workspace builds offline without serde, so the writer emits the
-//! tiny JSON subset it needs by hand: an object with the binary name and
-//! an array of flat string-keyed rows.  Values that parse as plain
-//! numbers are emitted as numbers, everything else as escaped strings.
+//! tiny JSON subset it needs by hand: an object with the binary name, the
+//! host's core count, and an array of flat string-keyed rows.  Values
+//! that parse as plain numbers are emitted as numbers, everything else as
+//! escaped strings.
+//!
+//! Every artifact carries a top-level `host_cores` field (from
+//! [`std::thread::available_parallelism`]) so that multi-thread cells
+//! whose thread count exceeds the host's cores — oversubscription
+//! lotteries, per the ROADMAP's measurement caveat — are
+//! machine-identifiable when artifacts from different machines are
+//! compared.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -88,11 +96,20 @@ fn render_value(value: &str) -> String {
     }
 }
 
+/// The host's core count as embedded in every artifact (0 when the
+/// platform cannot report it — effectively never on the targets CI runs).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|cores| cores.get())
+        .unwrap_or(0)
+}
+
 /// Serializes `rows` to a JSON document (exposed for tests).
 pub fn render_artifact(binary: &str, rows: &[JsonRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"binary\": \"{}\",\n", escape(binary)));
+    out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
     out.push_str("  \"rows\": [\n");
     for (index, row) in rows.iter().enumerate() {
         let fields: Vec<String> = row
@@ -143,6 +160,7 @@ mod tests {
         ];
         let doc = render_artifact("stat_demo", &rows);
         assert!(doc.contains("\"binary\": \"stat_demo\""));
+        assert!(doc.contains(&format!("\"host_cores\": {}", host_cores())));
         assert!(doc.contains("\"mops\": 1.25"));
         assert!(doc.contains("\"mops\": -3e2"));
         assert!(doc.contains("\"index\": \"OCC \\\"B+\\\"-tree\""));

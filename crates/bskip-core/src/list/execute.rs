@@ -72,8 +72,9 @@ use std::ptr;
 
 use bskip_index::ops::{sorted_order, Op, OpResult};
 use bskip_index::{IndexKey, IndexValue};
+use bskip_sync::Backoff;
 
-use super::{lock_node, unlock_node, BSkipList, Mode};
+use super::{lock_node, unlock_node, BSkipList, Mode, Restart, OPTIMISTIC_ATTEMPTS};
 use crate::node::{prefetch_node, Node, NodeSearch};
 
 /// Level-1 right-walk budget between runs before the batch path gives up
@@ -326,17 +327,108 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
         }
     }
 
-    /// Full hand-over-hand descent establishing the two-level frontier
-    /// for `key`: the covering level-1 node read-locked (null/`None` when
-    /// the list has no internal level) and the covering leaf write-locked,
-    /// each with its captured upper bound.
+    /// Establishes the two-level frontier for `key`: the covering level-1
+    /// node read-locked (null/`None` when the list has no internal level)
+    /// and the covering leaf write-locked, each with its captured upper
+    /// bound.
+    ///
+    /// The positioning above level 1 is read-mostly, so it goes
+    /// **optimistic-first**: an OLC descent (the same machinery as the
+    /// lock-free point reads) reaches the candidate level-1 node with
+    /// zero lock acquisitions, which is then read-locked and
+    /// version-validated; only the leaf's write lock and the level-1 read
+    /// lock — the two locks the frontier retains anyway — are ever taken.
+    /// After [`OPTIMISTIC_ATTEMPTS`] failed validations the descent falls
+    /// back to the fully locked hand-over-hand walk
+    /// ([`Self::descend_frontier_locked`]).  The
+    /// `batch_optimistic_descents` / `batch_descent_fallbacks` counters
+    /// record which path ran.
     ///
     /// # Safety
     ///
-    /// The caller must release both returned locks (leaf in write mode,
-    /// level-1 node — when non-null — in read mode).
+    /// The caller must hold an epoch pin across the call and must release
+    /// both returned locks (leaf in write mode, level-1 node — when
+    /// non-null — in read mode).
     #[allow(clippy::type_complexity)]
     unsafe fn descend_frontier(
+        &self,
+        key: &K,
+    ) -> (*mut Node<K, V, B>, Option<K>, *mut Node<K, V, B>, Option<K>) {
+        // The single-level layout has no read-mostly prefix to skip — the
+        // first lock taken is the retained leaf write lock either way.
+        if self.top_level() >= 1 {
+            let mut backoff = Backoff::new();
+            for _ in 0..OPTIMISTIC_ATTEMPTS {
+                match self.try_descend_frontier_optimistic(key) {
+                    Ok(frontier) => {
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.batch_optimistic_descents.incr();
+                        }
+                        return frontier;
+                    }
+                    Err(Restart) => {
+                        if let Some(stats) = self.stats_enabled() {
+                            stats.optimistic_restarts.incr();
+                        }
+                        backoff.spin();
+                    }
+                }
+            }
+            if let Some(stats) = self.stats_enabled() {
+                stats.batch_descent_fallbacks.incr();
+            }
+        }
+        self.descend_frontier_locked(key)
+    }
+
+    /// One optimistic attempt at [`Self::descend_frontier`]: an OLC
+    /// descent to level 1, then lock-validate and finish exactly like the
+    /// locked path's final two steps.
+    ///
+    /// # Safety
+    ///
+    /// As [`Self::descend_frontier`]; the list must have a level 1
+    /// (`top_level() >= 1`).
+    #[allow(clippy::type_complexity)]
+    unsafe fn try_descend_frontier_optimistic(
+        &self,
+        key: &K,
+    ) -> Result<(*mut Node<K, V, B>, Option<K>, *mut Node<K, V, B>, Option<K>), Restart> {
+        let (candidate, version) = self.try_descend_optimistic_to(key, 1)?;
+        lock_node(candidate, Mode::Read);
+        // An unchanged version means the node still covers `key` (its
+        // content and next pointer can only change under its exclusive
+        // lock, which would have bumped it); shared acquisitions do not
+        // bump versions, so an untouched node validates under our lock.
+        if !(*candidate).lock.validate_version(version) {
+            unlock_node(candidate, Mode::Read);
+            return Err(Restart);
+        }
+        // From here this is the locked path's tail: capture the level-1
+        // upper bound under the held read lock (the successor's header is
+        // re-read under its own lock, so a concurrently shifted boundary
+        // is simply walked over), then descend to the write-locked leaf.
+        let (l1, upper1, _) = self.walk_right_capture(candidate, key, Mode::Read, usize::MAX);
+        let child = self.descend_pointer(l1, key);
+        lock_node(child, Mode::Write);
+        if let Some(stats) = self.stats_enabled() {
+            stats.levels_visited.incr();
+            stats.batch_leaf_locks.incr();
+        }
+        let (leaf, upper0, _) = self.walk_right_capture(child, key, Mode::Write, usize::MAX);
+        Ok((l1, upper1, leaf, upper0))
+    }
+
+    /// Full hand-over-hand locked descent establishing the two-level
+    /// frontier: the contention fallback behind
+    /// [`Self::descend_frontier`], and the whole story for single-level
+    /// lists.
+    ///
+    /// # Safety
+    ///
+    /// As [`Self::descend_frontier`].
+    #[allow(clippy::type_complexity)]
+    unsafe fn descend_frontier_locked(
         &self,
         key: &K,
     ) -> (*mut Node<K, V, B>, Option<K>, *mut Node<K, V, B>, Option<K>) {
@@ -617,6 +709,41 @@ mod tests {
         for (key, op) in batch.iter().enumerate() {
             assert_eq!(op.result().value(), Some(key as u64), "key {key}");
         }
+    }
+
+    #[test]
+    fn frontier_positioning_goes_through_the_optimistic_descent() {
+        let list = List::with_config(small_config().with_stats(true));
+        // Promoted keys every 32 build a real tower (top level >= 1), so
+        // frontier positioning has a read-mostly prefix to skip.
+        for key in 0..256u64 {
+            let height = usize::from(key % 32 == 0);
+            list.insert_with_height(key, key, height);
+        }
+        assert!(list.top_level() >= 1, "test needs an internal level");
+        list.reset_stats();
+
+        let batches = 5u64;
+        for round in 0..batches {
+            let mut batch: Vec<Op<u64, u64>> = (0..32u64).map(|i| Op::get(round + 8 * i)).collect();
+            list.execute(&mut batch);
+            for op in &batch {
+                assert_eq!(op.result().value(), Some(*op.key()));
+            }
+        }
+
+        let stats = ConcurrentIndex::stats(&list);
+        let optimistic = stats.get("batch_optimistic_descents").unwrap();
+        assert!(
+            optimistic >= batches,
+            "every batch's first positioning must engage the OLC descent, \
+             got {optimistic} for {batches} batches"
+        );
+        assert_eq!(
+            stats.get("batch_descent_fallbacks"),
+            Some(0),
+            "single-threaded batches must never exhaust optimistic attempts"
+        );
     }
 
     #[test]

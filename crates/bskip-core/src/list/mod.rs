@@ -514,7 +514,27 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
     /// The caller must hold an epoch pin across the call *and* across any
     /// subsequent use of the returned pointer.
     unsafe fn try_descend_optimistic(&self, key: &K) -> Result<(*mut Node<K, V, B>, u64), Restart> {
+        self.try_descend_optimistic_to(key, 0)
+    }
+
+    /// [`Self::try_descend_optimistic`], stopped at `stop_level` instead
+    /// of the leaf level: returns the covering node *at that level* with
+    /// the version to re-validate.  The batch `execute` path uses
+    /// `stop_level = 1` to re-establish its two-level frontier without
+    /// locking the upper tower.
+    ///
+    /// # Safety
+    ///
+    /// As [`Self::try_descend_optimistic`]; additionally the list's top
+    /// level must be `>= stop_level` (the caller checks — the level count
+    /// only grows, so the check cannot go stale).
+    unsafe fn try_descend_optimistic_to(
+        &self,
+        key: &K,
+        stop_level: usize,
+    ) -> Result<(*mut Node<K, V, B>, u64), Restart> {
         let mut level = self.top_level();
+        debug_assert!(level >= stop_level, "descent below the current tower");
         let mut curr = self.head(level);
         let mut version = (*curr).lock.optimistic_version().ok_or(Restart)?;
         loop {
@@ -555,7 +575,7 @@ impl<K: IndexKey, V: IndexValue, const B: usize> BSkipList<K, V, B> {
                     break;
                 }
             }
-            if level == 0 {
+            if level == stop_level {
                 return Ok((curr, version));
             }
             let len = (*curr).len();

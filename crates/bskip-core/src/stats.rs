@@ -45,6 +45,14 @@ pub struct BSkipStats {
     /// Batch operations that fell back to the per-op point path (splits,
     /// promoted inserts, header removals).
     pub batch_fallbacks: CachePadded<RelaxedCounter>,
+    /// Batch frontier repositionings that established the two-level
+    /// frontier through the optimistic (OLC) descent — no locks taken
+    /// above level 1.
+    pub batch_optimistic_descents: CachePadded<RelaxedCounter>,
+    /// Batch frontier repositionings that exhausted their optimistic
+    /// attempts and fell back to the fully locked hand-over-hand descent.
+    /// Zero in any single-threaded run.
+    pub batch_descent_fallbacks: CachePadded<RelaxedCounter>,
     /// Point reads (`get`/`peek`/`contains_key`) that completed through the
     /// optimistic lock-free descent — zero lock acquisitions end to end.
     pub optimistic_reads: CachePadded<RelaxedCounter>,
@@ -83,6 +91,8 @@ impl BSkipStats {
         self.batched_ops.reset();
         self.batch_leaf_locks.reset();
         self.batch_fallbacks.reset();
+        self.batch_optimistic_descents.reset();
+        self.batch_descent_fallbacks.reset();
         self.optimistic_reads.reset();
         self.optimistic_restarts.reset();
         self.locked_fallbacks.reset();
@@ -106,6 +116,14 @@ impl BSkipStats {
             .with("batched_ops", self.batched_ops.get())
             .with("batch_leaf_locks", self.batch_leaf_locks.get())
             .with("batch_fallbacks", self.batch_fallbacks.get())
+            .with(
+                "batch_optimistic_descents",
+                self.batch_optimistic_descents.get(),
+            )
+            .with(
+                "batch_descent_fallbacks",
+                self.batch_descent_fallbacks.get(),
+            )
             .with("optimistic_reads", self.optimistic_reads.get())
             .with("optimistic_restarts", self.optimistic_restarts.get())
             .with("locked_fallbacks", self.locked_fallbacks.get())
@@ -158,7 +176,7 @@ mod tests {
         let snapshot = stats.snapshot();
         assert_eq!(snapshot.get("finds"), Some(3));
         assert_eq!(snapshot.get("top_level_write_locks"), Some(1));
-        assert_eq!(snapshot.len(), 18);
+        assert_eq!(snapshot.len(), 20);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Every method on [`ConcurrentIndex`] describes a
 //! *single* trip into the index: one traversal, one epoch pin, one lock
 //! protocol run.  Real write paths — LSM memtable ingest, YCSB-style
-//! drivers, replication apply loops — hold *many* operations at once, and
+//! drivers, replication apply loops, a network server draining a
+//! pipelined connection window (`bskip-net` folds every complete frame
+//! a socket read yields into one batch) — hold *many* operations at
+//! once, and
 //! an index that concentrates neighbouring keys in fat nodes (the
 //! B-skiplist's whole design) can amortize traversal, pinning and locking
 //! across every operation that lands in the same node.  This module defines

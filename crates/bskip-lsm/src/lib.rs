@@ -20,9 +20,12 @@
 //!
 //! The engine ([`LsmEngine`]) implements the workspace's
 //! [`bskip_index::ConcurrentIndex`] trait, so the YCSB driver, the
-//! differential proptests and the benchmark harness all run against it
-//! unchanged — the only observable difference from the in-memory indices
-//! is that its contents survive a kill.
+//! differential proptests, the benchmark harness and the `bskip-net`
+//! socket service all run against it unchanged — the only observable
+//! difference from the in-memory indices is that its contents survive a
+//! kill.  Behind the network server the group-commit lane lines up end
+//! to end: one pipelined client window becomes one `execute` batch
+//! becomes one WAL record and one `write(2)`.
 //!
 //! Module map: [`wal`] (framed, CRC-checked log with torn-tail recovery),
 //! [`memtable`] (the B-skiplist write buffer), [`sstable`] (block-

@@ -1,0 +1,459 @@
+//! The blocking-socket KV server with pipelined-request coalescing.
+//!
+//! No async runtime is vendored, so the server is deliberately classical:
+//! a `std::net` accept loop handing each connection to its own thread,
+//! bounded by a connection cap, with graceful shutdown driven by a flag
+//! plus a self-connect to unblock `accept`.  What makes it interesting is
+//! what each connection thread does with a **pipelined** client:
+//!
+//! 1. read whatever the socket has — possibly many frames at once;
+//! 2. drain *every* complete frame out of the [`FrameDecoder`];
+//! 3. map each maximal run of point operations (`Get`/`Put`/`Del`, and
+//!    the contents of explicit `Batch` requests) onto **one**
+//!    [`ConcurrentIndex::execute`] call — one EBR pin on the B-skiplist,
+//!    one WAL group-commit record on the LSM engine — then write all the
+//!    responses back in request order with a single `write_all`.
+//!
+//! A client that keeps 32 requests in flight therefore pays roughly one
+//! index-batch and two syscalls per socket read, not per request; the
+//! [`ServerStats`] counters (`server_batches`, `server_batched_ops`, …)
+//! make the achieved coalescing factor observable through the protocol's
+//! own `Stats` request, which the loadgen turns into a CI tripwire.
+//!
+//! `Scan` is answered through the index's seekable-cursor API
+//! ([`ConcurrentIndex::scan_bounds`]) and `Stats` merges the server's own
+//! counters with the backend's [`bskip_index::IndexStats`] snapshot
+//! (which, for the LSM engine, carries WAL/flush/compaction counters).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bskip_index::{ConcurrentIndex, Op};
+
+use crate::proto::{
+    encode_response, BatchOp, ErrorCode, FrameDecoder, ProtoError, Request, Response,
+};
+
+/// The index type the service runs over: any [`ConcurrentIndex`] behind a
+/// shared pointer (the workspace's indices are all `u64 → u64`).
+pub type SharedIndex = Arc<dyn ConcurrentIndex<u64, u64>>;
+
+/// Tuning knobs for [`KvServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further clients receive a
+    /// `Busy` error frame and are closed.
+    pub max_connections: usize,
+    /// Socket read chunk size per connection.
+    pub read_chunk: usize,
+    /// Per-read socket timeout; its only role is to bound how long a
+    /// parked connection thread takes to notice a shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            read_chunk: 16 << 10,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Monotonic counters describing the server's coalescing behaviour,
+/// exported through the protocol's `Stats` request (prefixed `server_`).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted and served.
+    pub connections: AtomicU64,
+    /// Connections turned away at the cap with a `Busy` frame.
+    pub rejected: AtomicU64,
+    /// Requests decoded (one `Batch` request counts once).
+    pub requests: AtomicU64,
+    /// `execute` calls issued for coalesced point-operation runs.
+    pub batches: AtomicU64,
+    /// Point operations carried by those `execute` calls; the mean
+    /// coalesced batch size is `batched_ops / batches`.
+    pub batched_ops: AtomicU64,
+    /// Largest single coalesced batch observed.
+    pub max_batch: AtomicU64,
+    /// `Scan` requests served.
+    pub scans: AtomicU64,
+    /// Entries returned across all scans.
+    pub scan_entries: AtomicU64,
+}
+
+impl ServerStats {
+    fn note_batch(&self, ops: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_ops.fetch_add(ops as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(ops as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot as `(name, value)` pairs, in the order they appear in a
+    /// `Stats` response.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        vec![
+            ("server_connections".into(), read(&self.connections)),
+            ("server_rejected".into(), read(&self.rejected)),
+            ("server_requests".into(), read(&self.requests)),
+            ("server_batches".into(), read(&self.batches)),
+            ("server_batched_ops".into(), read(&self.batched_ops)),
+            ("server_max_batch".into(), read(&self.max_batch)),
+            ("server_scans".into(), read(&self.scans)),
+            ("server_scan_entries".into(), read(&self.scan_entries)),
+        ]
+    }
+}
+
+struct Shared {
+    index: SharedIndex,
+    config: ServerConfig,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// A running KV service bound to a TCP listener.
+///
+/// Construct with [`KvServer::bind`], then either call [`KvServer::run`]
+/// on the current thread or [`KvServer::spawn`] to get a background
+/// accept thread plus a [`ServerHandle`] for shutdown.
+pub struct KvServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Control handle for a spawned [`KvServer`]: shutdown + join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Binds the service over `index` to `addr` (use port 0 for an
+    /// ephemeral port; see [`KvServer::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        index: SharedIndex,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(KvServer {
+            listener,
+            shared: Arc::new(Shared {
+                index,
+                config,
+                stats: ServerStats::default(),
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's coalescing counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Runs the accept loop on the current thread until a
+    /// [`ServerHandle::shutdown`] (or [`Self::shutdown_flag`] raised by
+    /// other means) stops it.  Connection threads may outlive the loop by
+    /// up to one poll interval; the listener closes when this returns.
+    pub fn run(self) {
+        let KvServer { listener, shared } = self;
+        while !shared.shutdown.load(Ordering::Acquire) {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => continue,
+            };
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // `fetch_add` first so racing accepts cannot both sneak under
+            // the cap; back out if we lost.
+            if shared.active.fetch_add(1, Ordering::AcqRel) >= shared.config.max_connections {
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                reject_busy(stream);
+                continue;
+            }
+            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&shared, stream);
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    }
+
+    /// Spawns the accept loop on a background thread and returns its
+    /// control handle.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("bskip-net-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The shutdown flag shared with every connection thread; raising it
+    /// stops the accept loop at its next wakeup.  [`ServerHandle`] wraps
+    /// this together with the accept-unblocking connect.
+    pub fn shutdown_flag(&self) -> &AtomicBool {
+        &self.shared.shutdown
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server's coalescing counters.
+    pub fn stats(&self) -> Vec<(String, u64)> {
+        self.shared.stats.snapshot()
+    }
+
+    /// Raises the shutdown flag, wakes the accept loop with a throwaway
+    /// connection, and joins the accept thread.  In-flight connection
+    /// threads notice the flag within one poll interval and exit; the
+    /// listener socket closes with the accept thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock `accept` (ignore failure — the loop also wakes on any
+        // real client, and the thread exits either way once it polls).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn reject_busy(mut stream: TcpStream) {
+    let mut frame = Vec::new();
+    let busy = Response::Error {
+        code: ErrorCode::Busy,
+        message: "connection cap reached".into(),
+    };
+    if encode_response(&busy, &mut frame).is_ok() {
+        let _ = stream.write_all(&frame);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One request's claim on the coalesced op vector: which ops are its, and
+/// whether it answers as a single `Found`/`Missing` or a `Results` list.
+enum PendingReply {
+    /// A point request owning one op slot.
+    Point,
+    /// A `Batch` request owning `count` op slots.
+    Batch { count: usize },
+    /// A request answered immediately, out of band of the op vector.
+    Ready(Response),
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; shared.config.read_chunk];
+    let mut requests: Vec<Request> = Vec::new();
+    let mut write_buf: Vec<u8> = Vec::new();
+
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        decoder.extend(&chunk[..n]);
+
+        // Drain EVERY complete frame the read delivered — this is the
+        // window the coalescer works over.
+        requests.clear();
+        loop {
+            match decoder.decode_request() {
+                Ok(Some(request)) => requests.push(request),
+                Ok(None) => break,
+                Err(error) => {
+                    // Answer everything decoded before the poisoned
+                    // frame, then one terminal error frame.
+                    if !requests.is_empty() {
+                        answer_requests(shared, &requests, &mut write_buf)?;
+                    }
+                    write_buf.clear();
+                    encode_response(&error_response(&error), &mut write_buf)?;
+                    let _ = stream.write_all(&write_buf);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return Ok(());
+                }
+            }
+        }
+        if requests.is_empty() {
+            continue;
+        }
+        answer_requests(shared, &requests, &mut write_buf)?;
+        stream.write_all(&write_buf)?;
+    }
+
+    fn answer_requests(
+        shared: &Shared,
+        requests: &[Request],
+        write_buf: &mut Vec<u8>,
+    ) -> std::io::Result<()> {
+        write_buf.clear();
+        shared
+            .stats
+            .requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+
+        // Pass 1: translate the run into one flat op vector plus one
+        // reply descriptor per request.  Non-point requests (Ping, Scan,
+        // Stats) are answered inline but do NOT flush the op vector —
+        // the whole drained window still executes as one batch.
+        let mut ops: Vec<Op<u64, u64>> = Vec::new();
+        let mut replies: Vec<PendingReply> = Vec::with_capacity(requests.len());
+        for request in requests {
+            match request {
+                Request::Ping => replies.push(PendingReply::Ready(Response::Pong)),
+                Request::Get { key } => {
+                    ops.push(Op::get(*key));
+                    replies.push(PendingReply::Point);
+                }
+                Request::Put { key, value, .. } => {
+                    ops.push(Op::insert(*key, *value));
+                    replies.push(PendingReply::Point);
+                }
+                Request::Del { key } => {
+                    ops.push(Op::remove(*key));
+                    replies.push(PendingReply::Point);
+                }
+                Request::Batch { ops: batch } => {
+                    for op in batch {
+                        ops.push(match op {
+                            BatchOp::Get { key } => Op::get(*key),
+                            BatchOp::Put { key, value, .. } => Op::insert(*key, *value),
+                            BatchOp::Del { key } => Op::remove(*key),
+                        });
+                    }
+                    replies.push(PendingReply::Batch { count: batch.len() });
+                }
+                Request::Scan { lo, hi, limit } => {
+                    replies.push(PendingReply::Ready(serve_scan(shared, *lo, *hi, *limit)));
+                }
+                Request::Stats => {
+                    replies.push(PendingReply::Ready(serve_stats(shared)));
+                }
+            }
+        }
+
+        // Pass 2: one `execute` for the whole run — one EBR pin on the
+        // B-skiplist, one WAL group commit on the LSM engine.
+        if !ops.is_empty() {
+            shared.stats.note_batch(ops.len());
+            shared.index.execute(&mut ops);
+        }
+
+        // Pass 3: emit responses in request order.
+        let mut next_op = 0usize;
+        for reply in replies {
+            let response = match reply {
+                PendingReply::Ready(response) => response,
+                PendingReply::Point => {
+                    let value = ops[next_op].result().value();
+                    next_op += 1;
+                    match value {
+                        Some(value) => Response::Found { value },
+                        None => Response::Missing,
+                    }
+                }
+                PendingReply::Batch { count } => {
+                    let results = ops[next_op..next_op + count]
+                        .iter()
+                        .map(|op| op.result().value())
+                        .collect();
+                    next_op += count;
+                    Response::Results { results }
+                }
+            };
+            encode_response(&response, write_buf)?;
+        }
+        Ok(())
+    }
+}
+
+fn serve_scan(shared: &Shared, lo: u64, hi: u64, limit: u32) -> Response {
+    shared.stats.scans.fetch_add(1, Ordering::Relaxed);
+    let mut cursor = shared
+        .index
+        .scan_bounds(Bound::Included(lo), Bound::Excluded(hi));
+    let mut entries = Vec::new();
+    while entries.len() < limit as usize {
+        match cursor.next() {
+            Some(entry) => entries.push(entry),
+            None => break,
+        }
+    }
+    shared
+        .stats
+        .scan_entries
+        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+    Response::Entries { entries }
+}
+
+fn serve_stats(shared: &Shared) -> Response {
+    let mut entries = shared.stats.snapshot();
+    entries.push(("index_len".into(), shared.index.len() as u64));
+    for stat in shared.index.stats().iter() {
+        entries.push((stat.name.to_string(), stat.value));
+    }
+    Response::Stats { entries }
+}
+
+fn error_response(error: &ProtoError) -> Response {
+    let code = match error {
+        ProtoError::Oversized { .. } => ErrorCode::Oversized,
+        _ => ErrorCode::Malformed,
+    };
+    Response::Error {
+        code,
+        message: error.to_string(),
+    }
+}

@@ -58,6 +58,8 @@ pub struct LatencySummary {
     pub p50_us: f64,
     /// 90th percentile latency in microseconds.
     pub p90_us: f64,
+    /// 95th percentile latency in microseconds.
+    pub p95_us: f64,
     /// 99th percentile latency in microseconds.
     pub p99_us: f64,
     /// 99.9th percentile latency in microseconds.
@@ -84,6 +86,7 @@ impl LatencySummary {
         LatencySummary {
             p50_us: pick(0.50) / 1_000.0,
             p90_us: pick(0.90) / 1_000.0,
+            p95_us: pick(0.95) / 1_000.0,
             p99_us: pick(0.99) / 1_000.0,
             p999_us: pick(0.999) / 1_000.0,
             mean_us: mean_ns / 1_000.0,
@@ -132,10 +135,12 @@ mod tests {
         let summary = LatencySummary::from_samples(samples);
         assert!((summary.p50_us - 0.5).abs() < 1e-9);
         assert!((summary.p90_us - 0.9).abs() < 1e-9);
+        assert!((summary.p95_us - 0.95).abs() < 1e-9);
         assert!((summary.p99_us - 0.99).abs() < 1e-9);
         assert!((summary.p999_us - 0.999).abs() < 1e-9);
         assert!(summary.p50_us <= summary.p90_us);
-        assert!(summary.p90_us <= summary.p99_us);
+        assert!(summary.p90_us <= summary.p95_us);
+        assert!(summary.p95_us <= summary.p99_us);
         assert!(summary.p99_us <= summary.p999_us);
         assert_eq!(summary.samples, 1000);
     }

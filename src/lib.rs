@@ -12,6 +12,7 @@ pub use bskip_cachesim as cachesim;
 pub use bskip_core as core;
 pub use bskip_index as index;
 pub use bskip_lsm as lsm;
+pub use bskip_net as net;
 pub use bskip_sync as sync;
 pub use bskip_ycsb as ycsb;
 
@@ -22,4 +23,7 @@ pub use bskip_index::{
     OpResult, ReclamationStats,
 };
 pub use bskip_lsm::{LsmConfig, LsmEngine, SyncPolicy};
+pub use bskip_net::{
+    BatchOp, Connection, KvServer, Pool, Request, Response, ServerConfig, SharedIndex,
+};
 pub use bskip_sync::{EbrCollector, EbrGuard, EbrStats};
