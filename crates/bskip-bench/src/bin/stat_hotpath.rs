@@ -26,6 +26,12 @@
 //! `ebr_slot_registrations` (steady-state pins reuse the cached slot and
 //! never rescan the slot array).
 //!
+//! After the per-index ladders comes the **shard-count sweep**: the
+//! get/mixed95 phases re-run on a hash-partitioned `ShardedIndex` of
+//! paper-default B-skiplists at 1/2/4/8 shards (fixed at the ladder's
+//! top thread count), with one artifact row per (shards, op) cell — the
+//! scaling curve for the partitioned front-end.
+//!
 //! The run ends with the **optimistic-read gate**: a stats-enabled
 //! B-skiplist serving single-threaded uniform gets must complete >95% of
 //! them on the first optimistic attempt and must never fall back to the
@@ -35,7 +41,7 @@
 
 use bskip_bench::{experiment_config, format_row, print_header, IndexKind};
 use bskip_core::{BSkipConfig, BSkipList};
-use bskip_index::ConcurrentIndex;
+use bskip_index::{ConcurrentIndex, ShardedIndex};
 use bskip_ycsb::keygen::record_key;
 use bskip_ycsb::{median, run_load_phase, run_trials, YcsbConfig};
 use rand::rngs::SmallRng;
@@ -223,12 +229,65 @@ fn main() {
             }
         }
     }
+    shard_sweep(&config, trials, &ladder, &mut rows);
     bskip_bench::write_artifact("BENCH_hotpath", &rows);
     println!(
         "\nGate: B-skiplist get ops/us at 8 threads vs. the committed BENCH_hotpath.json \
          baseline; hot-path PRs must not regress it."
     );
     optimistic_gate(&config);
+}
+
+/// Shard-count sweep: the read-side hot-path phases on hash-partitioned
+/// `ShardedIndex` front-ends of paper-default B-skiplists at 1/2/4/8
+/// shards, at the ladder's top thread count.  Point ops through the
+/// front-end cost one hash plus the inner index's descent, so the
+/// 1-shard row doubles as the combinator's overhead measurement against
+/// the plain B-skiplist rows above.
+fn shard_sweep(
+    config: &YcsbConfig,
+    trials: usize,
+    ladder: &[usize],
+    rows: &mut Vec<bskip_bench::JsonRow>,
+) {
+    const SHARD_LADDER: [usize; 4] = [1, 2, 4, 8];
+    let threads = ladder.last().copied().unwrap_or(1);
+    let per_thread = (config.operation_count / threads).max(1);
+    print_header(
+        &format!("Sharded B-skiplist — shard-count sweep ({threads} threads)"),
+        &["shards", "op", "ops/us", "ns/op"],
+    );
+    for shards in SHARD_LADDER {
+        let index = ShardedIndex::hash(shards, |_| {
+            BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default())
+        });
+        let handle: &dyn ConcurrentIndex<u64, u64> = &index;
+        run_load_phase(&handle, config);
+        for op in ["get", "mixed95"] {
+            let samples = run_trials(trials, true, |_| {
+                measure(handle, op, threads, per_thread, config)
+            });
+            let ops_per_us = median(&samples);
+            let ns_per_op = threads as f64 * 1e3 / ops_per_us.max(f64::MIN_POSITIVE);
+            println!(
+                "{}",
+                format_row(&[
+                    shards.to_string(),
+                    op.into(),
+                    format!("{ops_per_us:.3}"),
+                    format!("{ns_per_op:.0}"),
+                ])
+            );
+            rows.push(vec![
+                ("index", "Sharded B-skiplist".to_string()),
+                ("shards", shards.to_string()),
+                ("threads", threads.to_string()),
+                ("op", op.to_string()),
+                ("ops_per_us", format!("{ops_per_us:.3}")),
+                ("ns_per_op", format!("{ns_per_op:.0}")),
+            ]);
+        }
+    }
 }
 
 /// Smoke assertion on the optimistic read path: a single-threaded,

@@ -3,7 +3,8 @@
 //! Every other binary in this crate measures the indices *in process*;
 //! this one measures them behind the `bskip-net` socket service — framing,
 //! syscalls, pipelining and server-side request coalescing included.  For
-//! each backend (the in-memory B-skiplist and the durable LSM engine) it
+//! each backend (the in-memory B-skiplist, a hash-sharded B-skiplist
+//! front-end and the durable LSM engine) it
 //! starts a server on an ephemeral port and sweeps
 //!
 //! * **client threads** — each thread drives its own pipelined
@@ -62,6 +63,16 @@ fn backends() -> Vec<Backend> {
             label: "B-skiplist",
             index: Arc::new(BSkipList::<u64, u64>::with_config(
                 BSkipConfig::paper_default(),
+            )),
+        },
+        Backend {
+            label: "Sharded B-skiplist",
+            // Hash-sharded front-end (`BSKIP_SHARDS` shards): coalesced
+            // server windows split per shard and apply on the sharded
+            // executor's scoped threads.
+            index: Arc::new(bskip_index::ShardedIndex::hash(
+                bskip_bench::shard_count(),
+                |_| BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default()),
             )),
         },
         Backend {
@@ -196,7 +207,7 @@ fn main() {
     let mut rows: Vec<bskip_bench::JsonRow> = Vec::new();
     let mut gate_failures: Vec<String> = Vec::new();
     for backend in backends() {
-        let server = KvServer::bind(
+        let server = KvServer::bind_shared(
             Arc::clone(&backend.index),
             ("127.0.0.1", 0),
             ServerConfig::default(),

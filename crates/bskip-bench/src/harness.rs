@@ -3,7 +3,7 @@
 
 use bskip_baselines::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipList, OccBTree};
 use bskip_core::{BSkipConfig, BSkipList};
-use bskip_index::{ConcurrentIndex, IndexStats};
+use bskip_index::{ConcurrentIndex, IndexStats, ShardSpec, ShardedIndex};
 use bskip_lsm::{LsmConfig, LsmEngine};
 use bskip_ycsb::{run_load_phase, run_run_phase, PhaseResult, Workload, YcsbConfig};
 use std::path::PathBuf;
@@ -28,6 +28,20 @@ pub enum IndexKind {
     /// Not part of the paper's in-memory comparison; opt-in for the
     /// persistence experiments (`stat_lsm`, YCSB with durability).
     Lsm,
+    /// Hash-partitioned B-skiplist shards behind the `ShardedIndex`
+    /// front-end ([`shard_count`] shards, `BSKIP_SHARDS`).  Not part of
+    /// the paper's comparison set; opt-in for the sharding experiments.
+    ShardedBSkip,
+    /// Range-partitioned B-skiplist shards (uniform key-space split into
+    /// [`shard_count`] intervals) — the concatenating-scan fast path.
+    ShardedBSkipRange,
+}
+
+/// The shard count the `Sharded*` kinds build with and every JSON
+/// artifact records: the `BSKIP_SHARDS` environment knob, default 4,
+/// clamped to at least 1.
+pub fn shard_count() -> usize {
+    env_usize("BSKIP_SHARDS", 4).max(1)
 }
 
 impl IndexKind {
@@ -67,6 +81,8 @@ impl IndexKind {
             IndexKind::OccBTree => "OCC B+-tree",
             IndexKind::Masstree => "Masstree-lite",
             IndexKind::Lsm => "bskip-lsm",
+            IndexKind::ShardedBSkip => "Sharded B-skiplist",
+            IndexKind::ShardedBSkipRange => "Sharded B-skiplist/range",
         }
     }
 
@@ -82,6 +98,14 @@ impl IndexKind {
             IndexKind::OccBTree => AnyIndex::BTree(Box::new(OccBTree::new())),
             IndexKind::Masstree => AnyIndex::Masstree(Box::new(MasstreeLite::new())),
             IndexKind::Lsm => AnyIndex::Lsm(Box::new(LsmHandle::fresh())),
+            IndexKind::ShardedBSkip => AnyIndex::Sharded(Box::new(ShardedIndex::new(
+                ShardSpec::hash(shard_count()),
+                |_| BSkipList::with_config(BSkipConfig::paper_default()),
+            ))),
+            IndexKind::ShardedBSkipRange => AnyIndex::Sharded(Box::new(ShardedIndex::new(
+                ShardSpec::range_uniform(shard_count()),
+                |_| BSkipList::with_config(BSkipConfig::paper_default()),
+            ))),
         }
     }
 }
@@ -193,6 +217,8 @@ pub enum AnyIndex {
     Masstree(Box<MasstreeLite<u64, u64>>),
     /// The durable LSM engine, rooted in a self-cleaning scratch dir.
     Lsm(Box<LsmHandle>),
+    /// A `ShardedIndex` of B-skiplist shards (hash- or range-partitioned).
+    Sharded(Box<ShardedIndex<u64, u64, BSkipList<u64, u64>>>),
 }
 
 impl AnyIndex {
@@ -206,6 +232,7 @@ impl AnyIndex {
             AnyIndex::BTree(index) => index.as_ref(),
             AnyIndex::Masstree(index) => index.as_ref(),
             AnyIndex::Lsm(handle) => handle.engine(),
+            AnyIndex::Sharded(index) => index.as_ref(),
         }
     }
 
@@ -324,10 +351,14 @@ mod tests {
     use super::*;
 
     /// Every registry kind: the paper's six in-memory indices plus the
-    /// durable engine (kept out of `ALL` so the figure binaries keep the
-    /// paper's exact comparison set).
+    /// durable engine and the two sharded front-ends (kept out of `ALL`
+    /// so the figure binaries keep the paper's exact comparison set).
     fn every_kind() -> impl Iterator<Item = IndexKind> {
-        IndexKind::ALL.into_iter().chain([IndexKind::Lsm])
+        IndexKind::ALL.into_iter().chain([
+            IndexKind::Lsm,
+            IndexKind::ShardedBSkip,
+            IndexKind::ShardedBSkipRange,
+        ])
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! whose thread count exceeds the host's cores — oversubscription
 //! lotteries, per the ROADMAP's measurement caveat — are
 //! machine-identifiable when artifacts from different machines are
-//! compared.
+//! compared — plus a top-level `shards` field
+//! ([`crate::harness::shard_count`], the `BSKIP_SHARDS` knob) so
+//! shard-count sweeps driven by re-invoking a binary under different
+//! `BSKIP_SHARDS` values produce self-describing artifacts.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -110,6 +113,10 @@ pub fn render_artifact(binary: &str, rows: &[JsonRow]) -> String {
     out.push_str("{\n");
     out.push_str(&format!("  \"binary\": \"{}\",\n", escape(binary)));
     out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    out.push_str(&format!(
+        "  \"shards\": {},\n",
+        crate::harness::shard_count()
+    ));
     out.push_str("  \"rows\": [\n");
     for (index, row) in rows.iter().enumerate() {
         let fields: Vec<String> = row
@@ -161,6 +168,7 @@ mod tests {
         let doc = render_artifact("stat_demo", &rows);
         assert!(doc.contains("\"binary\": \"stat_demo\""));
         assert!(doc.contains(&format!("\"host_cores\": {}", host_cores())));
+        assert!(doc.contains(&format!("\"shards\": {}", crate::harness::shard_count())));
         assert!(doc.contains("\"mops\": 1.25"));
         assert!(doc.contains("\"mops\": -3e2"));
         assert!(doc.contains("\"index\": \"OCC \\\"B+\\\"-tree\""));

@@ -21,6 +21,7 @@ pub mod harness;
 pub mod json;
 
 pub use harness::{
-    experiment_config, format_row, print_header, run_workload_fresh, AnyIndex, IndexKind, LsmHandle,
+    experiment_config, format_row, print_header, run_workload_fresh, shard_count, AnyIndex,
+    IndexKind, LsmHandle,
 };
 pub use json::{write_artifact, JsonRow};

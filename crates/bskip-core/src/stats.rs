@@ -99,6 +99,37 @@ impl BSkipStats {
         self.nodes_merged.reset();
     }
 
+    /// Folds `other`'s counters into this block (field-wise sums).  Takes
+    /// `&self` because the counters are relaxed atomics; merging a live
+    /// block is safe, if racy in the usual relaxed-counter way.  Used to
+    /// aggregate per-shard statistics blocks into one rollup.
+    pub fn merge(&self, other: &BSkipStats) {
+        self.finds.add(other.finds.get());
+        self.inserts.add(other.inserts.get());
+        self.removes.add(other.removes.get());
+        self.ranges.add(other.ranges.get());
+        self.horizontal_steps.add(other.horizontal_steps.get());
+        self.levels_visited.add(other.levels_visited.get());
+        self.top_level_write_locks
+            .add(other.top_level_write_locks.get());
+        self.promotion_splits.add(other.promotion_splits.get());
+        self.overflow_splits.add(other.overflow_splits.get());
+        self.range_leaf_nodes.add(other.range_leaf_nodes.get());
+        self.batch_executes.add(other.batch_executes.get());
+        self.batched_ops.add(other.batched_ops.get());
+        self.batch_leaf_locks.add(other.batch_leaf_locks.get());
+        self.batch_fallbacks.add(other.batch_fallbacks.get());
+        self.batch_optimistic_descents
+            .add(other.batch_optimistic_descents.get());
+        self.batch_descent_fallbacks
+            .add(other.batch_descent_fallbacks.get());
+        self.optimistic_reads.add(other.optimistic_reads.get());
+        self.optimistic_restarts
+            .add(other.optimistic_restarts.get());
+        self.locked_fallbacks.add(other.locked_fallbacks.get());
+        self.nodes_merged.add(other.nodes_merged.get());
+    }
+
     /// Exports the counters in the uniform [`IndexStats`] format.
     pub fn snapshot(&self) -> IndexStats {
         IndexStats::new()
@@ -164,6 +195,35 @@ impl BSkipStats {
     }
 }
 
+impl std::ops::Add for BSkipStats {
+    type Output = BSkipStats;
+    fn add(self, other: BSkipStats) -> BSkipStats {
+        self.merge(&other);
+        self
+    }
+}
+
+impl std::ops::AddAssign<&BSkipStats> for BSkipStats {
+    fn add_assign(&mut self, other: &BSkipStats) {
+        self.merge(other);
+    }
+}
+
+impl std::iter::Sum for BSkipStats {
+    fn sum<I: Iterator<Item = BSkipStats>>(iter: I) -> BSkipStats {
+        iter.fold(BSkipStats::new(), |acc, stats| acc + stats)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a BSkipStats> for BSkipStats {
+    fn sum<I: Iterator<Item = &'a BSkipStats>>(iter: I) -> BSkipStats {
+        iter.fold(BSkipStats::new(), |acc, stats| {
+            acc.merge(stats);
+            acc
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +246,29 @@ mod tests {
         stats.overflow_splits.add(2);
         stats.reset();
         assert_eq!(stats.snapshot().iter().map(|s| s.value).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn merge_and_sum_aggregate_every_counter() {
+        let a = BSkipStats::new();
+        a.finds.add(3);
+        a.batch_executes.add(1);
+        a.batched_ops.add(64);
+        let b = BSkipStats::new();
+        b.finds.add(4);
+        b.batch_executes.add(2);
+        b.batched_ops.add(100);
+        b.nodes_merged.incr();
+        let merged: BSkipStats = [&a, &b].into_iter().sum();
+        assert_eq!(merged.finds.get(), 7);
+        assert_eq!(merged.batch_executes.get(), 3);
+        assert_eq!(merged.batched_ops.get(), 164);
+        assert_eq!(merged.nodes_merged.get(), 1);
+        // Snapshot-level totals agree: merging then snapshotting equals
+        // snapshotting then merging through the IndexStats API.
+        let mut via_snapshots = a.snapshot();
+        via_snapshots.merge(&b.snapshot());
+        assert_eq!(merged.snapshot(), via_snapshots);
     }
 
     #[test]

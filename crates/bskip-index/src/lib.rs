@@ -31,6 +31,12 @@
 //!   `RangeBounds` scan sugar for `dyn ConcurrentIndex` callers, which the
 //!   `Self: Sized` bound on [`ConcurrentIndex::scan`] would otherwise lock
 //!   out.
+//! * [`ShardedIndex`] / [`ShardSpec`] — a partitioned front-end
+//!   combinator: hash- or range-shard keys across N inner indices, route
+//!   point operations, split batches per shard (applied in parallel on a
+//!   scoped thread pool), and compose per-shard cursors into one merged
+//!   (hash) or concatenated (range) globally ordered scan.  See
+//!   [`sharded`].
 //! * [`IndexStats`] — a uniform way to export the structural counters the
 //!   evaluation section reports (root write-lock acquisitions, horizontal
 //!   steps per level, leaf nodes per range query, OCC retries, ...), plus
@@ -53,11 +59,13 @@
 pub mod cursor;
 mod key;
 pub mod ops;
+pub mod sharded;
 mod stats;
 mod traits;
 
 pub use cursor::{BatchCursor, Cursor, IndexCursor};
 pub use key::{IndexKey, IndexValue};
 pub use ops::{Op, OpResult};
+pub use sharded::{ShardPartition, ShardSpec, ShardedIndex};
 pub use stats::{IndexStats, ReclamationStats, StatValue};
 pub use traits::{ConcurrentIndex, ConcurrentIndexExt};

@@ -1,0 +1,1359 @@
+//! A partitioned front-end composing any [`ConcurrentIndex`] into shards.
+//!
+//! [`ShardedIndex<K, V, I>`] owns N cache-line-padded inner indices and
+//! routes every operation by key partition:
+//!
+//! * **point operations** go straight to the owning shard — no extra
+//!   synchronization, so uncontended throughput is the inner index's;
+//! * **batches** ([`ConcurrentIndex::execute`]) are split per shard,
+//!   preserving each operation's result slot, and the per-shard
+//!   sub-batches are applied *in parallel* on a scoped thread pool once
+//!   the batch is large enough to pay for the threads — the
+//!   multiplicative lever on multi-core hardware that single-instance
+//!   constant-factor work cannot buy;
+//! * **scans** ([`ConcurrentIndex::scan_bounds`]) open one cursor per
+//!   shard and compose them: hash partitioning interleaves keys across
+//!   shards, so the shards' cursors are *K-way merged* (each step picks
+//!   the minimum head); range partitioning keeps each shard a contiguous
+//!   key interval, so the per-shard cursors are simply *concatenated* in
+//!   shard order — no per-entry comparison fan-out at all.  Both composed
+//!   cursors support `seek` and (when every shard's cursor does) `prev`
+//!   across shard boundaries.
+//!
+//! The partitioning strategy and the parallelism threshold live in a
+//! [`ShardSpec`]; [`ShardPartition::Hash`] balances arbitrary key
+//! distributions, [`ShardPartition::Range`] preserves locality (and buys
+//! the concatenating scan fast path) when the key distribution is known.
+//!
+//! Because the combinator needs nothing but the trait surface, it
+//! composes with every index in the workspace — the B-skiplist, the five
+//! baselines, even the durable LSM engine — and with itself.
+//!
+//! ```
+//! use bskip_index::{ConcurrentIndex, ShardedIndex};
+//! # use std::collections::BTreeMap;
+//! # use std::sync::Mutex;
+//! # struct Map(Mutex<BTreeMap<u64, u64>>);
+//! # impl Map { fn new() -> Self { Map(Mutex::new(BTreeMap::new())) } }
+//! # impl ConcurrentIndex<u64, u64> for Map {
+//! #     fn insert(&self, k: u64, v: u64) -> Option<u64> { self.0.lock().unwrap().insert(k, v) }
+//! #     fn get(&self, k: &u64) -> Option<u64> { self.0.lock().unwrap().get(k).copied() }
+//! #     fn remove(&self, k: &u64) -> Option<u64> { self.0.lock().unwrap().remove(k) }
+//! #     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+//! #     fn name(&self) -> &'static str { "map" }
+//! #     fn scan_bounds(
+//! #         &self,
+//! #         lo: std::ops::Bound<u64>,
+//! #         hi: std::ops::Bound<u64>,
+//! #     ) -> bskip_index::Cursor<'_, u64, u64> {
+//! #         bskip_index::Cursor::new(bskip_index::BatchCursor::new(
+//! #             lo,
+//! #             hi,
+//! #             8,
+//! #             Box::new(move |from, max, out| {
+//! #                 out.extend(
+//! #                     self.0.lock().unwrap()
+//! #                         .range((from, std::ops::Bound::Unbounded))
+//! #                         .take(max)
+//! #                         .map(|(k, v)| (*k, *v)),
+//! #                 )
+//! #             }),
+//! #         ))
+//! #     }
+//! # }
+//! let sharded = ShardedIndex::hash(4, |_shard| Map::new());
+//! for key in 0..100u64 {
+//!     sharded.insert(key, key * 2);
+//! }
+//! assert_eq!(sharded.len(), 100);
+//! assert_eq!(sharded.get(&7), Some(14));
+//! // Cross-shard scans come back in global key order.
+//! let window: Vec<u64> = sharded.scan(10..15).map(|(k, _)| k).collect();
+//! assert_eq!(window, vec![10, 11, 12, 13, 14]);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ops::Bound;
+
+use bskip_sync::{CachePadded, RelaxedCounter};
+
+use crate::cursor::Cursor;
+use crate::ops::Op;
+use crate::traits::ConcurrentIndex;
+use crate::{IndexCursor, IndexKey, IndexStats, IndexValue};
+
+/// One shard's slice of a split batch: the shard index, the caller's
+/// slot indices, and the copied operations (both in slot order).
+type ShardBatch<K, V> = (usize, Vec<usize>, Vec<Op<K, V>>);
+
+/// Batches below this many operations are applied shard-by-shard on the
+/// calling thread; at or above it, shard sub-batches run on scoped worker
+/// threads (see [`ShardSpec::with_parallel_threshold`]).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 64;
+
+/// How a [`ShardedIndex`] maps keys to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPartition<K> {
+    /// `shard = hash(key) % shards` with the standard library's default
+    /// (SipHash) hasher.  Balances any key distribution; cross-shard
+    /// scans pay a K-way merge.
+    Hash {
+        /// Number of shards (at least 1).
+        shards: usize,
+    },
+    /// Contiguous key intervals split by `shards - 1` strictly ascending
+    /// boundary keys: keys below `boundaries[0]` go to shard 0, keys in
+    /// `[boundaries[i-1], boundaries[i])` to shard `i`, keys at or above
+    /// the last boundary to the last shard.  Preserves locality and lets
+    /// scans *concatenate* per-shard cursors instead of merging them.
+    Range {
+        /// The `shards - 1` split keys, strictly ascending.
+        boundaries: Box<[K]>,
+    },
+}
+
+impl<K: Ord + Hash> ShardPartition<K> {
+    /// Number of shards this partition maps onto.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ShardPartition::Hash { shards } => *shards,
+            ShardPartition::Range { boundaries } => boundaries.len() + 1,
+        }
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        match self {
+            ShardPartition::Hash { shards } => {
+                let mut hasher = DefaultHasher::new();
+                key.hash(&mut hasher);
+                (hasher.finish() % *shards as u64) as usize
+            }
+            ShardPartition::Range { boundaries } => boundaries.partition_point(|b| b <= key),
+        }
+    }
+}
+
+/// Configuration for a [`ShardedIndex`]: the partitioning strategy plus
+/// the batch-size threshold above which shard sub-batches run in
+/// parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec<K> {
+    partition: ShardPartition<K>,
+    parallel_threshold: usize,
+}
+
+impl<K: Ord + Hash> ShardSpec<K> {
+    /// Hash partitioning across `shards` shards (clamped to at least 1).
+    pub fn hash(shards: usize) -> Self {
+        ShardSpec {
+            partition: ShardPartition::Hash {
+                shards: shards.max(1),
+            },
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Range partitioning with the given strictly ascending boundary
+    /// keys (`boundaries.len() + 1` shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the boundaries are not strictly ascending.
+    pub fn range(boundaries: Vec<K>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "range-partition boundaries must be strictly ascending"
+        );
+        ShardSpec {
+            partition: ShardPartition::Range {
+                boundaries: boundaries.into_boxed_slice(),
+            },
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Sets the batch size at which [`ConcurrentIndex::execute`] switches
+    /// from applying shard sub-batches sequentially to spawning scoped
+    /// worker threads (default [`DEFAULT_PARALLEL_THRESHOLD`]).  `0`
+    /// parallelizes every multi-shard batch.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Number of shards this spec builds.
+    pub fn shards(&self) -> usize {
+        self.partition.shard_count()
+    }
+}
+
+impl ShardSpec<u64> {
+    /// Range partitioning that splits the full `u64` key space into
+    /// `shards` equal-width intervals — the right default for uniformly
+    /// distributed keys (YCSB's hashed keys, random benchmark keys).
+    pub fn range_uniform(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let width = u64::MAX / shards as u64;
+        ShardSpec::range((1..shards as u64).map(|i| i * width).collect())
+    }
+}
+
+/// The sharded front-end's own counters (shard routing and batch-split
+/// accounting), exported through [`ConcurrentIndex::stats`] alongside the
+/// merged per-shard snapshots.
+#[derive(Debug, Default)]
+struct ShardedCounters {
+    /// Batches accepted by `execute`.
+    batches: RelaxedCounter,
+    /// Batches whose keys all landed in one shard (delegated whole).
+    single_shard_batches: RelaxedCounter,
+    /// Multi-shard batches applied on scoped worker threads.
+    parallel_batches: RelaxedCounter,
+    /// Multi-shard batches below the parallel threshold, applied
+    /// shard-by-shard on the calling thread.
+    sequential_batches: RelaxedCounter,
+    /// Scans served by a K-way merging cursor (hash partitioning).
+    merge_scans: RelaxedCounter,
+    /// Scans served by a concatenating cursor (range partitioning).
+    concat_scans: RelaxedCounter,
+}
+
+/// A partitioned index: N inner indices behind one [`ConcurrentIndex`]
+/// face.  See the [module docs](self) for the design.
+pub struct ShardedIndex<K, V, I> {
+    shards: Box<[CachePadded<I>]>,
+    partition: ShardPartition<K>,
+    parallel_threshold: usize,
+    counters: ShardedCounters,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, I> ShardedIndex<K, V, I>
+where
+    K: IndexKey + Hash,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V>,
+{
+    /// Builds a sharded index from `spec`, constructing each shard with
+    /// `factory(shard_index)`.
+    pub fn new(spec: ShardSpec<K>, mut factory: impl FnMut(usize) -> I) -> Self {
+        let count = spec.shards();
+        ShardedIndex {
+            shards: (0..count).map(|i| CachePadded::new(factory(i))).collect(),
+            partition: spec.partition,
+            parallel_threshold: spec.parallel_threshold,
+            counters: ShardedCounters::default(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Hash-partitioned shortcut: `ShardedIndex::new(ShardSpec::hash(n), f)`.
+    pub fn hash(shards: usize, factory: impl FnMut(usize) -> I) -> Self {
+        ShardedIndex::new(ShardSpec::hash(shards), factory)
+    }
+
+    /// Range-partitioned shortcut: `ShardedIndex::new(ShardSpec::range(b), f)`.
+    pub fn range(boundaries: Vec<K>, factory: impl FnMut(usize) -> I) -> Self {
+        ShardedIndex::new(ShardSpec::range(boundaries), factory)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The inner index backing shard `shard`.
+    pub fn shard(&self, shard: usize) -> &I {
+        &self.shards[shard]
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.partition.shard_of(key)
+    }
+
+    /// The partitioning strategy in use.
+    pub fn partition(&self) -> &ShardPartition<K> {
+        &self.partition
+    }
+
+    /// One statistics snapshot per shard, in shard order (the aggregate
+    /// is what [`ConcurrentIndex::stats`] returns).
+    pub fn shard_stats(&self) -> Vec<IndexStats> {
+        self.shards.iter().map(|shard| shard.stats()).collect()
+    }
+
+    /// Splits `ops` into per-shard sub-batches (slot indices plus copied
+    /// operations, both in slot order).  Same-key operations always land
+    /// in the same shard in their original relative order, so the split
+    /// preserves the batch reordering contract of [`crate::ops`].
+    fn split_batch(&self, ops: &[Op<K, V>]) -> Vec<ShardBatch<K, V>> {
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (slot, op) in ops.iter().enumerate() {
+            buckets[self.partition.shard_of(op.key())].push(slot);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, slots)| !slots.is_empty())
+            .map(|(shard, slots)| {
+                let sub: Vec<Op<K, V>> = slots.iter().map(|&slot| ops[slot]).collect();
+                (shard, slots, sub)
+            })
+            .collect()
+    }
+}
+
+impl<K, V, I> ConcurrentIndex<K, V> for ShardedIndex<K, V, I>
+where
+    K: IndexKey + Hash,
+    V: IndexValue,
+    I: ConcurrentIndex<K, V>,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shards[self.partition.shard_of(&key)].insert(key, value)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shards[self.partition.shard_of(key)].get(key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.shards[self.partition.shard_of(key)].contains_key(key)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        self.shards[self.partition.shard_of(key)].remove(key)
+    }
+
+    fn execute(&self, ops: &mut [Op<K, V>]) {
+        if ops.is_empty() {
+            return;
+        }
+        self.counters.batches.incr();
+        if self.shards.len() == 1 {
+            self.counters.single_shard_batches.incr();
+            self.shards[0].execute(ops);
+            return;
+        }
+        let mut split = self.split_batch(ops);
+        if split.len() == 1 {
+            // Every key lives in one shard: delegate the caller's slice
+            // directly, no copies.
+            self.counters.single_shard_batches.incr();
+            self.shards[split[0].0].execute(ops);
+            return;
+        }
+        if ops.len() >= self.parallel_threshold {
+            self.counters.parallel_batches.incr();
+            std::thread::scope(|scope| {
+                let mut parts = split.iter_mut();
+                let first = parts.next().expect("split is non-empty");
+                let workers: Vec<_> = parts
+                    .map(|(shard, _, sub)| {
+                        let index: &I = &self.shards[*shard];
+                        scope.spawn(move || index.execute(sub))
+                    })
+                    .collect();
+                // The calling thread applies the first sub-batch itself
+                // instead of idling on the joins.
+                self.shards[first.0].execute(&mut first.2);
+                for worker in workers {
+                    worker.join().expect("shard batch worker panicked");
+                }
+            });
+        } else {
+            self.counters.sequential_batches.incr();
+            for (shard, _, sub) in split.iter_mut() {
+                self.shards[*shard].execute(sub);
+            }
+        }
+        // Copy each executed operation (result slot included) back into
+        // the caller's slot.
+        for (_, slots, sub) in &split {
+            for (&slot, executed) in slots.iter().zip(sub.iter()) {
+                ops[slot] = *executed;
+            }
+        }
+    }
+
+    fn scan_bounds(&self, lo: Bound<K>, hi: Bound<K>) -> Cursor<'_, K, V> {
+        match &self.partition {
+            ShardPartition::Hash { .. } => {
+                self.counters.merge_scans.incr();
+                let sources = self
+                    .shards
+                    .iter()
+                    .map(|shard| shard.scan_bounds(lo, hi))
+                    .collect();
+                Cursor::new(MergeCursor::new(sources))
+            }
+            ShardPartition::Range { boundaries } => {
+                self.counters.concat_scans.incr();
+                // Only shards whose key interval can intersect [lo, hi]
+                // get a cursor; over-inclusion at the edges is harmless
+                // (the shard cursor just comes up empty).
+                let first = match &lo {
+                    Bound::Included(key) | Bound::Excluded(key) => {
+                        boundaries.partition_point(|b| b <= key)
+                    }
+                    Bound::Unbounded => 0,
+                };
+                let last = match &hi {
+                    Bound::Included(key) | Bound::Excluded(key) => {
+                        boundaries.partition_point(|b| b <= key)
+                    }
+                    Bound::Unbounded => self.shards.len() - 1,
+                };
+                let sources = if first <= last {
+                    self.shards[first..=last]
+                        .iter()
+                        .map(|shard| shard.scan_bounds(lo, hi))
+                        .collect()
+                } else {
+                    // Reversed bounds: an empty range, like everywhere
+                    // else in the workspace.
+                    Vec::new()
+                };
+                Cursor::new(ConcatCursor::new(sources))
+            }
+        }
+    }
+
+    fn try_reclaim(&self) -> usize {
+        self.shards.iter().map(|shard| shard.try_reclaim()).sum()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.len()).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.shards.iter().all(|shard| shard.is_empty())
+    }
+
+    fn name(&self) -> &'static str {
+        match self.partition {
+            ShardPartition::Hash { .. } => "sharded-hash",
+            ShardPartition::Range { .. } => "sharded-range",
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut stats = IndexStats::new()
+            .with("shards", self.shards.len() as u64)
+            .with("sharded_batches", self.counters.batches.get())
+            .with(
+                "sharded_single_shard_batches",
+                self.counters.single_shard_batches.get(),
+            )
+            .with(
+                "sharded_parallel_batches",
+                self.counters.parallel_batches.get(),
+            )
+            .with(
+                "sharded_sequential_batches",
+                self.counters.sequential_batches.get(),
+            )
+            .with("sharded_merge_scans", self.counters.merge_scans.get())
+            .with("sharded_concat_scans", self.counters.concat_scans.get());
+        let shard_snapshots = self.shard_stats();
+        stats.merge(&shard_snapshots.iter().sum::<IndexStats>());
+        // The name-keyed merge sums every entry, but `ebr_epoch` is a
+        // gauge; re-derive the reclamation block through its typed merge
+        // (which takes the maximum epoch) when the shards export one.
+        if let Some(reclamation) = shard_snapshots
+            .iter()
+            .filter_map(|snapshot| snapshot.reclamation())
+            .reduce(|mut acc, block| {
+                acc.merge(&block);
+                acc
+            })
+        {
+            stats.set("ebr_epoch", reclamation.epoch);
+        }
+        stats
+    }
+
+    fn reset_stats(&self) {
+        self.counters.batches.reset();
+        self.counters.single_shard_batches.reset();
+        self.counters.parallel_batches.reset();
+        self.counters.sequential_batches.reset();
+        self.counters.merge_scans.reset();
+        self.counters.concat_scans.reset();
+        for shard in self.shards.iter() {
+            shard.reset_stats();
+        }
+    }
+}
+
+impl<K: IndexKey, V, I> fmt::Debug for ShardedIndex<K, V, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("partition", &self.partition)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Which direction the composed cursor last moved, which dictates what
+/// the cached per-source state means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// No positioning call has succeeded (or the last `seek` missed
+    /// entirely): cached state is invalid.
+    Fresh,
+    /// Cached state describes *next* candidates (keys above the current
+    /// position).
+    Forward,
+    /// Cached state describes *previous* candidates (keys below the
+    /// current position).
+    Backward,
+}
+
+/// K-way merging cursor over per-shard cursors (hash partitioning).
+///
+/// `heads[i]` caches source `i`'s frontier entry: in [`Mode::Forward`]
+/// the next unconsumed entry (strictly above `current`), in
+/// [`Mode::Backward`] the greatest entry strictly below `current`.  Every
+/// step consumes the minimum (respectively maximum) head and refills only
+/// the winning source, so the steady state costs one source step plus an
+/// O(shards) scan of the head array; direction changes resynchronize all
+/// sources with the `seek`/`seek`-then-`prev` primitives.  Keys are
+/// unique across shards (each key routes to exactly one), so the merged
+/// stream is strictly ordered with no duplicate handling.
+struct MergeCursor<'a, K: IndexKey, V: IndexValue> {
+    sources: Vec<Cursor<'a, K, V>>,
+    heads: Vec<Option<(K, V)>>,
+    current: Option<(K, V)>,
+    mode: Mode,
+    supports_prev: bool,
+}
+
+impl<'a, K: IndexKey, V: IndexValue> MergeCursor<'a, K, V> {
+    fn new(sources: Vec<Cursor<'a, K, V>>) -> Self {
+        let supports_prev = sources.iter().all(|source| source.supports_prev());
+        let heads = vec![None; sources.len()];
+        MergeCursor {
+            sources,
+            heads,
+            current: None,
+            mode: Mode::Fresh,
+            supports_prev,
+        }
+    }
+
+    /// Index of the minimum (forward) head.
+    fn min_head(&self) -> Option<usize> {
+        self.heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, head)| head.map(|(key, _)| (key, i)))
+            .min_by_key(|&(key, _)| key)
+            .map(|(_, i)| i)
+    }
+
+    /// Index of the maximum (backward) head.
+    fn max_head(&self) -> Option<usize> {
+        self.heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, head)| head.map(|(key, _)| (key, i)))
+            .max_by_key(|&(key, _)| key)
+            .map(|(_, i)| i)
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> IndexCursor<K, V> for MergeCursor<'_, K, V> {
+    fn next(&mut self) -> Option<(K, V)> {
+        match (self.mode, self.current) {
+            (Mode::Forward, _) => {}
+            (Mode::Backward, Some((key, _))) => {
+                // Re-aim every source forward from the resting position:
+                // first entry at or above `key`, stepped past an exact hit
+                // (the shard that owns `key` returns it again).
+                for (head, source) in self.heads.iter_mut().zip(self.sources.iter_mut()) {
+                    *head = source.seek(&key);
+                    if head.is_some_and(|(k, _)| k == key) {
+                        *head = source.next();
+                    }
+                }
+            }
+            (Mode::Fresh, _) | (Mode::Backward, None) => {
+                for (head, source) in self.heads.iter_mut().zip(self.sources.iter_mut()) {
+                    *head = source.next();
+                }
+            }
+        }
+        self.mode = Mode::Forward;
+        let best = self.min_head()?;
+        let entry = self.heads[best].take();
+        self.heads[best] = self.sources[best].next();
+        self.current = entry;
+        entry
+    }
+
+    fn prev(&mut self) -> Option<(K, V)> {
+        if !self.supports_prev {
+            return None;
+        }
+        if self.mode != Mode::Backward {
+            // Resynchronize every source to "greatest entry strictly
+            // below the current position" — `seek` then `prev` yields
+            // exactly that in every source state, including after the
+            // source was drained or a seek missed; a fresh `prev` yields
+            // the last entry of the source's range.
+            match self.current {
+                Some((key, _)) => {
+                    for (head, source) in self.heads.iter_mut().zip(self.sources.iter_mut()) {
+                        source.seek(&key);
+                        *head = source.prev();
+                    }
+                }
+                None => {
+                    for (head, source) in self.heads.iter_mut().zip(self.sources.iter_mut()) {
+                        *head = source.prev();
+                    }
+                }
+            }
+            self.mode = Mode::Backward;
+        }
+        let best = self.max_head()?;
+        let entry = self.heads[best].take();
+        self.heads[best] = self.sources[best].prev();
+        self.current = entry;
+        entry
+    }
+
+    fn seek(&mut self, key: &K) -> Option<(K, V)> {
+        for (head, source) in self.heads.iter_mut().zip(self.sources.iter_mut()) {
+            *head = source.seek(key);
+        }
+        match self.min_head() {
+            Some(best) => {
+                let entry = self.heads[best].take();
+                self.heads[best] = self.sources[best].next();
+                self.current = entry;
+                self.mode = Mode::Forward;
+                entry
+            }
+            None => {
+                // Total miss: like a single cursor's failed seek — `next`
+                // reports exhaustion, `prev` falls back to the last entry
+                // of the range (both delegated to the sources, which are
+                // now in exactly that state).
+                self.current = None;
+                self.mode = Mode::Fresh;
+                None
+            }
+        }
+    }
+
+    fn entry(&self) -> Option<(K, V)> {
+        self.current
+    }
+
+    fn supports_prev(&self) -> bool {
+        self.supports_prev
+    }
+}
+
+/// Concatenating cursor over per-shard cursors (range partitioning).
+///
+/// Sources arrive in shard order, and shard key intervals are disjoint
+/// and ascending, so the concatenation *is* the globally ordered stream:
+/// forward steps run the active source and cross to the next non-empty
+/// one on exhaustion, backward steps cross to the previous.  Boundary
+/// crossings resynchronize the entered source with `seek` (robust against
+/// whatever state an earlier excursion left it in) rather than trusting
+/// its resting position.
+struct ConcatCursor<'a, K: IndexKey, V: IndexValue> {
+    sources: Vec<Cursor<'a, K, V>>,
+    active: usize,
+    current: Option<(K, V)>,
+    mode: Mode,
+    supports_prev: bool,
+}
+
+impl<'a, K: IndexKey, V: IndexValue> ConcatCursor<'a, K, V> {
+    fn new(sources: Vec<Cursor<'a, K, V>>) -> Self {
+        let supports_prev = sources.iter().all(|source| source.supports_prev());
+        ConcatCursor {
+            sources,
+            active: 0,
+            current: None,
+            mode: Mode::Fresh,
+            supports_prev,
+        }
+    }
+
+    fn won(&mut self, active: usize, entry: (K, V), mode: Mode) -> Option<(K, V)> {
+        self.active = active;
+        self.current = Some(entry);
+        self.mode = mode;
+        Some(entry)
+    }
+}
+
+impl<K: IndexKey, V: IndexValue> IndexCursor<K, V> for ConcatCursor<'_, K, V> {
+    fn next(&mut self) -> Option<(K, V)> {
+        match (self.mode, self.current) {
+            (Mode::Fresh, _) | (Mode::Backward, None) => {
+                for i in 0..self.sources.len() {
+                    if let Some(entry) = self.sources[i].next() {
+                        return self.won(i, entry, Mode::Forward);
+                    }
+                }
+                None
+            }
+            (Mode::Forward, _) => {
+                if let Some(entry) = self.sources[self.active].next() {
+                    self.current = Some(entry);
+                    return Some(entry);
+                }
+                let key = self.current.map(|(key, _)| key);
+                for i in self.active + 1..self.sources.len() {
+                    // Later shards hold only keys above `key`, so seeking
+                    // to it lands on the shard's first in-range entry —
+                    // regardless of how a backward excursion left the
+                    // source.
+                    let entry = match key {
+                        Some(key) => self.sources[i].seek(&key),
+                        None => self.sources[i].next(),
+                    };
+                    if let Some(entry) = entry {
+                        return self.won(i, entry, Mode::Forward);
+                    }
+                }
+                None
+            }
+            (Mode::Backward, Some((key, _))) => {
+                for i in self.active..self.sources.len() {
+                    let mut entry = self.sources[i].seek(&key);
+                    if entry.is_some_and(|(k, _)| k == key) {
+                        entry = self.sources[i].next();
+                    }
+                    if let Some(entry) = entry {
+                        return self.won(i, entry, Mode::Forward);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn prev(&mut self) -> Option<(K, V)> {
+        if !self.supports_prev {
+            return None;
+        }
+        match self.current {
+            Some((key, _)) => {
+                // The active source rests on `key` in both directions, so
+                // its native `prev` is exact; once it bottoms out, walk
+                // down through earlier shards (all of whose keys are
+                // below `key`): a missed `seek` then `prev` yields each
+                // shard's last in-range entry.
+                if let Some(entry) = self.sources[self.active].prev() {
+                    let active = self.active;
+                    return self.won(active, entry, Mode::Backward);
+                }
+                for i in (0..self.active).rev() {
+                    self.sources[i].seek(&key);
+                    if let Some(entry) = self.sources[i].prev() {
+                        return self.won(i, entry, Mode::Backward);
+                    }
+                }
+                self.mode = Mode::Backward;
+                None
+            }
+            None => {
+                for i in (0..self.sources.len()).rev() {
+                    if let Some(entry) = self.sources[i].prev() {
+                        return self.won(i, entry, Mode::Backward);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn seek(&mut self, key: &K) -> Option<(K, V)> {
+        for i in 0..self.sources.len() {
+            if let Some(entry) = self.sources[i].seek(key) {
+                return self.won(i, entry, Mode::Forward);
+            }
+        }
+        self.active = 0;
+        self.current = None;
+        self.mode = Mode::Fresh;
+        None
+    }
+
+    fn entry(&self) -> Option<(K, V)> {
+        self.current
+    }
+
+    fn supports_prev(&self) -> bool {
+        self.supports_prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpResult;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// A reference shard: `Mutex<BTreeMap>` with a native, prev-capable
+    /// cursor mirroring the B-skiplist leaf cursor's semantics (failed
+    /// seek leaves `prev` falling back to the last in-range entry;
+    /// draining backwards then calling `next` resumes from the resting
+    /// position).
+    struct MirrorIndex {
+        map: Mutex<BTreeMap<u64, u64>>,
+        inserts: AtomicU64,
+    }
+
+    impl MirrorIndex {
+        fn new() -> Self {
+            MirrorIndex {
+                map: Mutex::new(BTreeMap::new()),
+                inserts: AtomicU64::new(0),
+            }
+        }
+    }
+
+    struct MirrorCursor<'a> {
+        map: &'a Mutex<BTreeMap<u64, u64>>,
+        lo: Bound<u64>,
+        hi: Bound<u64>,
+        current: Option<u64>,
+        /// Set by a missed seek: `next` reports exhaustion until the
+        /// cursor is repositioned by `prev` or another `seek`.
+        dead_forward: bool,
+    }
+
+    impl MirrorCursor<'_> {
+        fn in_range(&self, key: &u64) -> bool {
+            crate::cursor::above_lower(key, &self.lo) && crate::cursor::below_upper(key, &self.hi)
+        }
+    }
+
+    /// `BTreeMap::range` panics on reversed bounds; treat those as empty
+    /// like every cursor in the workspace does.
+    fn ordered(lo: &Bound<u64>, hi: &Bound<u64>) -> bool {
+        match (lo, hi) {
+            (Bound::Excluded(a), Bound::Excluded(b)) => a < b,
+            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+                a <= b
+            }
+            _ => true,
+        }
+    }
+
+    impl IndexCursor<u64, u64> for MirrorCursor<'_> {
+        fn next(&mut self) -> Option<(u64, u64)> {
+            if self.dead_forward {
+                return None;
+            }
+            let lower = match self.current {
+                Some(key) => Bound::Excluded(key),
+                None => self.lo,
+            };
+            if !ordered(&lower, &self.hi) {
+                return None;
+            }
+            let guard = self.map.lock().unwrap();
+            let entry = guard
+                .range((lower, self.hi))
+                .next()
+                .map(|(k, v)| (*k, *v))
+                .filter(|(k, _)| self.in_range(k));
+            drop(guard);
+            if let Some((key, _)) = entry {
+                self.current = Some(key);
+            }
+            entry
+        }
+
+        fn prev(&mut self) -> Option<(u64, u64)> {
+            let upper = match self.current {
+                Some(key) => Bound::Excluded(key),
+                None => self.hi,
+            };
+            if !ordered(&self.lo, &upper) {
+                return None;
+            }
+            let guard = self.map.lock().unwrap();
+            let entry = guard
+                .range((self.lo, upper))
+                .next_back()
+                .map(|(k, v)| (*k, *v))
+                .filter(|(k, _)| self.in_range(k));
+            drop(guard);
+            if let Some((key, _)) = entry {
+                self.current = Some(key);
+                self.dead_forward = false;
+            }
+            entry
+        }
+
+        fn seek(&mut self, key: &u64) -> Option<(u64, u64)> {
+            let from = if crate::cursor::above_lower(key, &self.lo) {
+                Bound::Included(*key)
+            } else {
+                self.lo
+            };
+            if !ordered(&from, &self.hi) {
+                self.current = None;
+                self.dead_forward = true;
+                return None;
+            }
+            let guard = self.map.lock().unwrap();
+            let entry = guard
+                .range((from, self.hi))
+                .next()
+                .map(|(k, v)| (*k, *v))
+                .filter(|(k, _)| self.in_range(k));
+            drop(guard);
+            match entry {
+                Some((key, _)) => {
+                    self.current = Some(key);
+                    self.dead_forward = false;
+                }
+                None => {
+                    self.current = None;
+                    self.dead_forward = true;
+                }
+            }
+            entry
+        }
+
+        fn entry(&self) -> Option<(u64, u64)> {
+            let key = self.current?;
+            self.map.lock().unwrap().get(&key).map(|v| (key, *v))
+        }
+
+        fn supports_prev(&self) -> bool {
+            true
+        }
+    }
+
+    impl ConcurrentIndex<u64, u64> for MirrorIndex {
+        fn insert(&self, key: u64, value: u64) -> Option<u64> {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.map.lock().unwrap().insert(key, value)
+        }
+        fn get(&self, key: &u64) -> Option<u64> {
+            self.map.lock().unwrap().get(key).copied()
+        }
+        fn remove(&self, key: &u64) -> Option<u64> {
+            self.map.lock().unwrap().remove(key)
+        }
+        fn scan_bounds(&self, lo: Bound<u64>, hi: Bound<u64>) -> Cursor<'_, u64, u64> {
+            Cursor::new(MirrorCursor {
+                map: &self.map,
+                lo,
+                hi,
+                current: None,
+                dead_forward: false,
+            })
+        }
+        fn len(&self) -> usize {
+            self.map.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "mirror"
+        }
+        fn stats(&self) -> IndexStats {
+            IndexStats::new().with("mirror_inserts", self.inserts.load(Ordering::Relaxed))
+        }
+        fn reset_stats(&self) {
+            self.inserts.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn populated(
+        spec: ShardSpec<u64>,
+        keys: impl Iterator<Item = u64>,
+    ) -> ShardedIndex<u64, u64, MirrorIndex> {
+        let sharded = ShardedIndex::new(spec, |_| MirrorIndex::new());
+        for key in keys {
+            sharded.insert(key, key * 10);
+        }
+        sharded
+    }
+
+    #[test]
+    fn point_ops_route_by_partition() {
+        for spec in [ShardSpec::hash(4), ShardSpec::range(vec![25, 50, 75])] {
+            let sharded = populated(spec, 0..100);
+            assert_eq!(sharded.len(), 100);
+            assert!(!sharded.is_empty());
+            for key in 0..100 {
+                assert_eq!(sharded.get(&key), Some(key * 10));
+                assert!(sharded.contains_key(&key));
+                // The key lives in exactly the shard the partition says.
+                let owner = sharded.shard_of(&key);
+                assert_eq!(sharded.shard(owner).get(&key), Some(key * 10));
+                for other in (0..sharded.shards()).filter(|&s| s != owner) {
+                    assert_eq!(sharded.shard(other).get(&key), None);
+                }
+            }
+            assert_eq!(sharded.remove(&7), Some(70));
+            assert_eq!(sharded.remove(&7), None);
+            assert_eq!(sharded.len(), 99);
+        }
+    }
+
+    #[test]
+    fn range_partition_respects_boundaries() {
+        let partition = ShardPartition::Range {
+            boundaries: vec![10u64, 20].into_boxed_slice(),
+        };
+        assert_eq!(partition.shard_count(), 3);
+        assert_eq!(partition.shard_of(&0), 0);
+        assert_eq!(partition.shard_of(&9), 0);
+        assert_eq!(partition.shard_of(&10), 1); // boundary key goes right
+        assert_eq!(partition.shard_of(&19), 1);
+        assert_eq!(partition.shard_of(&20), 2);
+        assert_eq!(partition.shard_of(&u64::MAX), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_boundaries_are_rejected() {
+        let _ = ShardSpec::range(vec![10u64, 10]);
+    }
+
+    #[test]
+    fn uniform_range_spec_covers_the_key_space() {
+        let spec = ShardSpec::range_uniform(4);
+        assert_eq!(spec.shards(), 4);
+        let sharded: ShardedIndex<u64, u64, MirrorIndex> =
+            ShardedIndex::new(spec, |_| MirrorIndex::new());
+        assert_eq!(sharded.shard_of(&0), 0);
+        assert_eq!(sharded.shard_of(&u64::MAX), 3);
+        // Midpoints land in ascending shards.
+        let width = u64::MAX / 4;
+        for i in 0..4u64 {
+            assert_eq!(sharded.shard_of(&(i * width + width / 2)), i as usize);
+        }
+        // Degenerate request still builds one shard.
+        assert_eq!(ShardSpec::range_uniform(0).shards(), 1);
+        assert_eq!(ShardSpec::<u64>::hash(0).shards(), 1);
+    }
+
+    /// Differential check of the composed cursors against a `BTreeMap`
+    /// over a battery of bounds, including seeks and reverse steps that
+    /// cross shard boundaries.
+    fn cursor_battery(sharded: &ShardedIndex<u64, u64, MirrorIndex>, oracle: &BTreeMap<u64, u64>) {
+        let bounds: Vec<(Bound<u64>, Bound<u64>)> = vec![
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(13), Bound::Excluded(77)),
+            (Bound::Excluded(13), Bound::Included(77)),
+            (Bound::Included(40), Bound::Included(49)), // within one range shard
+            (Bound::Included(90), Bound::Excluded(90)), // empty
+            (Bound::Included(77), Bound::Excluded(13)), // reversed -> empty
+        ];
+        for (lo, hi) in bounds {
+            let expected: Vec<(u64, u64)> = if ordered(&lo, &hi) {
+                oracle.range((lo, hi)).map(|(k, v)| (*k, *v)).collect()
+            } else {
+                Vec::new()
+            };
+
+            // Forward drain.
+            let got: Vec<(u64, u64)> = sharded.scan_bounds(lo, hi).collect();
+            assert_eq!(got, expected, "forward drain over {lo:?}..{hi:?}");
+
+            // Reverse drain from a fresh cursor (prev starts at the last
+            // in-range entry).
+            let mut cursor = sharded.scan_bounds(lo, hi);
+            assert!(cursor.supports_prev());
+            let mut reversed = Vec::new();
+            while let Some(entry) = cursor.prev() {
+                reversed.push(entry);
+            }
+            let mut expected_rev = expected.clone();
+            expected_rev.reverse();
+            assert_eq!(reversed, expected_rev, "reverse drain over {lo:?}..{hi:?}");
+            // Having drained to the start, forward resumes from the
+            // resting position.
+            assert_eq!(
+                cursor.next(),
+                expected.get(1).copied(),
+                "forward resume after reverse drain over {lo:?}..{hi:?}"
+            );
+
+            // Seek battery: every probe lands where the oracle says, and
+            // both directions continue correctly from there.
+            for probe in [0u64, 13, 14, 42, 76, 77, 90, 200] {
+                let mut cursor = sharded.scan_bounds(lo, hi);
+                let expect_at = expected.iter().find(|(k, _)| *k >= probe).copied();
+                assert_eq!(
+                    cursor.seek(&probe),
+                    expect_at,
+                    "seek({probe}) over {lo:?}..{hi:?}"
+                );
+                match expect_at {
+                    Some((at, _)) => {
+                        let expect_next = expected.iter().find(|(k, _)| *k > at).copied();
+                        assert_eq!(cursor.next(), expect_next, "next after seek({probe})");
+                        // Step back twice: over the just-consumed entry,
+                        // then across whatever boundary precedes it.  A
+                        // `next` that hit the range end leaves the cursor
+                        // resting on the last yielded entry, so `prev`
+                        // continues strictly below it.
+                        let resting = expect_next.map_or(at, |(n, _)| n);
+                        let mut below: Vec<(u64, u64)> = expected
+                            .iter()
+                            .filter(|(k, _)| *k < resting)
+                            .copied()
+                            .collect();
+                        below.reverse();
+                        assert_eq!(cursor.prev(), below.first().copied());
+                        assert_eq!(cursor.prev(), below.get(1).copied());
+                    }
+                    None => {
+                        // Failed seek: `next` stays exhausted, `prev`
+                        // falls back to the last in-range entry.
+                        assert_eq!(cursor.next(), None, "next after failed seek({probe})");
+                        assert_eq!(
+                            cursor.prev(),
+                            expected.last().copied(),
+                            "prev after failed seek({probe})"
+                        );
+                    }
+                }
+            }
+
+            // Direction zigzag starting mid-range.
+            let mut cursor = sharded.scan_bounds(lo, hi);
+            if expected.len() >= 3 {
+                let mid = expected[expected.len() / 2];
+                assert_eq!(cursor.seek(&mid.0), Some(mid));
+                let after = expected[expected.len() / 2 + 1];
+                let before = expected[expected.len() / 2 - 1];
+                assert_eq!(cursor.next(), Some(after));
+                assert_eq!(cursor.prev(), Some(mid));
+                assert_eq!(cursor.prev(), Some(before));
+                assert_eq!(cursor.next(), Some(mid));
+                assert_eq!(cursor.entry(), Some(mid));
+            }
+        }
+    }
+
+    #[test]
+    fn merging_cursor_matches_the_oracle() {
+        let sharded = populated(ShardSpec::hash(4), (0..100).map(|i| i * 3 % 101));
+        let oracle: BTreeMap<u64, u64> =
+            (0..100).map(|i| i * 3 % 101).map(|k| (k, k * 10)).collect();
+        cursor_battery(&sharded, &oracle);
+        assert!(sharded.stats().get("sharded_merge_scans").unwrap() > 0);
+        assert_eq!(sharded.stats().get("sharded_concat_scans"), Some(0));
+    }
+
+    #[test]
+    fn concatenating_cursor_matches_the_oracle() {
+        // Boundaries chosen so the battery's bounds and probes cross them.
+        let sharded = populated(
+            ShardSpec::range(vec![15, 45, 75]),
+            (0..100).map(|i| i * 3 % 101),
+        );
+        let oracle: BTreeMap<u64, u64> =
+            (0..100).map(|i| i * 3 % 101).map(|k| (k, k * 10)).collect();
+        cursor_battery(&sharded, &oracle);
+        assert!(sharded.stats().get("sharded_concat_scans").unwrap() > 0);
+        assert_eq!(sharded.stats().get("sharded_merge_scans"), Some(0));
+    }
+
+    #[test]
+    fn sharded_over_sharded_composes() {
+        // The combinator needs only the trait surface, so it nests.
+        let sharded: ShardedIndex<u64, u64, ShardedIndex<u64, u64, MirrorIndex>> =
+            ShardedIndex::hash(2, |_| ShardedIndex::range(vec![50], |_| MirrorIndex::new()));
+        for key in 0..60u64 {
+            sharded.insert(key, key);
+        }
+        assert_eq!(sharded.len(), 60);
+        let drained: Vec<u64> = sharded
+            .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(drained, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn execute_matches_slot_order_semantics_and_routes_results() {
+        for (spec, threshold_label) in [
+            (
+                ShardSpec::hash(4).with_parallel_threshold(usize::MAX),
+                "sequential",
+            ),
+            (ShardSpec::hash(4).with_parallel_threshold(0), "parallel"),
+            (ShardSpec::range(vec![25, 50, 75]), "range"),
+        ] {
+            let sharded: ShardedIndex<u64, u64, MirrorIndex> =
+                ShardedIndex::new(spec, |_| MirrorIndex::new());
+            let oracle = MirrorIndex::new();
+            // Same-key runs (insert/get/remove on one key) must keep
+            // their relative order; distinct keys spread over shards.
+            let template: Vec<Op<u64, u64>> = (0..50u64)
+                .flat_map(|k| {
+                    [
+                        Op::insert(k, k),
+                        Op::get(k),
+                        Op::insert(k, k + 1),
+                        Op::remove(k + 25),
+                    ]
+                })
+                .collect();
+            let mut expected = template.clone();
+            for op in expected.iter_mut() {
+                op.apply_point(&oracle);
+            }
+            let mut got = template;
+            sharded.execute(&mut got);
+            assert_eq!(got, expected, "{threshold_label} execute results");
+            let drained: Vec<(u64, u64)> = sharded
+                .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+                .collect();
+            let oracle_drained: Vec<(u64, u64)> = oracle
+                .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+                .collect();
+            assert_eq!(drained, oracle_drained, "{threshold_label} final state");
+        }
+    }
+
+    #[test]
+    fn single_shard_batches_delegate_without_splitting() {
+        let sharded = populated(ShardSpec::range(vec![50]), 0..0);
+        // All keys below 50 -> shard 0 only.
+        let mut ops: Vec<Op<u64, u64>> = (0..10).map(|k| Op::insert(k, k)).collect();
+        sharded.execute(&mut ops);
+        let stats = sharded.stats();
+        assert_eq!(stats.get("sharded_batches"), Some(1));
+        assert_eq!(stats.get("sharded_single_shard_batches"), Some(1));
+        assert_eq!(stats.get("sharded_parallel_batches"), Some(0));
+        assert!(ops.iter().all(|op| op.result().is_executed()));
+        // Empty batches are not counted.
+        sharded.execute(&mut []);
+        assert_eq!(sharded.stats().get("sharded_batches"), Some(1));
+    }
+
+    #[test]
+    fn stats_aggregate_per_shard_counters_through_the_merge_api() {
+        let sharded = populated(ShardSpec::hash(4), 0..100);
+        let stats = sharded.stats();
+        assert_eq!(stats.get("shards"), Some(4));
+        // Every shard's own snapshot sums into the aggregate.
+        assert_eq!(stats.get("mirror_inserts"), Some(100));
+        let per_shard: u64 = sharded
+            .shard_stats()
+            .iter()
+            .map(|s| s.get("mirror_inserts").unwrap())
+            .sum();
+        assert_eq!(per_shard, 100);
+        sharded.reset_stats();
+        let stats = sharded.stats();
+        assert_eq!(stats.get("mirror_inserts"), Some(0));
+        assert_eq!(stats.get("sharded_batches"), Some(0));
+    }
+
+    /// A shard that blocks inside `execute` until *every* shard of the
+    /// group has entered `execute`.  If the sharded front-end applied
+    /// sub-batches sequentially, the first shard would wait out the
+    /// deadline alone and the full-rendezvous count would come up short —
+    /// so this asserts actual parallelism without timing anything
+    /// (yield-loop rendezvous also works on a single-core box).
+    struct GateIndex {
+        inner: MirrorIndex,
+        entered: std::sync::Arc<AtomicUsize>,
+        target: usize,
+        saw_rendezvous: std::sync::Arc<AtomicUsize>,
+    }
+
+    impl ConcurrentIndex<u64, u64> for GateIndex {
+        fn insert(&self, key: u64, value: u64) -> Option<u64> {
+            self.inner.insert(key, value)
+        }
+        fn get(&self, key: &u64) -> Option<u64> {
+            self.inner.get(key)
+        }
+        fn remove(&self, key: &u64) -> Option<u64> {
+            self.inner.remove(key)
+        }
+        fn scan_bounds(&self, lo: Bound<u64>, hi: Bound<u64>) -> Cursor<'_, u64, u64> {
+            self.inner.scan_bounds(lo, hi)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn name(&self) -> &'static str {
+            "gate"
+        }
+        fn execute(&self, ops: &mut [Op<u64, u64>]) {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while self.entered.load(Ordering::SeqCst) < self.target {
+                if std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if self.entered.load(Ordering::SeqCst) >= self.target {
+                self.saw_rendezvous.fetch_add(1, Ordering::SeqCst);
+            }
+            for op in ops.iter_mut() {
+                op.apply_point(&self.inner);
+            }
+        }
+    }
+
+    #[test]
+    fn large_batches_apply_shards_in_parallel() {
+        use std::sync::Arc;
+        let shards = 3usize;
+        let entered = Arc::new(AtomicUsize::new(0));
+        let saw_rendezvous = Arc::new(AtomicUsize::new(0));
+        let sharded: ShardedIndex<u64, u64, GateIndex> = ShardedIndex::new(
+            ShardSpec::range(vec![100, 200]).with_parallel_threshold(0),
+            |_| GateIndex {
+                inner: MirrorIndex::new(),
+                entered: Arc::clone(&entered),
+                target: shards,
+                saw_rendezvous: Arc::clone(&saw_rendezvous),
+            },
+        );
+        // Ten keys per shard, so every shard receives a sub-batch.
+        let mut ops: Vec<Op<u64, u64>> = (0..30u64).map(|i| Op::insert(i * 10, i)).collect();
+        sharded.execute(&mut ops);
+        assert_eq!(
+            saw_rendezvous.load(Ordering::SeqCst),
+            shards,
+            "all {shards} shard sub-batches must be in flight simultaneously"
+        );
+        assert_eq!(sharded.stats().get("sharded_parallel_batches"), Some(1));
+        assert_eq!(sharded.len(), 30);
+        assert!(ops
+            .iter()
+            .all(|op| matches!(op.result(), OpResult::Missing)));
+    }
+
+    #[test]
+    fn debug_formats_without_inner_debug() {
+        let sharded: ShardedIndex<u64, u64, MirrorIndex> =
+            ShardedIndex::hash(2, |_| MirrorIndex::new());
+        let rendered = format!("{sharded:?}");
+        assert!(rendered.contains("ShardedIndex"));
+        assert!(rendered.contains("shards: 2"));
+    }
+}

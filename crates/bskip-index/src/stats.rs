@@ -56,6 +56,19 @@ impl IndexStats {
         self.entries.push(StatValue::new(name, value));
     }
 
+    /// Overwrites the counter named `name` (appending it when absent).
+    /// The escape hatch for gauge-like entries after a [`merge`]
+    /// (which sums everything): re-derive the gauge through its typed
+    /// aggregation and `set` the corrected value.
+    ///
+    /// [`merge`]: IndexStats::merge
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        match self.entries.iter_mut().find(|entry| entry.name == name) {
+            Some(existing) => existing.value = value,
+            None => self.entries.push(StatValue::new(name, value)),
+        }
+    }
+
     /// Looks up a counter by name.
     pub fn get(&self, name: &str) -> Option<u64> {
         self.entries
@@ -77,6 +90,69 @@ impl IndexStats {
     /// Whether the snapshot is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Folds `other` into this snapshot: counters present in both are
+    /// summed by name (saturating), counters only in `other` are appended
+    /// in their original order.  This is the one aggregation primitive the
+    /// workspace uses for per-shard / per-backend rollups — a sharded
+    /// index merges its shards' snapshots, the network server merges its
+    /// own counters with the backend's.
+    ///
+    /// Merging treats every entry as a monotone counter.  Gauge-like
+    /// entries (e.g. `ebr_epoch`, which should aggregate as a maximum)
+    /// need the typed [`ReclamationStats::merge`] instead; name-keyed
+    /// summation is the right default for everything else the indices
+    /// export.
+    pub fn merge(&mut self, other: &IndexStats) {
+        for entry in &other.entries {
+            match self.entries.iter_mut().find(|e| e.name == entry.name) {
+                Some(existing) => {
+                    existing.value = existing.value.saturating_add(entry.value);
+                }
+                None => self.entries.push(*entry),
+            }
+        }
+    }
+}
+
+impl std::ops::AddAssign<&IndexStats> for IndexStats {
+    fn add_assign(&mut self, other: &IndexStats) {
+        self.merge(other);
+    }
+}
+
+impl std::ops::AddAssign for IndexStats {
+    fn add_assign(&mut self, other: IndexStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::ops::Add for IndexStats {
+    type Output = IndexStats;
+    fn add(mut self, other: IndexStats) -> IndexStats {
+        self.merge(&other);
+        self
+    }
+}
+
+impl std::ops::Add<&IndexStats> for IndexStats {
+    type Output = IndexStats;
+    fn add(mut self, other: &IndexStats) -> IndexStats {
+        self.merge(other);
+        self
+    }
+}
+
+impl std::iter::Sum for IndexStats {
+    fn sum<I: Iterator<Item = IndexStats>>(iter: I) -> IndexStats {
+        iter.fold(IndexStats::new(), |acc, stats| acc + stats)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a IndexStats> for IndexStats {
+    fn sum<I: Iterator<Item = &'a IndexStats>>(iter: I) -> IndexStats {
+        iter.fold(IndexStats::new(), |acc, stats| acc + stats)
     }
 }
 
@@ -144,6 +220,25 @@ impl ReclamationStats {
             .with("ebr_overflow_pins", self.overflow_pins)
     }
 
+    /// Folds `other`'s counters into this block.  Every field is a
+    /// monotone counter summed saturating — except `epoch`, a gauge
+    /// (each collector's *current* global epoch), for which the merge
+    /// keeps the maximum so an aggregate over shards reports the most
+    /// advanced collector rather than a meaningless sum.
+    pub fn merge(&mut self, other: &ReclamationStats) {
+        self.retired = self.retired.saturating_add(other.retired);
+        self.freed = self.freed.saturating_add(other.freed);
+        self.backlog = self.backlog.saturating_add(other.backlog);
+        self.epoch = self.epoch.max(other.epoch);
+        self.advances = self.advances.saturating_add(other.advances);
+        self.pins = self.pins.saturating_add(other.pins);
+        self.slot_cache_hits = self.slot_cache_hits.saturating_add(other.slot_cache_hits);
+        self.slot_registrations = self
+            .slot_registrations
+            .saturating_add(other.slot_registrations);
+        self.overflow_pins = self.overflow_pins.saturating_add(other.overflow_pins);
+    }
+
     /// Recovers the counters from a snapshot; `None` when the index does
     /// not export reclamation statistics.
     pub fn from_stats(stats: &IndexStats) -> Option<Self> {
@@ -157,6 +252,41 @@ impl ReclamationStats {
             slot_cache_hits: stats.get("ebr_slot_cache_hits")?,
             slot_registrations: stats.get("ebr_slot_registrations")?,
             overflow_pins: stats.get("ebr_overflow_pins")?,
+        })
+    }
+}
+
+impl std::ops::AddAssign<&ReclamationStats> for ReclamationStats {
+    fn add_assign(&mut self, other: &ReclamationStats) {
+        self.merge(other);
+    }
+}
+
+impl std::ops::AddAssign for ReclamationStats {
+    fn add_assign(&mut self, other: ReclamationStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::ops::Add for ReclamationStats {
+    type Output = ReclamationStats;
+    fn add(mut self, other: ReclamationStats) -> ReclamationStats {
+        self.merge(&other);
+        self
+    }
+}
+
+impl std::iter::Sum for ReclamationStats {
+    fn sum<I: Iterator<Item = ReclamationStats>>(iter: I) -> ReclamationStats {
+        iter.fold(ReclamationStats::default(), |acc, stats| acc + stats)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a ReclamationStats> for ReclamationStats {
+    fn sum<I: Iterator<Item = &'a ReclamationStats>>(iter: I) -> ReclamationStats {
+        iter.fold(ReclamationStats::default(), |mut acc, stats| {
+            acc.merge(stats);
+            acc
         })
     }
 }
@@ -269,6 +399,89 @@ mod tests {
         assert_eq!(stats.reclamation(), Some(reclamation));
         // Indices without a collector export no reclamation block.
         assert_eq!(IndexStats::new().with("keys", 3).reclamation(), None);
+    }
+
+    #[test]
+    fn set_overwrites_or_appends() {
+        let mut stats = IndexStats::new().with("ebr_epoch", 12);
+        stats.set("ebr_epoch", 7);
+        assert_eq!(stats.get("ebr_epoch"), Some(7));
+        stats.set("shards", 4);
+        assert_eq!(stats.get("shards"), Some(4));
+        assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_by_name_and_appends_unseen() {
+        let mut a = IndexStats::new().with("finds", 3).with("inserts", 5);
+        let b = IndexStats::new()
+            .with("inserts", 7)
+            .with("removes", 2)
+            .with("finds", 1);
+        a.merge(&b);
+        assert_eq!(a.get("finds"), Some(4));
+        assert_eq!(a.get("inserts"), Some(12));
+        assert_eq!(a.get("removes"), Some(2));
+        // Original insertion order is preserved; unseen names append.
+        let names: Vec<&str> = a.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["finds", "inserts", "removes"]);
+        // Saturating, never wrapping.
+        let mut max = IndexStats::new().with("x", u64::MAX);
+        max.merge(&IndexStats::new().with("x", 10));
+        assert_eq!(max.get("x"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn sum_and_add_aggregate_shard_snapshots() {
+        let shards = vec![
+            IndexStats::new().with("finds", 1).with("live_nodes", 4),
+            IndexStats::new().with("finds", 2).with("live_nodes", 6),
+            IndexStats::new().with("finds", 3),
+        ];
+        let by_ref: IndexStats = shards.iter().sum();
+        let by_value: IndexStats = shards.into_iter().sum();
+        assert_eq!(by_ref, by_value);
+        assert_eq!(by_ref.get("finds"), Some(6));
+        assert_eq!(by_ref.get("live_nodes"), Some(10));
+
+        let mut acc = IndexStats::new().with("finds", 10);
+        acc += IndexStats::new().with("finds", 5);
+        acc += &IndexStats::new().with("ranges", 1);
+        assert_eq!(acc.get("finds"), Some(15));
+        assert_eq!(acc.get("ranges"), Some(1));
+    }
+
+    #[test]
+    fn reclamation_merge_sums_counters_and_maxes_the_epoch_gauge() {
+        let a = ReclamationStats {
+            retired: 10,
+            freed: 8,
+            backlog: 2,
+            epoch: 5,
+            advances: 4,
+            pins: 100,
+            slot_cache_hits: 90,
+            slot_registrations: 10,
+            overflow_pins: 0,
+        };
+        let b = ReclamationStats {
+            retired: 1,
+            freed: 1,
+            backlog: 0,
+            epoch: 9,
+            advances: 8,
+            pins: 50,
+            slot_cache_hits: 49,
+            slot_registrations: 1,
+            overflow_pins: 0,
+        };
+        let merged: ReclamationStats = [a, b].iter().sum();
+        assert_eq!(merged.retired, 11);
+        assert_eq!(merged.pins, 150);
+        // The epoch is a gauge: the aggregate reports the most advanced
+        // collector, not the sum of unrelated epoch counters.
+        assert_eq!(merged.epoch, 9);
+        assert_eq!(merged, a + b);
     }
 
     #[test]

@@ -46,8 +46,9 @@ mod tests {
     use crate::server::{KvServer, ServerConfig};
 
     fn start_server(config: ServerConfig) -> crate::server::ServerHandle {
-        let index: crate::SharedIndex = Arc::new(BSkipList::<u64, u64>::new());
-        KvServer::bind(index, ("127.0.0.1", 0), config)
+        // `bind` is generic over the backend: the concrete engine goes
+        // straight in, no Arc at the call site.
+        KvServer::bind(BSkipList::<u64, u64>::new(), ("127.0.0.1", 0), config)
             .expect("bind")
             .spawn()
             .expect("spawn")
@@ -85,6 +86,44 @@ mod tests {
         assert_eq!(get("index_len"), 100);
         assert!(get("server_requests") > 0);
         assert_eq!(get("server_scans"), 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn sharded_backend_serves_scans_and_aggregated_stats() {
+        use bskip_index::{ConcurrentIndex, ShardedIndex};
+
+        // A hash-sharded B-skiplist behind the wire: scans cross shards
+        // (served by the merging cursor) and the Stats opcode reports the
+        // per-shard rollup through the merge API.
+        let sharded: Arc<ShardedIndex<u64, u64, BSkipList<u64, u64>>> =
+            Arc::new(ShardedIndex::hash(4, |_| BSkipList::new()));
+        let handle =
+            KvServer::bind_shared(sharded.clone(), ("127.0.0.1", 0), ServerConfig::default())
+                .expect("bind")
+                .spawn()
+                .expect("spawn");
+        let mut conn = Connection::connect(handle.addr()).expect("connect");
+        for key in 0..100u64 {
+            conn.put(key, key * 3).unwrap();
+        }
+        // Hash sharding interleaves adjacent keys across shards, so a
+        // contiguous window exercises the K-way merge end to end.
+        let window = conn.scan(10, 30, 100).unwrap();
+        assert_eq!(window, (10..30).map(|k| (k, k * 3)).collect::<Vec<_>>());
+
+        let stats = conn.stats().unwrap();
+        let get = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("stat {name} missing"))
+        };
+        assert_eq!(get("shards"), 4);
+        assert_eq!(get("index_len"), 100);
+        assert!(get("sharded_merge_scans") >= 1);
+        assert_eq!(sharded.len(), 100);
         handle.shutdown();
     }
 

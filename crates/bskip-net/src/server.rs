@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bskip_index::{ConcurrentIndex, Op};
+use bskip_index::{ConcurrentIndex, IndexStats, Op};
 
 use crate::proto::{
     encode_response, BatchOp, ErrorCode, FrameDecoder, ProtoError, Request, Response,
@@ -96,20 +96,30 @@ impl ServerStats {
         self.max_batch.fetch_max(ops as u64, Ordering::Relaxed);
     }
 
+    /// Snapshot in the uniform [`IndexStats`] format (names prefixed
+    /// `server_`), so the counters compose with backend snapshots through
+    /// [`IndexStats::merge`] — the `Stats` opcode merges this with
+    /// whatever the index exports (per-shard rollups included).
+    pub fn index_snapshot(&self) -> IndexStats {
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        IndexStats::new()
+            .with("server_connections", read(&self.connections))
+            .with("server_rejected", read(&self.rejected))
+            .with("server_requests", read(&self.requests))
+            .with("server_batches", read(&self.batches))
+            .with("server_batched_ops", read(&self.batched_ops))
+            .with("server_max_batch", read(&self.max_batch))
+            .with("server_scans", read(&self.scans))
+            .with("server_scan_entries", read(&self.scan_entries))
+    }
+
     /// Snapshot as `(name, value)` pairs, in the order they appear in a
     /// `Stats` response.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
-        vec![
-            ("server_connections".into(), read(&self.connections)),
-            ("server_rejected".into(), read(&self.rejected)),
-            ("server_requests".into(), read(&self.requests)),
-            ("server_batches".into(), read(&self.batches)),
-            ("server_batched_ops".into(), read(&self.batched_ops)),
-            ("server_max_batch".into(), read(&self.max_batch)),
-            ("server_scans".into(), read(&self.scans)),
-            ("server_scan_entries".into(), read(&self.scan_entries)),
-        ]
+        self.index_snapshot()
+            .iter()
+            .map(|stat| (stat.name.to_string(), stat.value))
+            .collect()
     }
 }
 
@@ -139,9 +149,26 @@ pub struct ServerHandle {
 }
 
 impl KvServer {
-    /// Binds the service over `index` to `addr` (use port 0 for an
-    /// ephemeral port; see [`KvServer::local_addr`]).
-    pub fn bind<A: ToSocketAddrs>(
+    /// Binds the service over any [`ConcurrentIndex`] to `addr` (use
+    /// port 0 for an ephemeral port; see [`KvServer::local_addr`]).
+    ///
+    /// The index is taken by value and shared internally, so call sites
+    /// pass the concrete engine — a `BSkipList`, a
+    /// [`bskip_index::ShardedIndex`], an LSM tree — without any
+    /// `Arc`-juggling.  An already-shared [`SharedIndex`] also works
+    /// (the trait forwards through `Arc`); to hand over an existing
+    /// `Arc` without re-wrapping, use [`KvServer::bind_shared`].
+    pub fn bind<I, A>(index: I, addr: A, config: ServerConfig) -> std::io::Result<Self>
+    where
+        I: ConcurrentIndex<u64, u64> + 'static,
+        A: ToSocketAddrs,
+    {
+        Self::bind_shared(Arc::new(index), addr, config)
+    }
+
+    /// [`KvServer::bind`] for an index that is already behind the
+    /// [`SharedIndex`] pointer (e.g. shared with a local workload).
+    pub fn bind_shared<A: ToSocketAddrs>(
         index: SharedIndex,
         addr: A,
         config: ServerConfig,
@@ -439,12 +466,22 @@ fn serve_scan(shared: &Shared, lo: u64, hi: u64, limit: u32) -> Response {
 }
 
 fn serve_stats(shared: &Shared) -> Response {
-    let mut entries = shared.stats.snapshot();
-    entries.push(("index_len".into(), shared.index.len() as u64));
-    for stat in shared.index.stats().iter() {
-        entries.push((stat.name.to_string(), stat.value));
+    // One aggregation API end to end: the server's own counters, the
+    // index length, and the backend snapshot (itself a per-shard rollup
+    // for a sharded backend) compose through `IndexStats::merge` — the
+    // `server_*` names and the backend's names are disjoint, so the
+    // merge is a pure concatenation here.
+    let mut stats = shared
+        .stats
+        .index_snapshot()
+        .with("index_len", shared.index.len() as u64);
+    stats.merge(&shared.index.stats());
+    Response::Stats {
+        entries: stats
+            .iter()
+            .map(|stat| (stat.name.to_string(), stat.value))
+            .collect(),
     }
-    Response::Stats { entries }
 }
 
 fn error_response(error: &ProtoError) -> Response {

@@ -17,15 +17,15 @@
 //!
 //! Run with: `cargo run --release --example kv_service`
 
-use std::sync::Arc;
-
 use bskip_suite::{BSkipList, BatchOp, Connection, KvServer, Request, Response, ServerConfig};
 
 fn main() {
     // 1. Server over a fresh B-skiplist on an ephemeral loopback port.
-    let index = Arc::new(BSkipList::<u64, u64>::new());
+    // `bind` is generic over any `ConcurrentIndex`, so the engine goes in
+    // directly — swap in `LsmEngine` for durability, or a `ShardedIndex`
+    // for a partitioned backend; no Arc-juggling either way.
     let server = KvServer::bind(
-        index as bskip_suite::SharedIndex,
+        BSkipList::<u64, u64>::new(),
         ("127.0.0.1", 0),
         ServerConfig::default(),
     )

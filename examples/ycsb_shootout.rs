@@ -5,9 +5,11 @@
 //! coalescing runs of 1 / 64 / 256 / 1024 consecutive same-type operations
 //! through each index's bulk `execute` path.
 //!
-//! The last row is the durable `bskip-lsm` engine (WAL + SSTables with the
-//! B-skiplist as its memtable) running the same workloads through the same
-//! `ConcurrentIndex` surface — the cost of durability in one table.
+//! The last rows are the durable `bskip-lsm` engine (WAL + SSTables with
+//! the B-skiplist as its memtable) — the cost of durability in one table —
+//! and two `ShardedIndex` front-ends (hash- and uniform-range-partitioned
+//! over `BSKIP_SHARDS` B-skiplist shards, default 4), all running the same
+//! workloads through the same `ConcurrentIndex` surface.
 //!
 //! Run with: `cargo run --release --example ycsb_shootout`
 //! Scale with the BSKIP_RECORDS / BSKIP_OPS / BSKIP_THREADS variables.
@@ -26,6 +28,11 @@ fn env(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Shard count for the `Sharded B-skiplist*` rows (`BSKIP_SHARDS`).
+fn sharded_shards() -> usize {
+    env("BSKIP_SHARDS", 4).max(1)
 }
 
 /// Scratch parent for the durable engine's per-build directories; removed
@@ -100,6 +107,23 @@ fn main() {
             Box::new(|| Box::new(MasstreeLite::<u64, u64>::new()) as _),
         ),
         ("bskip-lsm", Box::new(fresh_lsm)),
+        (
+            "Sharded B-skiplist",
+            Box::new(|| {
+                Box::new(bskip_suite::ShardedIndex::hash(sharded_shards(), |_| {
+                    BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default())
+                })) as _
+            }),
+        ),
+        (
+            "Sharded B-skiplist/range",
+            Box::new(|| {
+                Box::new(bskip_suite::ShardedIndex::new(
+                    bskip_suite::ShardSpec::range_uniform(sharded_shards()),
+                    |_| BSkipList::<u64, u64>::with_config(BSkipConfig::paper_default()),
+                )) as _
+            }),
+        ),
     ];
 
     // Engine selector: BSKIP_ENGINES=label,label keeps matching rows only.

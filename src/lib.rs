@@ -20,7 +20,7 @@ pub use bskip_baselines::{LazySkipList, LockFreeSkipList, MasstreeLite, NhsSkipL
 pub use bskip_core::{BSkipConfig, BSkipList, BSkipStats};
 pub use bskip_index::{
     BatchCursor, ConcurrentIndex, ConcurrentIndexExt, Cursor, IndexCursor, IndexStats, Op,
-    OpResult, ReclamationStats,
+    OpResult, ReclamationStats, ShardPartition, ShardSpec, ShardedIndex,
 };
 pub use bskip_lsm::{LsmConfig, LsmEngine, SyncPolicy};
 pub use bskip_net::{

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use bskip_suite::{
     BSkipConfig, BSkipList, ConcurrentIndex, LazySkipList, LockFreeSkipList, MasstreeLite,
-    NhsSkipList, OccBTree, Op,
+    NhsSkipList, OccBTree, Op, ShardSpec, ShardedIndex,
 };
 
 fn op_strategy(key_space: u64) -> impl Strategy<Value = Op<u64, u64>> {
@@ -38,14 +38,17 @@ fn oracle_apply(oracle: &mut BTreeMap<u64, u64>, ops: &mut [Op<u64, u64>]) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random `Op` batches through `execute` on all six indices must agree
-    /// — result-for-result and in final contents — with a `BTreeMap`
+    /// Random `Op` batches through `execute` on all six indices — plus the
+    /// hash- and range-sharded front-ends, whose `execute` splits the batch
+    /// per shard and reassembles results into the original slots — must
+    /// agree, result-for-result and in final contents, with a `BTreeMap`
     /// oracle that applies the same batch sequentially.  The B-skiplist
     /// takes its native sorted-batch path, the baselines the shared
-    /// sorted-loop override, and the oracle the slot-order default: three
-    /// strategies, one observable behaviour.
+    /// sorted-loop override, and the oracle the slot-order default.  The
+    /// hash shard runs with `with_parallel_threshold(0)` so every
+    /// multi-shard batch exercises the scoped-thread parallel path.
     #[test]
-    fn execute_matches_a_sequential_oracle_on_all_six_indices(
+    fn execute_matches_a_sequential_oracle_on_all_indices(
         batches in proptest::collection::vec(
             proptest::collection::vec(op_strategy(300), 1..80),
             1..10,
@@ -58,8 +61,17 @@ proptest! {
         let nhs: NhsSkipList<u64, u64> = NhsSkipList::new();
         let btree: OccBTree<u64, u64, 8> = OccBTree::new();
         let masstree: MasstreeLite<u64, u64> = MasstreeLite::new();
-        let indices: Vec<&dyn ConcurrentIndex<u64, u64>> =
-            vec![&bskip, &lockfree, &lazy, &nhs, &btree, &masstree];
+        let sharded_hash: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> = ShardedIndex::new(
+            ShardSpec::hash(4).with_parallel_threshold(0),
+            |_| BSkipList::with_config(BSkipConfig::default().with_max_height(4)),
+        );
+        let sharded_range: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> =
+            ShardedIndex::new(ShardSpec::range(vec![100, 200]), |_| {
+                BSkipList::with_config(BSkipConfig::default().with_max_height(4))
+            });
+        let indices: Vec<&dyn ConcurrentIndex<u64, u64>> = vec![
+            &bskip, &lockfree, &lazy, &nhs, &btree, &masstree, &sharded_hash, &sharded_range,
+        ];
         let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
 
         for (round, batch) in batches.into_iter().enumerate() {
@@ -187,4 +199,67 @@ fn concurrent_batch_and_point_mutations_stay_consistent() {
     bskip
         .validate()
         .expect("B-skiplist structure after the race");
+}
+
+/// A sharded `execute` demonstrably splits the batch per shard and applies
+/// the shards in parallel: each *touched* shard's stats-enabled B-skiplist
+/// records exactly one `batch_executes` with its slice of the ops, the
+/// per-shard counters aggregate through the mergeable-stats API
+/// (`IndexStats: Sum`), and the front-end's own counters confirm the
+/// scoped-thread parallel path ran.
+#[test]
+fn sharded_execute_splits_per_shard_and_aggregates_batch_counters() {
+    use bskip_suite::IndexStats;
+
+    let shards = 4;
+    let sharded: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> = ShardedIndex::new(
+        // Threshold 0: any batch touching more than one shard goes down
+        // the scoped-thread parallel path.
+        ShardSpec::hash(shards).with_parallel_threshold(0),
+        |_| BSkipList::with_config(BSkipConfig::paper_default().with_stats(true)),
+    );
+
+    // One insert per key: slots end up in per-shard sub-batches, and every
+    // shard's `execute` sees only its own keys.
+    let mut ops: Vec<Op<u64, u64>> = (0..64u64).map(|k| Op::insert(k, k * 3)).collect();
+    let touched: std::collections::BTreeSet<usize> =
+        (0..64u64).map(|k| sharded.shard_of(&k)).collect();
+    assert!(touched.len() > 1, "64 hashed keys must span several shards");
+    sharded.execute(&mut ops);
+    for (slot, op) in ops.iter().enumerate() {
+        assert_eq!(op.result().value(), None, "slot {slot} was a fresh insert");
+    }
+    assert_eq!(sharded.len(), 64);
+
+    // Per-shard truth: each touched shard ran exactly one batch covering
+    // exactly its keys; untouched shards ran none.
+    let per_shard = sharded.shard_stats();
+    let mut ops_seen = 0;
+    for (shard, stats) in per_shard.iter().enumerate() {
+        let executes = stats.get("batch_executes").unwrap_or(0);
+        assert_eq!(
+            executes,
+            touched.contains(&shard) as u64,
+            "shard {shard} batch count"
+        );
+        ops_seen += stats.get("batched_ops").unwrap_or(0);
+    }
+    assert_eq!(ops_seen, 64, "every op landed in exactly one shard batch");
+
+    // The same numbers through the mergeable-stats aggregation: summing
+    // the per-shard snapshots and asking the front-end (which merges
+    // internally) must agree.
+    let summed: IndexStats = per_shard.into_iter().sum();
+    assert_eq!(summed.get("batch_executes"), Some(touched.len() as u64));
+    assert_eq!(summed.get("batched_ops"), Some(64));
+    let merged = sharded.stats();
+    assert_eq!(merged.get("batch_executes"), Some(touched.len() as u64));
+    assert_eq!(merged.get("batched_ops"), Some(64));
+
+    // And the front-end's own counters show the batch was split and
+    // applied on the parallel path, not delegated or serialized.
+    assert_eq!(merged.get("sharded_batches"), Some(1));
+    assert_eq!(merged.get("sharded_parallel_batches"), Some(1));
+    assert_eq!(merged.get("sharded_single_shard_batches"), Some(0));
+    assert_eq!(merged.get("sharded_sequential_batches"), Some(0));
 }

@@ -192,6 +192,18 @@ fn pipelined_clients_vs_oracle_bskiplist() {
 }
 
 #[test]
+fn pipelined_clients_vs_oracle_sharded_bskiplist() {
+    // A hash-sharded backend behind the same wire protocol: coalesced
+    // multi-connection batches now split per shard and run on the
+    // sharded executor's scoped threads, and the quiescent scan sweep
+    // exercises the K-way merging cursor through the protocol.
+    let index: SharedIndex = Arc::new(bskip_index::ShardedIndex::hash(4, |_| {
+        BSkipList::<u64, u64>::new()
+    }));
+    run_differential(index, 4, 1200, 16);
+}
+
+#[test]
 fn pipelined_clients_vs_oracle_lsm() {
     let dir = std::env::temp_dir().join(format!("bskip-net-diff-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -148,12 +148,16 @@ proptest! {
     }
 
     /// Cursor differential: on every `ConcurrentIndex` implementation —
-    /// the six in-memory indices plus the durable LSM engine —
+    /// the six in-memory indices, the durable LSM engine, and the two
+    /// sharded front-ends (hash-partitioned with a K-way merging cursor
+    /// and range-partitioned with a concatenating cursor) —
     /// `scan_bounds` must agree with `BTreeMap::range` for arbitrary
     /// bounded ranges (half-open and inclusive), empty ranges, full scans,
     /// trait-level `range` calls, and seeks past the end of the data.
     /// The LSM engine runs with a tiny memtable and is pumped mid-load, so
-    /// its cursors merge memtable, immutables and SSTables.
+    /// its cursors merge memtable, immutables and SSTables; the sharded
+    /// ranges and seeks all cross shard boundaries (the range partition's
+    /// boundaries sit inside the key space).
     #[test]
     fn cursors_match_btreemap_range_on_all_implementations(
         pairs in proptest::collection::vec((0u64..600, any::<u64>()), 0..250),
@@ -164,7 +168,7 @@ proptest! {
         use std::ops::Bound;
         use bskip_suite::{
             ConcurrentIndex, LazySkipList, LockFreeSkipList, LsmConfig, LsmEngine, MasstreeLite,
-            NhsSkipList, OccBTree,
+            NhsSkipList, OccBTree, ShardSpec, ShardedIndex,
         };
 
         let bskip: BSkipList<u64, u64, 8> =
@@ -177,8 +181,18 @@ proptest! {
         let lsm_dir = lsm_scratch();
         let lsm: LsmEngine<u64, u64> =
             LsmEngine::open(&lsm_dir, LsmConfig::small()).expect("open LSM engine");
-        let indices: Vec<&dyn ConcurrentIndex<u64, u64>> =
-            vec![&bskip, &lockfree, &lazy, &nhs, &btree, &masstree, &lsm];
+        let sharded_hash: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> =
+            ShardedIndex::hash(4, |_| {
+                BSkipList::with_config(BSkipConfig::default().with_max_height(4))
+            });
+        let sharded_range: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> =
+            ShardedIndex::new(ShardSpec::range(vec![150, 300, 450]), |_| {
+                BSkipList::with_config(BSkipConfig::default().with_max_height(4))
+            });
+        let indices: Vec<&dyn ConcurrentIndex<u64, u64>> = vec![
+            &bskip, &lockfree, &lazy, &nhs, &btree, &masstree, &lsm, &sharded_hash,
+            &sharded_range,
+        ];
         let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
         for (at, (key, value)) in pairs.iter().enumerate() {
             oracle.insert(*key, *value);
@@ -349,6 +363,72 @@ proptest! {
                 .filter(|k| *k > first_in_window)
                 .collect();
             prop_assert_eq!(forward_again, expected);
+        }
+    }
+
+    /// Reverse and seek-then-prev differential for the sharded front-ends:
+    /// the hash partition's K-way merging cursor and the range partition's
+    /// concatenating cursor must both replay `BTreeMap` windows backwards,
+    /// pivot around arbitrary seek targets, and cross shard boundaries in
+    /// either direction exactly like a single index would.
+    #[test]
+    fn sharded_cursors_match_btreemap_backwards_and_after_seeks(
+        keys in proptest::collection::btree_set(0u64..2_000, 0..300),
+        lo in 0u64..2_200,
+        span in 0u64..800,
+        seek_to in 0u64..2_400,
+    ) {
+        use bskip_suite::{ConcurrentIndex, ShardSpec, ShardedIndex};
+
+        let hash: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> =
+            ShardedIndex::hash(4, |_| BSkipList::new());
+        let range: ShardedIndex<u64, u64, BSkipList<u64, u64, 8>> =
+            ShardedIndex::new(ShardSpec::range(vec![500, 1_000, 1_500]), |_| BSkipList::new());
+        for &key in &keys {
+            hash.insert(key, key ^ 0xF0F0);
+            range.insert(key, key ^ 0xF0F0);
+        }
+        let hi = lo.saturating_add(span);
+        let indices: Vec<&dyn ConcurrentIndex<u64, u64>> = vec![&hash, &range];
+        for index in indices {
+            // Reverse drain of a bounded window.
+            let mut cursor = index.scan_bounds(
+                std::ops::Bound::Included(lo),
+                std::ops::Bound::Included(hi),
+            );
+            prop_assert!(cursor.supports_prev(), "{}", index.name());
+            let mut reversed = Vec::new();
+            while let Some((k, _)) = cursor.prev() {
+                reversed.push(k);
+            }
+            let expected: Vec<u64> = keys.range(lo..=hi).rev().copied().collect();
+            prop_assert_eq!(reversed, expected, "{} reverse drain", index.name());
+
+            // After draining backwards, walking forward replays the window
+            // from just above the resting position.
+            if let Some(first_in_window) = keys.range(lo..=hi).next().copied() {
+                let forward_again: Vec<u64> = std::iter::from_fn(|| cursor.next())
+                    .map(|(k, _)| k)
+                    .collect();
+                let expected: Vec<u64> = keys
+                    .range(lo..=hi)
+                    .copied()
+                    .filter(|k| *k > first_in_window)
+                    .collect();
+                prop_assert_eq!(forward_again, expected, "{} forward resume", index.name());
+            }
+
+            // Seek pivots: the entry at the target, then one step back
+            // lands strictly below it (or below the end of the data when
+            // the seek misses entirely).
+            let mut cursor = index.scan_bounds(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded);
+            let landed = cursor.seek(&seek_to);
+            let expected = keys.range(seek_to..).next().map(|k| (*k, *k ^ 0xF0F0));
+            prop_assert_eq!(landed, expected, "{} seek", index.name());
+            let pivot = landed.map_or(seek_to, |(k, _)| k);
+            let back = cursor.prev();
+            let expected = keys.range(..pivot).next_back().map(|k| (*k, *k ^ 0xF0F0));
+            prop_assert_eq!(back, expected, "{} prev after seek", index.name());
         }
     }
 
