@@ -193,6 +193,9 @@ impl ConcurrentIndex<u64, u64> for LsmHandle {
     fn name(&self) -> &'static str {
         self.engine.name()
     }
+    fn degraded(&self) -> bool {
+        self.engine.degraded()
+    }
     fn stats(&self) -> IndexStats {
         ConcurrentIndex::stats(&self.engine)
     }

@@ -443,6 +443,13 @@ where
         }
     }
 
+    /// A partitioned index is degraded as soon as any shard is: a write
+    /// for that shard's key space would be rejected, so the node as a
+    /// whole must drain.
+    fn degraded(&self) -> bool {
+        self.shards.iter().any(|shard| shard.degraded())
+    }
+
     fn stats(&self) -> IndexStats {
         let mut stats = IndexStats::new()
             .with("shards", self.shards.len() as u64)

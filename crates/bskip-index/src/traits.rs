@@ -175,6 +175,16 @@ pub trait ConcurrentIndex<K: IndexKey, V: IndexValue>: Send + Sync {
     /// (e.g. `"B-skiplist"`, `"OCC B+-tree"`).
     fn name(&self) -> &'static str;
 
+    /// Whether the index has entered a sticky degraded (read-only) state
+    /// after an unrecoverable backend failure — reads keep working, but
+    /// mutations are rejected or dropped.  In-memory indices never
+    /// degrade (the provided default); durable backends like the LSM
+    /// engine override this, and services drain traffic away from a
+    /// degraded node.
+    fn degraded(&self) -> bool {
+        false
+    }
+
     /// Snapshot of the index's structural statistics counters.
     ///
     /// The default implementation reports nothing; indices that instrument
@@ -260,6 +270,9 @@ macro_rules! forward_concurrent_index {
         }
         fn name(&self) -> &'static str {
             (**self).name()
+        }
+        fn degraded(&self) -> bool {
+            (**self).degraded()
         }
         fn stats(&self) -> IndexStats {
             (**self).stats()

@@ -47,25 +47,55 @@
 //! prefix into a fresh memtable.  A torn final frame is truncated and the
 //! segment resumes appending.
 //!
-//! # Errors
+//! All file access goes through the [`Storage`] trait
+//! ([`LsmEngine::open_with`]), so the whole stack — WAL, tables, manifest
+//! commits — can run over the fault-injecting [`crate::FaultFs`] and be
+//! crash-tested deterministically.
 //!
-//! [`LsmEngine::open`] and the explicit maintenance entry points return
-//! [`io::Result`].  The `ConcurrentIndex` methods cannot (the trait has no
-//! error channel); an I/O failure on the hot path — a WAL append or table
-//! read failing on a healthy engine — is unrecoverable state corruption
-//! and panics with context.
+//! # Errors and degraded mode
+//!
+//! Nothing in the engine panics on I/O failure.  The fallible surface —
+//! [`LsmEngine::try_insert`], [`LsmEngine::try_remove`],
+//! [`LsmEngine::try_get`], [`LsmEngine::try_execute`], and the explicit
+//! maintenance entry points — returns `io::Result`.  The infallible
+//! [`ConcurrentIndex`] methods delegate to it and degrade gracefully: a
+//! failed read answers `None`, a failed mutation is dropped (and its
+//! batch results left unset).
+//!
+//! The degradation contract:
+//!
+//! - A **foreground WAL append failure** means a mutation could not be
+//!   made durable.  The engine bumps `write_failures`, flips the sticky
+//!   `degraded` flag, and rejects all further mutations — reads, scans
+//!   and read-only batches keep working off the recovered state.  Reopen
+//!   the engine (typically after the operator fixes the disk) to clear
+//!   the flag.
+//! - A **table read failure** (I/O error or block checksum mismatch —
+//!   every SSTable block carries a CRC32) bumps `io_errors` and surfaces
+//!   as an error on the `try_*` path; it does not degrade the engine,
+//!   since retrying or reading other keys may well succeed.
+//! - **Maintenance** (rotate / flush / compaction / manifest commit)
+//!   retries under [`bskip_sync::Backoff`] and, if an operation still
+//!   fails, rolls its in-memory state back, deletes any partial output
+//!   files, counts one `io_error`, and leaves the engine serving — the
+//!   WAL still covers everything, so durability is unaffected; only disk
+//!   shape is behind.
+//!
+//! The three health indicators are exported through
+//! [`ConcurrentIndex::stats`] as `io_errors`, `write_failures` and
+//! `degraded`.
 
 use std::collections::HashSet;
-use std::fs;
 use std::io;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use bskip_index::{
     BatchCursor, ConcurrentIndex, Cursor, IndexCursor, IndexKey, IndexStats, IndexValue, Op,
 };
+use bskip_sync::Backoff;
 
 use crate::codec::Persist;
 use crate::entry::Slot;
@@ -75,7 +105,13 @@ use crate::manifest::{
 use crate::memtable::Memtable;
 use crate::merge::MergeCursor;
 use crate::sstable::{Table, TableBuilder, TableOptions};
+use crate::storage::{StdFs, Storage};
 use crate::wal::{decode_batch, encode_batch, read_segment, SyncPolicy, WalOp, WalWriter};
+
+/// Maintenance attempts before an operation gives up for this rotation
+/// point (it will be retried at the next one — the WAL keeps growing in
+/// the meantime, so no data is at risk).
+const MAINTENANCE_ATTEMPTS: u32 = 3;
 
 /// Tuning knobs for an [`LsmEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -168,6 +204,20 @@ struct Counters {
     compactions: AtomicU64,
 }
 
+/// I/O health: the counters behind the degraded-mode contract (see the
+/// module docs).
+#[derive(Default)]
+struct IoHealth {
+    /// Read-path and maintenance I/O failures (including checksum
+    /// mismatches).  Shared with table cursors, which count into it.
+    io_errors: Arc<AtomicU64>,
+    /// Foreground WAL append failures — each one degrades the engine.
+    write_failures: AtomicU64,
+    /// Sticky read-only flag; set on the first write failure, cleared
+    /// only by reopening the engine.
+    degraded: AtomicBool,
+}
+
 /// One compaction's inputs and placement, decided under a read lock.
 struct CompactionPlan<K: IndexKey, V: IndexValue> {
     /// Input tables in newest-first priority order.
@@ -203,36 +253,57 @@ struct CompactionPlan<K: IndexKey, V: IndexValue> {
 /// # std::fs::remove_dir_all(&dir).unwrap();
 /// ```
 pub struct LsmEngine<K: IndexKey + Persist, V: IndexValue + Persist> {
+    storage: Arc<dyn Storage>,
     dir: PathBuf,
     config: LsmConfig,
     write: Mutex<WriteState>,
     state: RwLock<EngineState<K, V>>,
     counters: Counters,
+    health: IoHealth,
+}
+
+fn degraded_error() -> io::Error {
+    io::Error::other("bskip-lsm: engine is degraded (read-only) after an I/O failure")
 }
 
 impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
-    /// Opens (or creates) an engine directory, running full recovery: the
-    /// manifest's tables are opened, orphan files are removed, and every
-    /// WAL segment's valid prefix is replayed into a fresh memtable.
+    /// Opens (or creates) an engine directory on the real filesystem.
+    /// Equivalent to [`LsmEngine::open_with`] over [`StdFs`].
     pub fn open(dir: impl AsRef<Path>, config: LsmConfig) -> io::Result<Self> {
+        Self::open_with(Arc::new(StdFs), dir, config)
+    }
+
+    /// Opens (or creates) an engine directory over an arbitrary
+    /// [`Storage`] backend, running full recovery: the manifest's tables
+    /// are opened, orphan files are removed, and every WAL segment's
+    /// valid prefix is replayed into a fresh memtable.
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        dir: impl AsRef<Path>,
+        config: LsmConfig,
+    ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let _ = fs::remove_file(dir.join("MANIFEST.tmp"));
-        let manifest = Manifest::load(&dir)?;
+        storage.create_dir_all(&dir)?;
+        let _ = storage.remove(&dir.join("MANIFEST.tmp"));
+        let manifest = Manifest::load(storage.as_ref(), &dir)?;
 
         // Tables on disk but not in the manifest are leftovers of a flush
         // or compaction that never committed; their contents are still
         // covered by the WAL (or by the input tables), so drop them.
         let live_ids: HashSet<u64> = manifest.tables.iter().map(|t| t.id).collect();
-        for id in scan_table_ids(&dir)? {
+        for id in scan_table_ids(storage.as_ref(), &dir)? {
             if !live_ids.contains(&id) {
-                let _ = fs::remove_file(table_file(&dir, id));
+                let _ = storage.remove(&table_file(&dir, id));
             }
         }
 
         let mut levels: Vec<Vec<Arc<Table<K, V>>>> = Vec::new();
         for entry in &manifest.tables {
-            let table = Arc::new(Table::open(&table_file(&dir, entry.id), entry.id)?);
+            let table = Arc::new(Table::open(
+                storage.as_ref(),
+                &table_file(&dir, entry.id),
+                entry.id,
+            )?);
             if levels.len() <= entry.level {
                 levels.resize_with(entry.level + 1, Vec::new);
             }
@@ -244,7 +315,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
         // Replay every WAL segment, oldest first, into one fresh memtable;
         // later records overwrite earlier ones exactly as the original
         // applies did.
-        let wal_ids = scan_wal_ids(&dir)?;
+        let wal_ids = scan_wal_ids(storage.as_ref(), &dir)?;
         let memtable: Arc<Memtable<K, V>> = Arc::new(Memtable::new(if wal_ids.is_empty() {
             vec![0]
         } else {
@@ -252,7 +323,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
         }));
         let mut newest_valid_len = 0u64;
         for (at, &id) in wal_ids.iter().enumerate() {
-            let scan = read_segment(&wal_file(&dir, id))?;
+            let scan = read_segment(storage.as_ref(), &wal_file(&dir, id))?;
             for payload in &scan.records {
                 let ops = decode_batch::<K, V>(payload).ok_or_else(|| {
                     io::Error::new(io::ErrorKind::InvalidData, "undecodable WAL record")
@@ -270,13 +341,22 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
         }
         let (wal, next_wal_id) = match wal_ids.last() {
             Some(&newest) => (
-                WalWriter::open_for_append(&wal_file(&dir, newest), newest_valid_len, config.sync)?,
+                WalWriter::open_for_append(
+                    storage.as_ref(),
+                    &wal_file(&dir, newest),
+                    newest_valid_len,
+                    config.sync,
+                )?,
                 newest + 1,
             ),
-            None => (WalWriter::create(&wal_file(&dir, 0), config.sync)?, 1),
+            None => (
+                WalWriter::create(storage.as_ref(), &wal_file(&dir, 0), config.sync)?,
+                1,
+            ),
         };
 
         let engine = LsmEngine {
+            storage,
             dir,
             config,
             write: Mutex::new(WriteState {
@@ -291,19 +371,20 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
                 levels,
             }),
             counters: Counters::default(),
+            health: IoHealth::default(),
         };
 
         // Exact live-key count: one merged sweep over every layer.
         let live_keys = {
-            let state = engine.state.read().unwrap();
-            let mut merge = MergeCursor::new(Self::sources_from(&state, Bound::Unbounded));
+            let state = engine.read_state();
+            let mut merge = MergeCursor::new(engine.sources_from(&state, Bound::Unbounded));
             let mut count = 0u64;
             while merge.next_live().is_some() {
                 count += 1;
             }
             count
         };
-        engine.write.lock().unwrap().live_keys = live_keys;
+        engine.write_lock().live_keys = live_keys;
         Ok(engine)
     }
 
@@ -317,15 +398,46 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
         &self.config
     }
 
+    /// Whether the engine is in sticky read-only mode after a foreground
+    /// write failure.  Reads and scans keep working; mutations return
+    /// errors (or are dropped on the infallible surface).  Cleared only
+    /// by reopening the engine.
+    pub fn degraded(&self) -> bool {
+        self.health.degraded.load(Ordering::Acquire)
+    }
+
+    /// Read-path and maintenance I/O failures observed so far (including
+    /// block checksum mismatches).
+    pub fn io_errors(&self) -> u64 {
+        self.health.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Foreground WAL append failures observed so far.
+    pub fn write_failures(&self) -> u64 {
+        self.health.write_failures.load(Ordering::Relaxed)
+    }
+
     /// Number of tables at each level, `[l0, l1, …]`.
     pub fn tables_per_level(&self) -> Vec<usize> {
-        self.state
-            .read()
-            .unwrap()
-            .levels
-            .iter()
-            .map(Vec::len)
-            .collect()
+        self.read_state().levels.iter().map(Vec::len).collect()
+    }
+
+    // Lock acquisition recovers from poisoning: a panic elsewhere (e.g. a
+    // caller's closure) must not cascade into panics on the read path of
+    // an otherwise healthy — or deliberately degraded — engine.  The
+    // guarded structures are kept consistent by commit-point discipline,
+    // not by unwind-freedom, so the inner value is safe to use.
+
+    fn write_lock(&self) -> MutexGuard<'_, WriteState> {
+        self.write.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn read_state(&self) -> RwLockReadGuard<'_, EngineState<K, V>> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_state(&self) -> RwLockWriteGuard<'_, EngineState<K, V>> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn sort_levels(levels: &mut [Vec<Arc<Table<K, V>>>]) {
@@ -339,8 +451,11 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
     }
 
     /// Every layer as merge sources in newest-first priority order, from
-    /// `from` upward.
+    /// `from` upward.  Table cursors count read failures into the
+    /// engine's `io_errors` and end their stream early instead of
+    /// panicking.
     fn sources_from<'a>(
+        &self,
         state: &'a EngineState<K, V>,
         from: Bound<K>,
     ) -> Vec<Box<dyn IndexCursor<K, Slot<V>> + 'a>> {
@@ -351,7 +466,11 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
         }
         for level in &state.levels {
             for table in level {
-                sources.push(Box::new(table.cursor(from, Bound::Unbounded)));
+                sources.push(Box::new(table.cursor_counted(
+                    from,
+                    Bound::Unbounded,
+                    Arc::clone(&self.health.io_errors),
+                )));
             }
         }
         sources
@@ -360,23 +479,28 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
     /// Newest-first lookup across every layer; a tombstone answer settles
     /// the key as deleted.  `skip_memtable` serves the write path, which
     /// has already consulted the mutable memtable.
-    fn lookup(&self, state: &EngineState<K, V>, key: &K, skip_memtable: bool) -> Option<Slot<V>> {
+    fn lookup(
+        &self,
+        state: &EngineState<K, V>,
+        key: &K,
+        skip_memtable: bool,
+    ) -> io::Result<Option<Slot<V>>> {
         if !skip_memtable {
             if let Some(slot) = state.memtable.get(key) {
-                return Some(slot);
+                return Ok(Some(slot));
             }
         }
         for immutable in &state.immutables {
             if let Some(slot) = immutable.get(key) {
-                return Some(slot);
+                return Ok(Some(slot));
             }
         }
         for (at, level) in state.levels.iter().enumerate() {
             if at == 0 {
                 for table in level {
                     if table.may_contain(key) {
-                        if let Some(slot) = Self::table_get(table, key) {
-                            return Some(slot);
+                        if let Some(slot) = self.table_get(table, key)? {
+                            return Ok(Some(slot));
                         }
                     }
                 }
@@ -385,37 +509,45 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
                 let candidate = level.partition_point(|table| table.max_key < *key);
                 if let Some(table) = level.get(candidate) {
                     if table.may_contain(key) {
-                        if let Some(slot) = Self::table_get(table, key) {
-                            return Some(slot);
+                        if let Some(slot) = self.table_get(table, key)? {
+                            return Ok(Some(slot));
                         }
                     }
                 }
             }
         }
-        None
+        Ok(None)
     }
 
-    fn table_get(table: &Table<K, V>, key: &K) -> Option<Slot<V>> {
-        table
-            .get(key)
-            .unwrap_or_else(|error| panic!("bskip-lsm: SSTable read failed: {error}"))
+    fn table_get(&self, table: &Table<K, V>, key: &K) -> io::Result<Option<Slot<V>>> {
+        table.get(key).inspect_err(|_| {
+            self.health.io_errors.fetch_add(1, Ordering::Relaxed);
+        })
     }
 
-    /// The serialized write path shared by `insert` and `remove`: WAL
-    /// append, previous-value lookup, memtable apply, rotation check.
-    fn put_slot(&self, key: K, slot: Slot<V>) -> Option<V> {
-        let mut write = self.write.lock().unwrap();
+    /// The serialized write path shared by the insert and remove lanes:
+    /// degraded check, WAL append, previous-value lookup, memtable apply,
+    /// rotation check.
+    fn try_put_slot(&self, key: K, slot: Slot<V>) -> io::Result<Option<V>> {
+        let mut write = self.write_lock();
+        if self.degraded() {
+            return Err(degraded_error());
+        }
         let wal_op = match slot {
             Slot::Put(value) => WalOp::Put { key, value },
             Slot::Tombstone => WalOp::Delete { key },
         };
-        self.wal_append(&mut write, &encode_batch(&[wal_op]));
+        self.wal_append(&mut write, &encode_batch(&[wal_op]))?;
         let previous = {
-            let state = self.state.read().unwrap();
-            let previous = state
-                .memtable
-                .apply(key, slot)
-                .or_else(|| self.lookup(&state, &key, true));
+            let state = self.read_state();
+            let previous = match state.memtable.apply(key, slot) {
+                Some(slot) => Some(slot),
+                // A table-read failure here loses only the previous-value
+                // answer (already counted in io_errors); the mutation
+                // itself is durable and applied.  live_keys may drift
+                // until the next reopen recounts it.
+                None => self.lookup(&state, &key, true).unwrap_or(None),
+            };
             previous.and_then(Slot::value)
         };
         match (previous.is_some(), slot.is_tombstone()) {
@@ -424,42 +556,164 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
             _ => {}
         }
         self.maybe_rotate(&mut write);
-        previous
+        Ok(previous)
     }
 
-    fn wal_append(&self, write: &mut WriteState, payload: &[u8]) {
-        let frame = write
-            .wal
-            .append(payload)
-            .unwrap_or_else(|error| panic!("bskip-lsm: WAL append failed: {error}"));
-        self.counters.wal_bytes.fetch_add(frame, Ordering::Relaxed);
-        self.counters.wal_records.fetch_add(1, Ordering::Relaxed);
+    /// Fallible insert: the previous value, or the error that prevented
+    /// the write from being made durable (which also degrades the
+    /// engine).
+    pub fn try_insert(&self, key: K, value: V) -> io::Result<Option<V>> {
+        self.try_put_slot(key, Slot::Put(value))
+    }
+
+    /// Fallible remove; see [`LsmEngine::try_insert`].
+    pub fn try_remove(&self, key: &K) -> io::Result<Option<V>> {
+        self.try_put_slot(*key, Slot::Tombstone)
+    }
+
+    /// Fallible lookup: `Err` on a table read or checksum failure
+    /// (counted in `io_errors`) instead of silently answering `None`.
+    pub fn try_get(&self, key: &K) -> io::Result<Option<V>> {
+        let state = self.read_state();
+        Ok(self.lookup(&state, key, false)?.and_then(Slot::value))
+    }
+
+    /// The fallible group-commit lane behind [`ConcurrentIndex::execute`]:
+    /// the batch's mutations become **one** WAL record (one `write(2)`,
+    /// one `fdatasync` under [`SyncPolicy::Always`]), then the operations
+    /// apply in slot order.
+    ///
+    /// On `Err` nothing was applied and every result slot is untouched.
+    /// A read-only batch never touches the WAL and is served even on a
+    /// degraded engine.
+    pub fn try_execute(&self, ops: &mut [Op<K, V>]) -> io::Result<()> {
+        let mut write = self.write_lock();
+        let wal_ops: Vec<WalOp<K, V>> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert { key, value, .. } | Op::Update { key, value, .. } => Some(WalOp::Put {
+                    key: *key,
+                    value: *value,
+                }),
+                Op::Remove { key, .. } => Some(WalOp::Delete { key: *key }),
+                Op::Get { .. } => None,
+            })
+            .collect();
+        if !wal_ops.is_empty() {
+            if self.degraded() {
+                return Err(degraded_error());
+            }
+            self.wal_append(&mut write, &encode_batch(&wal_ops))?;
+        }
+        {
+            let state = self.read_state();
+            for op in ops.iter_mut() {
+                match op {
+                    Op::Get { key, result } => {
+                        *result = self
+                            .lookup(&state, key, false)
+                            .unwrap_or(None)
+                            .and_then(Slot::value)
+                            .into();
+                    }
+                    Op::Insert { key, value, result } | Op::Update { key, value, result } => {
+                        let previous = match state.memtable.apply(*key, Slot::Put(*value)) {
+                            Some(slot) => Some(slot),
+                            None => self.lookup(&state, key, true).unwrap_or(None),
+                        }
+                        .and_then(Slot::value);
+                        if previous.is_none() {
+                            write.live_keys += 1;
+                        }
+                        *result = previous.into();
+                    }
+                    Op::Remove { key, result } => {
+                        let previous = match state.memtable.apply(*key, Slot::Tombstone) {
+                            Some(slot) => Some(slot),
+                            None => self.lookup(&state, key, true).unwrap_or(None),
+                        }
+                        .and_then(Slot::value);
+                        if previous.is_some() {
+                            write.live_keys -= 1;
+                        }
+                        *result = previous.into();
+                    }
+                }
+            }
+        }
+        self.maybe_rotate(&mut write);
+        Ok(())
+    }
+
+    /// Appends one record; on failure the mutation was not acknowledged,
+    /// so the engine flips into sticky degraded mode.
+    fn wal_append(&self, write: &mut WriteState, payload: &[u8]) -> io::Result<()> {
+        match write.wal.append(payload) {
+            Ok(frame) => {
+                self.counters.wal_bytes.fetch_add(frame, Ordering::Relaxed);
+                self.counters.wal_records.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(error) => {
+                self.health.write_failures.fetch_add(1, Ordering::Relaxed);
+                self.health.degraded.store(true, Ordering::Release);
+                Err(error)
+            }
+        }
+    }
+
+    /// Runs `step` up to [`MAINTENANCE_ATTEMPTS`] times under exponential
+    /// backoff; a final failure counts one `io_error` and is returned.
+    fn retry_maintenance(&self, mut step: impl FnMut() -> io::Result<()>) -> io::Result<()> {
+        let mut backoff = Backoff::new();
+        let mut last = None;
+        for attempt in 0..MAINTENANCE_ATTEMPTS {
+            if attempt > 0 {
+                backoff.snooze();
+            }
+            match step() {
+                Ok(()) => return Ok(()),
+                Err(error) => last = Some(error),
+            }
+        }
+        self.health.io_errors.fetch_add(1, Ordering::Relaxed);
+        Err(last.unwrap_or_else(|| io::Error::other("bskip-lsm: maintenance failed")))
     }
 
     /// Seals the memtable if it has outgrown its budget, then (in
-    /// auto-maintain mode) flushes and compacts inline.
+    /// auto-maintain mode) flushes and compacts inline.  Failures are
+    /// retried with backoff and then deferred to the next rotation point
+    /// — never panicked on: the current WAL keeps the data safe while the
+    /// memtable overshoots its budget.
     fn maybe_rotate(&self, write: &mut WriteState) {
         let over = {
-            let state = self.state.read().unwrap();
+            let state = self.read_state();
             state.memtable.bytes() >= self.config.memtable_bytes && !state.memtable.is_empty()
         };
         if !over {
             return;
         }
-        self.rotate_locked(write)
-            .unwrap_or_else(|error| panic!("bskip-lsm: rotation failed: {error}"));
+        if self
+            .retry_maintenance(|| self.rotate_locked(write))
+            .is_err()
+        {
+            return;
+        }
         if self.config.auto_maintain {
-            self.maintain_locked(write)
-                .unwrap_or_else(|error| panic!("bskip-lsm: maintenance failed: {error}"));
+            let _ = self.retry_maintenance(|| self.maintain_locked(write));
         }
     }
 
     fn rotate_locked(&self, write: &mut WriteState) -> io::Result<()> {
         let new_id = write.next_wal_id;
-        write.next_wal_id += 1;
-        let new_wal = WalWriter::create(&wal_file(&self.dir, new_id), self.config.sync)?;
+        let new_wal = WalWriter::create(
+            self.storage.as_ref(),
+            &wal_file(&self.dir, new_id),
+            self.config.sync,
+        )?;
+        write.next_wal_id = new_id + 1;
         write.wal = new_wal;
-        let mut state = self.state.write().unwrap();
+        let mut state = self.write_state();
         let sealed = std::mem::replace(&mut state.memtable, Arc::new(Memtable::new(vec![new_id])));
         state.immutables.insert(0, sealed);
         drop(state);
@@ -474,38 +728,60 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
     }
 
     /// Flushes the oldest immutable memtable into an L0 table.  Returns
-    /// whether an immutable memtable was drained.
+    /// whether an immutable memtable was drained.  On error all in-memory
+    /// state is rolled back and partial output files are removed; the
+    /// memtable stays sealed and flushable.
     fn flush_locked(&self, write: &mut WriteState) -> io::Result<bool> {
-        let Some(immutable) = self.state.read().unwrap().immutables.last().cloned() else {
+        let Some(immutable) = self.read_state().immutables.last().cloned() else {
             return Ok(false);
         };
         if immutable.is_empty() {
-            self.state.write().unwrap().immutables.pop();
+            self.write_state().immutables.pop();
         } else {
             let id = write.next_table_id;
-            write.next_table_id += 1;
             let path = table_file(&self.dir, id);
-            let mut builder: TableBuilder<K, V> = TableBuilder::create(&path, self.config.table)?;
-            for (key, slot) in immutable.cursor(Bound::Unbounded, Bound::Unbounded) {
-                builder.add(key, slot)?;
-            }
-            builder.finish()?;
-            let table = Arc::new(Table::open(&path, id)?);
+            let build = || -> io::Result<Arc<Table<K, V>>> {
+                let mut builder: TableBuilder<K, V> =
+                    TableBuilder::create(self.storage.as_ref(), &path, self.config.table)?;
+                for (key, slot) in immutable.cursor(Bound::Unbounded, Bound::Unbounded) {
+                    builder.add(key, slot)?;
+                }
+                builder.finish()?;
+                Ok(Arc::new(Table::open(self.storage.as_ref(), &path, id)?))
+            };
+            let table = match build() {
+                Ok(table) => table,
+                Err(error) => {
+                    let _ = self.storage.remove(&path);
+                    return Err(error);
+                }
+            };
+            write.next_table_id = id + 1;
             {
-                let mut state = self.state.write().unwrap();
+                let mut state = self.write_state();
                 state.immutables.pop();
                 if state.levels.is_empty() {
                     state.levels.push(Vec::new());
                 }
                 state.levels[0].insert(0, table);
-                self.persist_manifest(&state)?;
+                if let Err(error) = self.persist_manifest(&state) {
+                    // Roll back: the table never becomes visible, the
+                    // memtable stays sealed (push re-appends at the oldest
+                    // position — the list is newest-first).
+                    state.levels[0].remove(0);
+                    state.immutables.push(immutable);
+                    drop(state);
+                    write.next_table_id = id;
+                    let _ = self.storage.remove(&path);
+                    return Err(error);
+                }
             }
             self.counters.flushes.fetch_add(1, Ordering::Relaxed);
         }
         // The manifest now covers (or never needed) this memtable's data;
         // its WAL segments are done.
         for &id in immutable.wal_ids() {
-            let _ = fs::remove_file(wal_file(&self.dir, id));
+            let _ = self.storage.remove(&wal_file(&self.dir, id));
         }
         // A flush is a quiescent point for the drained list: drain its
         // retirement backlog before the structure is dropped.
@@ -513,71 +789,122 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
         Ok(true)
     }
 
-    /// Runs one compaction if any trigger fires.  Returns whether work was
-    /// done.
+    /// Runs one compaction if any trigger fires.  Returns whether work
+    /// was done.  On any failure — an input read error, an output write
+    /// error, a manifest commit error — the level set is restored,
+    /// partial outputs are deleted, and the inputs stay live.
     fn compact_locked(&self, write: &mut WriteState) -> io::Result<bool> {
         let Some(plan) = self.plan_compaction() else {
             return Ok(false);
         };
-        let mut output_metas = Vec::new();
-        {
+        let read_errors = Arc::new(AtomicU64::new(0));
+        let mut output_ids: Vec<u64> = Vec::new();
+        let next_table_id_before = write.next_table_id;
+        let build = |write: &mut WriteState,
+                     output_ids: &mut Vec<u64>|
+         -> io::Result<Vec<(u64, crate::sstable::TableMeta<K>)>> {
             let sources = plan
                 .inputs
                 .iter()
                 .map(|table| {
-                    Box::new(table.cursor(Bound::Unbounded, Bound::Unbounded))
-                        as Box<dyn IndexCursor<K, Slot<V>>>
+                    Box::new(table.cursor_counted(
+                        Bound::Unbounded,
+                        Bound::Unbounded,
+                        Arc::clone(&read_errors),
+                    )) as Box<dyn IndexCursor<K, Slot<V>>>
                 })
                 .collect();
             let mut merge = MergeCursor::new(sources);
+            let mut metas = Vec::new();
             let mut builder: Option<(u64, TableBuilder<K, V>)> = None;
             while let Some((key, slot)) = merge.next_raw() {
                 if plan.drop_tombstones && slot.is_tombstone() {
                     continue;
                 }
-                let (_, active) = builder.get_or_insert_with(|| {
+                if builder.is_none() {
                     let id = write.next_table_id;
                     write.next_table_id += 1;
-                    let built = TableBuilder::create(&table_file(&self.dir, id), self.config.table)
-                        .unwrap_or_else(|error| {
-                            panic!("bskip-lsm: compaction output create failed: {error}")
-                        });
-                    (id, built)
-                });
+                    output_ids.push(id);
+                    let built = TableBuilder::create(
+                        self.storage.as_ref(),
+                        &table_file(&self.dir, id),
+                        self.config.table,
+                    )?;
+                    builder = Some((id, built));
+                }
+                let (_, active) = builder.as_mut().expect("builder was just ensured");
                 active.add(key, slot)?;
                 if active.bytes_estimate() >= self.config.table_target_bytes {
-                    let (id, full) = builder.take().unwrap();
-                    output_metas.push((id, full.finish()?));
+                    let (id, full) = builder.take().expect("builder is active");
+                    metas.push((id, full.finish()?));
                 }
             }
             if let Some((id, rest)) = builder.take() {
-                output_metas.push((id, rest.finish()?));
+                metas.push((id, rest.finish()?));
+            }
+            // An input cursor that hit a read error ended its stream
+            // early; committing would silently drop the unread suffix.
+            if read_errors.load(Ordering::Relaxed) > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bskip-lsm: compaction input read failed; aborting to avoid data loss",
+                ));
+            }
+            Ok(metas)
+        };
+        let abort = |write: &mut WriteState, output_ids: &[u64]| {
+            for &id in output_ids {
+                let _ = self.storage.remove(&table_file(&self.dir, id));
+            }
+            write.next_table_id = next_table_id_before;
+        };
+        let output_metas = match build(write, &mut output_ids) {
+            Ok(metas) => metas,
+            Err(error) => {
+                abort(write, &output_ids);
+                return Err(error);
+            }
+        };
+        // Open every output before touching the level set, so commit
+        // below cannot fail halfway through.
+        let mut outputs: Vec<Arc<Table<K, V>>> = Vec::new();
+        for (id, meta) in &output_metas {
+            match Table::open(self.storage.as_ref(), &meta.path, *id) {
+                Ok(table) => outputs.push(Arc::new(table)),
+                Err(error) => {
+                    abort(write, &output_ids);
+                    return Err(error);
+                }
             }
         }
         let input_ids: HashSet<u64> = plan.inputs.iter().map(|table| table.id).collect();
         {
-            let mut state = self.state.write().unwrap();
+            let mut state = self.write_state();
+            let snapshot = state.levels.clone();
             for level in state.levels.iter_mut() {
                 level.retain(|table| !input_ids.contains(&table.id));
             }
             if state.levels.len() <= plan.output_level {
                 state.levels.resize_with(plan.output_level + 1, Vec::new);
             }
-            for (id, meta) in &output_metas {
-                state.levels[plan.output_level].push(Arc::new(Table::open(&meta.path, *id)?));
-            }
+            state.levels[plan.output_level].extend(outputs);
             state.levels[plan.output_level].sort_by_key(|table| table.min_key);
-            self.persist_manifest(&state)?;
+            if let Err(error) = self.persist_manifest(&state) {
+                state.levels = snapshot;
+                drop(state);
+                abort(write, &output_ids);
+                return Err(error);
+            }
         }
         for table in &plan.inputs {
-            let _ = fs::remove_file(table.path());
+            let _ = self.storage.remove(table.path());
         }
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
 
     fn plan_compaction(&self) -> Option<CompactionPlan<K, V>> {
-        let state = self.state.read().unwrap();
+        let state = self.read_state();
         let drop_below = |output_level: usize| {
             state
                 .levels
@@ -644,14 +971,14 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
                 });
             }
         }
-        Manifest { tables }.store(&self.dir)
+        Manifest { tables }.store(self.storage.as_ref(), &self.dir)
     }
 
     /// Seals the current memtable unconditionally (if non-empty), making
     /// its contents flushable.
     pub fn rotate(&self) -> io::Result<()> {
-        let mut write = self.write.lock().unwrap();
-        let non_empty = !self.state.read().unwrap().memtable.is_empty();
+        let mut write = self.write_lock();
+        let non_empty = !self.read_state().memtable.is_empty();
         if non_empty {
             self.rotate_locked(&mut write)?;
         }
@@ -661,7 +988,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
     /// Flushes every sealed memtable to level-0 tables, oldest first.
     /// Returns the number of memtables drained.
     pub fn flush(&self) -> io::Result<usize> {
-        let mut write = self.write.lock().unwrap();
+        let mut write = self.write_lock();
         let mut drained = 0;
         while self.flush_locked(&mut write)? {
             drained += 1;
@@ -672,7 +999,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
     /// Runs compactions until no trigger fires.  Returns the number of
     /// compactions performed.
     pub fn compact(&self) -> io::Result<usize> {
-        let mut write = self.write.lock().unwrap();
+        let mut write = self.write_lock();
         let mut ran = 0;
         while self.compact_locked(&mut write)? {
             ran += 1;
@@ -685,77 +1012,29 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> LsmEngine<K, V> {
     /// explicit.
     pub fn maintain(&self) -> io::Result<()> {
         self.rotate()?;
-        let mut write = self.write.lock().unwrap();
+        let mut write = self.write_lock();
         self.maintain_locked(&mut write)
     }
 }
 
 impl<K: IndexKey + Persist, V: IndexValue + Persist> ConcurrentIndex<K, V> for LsmEngine<K, V> {
     fn insert(&self, key: K, value: V) -> Option<V> {
-        self.put_slot(key, Slot::Put(value))
+        self.try_insert(key, value).unwrap_or_default()
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        let state = self.state.read().unwrap();
-        self.lookup(&state, key, false).and_then(Slot::value)
+        self.try_get(key).unwrap_or_default()
     }
 
     fn remove(&self, key: &K) -> Option<V> {
-        self.put_slot(*key, Slot::Tombstone)
+        self.try_remove(key).unwrap_or_default()
     }
 
-    /// The group-commit ingest lane: the batch's mutations become **one**
-    /// WAL record (one `write(2)`, one `fdatasync` under
-    /// [`SyncPolicy::Always`]), then the operations apply in slot order.
+    /// The group-commit ingest lane; see [`LsmEngine::try_execute`].  On
+    /// a degraded engine (or an I/O failure) a mutating batch is dropped
+    /// and its result slots stay unset.
     fn execute(&self, ops: &mut [Op<K, V>]) {
-        let mut write = self.write.lock().unwrap();
-        let wal_ops: Vec<WalOp<K, V>> = ops
-            .iter()
-            .filter_map(|op| match op {
-                Op::Insert { key, value, .. } | Op::Update { key, value, .. } => Some(WalOp::Put {
-                    key: *key,
-                    value: *value,
-                }),
-                Op::Remove { key, .. } => Some(WalOp::Delete { key: *key }),
-                Op::Get { .. } => None,
-            })
-            .collect();
-        if !wal_ops.is_empty() {
-            self.wal_append(&mut write, &encode_batch(&wal_ops));
-        }
-        {
-            let state = self.state.read().unwrap();
-            for op in ops.iter_mut() {
-                match op {
-                    Op::Get { key, result } => {
-                        *result = self.lookup(&state, key, false).and_then(Slot::value).into();
-                    }
-                    Op::Insert { key, value, result } | Op::Update { key, value, result } => {
-                        let previous = state
-                            .memtable
-                            .apply(*key, Slot::Put(*value))
-                            .or_else(|| self.lookup(&state, key, true))
-                            .and_then(Slot::value);
-                        if previous.is_none() {
-                            write.live_keys += 1;
-                        }
-                        *result = previous.into();
-                    }
-                    Op::Remove { key, result } => {
-                        let previous = state
-                            .memtable
-                            .apply(*key, Slot::Tombstone)
-                            .or_else(|| self.lookup(&state, key, true))
-                            .and_then(Slot::value);
-                        if previous.is_some() {
-                            write.live_keys -= 1;
-                        }
-                        *result = previous.into();
-                    }
-                }
-            }
-        }
-        self.maybe_rotate(&mut write);
+        let _ = self.try_execute(ops);
     }
 
     /// A merged scan: each batch refill snapshots the layer set under the
@@ -768,8 +1047,8 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> ConcurrentIndex<K, V> for L
             hi,
             128,
             Box::new(move |from, max, out| {
-                let state = self.state.read().unwrap();
-                let mut merge = MergeCursor::new(Self::sources_from(&state, from));
+                let state = self.read_state();
+                let mut merge = MergeCursor::new(self.sources_from(&state, from));
                 while out.len() < max {
                     match merge.next_live() {
                         Some(entry) => out.push(entry),
@@ -781,21 +1060,25 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> ConcurrentIndex<K, V> for L
     }
 
     fn try_reclaim(&self) -> usize {
-        self.state.read().unwrap().memtable.try_reclaim()
+        self.read_state().memtable.try_reclaim()
     }
 
     fn len(&self) -> usize {
-        self.write.lock().unwrap().live_keys as usize
+        self.write_lock().live_keys as usize
     }
 
     fn name(&self) -> &'static str {
         "bskip-lsm"
     }
 
+    fn degraded(&self) -> bool {
+        LsmEngine::degraded(self)
+    }
+
     fn stats(&self) -> IndexStats {
         // Lock order everywhere: writer mutex before state lock.
-        let write = self.write.lock().unwrap();
-        let state = self.state.read().unwrap();
+        let write = self.write_lock();
+        let state = self.read_state();
         let mut stats = IndexStats::new()
             .with("wal_bytes", self.counters.wal_bytes.load(Ordering::Relaxed))
             .with(
@@ -811,6 +1094,9 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> ConcurrentIndex<K, V> for L
                 "compactions",
                 self.counters.compactions.load(Ordering::Relaxed),
             )
+            .with("io_errors", self.io_errors())
+            .with("write_failures", self.write_failures())
+            .with("degraded", LsmEngine::degraded(self) as u64)
             .with("live_keys", write.live_keys)
             .with("memtable_bytes", state.memtable.bytes())
             .with("memtable_live_nodes", state.memtable.live_nodes())
@@ -836,13 +1122,19 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> ConcurrentIndex<K, V> for L
         self.counters.rotations.store(0, Ordering::Relaxed);
         self.counters.flushes.store(0, Ordering::Relaxed);
         self.counters.compactions.store(0, Ordering::Relaxed);
+        // The error counters reset too, but the sticky degraded flag does
+        // not — only a reopen clears that.
+        self.health.io_errors.store(0, Ordering::Relaxed);
+        self.health.write_failures.store(0, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::FaultFs;
     use bskip_index::ConcurrentIndexExt;
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -1047,5 +1339,67 @@ mod tests {
         }
         drop(engine);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_failure_degrades_engine_but_reads_survive() {
+        let fs = FaultFs::new();
+        let dir = PathBuf::from("/db");
+        let engine: LsmEngine<u64, u64> =
+            LsmEngine::open_with(Arc::new(fs.clone()), &dir, LsmConfig::small()).unwrap();
+        for key in 0..100u64 {
+            engine.insert(key, key * 3);
+        }
+        assert!(!LsmEngine::degraded(&engine));
+
+        // The next WAL append fails: the mutation must error, not panic,
+        // and the engine must flip into sticky read-only mode.
+        fs.fail_nth_write(1, io::ErrorKind::StorageFull);
+        let error = engine.try_insert(200, 1).expect_err("write must fail");
+        assert_eq!(error.kind(), io::ErrorKind::StorageFull);
+        assert!(LsmEngine::degraded(&engine));
+        assert_eq!(engine.write_failures(), 1);
+
+        // Further mutations are rejected before touching storage.
+        let writes_before = fs.write_count();
+        assert!(engine.try_insert(201, 1).is_err());
+        assert!(engine.try_remove(&0).is_err());
+        assert_eq!(fs.write_count(), writes_before);
+        // The infallible surface drops the mutation instead of panicking.
+        assert_eq!(engine.insert(202, 1), None);
+        assert_eq!(engine.get(&202), None);
+
+        // Reads, scans and read-only batches keep working.
+        assert_eq!(engine.get(&42), Some(126));
+        assert_eq!(engine.try_get(&42).unwrap(), Some(126));
+        assert_eq!(engine.scan_range(..).count(), 100);
+        let mut reads = vec![Op::<u64, u64>::get(7)];
+        engine.try_execute(&mut reads).expect("read-only batch ok");
+        assert_eq!(reads[0].result().value(), Some(21));
+        let mut mixed = vec![Op::get(7), Op::insert(300, 1)];
+        assert!(engine.try_execute(&mut mixed).is_err());
+
+        let stats = engine.stats();
+        assert_eq!(stats.get("degraded"), Some(1), "{stats}");
+        assert_eq!(stats.get("write_failures"), Some(1), "{stats}");
+    }
+
+    #[test]
+    fn transient_maintenance_fault_recovers_via_retry() {
+        let fs = FaultFs::new();
+        let dir = PathBuf::from("/db");
+        let engine: LsmEngine<u64, u64> =
+            LsmEngine::open_with(Arc::new(fs.clone()), &dir, LsmConfig::small()).unwrap();
+        // One transient sync failure somewhere in the maintenance stream:
+        // the retry loop must absorb it without degrading the engine.
+        fs.fail_nth_sync(1, io::ErrorKind::Interrupted);
+        for key in 0..2_000u64 {
+            engine.insert(key, key);
+        }
+        assert!(!LsmEngine::degraded(&engine));
+        assert!(engine.stats().get("sst_flushes").unwrap() > 0);
+        for key in (0..2_000u64).step_by(193) {
+            assert_eq!(engine.get(&key), Some(key));
+        }
     }
 }

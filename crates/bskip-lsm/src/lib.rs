@@ -27,12 +27,14 @@
 //! to end: one pipelined client window becomes one `execute` batch
 //! becomes one WAL record and one `write(2)`.
 //!
-//! Module map: [`wal`] (framed, CRC-checked log with torn-tail recovery),
-//! [`memtable`] (the B-skiplist write buffer), [`sstable`] (block-
-//! structured tables with prefix compression and bloom filters),
-//! [`merge`] (the newest-wins K-way merge), [`manifest`] (the durable
-//! table listing), [`engine`] (the assembled engine), with [`codec`],
-//! [`crc`] and [`entry`] underneath.
+//! Module map: [`storage`] (the pluggable filesystem — [`StdFs`] in
+//! production, the fault-injecting [`FaultFs`] in tests), [`wal`]
+//! (framed, CRC-checked log with torn-tail recovery), [`memtable`] (the
+//! B-skiplist write buffer), [`sstable`] (block-structured tables with
+//! prefix compression, bloom filters and per-block CRC32), [`merge`]
+//! (the newest-wins K-way merge), [`manifest`] (the durable table
+//! listing), [`engine`] (the assembled engine), with [`codec`], [`crc`]
+//! and [`entry`] underneath.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,6 +48,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod merge;
 pub mod sstable;
+pub mod storage;
 pub mod wal;
 
 pub use codec::Persist;
@@ -54,4 +57,5 @@ pub use entry::Slot;
 pub use memtable::Memtable;
 pub use merge::MergeCursor;
 pub use sstable::{Table, TableBuilder, TableCursor, TableOptions};
+pub use storage::{FaultFs, StdFs, Storage, StorageFile};
 pub use wal::{SyncPolicy, WalOp, WalWriter};

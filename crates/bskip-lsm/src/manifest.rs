@@ -17,10 +17,14 @@
 //! from the manifest are orphans of a crashed flush or compaction — their
 //! data is still covered by the WAL (flush deletes segments only after the
 //! manifest commits), so the orphans are simply deleted.
+//!
+//! All file access goes through the [`Storage`] trait, so the tmp+rename
+//! commit point is exercisable under the fault-injecting filesystem.
 
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io::{self};
 use std::path::{Path, PathBuf};
+
+use crate::storage::Storage;
 
 /// Manifest file name inside the engine directory.
 pub const MANIFEST: &str = "MANIFEST";
@@ -57,12 +61,13 @@ fn corrupt(what: &str) -> io::Error {
 impl Manifest {
     /// Loads the manifest from `dir`; a missing file is an empty manifest
     /// (fresh engine directory).
-    pub fn load(dir: &Path) -> io::Result<Manifest> {
-        let text = match fs::read_to_string(dir.join(MANIFEST)) {
-            Ok(text) => text,
+    pub fn load(storage: &dyn Storage, dir: &Path) -> io::Result<Manifest> {
+        let bytes = match storage.read(&dir.join(MANIFEST)) {
+            Ok(bytes) => bytes,
             Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(Manifest::default()),
             Err(error) => return Err(error),
         };
+        let text = String::from_utf8(bytes).map_err(|_| corrupt("not UTF-8"))?;
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
             return Err(corrupt("bad header"));
@@ -87,7 +92,7 @@ impl Manifest {
     }
 
     /// Atomically replaces the manifest in `dir` with this listing.
-    pub fn store(&self, dir: &Path) -> io::Result<()> {
+    pub fn store(&self, storage: &dyn Storage, dir: &Path) -> io::Result<()> {
         let mut text = String::from(HEADER);
         text.push('\n');
         for table in &self.tables {
@@ -97,14 +102,13 @@ impl Manifest {
             ));
         }
         let tmp = dir.join("MANIFEST.tmp");
-        let mut file = File::create(&tmp)?;
-        file.write_all(text.as_bytes())?;
+        let mut file = storage.create(&tmp)?;
+        file.append(text.as_bytes())?;
         file.sync_all()?;
         drop(file);
-        fs::rename(&tmp, dir.join(MANIFEST))?;
+        storage.rename(&tmp, &dir.join(MANIFEST))?;
         // Persist the rename itself (directory metadata).
-        #[cfg(unix)]
-        File::open(dir)?.sync_all()?;
+        storage.sync_dir(dir)?;
         Ok(())
     }
 }
@@ -119,11 +123,9 @@ pub fn wal_file(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("wal-{id:08}.log"))
 }
 
-fn scan_ids(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<u64>> {
+fn scan_ids(storage: &dyn Storage, dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<u64>> {
     let mut ids = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let name = entry?.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in storage.read_dir(dir)? {
         if let Some(stem) = name
             .strip_prefix(prefix)
             .and_then(|rest| rest.strip_suffix(suffix))
@@ -138,18 +140,20 @@ fn scan_ids(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<u64>> {
 }
 
 /// Ids of every WAL segment in `dir`, ascending.
-pub fn scan_wal_ids(dir: &Path) -> io::Result<Vec<u64>> {
-    scan_ids(dir, "wal-", ".log")
+pub fn scan_wal_ids(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<u64>> {
+    scan_ids(storage, dir, "wal-", ".log")
 }
 
 /// Ids of every table file in `dir`, ascending.
-pub fn scan_table_ids(dir: &Path) -> io::Result<Vec<u64>> {
-    scan_ids(dir, "tab-", ".sst")
+pub fn scan_table_ids(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<u64>> {
+    scan_ids(storage, dir, "tab-", ".sst")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::{FaultFs, StdFs};
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -165,7 +169,7 @@ mod tests {
     #[test]
     fn round_trips_and_missing_file_is_empty() {
         let dir = temp_dir("roundtrip");
-        assert_eq!(Manifest::load(&dir).unwrap(), Manifest::default());
+        assert_eq!(Manifest::load(&StdFs, &dir).unwrap(), Manifest::default());
         let manifest = Manifest {
             tables: vec![
                 ManifestTable {
@@ -182,8 +186,8 @@ mod tests {
                 },
             ],
         };
-        manifest.store(&dir).unwrap();
-        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+        manifest.store(&StdFs, &dir).unwrap();
+        assert_eq!(Manifest::load(&StdFs, &dir).unwrap(), manifest);
         // Store is a full replacement, not an append.
         let smaller = Manifest {
             tables: vec![ManifestTable {
@@ -193,8 +197,8 @@ mod tests {
                 bytes: 70000,
             }],
         };
-        smaller.store(&dir).unwrap();
-        assert_eq!(Manifest::load(&dir).unwrap(), smaller);
+        smaller.store(&StdFs, &dir).unwrap();
+        assert_eq!(Manifest::load(&StdFs, &dir).unwrap(), smaller);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -202,11 +206,11 @@ mod tests {
     fn load_rejects_corruption() {
         let dir = temp_dir("corrupt");
         fs::write(dir.join(MANIFEST), "not a manifest\n").unwrap();
-        assert!(Manifest::load(&dir).is_err());
+        assert!(Manifest::load(&StdFs, &dir).is_err());
         fs::write(dir.join(MANIFEST), format!("{HEADER}\ntable zero 1 2 3\n")).unwrap();
-        assert!(Manifest::load(&dir).is_err());
+        assert!(Manifest::load(&StdFs, &dir).is_err());
         fs::write(dir.join(MANIFEST), format!("{HEADER}\nfrob 1\n")).unwrap();
-        assert!(Manifest::load(&dir).is_err());
+        assert!(Manifest::load(&StdFs, &dir).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -220,8 +224,49 @@ mod tests {
         fs::write(wal_file(&dir, 5), b"").unwrap();
         fs::write(dir.join("MANIFEST.tmp"), b"").unwrap();
         fs::write(dir.join("unrelated.txt"), b"").unwrap();
-        assert_eq!(scan_table_ids(&dir).unwrap(), vec![2, 10]);
-        assert_eq!(scan_wal_ids(&dir).unwrap(), vec![5]);
+        assert_eq!(scan_table_ids(&StdFs, &dir).unwrap(), vec![2, 10]);
+        assert_eq!(scan_wal_ids(&StdFs, &dir).unwrap(), vec![5]);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_tmp_write_and_rename_keeps_the_old_manifest() {
+        let fs = FaultFs::new();
+        let dir = PathBuf::from("/db");
+        let old = Manifest {
+            tables: vec![ManifestTable {
+                level: 0,
+                id: 1,
+                entries: 10,
+                bytes: 100,
+            }],
+        };
+        old.store(&fs, &dir).unwrap();
+        let new = Manifest {
+            tables: vec![ManifestTable {
+                level: 1,
+                id: 2,
+                entries: 20,
+                bytes: 200,
+            }],
+        };
+        // store = create tmp, append, sync, rename, sync_dir: five mutating
+        // ops. Crash on each of the first four (before the rename commits)
+        // and the old manifest must survive; crash on the last (after the
+        // rename) and the new one must be visible. reboot() resets the op
+        // counter, so each iteration enumerates from zero.
+        for cut in 0..5u64 {
+            fs.reboot();
+            fs.crash_at_op(cut);
+            let result = new.store(&fs, &dir);
+            assert!(result.is_err(), "cut {cut} must observe the crash");
+            fs.reboot();
+            let recovered = Manifest::load(&fs, &dir).unwrap();
+            if cut < 4 {
+                assert_eq!(recovered, old, "cut {cut}: rename did not commit");
+            } else {
+                assert_eq!(recovered, new, "cut {cut}: rename committed");
+            }
+        }
     }
 }

@@ -17,8 +17,13 @@
 //! entry := shared: uvarint, unshared: uvarint, tag: u8,
 //!          [value_len: uvarint,]  (puts only)
 //!          unshared key bytes, [value bytes]
-//! block := entry* , restart offsets (u32 LE each), restart count (u32 LE)
+//! block := entry* , restart offsets (u32 LE each), restart count (u32 LE),
+//!          crc: u32 LE over everything before it
 //! ```
+//!
+//! Every data block ends in a CRC32 of its contents, so a corrupt or
+//! bit-rotted block is a *detected* `InvalidData` error on read — never
+//! garbage entries or a decoder panic.
 //!
 //! **Filter block**: the table's bloom filter ([`crate::bloom::Bloom`])
 //! over every key in the table — point lookups check it before touching
@@ -47,14 +52,13 @@
 //! so concurrent lookups and cursors share one file handle without a seek
 //! lock.  [`TableCursor`] streams a bounded range block by block and plugs
 //! into the same [`IndexCursor`] interface every in-memory index serves.
+//! All file access goes through the [`Storage`] trait.
 
-use std::fs::{File, OpenOptions};
-#[cfg(not(unix))]
-use std::io::Read;
-use std::io::{self, Seek, Write};
+use std::io;
 use std::marker::PhantomData;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bskip_index::cursor::{above_lower, below_upper};
@@ -62,13 +66,18 @@ use bskip_index::{IndexCursor, IndexKey, IndexValue};
 
 use crate::bloom::{bloom_hash, Bloom};
 use crate::codec::{get_uvarint, put_uvarint, shared_prefix, Persist};
+use crate::crc::crc32;
 use crate::entry::Slot;
+use crate::storage::{Storage, StorageFile};
 
 /// Footer magic: "BSKLSMT1".
 const MAGIC: u64 = 0x4253_4B4C_534D_5431;
 
 /// Footer size in bytes.
 const FOOTER: usize = 8 + 4 + 8 + 4 + 8 + 8;
+
+/// Trailing CRC32 appended to every data block.
+const BLOCK_CRC: usize = 4;
 
 /// Entry tag bytes.
 const TAG_PUT: u8 = 0;
@@ -79,22 +88,6 @@ fn corrupt(what: &str) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("corrupt SSTable: {what}"),
     )
-}
-
-/// Positioned read that never moves a shared file offset.
-#[cfg(unix)]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
-    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
-}
-
-/// Fallback for non-unix targets: seek+read through a fresh handle-local
-/// cursor (`&File` implements `Seek`/`Read` with an OS-shared offset, so
-/// this clones the handle to keep readers independent).
-#[cfg(not(unix))]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
-    let mut clone = file.try_clone()?;
-    clone.seek(io::SeekFrom::Start(offset))?;
-    clone.read_exact(buf)
 }
 
 /// Build-time knobs for a table (shared with the engine's config).
@@ -124,7 +117,7 @@ type BlockIndex<K> = Vec<(K, u64, u32)>;
 
 /// Streaming writer producing one table file from ascending-key entries.
 pub struct TableBuilder<K, V> {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     options: TableOptions,
     /// Current data block under construction.
@@ -147,12 +140,8 @@ pub struct TableBuilder<K, V> {
 
 impl<K: IndexKey + Persist, V: IndexValue + Persist> TableBuilder<K, V> {
     /// Creates a builder writing to `path` (truncating any existing file).
-    pub fn create(path: &Path, options: TableOptions) -> io::Result<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+    pub fn create(storage: &dyn Storage, path: &Path, options: TableOptions) -> io::Result<Self> {
+        let file = storage.create(path)?;
         Ok(TableBuilder {
             file,
             path: path.to_path_buf(),
@@ -226,7 +215,11 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> TableBuilder<K, V> {
         }
         self.block
             .extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
-        self.file.write_all(&self.block)?;
+        // Per-block checksum: a flipped bit anywhere in the block is a
+        // detected read error, not silently decoded garbage.
+        let crc = crc32(&self.block);
+        self.block.extend_from_slice(&crc.to_le_bytes());
+        self.file.append(&self.block)?;
         self.index
             .push((last_key, self.offset, self.block.len() as u32));
         self.offset += self.block.len() as u64;
@@ -260,7 +253,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> TableBuilder<K, V> {
         // Filter block.
         let filter_offset = self.offset;
         let filter = Bloom::build(&self.hashes, self.options.bloom_bits_per_key).encode();
-        self.file.write_all(&filter)?;
+        self.file.append(&filter)?;
         self.offset += filter.len() as u64;
         // Index block: min key, then the block directory.
         let index_offset = self.offset;
@@ -278,7 +271,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> TableBuilder<K, V> {
             put_uvarint(&mut index_block, *offset);
             put_uvarint(&mut index_block, u64::from(*len));
         }
-        self.file.write_all(&index_block)?;
+        self.file.append(&index_block)?;
         self.offset += index_block.len() as u64;
         // Footer.
         let mut footer = Vec::with_capacity(FOOTER);
@@ -288,7 +281,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> TableBuilder<K, V> {
         footer.extend_from_slice(&(index_block.len() as u32).to_le_bytes());
         footer.extend_from_slice(&self.entries.to_le_bytes());
         footer.extend_from_slice(&MAGIC.to_le_bytes());
-        self.file.write_all(&footer)?;
+        self.file.append(&footer)?;
         self.offset += footer.len() as u64;
         self.file.sync_all()?;
         Ok(TableMeta {
@@ -318,7 +311,7 @@ pub struct TableMeta<K> {
 
 /// An open, immutable table: resident index + filter, on-demand blocks.
 pub struct Table<K, V> {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     /// Monotonic table number; larger ids hold strictly newer data within
     /// level 0 (levels ≥ 1 are non-overlapping, so age is irrelevant
@@ -340,14 +333,14 @@ pub struct Table<K, V> {
 
 impl<K: IndexKey + Persist, V: IndexValue + Persist> Table<K, V> {
     /// Opens a table file, reading its footer, index and filter.
-    pub fn open(path: &Path, id: u64) -> io::Result<Self> {
-        let mut file = File::open(path)?;
-        let bytes = file.seek(io::SeekFrom::End(0))?;
+    pub fn open(storage: &dyn Storage, path: &Path, id: u64) -> io::Result<Self> {
+        let file = storage.open_read(path)?;
+        let bytes = file.len()?;
         if bytes < FOOTER as u64 {
             return Err(corrupt("file shorter than footer"));
         }
         let mut footer = [0u8; FOOTER];
-        read_exact_at(&file, &mut footer, bytes - FOOTER as u64)?;
+        file.read_at(&mut footer, bytes - FOOTER as u64)?;
         let magic = u64::from_le_bytes(footer[32..40].try_into().unwrap());
         if magic != MAGIC {
             return Err(corrupt("bad magic"));
@@ -363,10 +356,10 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> Table<K, V> {
             return Err(corrupt("footer offsets out of range"));
         }
         let mut filter_bytes = vec![0u8; filter_len as usize];
-        read_exact_at(&file, &mut filter_bytes, filter_offset)?;
+        file.read_at(&mut filter_bytes, filter_offset)?;
         let filter = Bloom::decode(&filter_bytes).ok_or_else(|| corrupt("bad filter block"))?;
         let mut index_bytes = vec![0u8; index_len as usize];
-        read_exact_at(&file, &mut index_bytes, index_offset)?;
+        file.read_at(&mut index_bytes, index_offset)?;
         let (index, min_key) =
             Self::decode_index(&index_bytes).ok_or_else(|| corrupt("bad index block"))?;
         let max_key = index.last().ok_or_else(|| corrupt("empty index"))?.0;
@@ -416,6 +409,13 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> Table<K, V> {
         self.index.len()
     }
 
+    /// Block-directory row for data block `block`: its last key, file
+    /// offset and on-disk length (checksum included).  Test hook for
+    /// targeted corruption sweeps.
+    pub fn block_extent(&self, block: usize) -> (K, u64, u32) {
+        self.index[block]
+    }
+
     /// Whether `key` could be in this table: range check plus bloom probe.
     /// `false` means definitely absent (no IO was performed).
     pub fn may_contain(&self, key: &K) -> bool {
@@ -442,12 +442,20 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> Table<K, V> {
             .map(|at| entries[at].1))
     }
 
-    /// Reads and fully decodes data block `block`.
+    /// Reads, checksum-verifies and fully decodes data block `block`.
     fn read_block(&self, block: usize) -> io::Result<Vec<(K, Slot<V>)>> {
         let (_, offset, len) = self.index[block];
+        if (len as usize) < 4 + BLOCK_CRC {
+            return Err(corrupt("data block shorter than its framing"));
+        }
         let mut bytes = vec![0u8; len as usize];
-        read_exact_at(&self.file, &mut bytes, offset)?;
-        Self::decode_block(&bytes).ok_or_else(|| corrupt("bad data block"))
+        self.file.read_at(&mut bytes, offset)?;
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - BLOCK_CRC);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("data block checksum mismatch"));
+        }
+        Self::decode_block(body).ok_or_else(|| corrupt("bad data block"))
     }
 
     fn decode_block(bytes: &[u8]) -> Option<Vec<(K, Slot<V>)>> {
@@ -512,7 +520,23 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> Table<K, V> {
             pos: 0,
             current: None,
             finished: false,
+            io_error: false,
+            error_counter: None,
         }
+    }
+
+    /// Like [`Table::cursor`], but read failures additionally increment
+    /// `errors` — the engine plugs its `io_errors` health counter in here
+    /// so degraded media shows up in stats rather than vanishing.
+    pub fn cursor_counted(
+        self: &Arc<Self>,
+        lo: Bound<K>,
+        hi: Bound<K>,
+        errors: Arc<AtomicU64>,
+    ) -> TableCursor<K, V> {
+        let mut cursor = self.cursor(lo, hi);
+        cursor.error_counter = Some(errors);
+        cursor
     }
 
     /// First block that can contain a key satisfying `lo`.
@@ -528,10 +552,12 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> Table<K, V> {
 /// A seekable streaming cursor over one table (see [`Table::cursor`]).
 ///
 /// Yields `(K, Slot<V>)` — tombstones included, because both consumers
-/// (the merged read path and compaction) need to see them.  Disk errors
-/// mid-stream panic: a table that opened cleanly and then fails to read is
-/// unrecoverable state corruption, not a condition the cursor interface
-/// can express.
+/// (the merged read path and compaction) need to see them.  A disk or
+/// checksum error mid-stream ends the cursor early instead of panicking;
+/// [`TableCursor::had_io_error`] reports it, and cursors built with
+/// [`Table::cursor_counted`] also bump the shared error counter, so
+/// callers that cannot tolerate a silently short stream (compaction)
+/// can detect and abort.
 pub struct TableCursor<K: IndexKey, V: IndexValue> {
     table: Arc<Table<K, V>>,
     lo: Bound<K>,
@@ -542,16 +568,37 @@ pub struct TableCursor<K: IndexKey, V: IndexValue> {
     pos: usize,
     current: Option<(K, Slot<V>)>,
     finished: bool,
+    io_error: bool,
+    error_counter: Option<Arc<AtomicU64>>,
 }
 
 impl<K: IndexKey + Persist, V: IndexValue + Persist> TableCursor<K, V> {
+    /// Whether any block read failed during this cursor's lifetime (the
+    /// stream ended early at the failure point).
+    pub fn had_io_error(&self) -> bool {
+        self.io_error
+    }
+
     fn load_block(&mut self, block: usize) {
-        self.entries = self
-            .table
-            .read_block(block)
-            .expect("SSTable block read failed mid-scan");
-        self.pos = 0;
-        self.next_block = Some(block + 1);
+        match self.table.read_block(block) {
+            Ok(entries) => {
+                self.entries = entries;
+                self.pos = 0;
+                self.next_block = Some(block + 1);
+            }
+            Err(_) => {
+                // Degrade, don't panic: the stream ends here and the
+                // failure is observable via had_io_error / the counter.
+                self.entries.clear();
+                self.pos = 0;
+                self.next_block = Some(self.table.index.len());
+                self.finished = true;
+                self.io_error = true;
+                if let Some(counter) = &self.error_counter {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// Positions at the first entry satisfying `from` (and `self.lo`).
@@ -595,6 +642,9 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> IndexCursor<K, Slot<V>> for
                 self.current = Some(entry);
                 return Some(entry);
             }
+            if self.finished {
+                return None;
+            }
             let block = self.next_block.unwrap_or(0);
             if block >= self.table.index.len() {
                 self.finished = true;
@@ -624,6 +674,7 @@ impl<K: IndexKey + Persist, V: IndexValue + Persist> IndexCursor<K, Slot<V>> for
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::StdFs;
 
     fn temp_path(tag: &str) -> PathBuf {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -648,13 +699,13 @@ mod tests {
         entries: impl IntoIterator<Item = (u64, Slot<u64>)>,
     ) -> Arc<Table<u64, u64>> {
         let mut builder: TableBuilder<u64, u64> =
-            TableBuilder::create(path, small_options()).unwrap();
+            TableBuilder::create(&StdFs, path, small_options()).unwrap();
         for (key, slot) in entries {
             builder.add(key, slot).unwrap();
         }
         let meta = builder.finish().unwrap();
         assert!(meta.bytes > 0);
-        Arc::new(Table::open(path, 1).unwrap())
+        Arc::new(Table::open(&StdFs, path, 1).unwrap())
     }
 
     #[test]
@@ -776,9 +827,81 @@ mod tests {
         let len = bytes.len();
         bytes[len - 1] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(Table::<u64, u64>::open(&path, 1).is_err());
+        assert!(Table::<u64, u64>::open(&StdFs, &path, 1).is_err());
         std::fs::write(&path, b"short").unwrap();
-        assert!(Table::<u64, u64>::open(&path, 1).is_err());
+        assert!(Table::<u64, u64>::open(&StdFs, &path, 1).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_block_flip_is_a_detected_checksum_error() {
+        // Flip one byte in *every* data block of a multi-block table; each
+        // read targeting the corrupt block must return a checksum error
+        // (InvalidData), and every other block must stay readable.
+        let path = temp_path("flip-every-block");
+        let clean = build_table(&path, (0..1_000u64).map(|k| (k * 2, Slot::Put(k))));
+        let blocks = clean.blocks();
+        assert!(blocks > 4, "sweep needs a multi-block table, got {blocks}");
+        let extents: Vec<(u64, u64, u32)> = (0..blocks).map(|b| clean.block_extent(b)).collect();
+        drop(clean);
+        let pristine = std::fs::read(&path).unwrap();
+
+        for (block, &(last_key, offset, len)) in extents.iter().enumerate() {
+            let mut bytes = pristine.clone();
+            // Flip a byte mid-body (not in the stored CRC, so the check is
+            // content-vs-checksum, not checksum-vs-content).
+            let victim = offset as usize + (len as usize - BLOCK_CRC) / 2;
+            bytes[victim] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            let table: Arc<Table<u64, u64>> = Arc::new(Table::open(&StdFs, &path, 1).unwrap());
+            // The block's own last key routes exactly to the flipped block.
+            let err = table
+                .get(&last_key)
+                .expect_err("flipped block {block} must fail the checksum");
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "block {block}: wrong error kind"
+            );
+            assert!(
+                err.to_string().contains("checksum"),
+                "block {block}: {err} is not a checksum error"
+            );
+            // Detection is per-block: a neighbouring block still reads.
+            let (other_key, _, _) = extents[(block + 1) % blocks];
+            assert_eq!(
+                table.get(&other_key).unwrap(),
+                Some(Slot::Put(other_key / 2)),
+                "block {block}: corruption must not leak into other blocks"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn counted_cursor_survives_corrupt_block_and_counts_it() {
+        let path = temp_path("cursor-corrupt");
+        let clean = build_table(&path, (0..1_000u64).map(|k| (k * 2, Slot::Put(k))));
+        let blocks = clean.blocks();
+        assert!(blocks > 2);
+        // Corrupt the middle block.
+        let (_, offset, len) = clean.block_extent(blocks / 2);
+        drop(clean);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[offset as usize + (len as usize - BLOCK_CRC) / 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let table: Arc<Table<u64, u64>> = Arc::new(Table::open(&StdFs, &path, 1).unwrap());
+        let errors = Arc::new(AtomicU64::new(0));
+        let mut cursor = table.cursor_counted(Bound::Unbounded, Bound::Unbounded, errors.clone());
+        let streamed = std::iter::from_fn(|| cursor.next()).count();
+        assert!(
+            streamed < 1_000,
+            "the stream must end at the corrupt block, not fabricate entries"
+        );
+        assert!(cursor.had_io_error());
+        assert_eq!(errors.load(Ordering::Relaxed), 1, "one block, one error");
+        assert_eq!(cursor.next(), None, "the cursor stays cleanly finished");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,787 @@
+//! Pluggable storage backend for the LSM engine.
+//!
+//! Every file operation the engine performs — create, append, positional
+//! read, sync, rename, remove, directory listing — goes through the
+//! [`Storage`] / [`StorageFile`] traits instead of `std::fs` directly.
+//! Production uses [`StdFs`], a zero-state passthrough to the real
+//! filesystem. Tests use [`FaultFs`], a deterministic in-memory
+//! filesystem with scripted fault schedules and buffer-until-fsync crash
+//! semantics, which makes crash consistency *provable* instead of
+//! assumed: a simulated crash discards every byte not covered by a
+//! successful sync, and reopening the engine against the survivor image
+//! must recover exactly the acknowledged prefix.
+//!
+//! The model mirrors the LevelDB/RocksDB `Env` split: the engine holds an
+//! `Arc<dyn Storage>` and threads `&dyn Storage` into the WAL, SSTable
+//! and manifest modules, so the indirection is two vtable calls per I/O —
+//! nothing on the in-memory hot path.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An open file handle: append-at-end writes plus positional reads.
+///
+/// Appends take `&mut self` (one writer per handle); positional reads
+/// take `&self` so many cursors can share one table handle.
+// `len` is fallible I/O, not a collection length — `is_empty` would be
+// a second syscall for a question no caller asks.
+#[allow(clippy::len_without_is_empty)]
+pub trait StorageFile: Send + Sync {
+    /// Append `data` at the end of the file.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Read exactly `buf.len()` bytes starting at `offset`.
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()>;
+
+    /// Flush file *data* to durable storage (`fdatasync`).
+    fn sync_data(&self) -> io::Result<()>;
+
+    /// Flush file data and metadata to durable storage (`fsync`).
+    fn sync_all(&self) -> io::Result<()>;
+
+    /// Current length of the file in bytes.
+    fn len(&self) -> io::Result<u64>;
+}
+
+/// A filesystem: the factory for [`StorageFile`] handles plus the
+/// metadata operations (rename, remove, listing) the engine needs.
+pub trait Storage: Send + Sync {
+    /// Create (or truncate) a file and open it for appending.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Open an existing file for appending after truncating it to
+    /// `valid_len` bytes (WAL torn-tail resumption).
+    fn open_append(&self, path: &Path, valid_len: u64) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Open an existing file for positional reads.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Read a whole file into memory.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Atomically rename `from` to `to`, replacing any existing file.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove a file. Open handles remain readable (POSIX unlink).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// List the file names (not paths) directly inside `dir`.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Create a directory and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Flush directory metadata (the rename journal) to durable storage.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// StdFs — the production passthrough
+// ---------------------------------------------------------------------------
+
+/// Zero-cost production [`Storage`]: a stateless passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+struct StdFile {
+    file: File,
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    // `Seek`/`Read` are implemented for `&File`; the shared cursor makes
+    // this racy under concurrent readers, matching the previous in-tree
+    // non-unix fallback.
+    let mut handle = file;
+    handle.seek(SeekFrom::Start(offset))?;
+    handle.read_exact(buf)
+}
+
+impl StorageFile for StdFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.write_all(data)
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        read_exact_at(&self.file, buf, offset)
+    }
+
+    fn sync_data(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn sync_all(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+impl Storage for StdFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn open_append(&self, path: &Path, valid_len: u64) -> io::Result<Box<dyn StorageFile>> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = File::open(path)?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs — deterministic in-memory filesystem with fault injection
+// ---------------------------------------------------------------------------
+
+/// One in-memory file. `live` is what the running process observes;
+/// `durable` is what survives a simulated crash. Syncing copies
+/// `live` into `durable`; [`FaultFs::reboot`] copies `durable` back.
+#[derive(Debug, Default)]
+struct Inode {
+    live: Vec<u8>,
+    durable: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Path → inode. Handles hold an `Arc` to the inode, so an unlinked
+    /// file stays readable through open handles (POSIX semantics —
+    /// compaction deletes input tables while cursors still stream them).
+    files: BTreeMap<PathBuf, Arc<Mutex<Inode>>>,
+    /// Mutating storage ops performed so far (create, open-append,
+    /// append, sync, rename, remove, sync-dir — not reads).
+    ops: u64,
+    /// Appends performed so far (a subset of `ops`).
+    writes: u64,
+    /// Syncs performed so far (a subset of `ops`).
+    syncs: u64,
+    /// Once true, every mutating op fails until [`FaultFs::reboot`].
+    crashed: bool,
+    /// Crash when the mutating-op index reaches this value.
+    crash_at: Option<u64>,
+    /// One-shot: fail the append with this absolute index.
+    fail_write: Option<(u64, io::ErrorKind)>,
+    /// One-shot: the append with this absolute index writes only a
+    /// prefix of its payload, then fails (torn write).
+    torn_write: Option<(u64, usize)>,
+    /// One-shot: fail the sync with this absolute index.
+    fail_sync: Option<(u64, io::ErrorKind)>,
+}
+
+fn simulated_crash() -> io::Error {
+    io::Error::other("FaultFs: simulated crash")
+}
+
+impl FaultState {
+    /// Count one mutating op, triggering the crash schedule if armed.
+    fn mutating_op(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(simulated_crash());
+        }
+        let index = self.ops;
+        self.ops += 1;
+        if self.crash_at.is_some_and(|at| index >= at) {
+            self.crashed = true;
+            return Err(simulated_crash());
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic in-memory [`Storage`] with scripted fault injection.
+///
+/// Crash model (simplified from a journalling filesystem):
+/// - File **data** buffers in memory until a successful `sync_data` /
+///   `sync_all` on that file's handle; [`reboot`](FaultFs::reboot)
+///   discards unsynced bytes.
+/// - **Metadata** (create, truncate-on-open, rename, remove) is durable
+///   immediately, as if the directory journal committed synchronously.
+///
+/// Fault schedules are one-shot and indexed from the current counters:
+/// `fail_nth_write(1, kind)` fails the very next append. A scheduled
+/// crash ([`crash_at_op`](FaultFs::crash_at_op)) is sticky: the op at
+/// that index and every mutating op after it fail until `reboot`.
+///
+/// Cloning a `FaultFs` shares the same filesystem (it is an
+/// `Arc` around the state), so tests can keep a handle while the
+/// engine owns another.
+#[derive(Debug, Default, Clone)]
+pub struct FaultFs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+    inode: Arc<Mutex<Inode>>,
+}
+
+impl FaultFs {
+    /// An empty in-memory filesystem with no faults scheduled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutating storage ops performed so far. Running the same workload
+    /// twice yields the same count — the basis for crash-point
+    /// enumeration.
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Appends performed so far.
+    pub fn write_count(&self) -> u64 {
+        self.lock().writes
+    }
+
+    /// Syncs performed so far.
+    pub fn sync_count(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    /// Fail the `n`th append from now (1 = the next one) with `kind`.
+    pub fn fail_nth_write(&self, n: u64, kind: io::ErrorKind) {
+        assert!(n >= 1, "fault indices are 1-based");
+        let mut state = self.lock();
+        state.fail_write = Some((state.writes + n - 1, kind));
+    }
+
+    /// The `n`th append from now writes only its first `keep` bytes,
+    /// then fails (torn write).
+    pub fn torn_nth_write(&self, n: u64, keep: usize) {
+        assert!(n >= 1, "fault indices are 1-based");
+        let mut state = self.lock();
+        state.torn_write = Some((state.writes + n - 1, keep));
+    }
+
+    /// Fail the `n`th sync from now (1 = the next one) with `kind`.
+    pub fn fail_nth_sync(&self, n: u64, kind: io::ErrorKind) {
+        assert!(n >= 1, "fault indices are 1-based");
+        let mut state = self.lock();
+        state.fail_sync = Some((state.syncs + n - 1, kind));
+    }
+
+    /// Crash when the mutating-op index reaches `at` (0-based, compared
+    /// against [`op_count`](FaultFs::op_count)). That op and every
+    /// mutating op after it fail until [`reboot`](FaultFs::reboot).
+    pub fn crash_at_op(&self, at: u64) {
+        self.lock().crash_at = Some(at);
+    }
+
+    /// Crash immediately: every mutating op fails until `reboot`.
+    pub fn crash_now(&self) {
+        self.lock().crashed = true;
+    }
+
+    /// Whether a scheduled or explicit crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Drop all scheduled faults without touching file contents.
+    pub fn clear_faults(&self) {
+        let mut state = self.lock();
+        state.crash_at = None;
+        state.fail_write = None;
+        state.torn_write = None;
+        state.fail_sync = None;
+    }
+
+    /// Simulate a machine reboot: every file reverts to its last synced
+    /// content, scheduled faults and the crashed flag clear, and the op
+    /// counters reset. Open handles from before the reboot keep
+    /// observing their inode but belong to the "previous life".
+    pub fn reboot(&self) {
+        let mut state = self.lock();
+        for inode in state.files.values() {
+            let mut inode = inode.lock().unwrap_or_else(PoisonError::into_inner);
+            let durable = inode.durable.clone();
+            inode.live = durable;
+        }
+        state.crashed = false;
+        state.crash_at = None;
+        state.fail_write = None;
+        state.torn_write = None;
+        state.fail_sync = None;
+        state.ops = 0;
+        state.writes = 0;
+        state.syncs = 0;
+    }
+
+    /// Test helper: mark every file's current content durable, as if
+    /// each open handle were fsynced. Lets a test build a valid image,
+    /// then hand-edit `live` state before a reboot.
+    pub fn sync_all_files(&self) {
+        let state = self.lock();
+        for inode in state.files.values() {
+            let mut inode = inode.lock().unwrap_or_else(PoisonError::into_inner);
+            let live = inode.live.clone();
+            inode.durable = live;
+        }
+    }
+
+    /// The current (live) content of `path`, for test assertions.
+    pub fn live_contents(&self, path: &Path) -> Option<Vec<u8>> {
+        let state = self.lock();
+        let inode = state.files.get(path)?;
+        let inode = inode.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(inode.live.clone())
+    }
+
+    fn get_inode(&self, path: &Path) -> io::Result<Arc<Mutex<Inode>>> {
+        let state = self.lock();
+        state.files.get(path).cloned().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("FaultFs: no such file: {}", path.display()),
+            )
+        })
+    }
+}
+
+impl Storage for FaultFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let inode = {
+            let mut state = self.lock();
+            state.mutating_op()?;
+            let inode = Arc::new(Mutex::new(Inode::default()));
+            state.files.insert(path.to_path_buf(), Arc::clone(&inode));
+            inode
+        };
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            inode,
+        }))
+    }
+
+    fn open_append(&self, path: &Path, valid_len: u64) -> io::Result<Box<dyn StorageFile>> {
+        let inode = {
+            let mut state = self.lock();
+            state.mutating_op()?;
+            let inode = state.files.get(path).cloned().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("FaultFs: no such file: {}", path.display()),
+                )
+            })?;
+            {
+                // Truncation is metadata: durable immediately in this model.
+                let mut guard = inode.lock().unwrap_or_else(PoisonError::into_inner);
+                let len = valid_len as usize;
+                if guard.live.len() > len {
+                    guard.live.truncate(len);
+                }
+                if guard.durable.len() > len {
+                    guard.durable.truncate(len);
+                }
+            }
+            inode
+        };
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            inode,
+        }))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let inode = self.get_inode(path)?;
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            inode,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let inode = self.get_inode(path)?;
+        let inode = inode.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(inode.live.clone())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.mutating_op()?;
+        let inode = state.files.remove(from).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("FaultFs: no such file: {}", from.display()),
+            )
+        })?;
+        state.files.insert(to.to_path_buf(), inode);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.mutating_op()?;
+        state.files.remove(path).map(drop).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("FaultFs: no such file: {}", path.display()),
+            )
+        })
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let state = self.lock();
+        let mut names = Vec::new();
+        for path in state.files.keys() {
+            if path.parent() == Some(dir) {
+                if let Some(name) = path.file_name().and_then(|name| name.to_str()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.mutating_op()?;
+        state.syncs += 1;
+        Ok(())
+    }
+}
+
+impl FaultFile {
+    fn sync_impl(&self) -> io::Result<()> {
+        {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.mutating_op()?;
+            let index = state.syncs;
+            state.syncs += 1;
+            if let Some((at, kind)) = state.fail_sync {
+                if index >= at {
+                    state.fail_sync = None;
+                    return Err(io::Error::new(kind, "FaultFs: injected sync failure"));
+                }
+            }
+        }
+        let mut inode = self.inode.lock().unwrap_or_else(PoisonError::into_inner);
+        let live = inode.live.clone();
+        inode.durable = live;
+        Ok(())
+    }
+}
+
+impl StorageFile for FaultFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let torn = {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.mutating_op()?;
+            let index = state.writes;
+            state.writes += 1;
+            if let Some((at, kind)) = state.fail_write {
+                if index >= at {
+                    state.fail_write = None;
+                    return Err(io::Error::new(kind, "FaultFs: injected write failure"));
+                }
+            }
+            match state.torn_write {
+                Some((at, keep)) if index >= at => {
+                    state.torn_write = None;
+                    Some(keep)
+                }
+                _ => None,
+            }
+        };
+        let mut inode = self.inode.lock().unwrap_or_else(PoisonError::into_inner);
+        match torn {
+            Some(keep) => {
+                let keep = keep.min(data.len());
+                inode.live.extend_from_slice(&data[..keep]);
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "FaultFs: injected torn write",
+                ))
+            }
+            None => {
+                inode.live.extend_from_slice(data);
+                Ok(())
+            }
+        }
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        let inode = self.inode.lock().unwrap_or_else(PoisonError::into_inner);
+        let start = offset as usize;
+        let end = start.checked_add(buf.len());
+        match end {
+            Some(end) if end <= inode.live.len() => {
+                buf.copy_from_slice(&inode.live[start..end]);
+                Ok(())
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "FaultFs: read past end of file",
+            )),
+        }
+    }
+
+    fn sync_data(&self) -> io::Result<()> {
+        self.sync_impl()
+    }
+
+    fn sync_all(&self) -> io::Result<()> {
+        self.sync_impl()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        let inode = self.inode.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(inode.live.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(name: &str) -> PathBuf {
+        PathBuf::from("/db").join(name)
+    }
+
+    #[test]
+    fn std_fs_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bskip-storage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = StdFs;
+        fs.create_dir_all(&dir).expect("mkdir");
+
+        let file_a = dir.join("a.log");
+        let mut handle = fs.create(&file_a).expect("create");
+        handle.append(b"hello ").expect("append");
+        handle.append(b"world").expect("append");
+        handle.sync_data().expect("sync");
+        assert_eq!(handle.len().expect("len"), 11);
+
+        let reader = fs.open_read(&file_a).expect("open_read");
+        let mut buf = [0u8; 5];
+        reader.read_at(&mut buf, 6).expect("read_at");
+        assert_eq!(&buf, b"world");
+        assert!(reader.read_at(&mut buf, 9).is_err(), "short read errors");
+
+        let file_b = dir.join("b.log");
+        fs.rename(&file_a, &file_b).expect("rename");
+        assert_eq!(fs.read(&file_b).expect("read"), b"hello world");
+        assert!(fs.read(&file_a).is_err());
+
+        let mut names = fs.read_dir(&dir).expect("read_dir");
+        names.sort();
+        assert_eq!(names, ["b.log"]);
+        fs.sync_dir(&dir).expect("sync_dir");
+
+        // Reopen at a truncated length and resume appending.
+        let mut resumed = fs.open_append(&file_b, 5).expect("open_append");
+        resumed.append(b"!").expect("append");
+        drop(resumed);
+        assert_eq!(fs.read(&file_b).expect("read"), b"hello!");
+
+        fs.remove(&file_b).expect("remove");
+        assert!(fs.read(&file_b).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_fs_buffers_until_fsync() {
+        let fs = FaultFs::new();
+        let mut handle = fs.create(&path("wal")).expect("create");
+        handle.append(b"synced").expect("append");
+        handle.sync_data().expect("sync");
+        handle.append(b" unsynced").expect("append");
+        assert_eq!(fs.read(&path("wal")).expect("read"), b"synced unsynced");
+
+        fs.reboot();
+        assert_eq!(
+            fs.read(&path("wal")).expect("read"),
+            b"synced",
+            "unsynced bytes vanish at reboot"
+        );
+    }
+
+    #[test]
+    fn fault_fs_injects_write_sync_and_torn_faults() {
+        let fs = FaultFs::new();
+        let mut handle = fs.create(&path("f")).expect("create");
+
+        fs.fail_nth_write(2, io::ErrorKind::StorageFull);
+        handle.append(b"one").expect("first write fine");
+        let err = handle.append(b"two").expect_err("second write fails");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        handle.append(b"three").expect("one-shot fault cleared");
+        assert_eq!(fs.read(&path("f")).expect("read"), b"onethree");
+
+        fs.torn_nth_write(1, 2);
+        let err = handle.append(b"XYZW").expect_err("torn write fails");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(
+            fs.read(&path("f")).expect("read"),
+            b"onethreeXY",
+            "torn write keeps the scheduled prefix"
+        );
+
+        fs.fail_nth_sync(1, io::ErrorKind::Interrupted);
+        let err = handle.sync_all().expect_err("sync fails");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        handle.sync_all().expect("one-shot sync fault cleared");
+    }
+
+    #[test]
+    fn failed_sync_leaves_bytes_volatile() {
+        let fs = FaultFs::new();
+        let mut handle = fs.create(&path("f")).expect("create");
+        handle.append(b"abc").expect("append");
+        fs.fail_nth_sync(1, io::ErrorKind::Other);
+        assert!(handle.sync_data().is_err());
+        fs.reboot();
+        assert_eq!(
+            fs.read(&path("f")).expect("read"),
+            b"",
+            "a failed sync must not make bytes durable"
+        );
+    }
+
+    #[test]
+    fn crash_at_op_is_sticky_until_reboot() {
+        let fs = FaultFs::new();
+        let mut handle = fs.create(&path("f")).expect("create"); // op 0
+        handle.append(b"a").expect("append"); // op 1
+        handle.sync_data().expect("sync"); // op 2
+        fs.crash_at_op(3);
+        assert!(handle.append(b"b").is_err(), "op 3 crashes");
+        assert!(handle.sync_data().is_err(), "everything after fails");
+        assert!(fs.rename(&path("f"), &path("g")).is_err());
+        assert!(fs.crashed());
+        // Reads still work: the engine may serve lookups while degraded.
+        assert_eq!(fs.read(&path("f")).expect("read"), b"a");
+
+        fs.reboot();
+        assert!(!fs.crashed());
+        assert_eq!(fs.op_count(), 0, "counters reset for the next life");
+        let mut handle = fs.open_append(&path("f"), 1).expect("reopen");
+        handle.append(b"c").expect("appends work again");
+    }
+
+    #[test]
+    fn metadata_is_durable_data_is_not() {
+        let fs = FaultFs::new();
+        let mut handle = fs.create(&path("tmp")).expect("create");
+        handle.append(b"manifest").expect("append");
+        handle.sync_all().expect("sync");
+        handle.append(b" tail").expect("append unsynced");
+        fs.rename(&path("tmp"), &path("MANIFEST")).expect("rename");
+        fs.reboot();
+        assert_eq!(
+            fs.read(&path("MANIFEST")).expect("read"),
+            b"manifest",
+            "rename survives (metadata), unsynced tail does not (data)"
+        );
+        assert!(fs.read(&path("tmp")).is_err());
+    }
+
+    #[test]
+    fn unlinked_file_stays_readable_through_open_handle() {
+        let fs = FaultFs::new();
+        let mut writer = fs.create(&path("tab")).expect("create");
+        writer.append(b"block").expect("append");
+        let reader = fs.open_read(&path("tab")).expect("open_read");
+        fs.remove(&path("tab")).expect("remove");
+        assert!(fs.read(&path("tab")).is_err(), "name is gone");
+        let mut buf = [0u8; 5];
+        reader.read_at(&mut buf, 0).expect("handle still reads");
+        assert_eq!(&buf, b"block");
+    }
+
+    #[test]
+    fn read_dir_lists_only_direct_children() {
+        let fs = FaultFs::new();
+        fs.create(&path("a")).expect("create");
+        fs.create(&path("b")).expect("create");
+        fs.create(&PathBuf::from("/other").join("c"))
+            .expect("create");
+        let mut names = fs.read_dir(Path::new("/db")).expect("read_dir");
+        names.sort();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn op_counts_are_deterministic() {
+        let run = || {
+            let fs = FaultFs::new();
+            let mut handle = fs.create(&path("f")).expect("create");
+            for i in 0..10u8 {
+                handle.append(&[i]).expect("append");
+                if i % 3 == 0 {
+                    handle.sync_data().expect("sync");
+                }
+            }
+            fs.rename(&path("f"), &path("g")).expect("rename");
+            fs.op_count()
+        };
+        assert_eq!(run(), run(), "same workload, same op count");
+    }
+}

@@ -23,7 +23,7 @@
 //!
 //! # Durability contract
 //!
-//! [`WalWriter::append`] issues the whole frame as a single `write(2)`
+//! [`WalWriter::append`] issues the whole frame as a single append
 //! before the operation is acknowledged, so an acknowledged write survives
 //! process death (it is in the kernel page cache) — and with
 //! [`SyncPolicy::Always`] also power loss (`fdatasync` per append).
@@ -33,13 +33,17 @@
 //! truncates the segment there and resumes appending, which is exactly the
 //! "lose nothing acknowledged, tolerate a torn tail" guarantee the crash
 //! tests assert.
+//!
+//! All file access goes through the [`Storage`] trait, so the same code
+//! runs over the real filesystem ([`crate::StdFs`]) and the
+//! fault-injecting in-memory one ([`crate::FaultFs`]).
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::codec::{get_uvarint, put_uvarint, Persist};
 use crate::crc::crc32;
+use crate::storage::{Storage, StorageFile};
 
 /// Frame header size: `len: u32` + `crc: u32`.
 const FRAME_HEADER: usize = 8;
@@ -141,9 +145,8 @@ pub enum SyncPolicy {
 }
 
 /// Appending writer over one WAL segment.
-#[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     bytes: u64,
     records: u64,
@@ -151,14 +154,21 @@ pub struct WalWriter {
     frame: Vec<u8>,
 }
 
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("path", &self.path)
+            .field("bytes", &self.bytes)
+            .field("records", &self.records)
+            .field("sync", &self.sync)
+            .finish_non_exhaustive()
+    }
+}
+
 impl WalWriter {
     /// Creates a fresh segment at `path` (truncating any existing file).
-    pub fn create(path: &Path, sync: SyncPolicy) -> io::Result<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+    pub fn create(storage: &dyn Storage, path: &Path, sync: SyncPolicy) -> io::Result<Self> {
+        let file = storage.create(path)?;
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -172,12 +182,13 @@ impl WalWriter {
     /// Opens an existing segment for appending after recovery: the file is
     /// truncated to `valid_len` (dropping a torn tail) and appends resume
     /// from there.
-    pub fn open_for_append(path: &Path, valid_len: u64, sync: SyncPolicy) -> io::Result<Self> {
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_len)?;
-        use std::io::Seek;
-        let mut file = file;
-        file.seek(io::SeekFrom::Start(valid_len))?;
+    pub fn open_for_append(
+        storage: &dyn Storage,
+        path: &Path,
+        valid_len: u64,
+        sync: SyncPolicy,
+    ) -> io::Result<Self> {
+        let file = storage.open_append(path, valid_len)?;
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -200,9 +211,9 @@ impl WalWriter {
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.frame.extend_from_slice(&crc32(payload).to_le_bytes());
         self.frame.extend_from_slice(payload);
-        // One write(2) per frame: a crash can tear the tail frame but can
+        // One append per frame: a crash can tear the tail frame but can
         // never interleave two frames.
-        self.file.write_all(&self.frame)?;
+        self.file.append(&self.frame)?;
         if self.sync == SyncPolicy::Always {
             self.file.sync_data()?;
         }
@@ -240,9 +251,8 @@ pub struct SegmentScan {
 }
 
 /// Reads a segment, stopping at the first torn or corrupt frame.
-pub fn read_segment(path: &Path) -> io::Result<SegmentScan> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+pub fn read_segment(storage: &dyn Storage, path: &Path) -> io::Result<SegmentScan> {
+    let bytes = storage.read(path)?;
     let mut records = Vec::new();
     let mut at = 0usize;
     let mut torn_tail = false;
@@ -279,6 +289,7 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentScan> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::{FaultFs, StdFs};
 
     fn temp_path(tag: &str) -> PathBuf {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -324,13 +335,13 @@ mod tests {
     #[test]
     fn writer_and_reader_round_trip() {
         let path = temp_path("roundtrip");
-        let mut writer = WalWriter::create(&path, SyncPolicy::Never).unwrap();
+        let mut writer = WalWriter::create(&StdFs, &path, SyncPolicy::Never).unwrap();
         let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; (i as usize) * 7 + 1]).collect();
         for payload in &payloads {
             writer.append(payload).unwrap();
         }
         assert_eq!(writer.records(), 20);
-        let scan = read_segment(&path).unwrap();
+        let scan = read_segment(&StdFs, &path).unwrap();
         assert_eq!(scan.records, payloads);
         assert!(!scan.torn_tail);
         assert_eq!(scan.valid_len, writer.bytes());
@@ -340,7 +351,7 @@ mod tests {
     #[test]
     fn torn_tail_is_detected_and_recovery_resumes() {
         let path = temp_path("torn");
-        let mut writer = WalWriter::create(&path, SyncPolicy::Never).unwrap();
+        let mut writer = WalWriter::create(&StdFs, &path, SyncPolicy::Never).unwrap();
         for i in 0..10u64 {
             writer.append(&i.to_le_bytes()).unwrap();
         }
@@ -349,19 +360,20 @@ mod tests {
         // Tear the file at every byte boundary inside the last frame: the
         // first nine records must always survive.
         for cut in (full - 15)..full {
-            let file = OpenOptions::new().write(true).open(&path).unwrap();
+            let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
             file.set_len(cut).unwrap();
             drop(file);
-            let scan = read_segment(&path).unwrap();
+            let scan = read_segment(&StdFs, &path).unwrap();
             assert!(scan.torn_tail, "cut at {cut} must report a torn tail");
             assert_eq!(scan.records.len(), 9, "cut at {cut}");
             assert_eq!(scan.valid_len, full - 16);
             // Appending after truncation to the valid prefix produces a
             // clean segment again.
             let mut writer =
-                WalWriter::open_for_append(&path, scan.valid_len, SyncPolicy::Never).unwrap();
+                WalWriter::open_for_append(&StdFs, &path, scan.valid_len, SyncPolicy::Never)
+                    .unwrap();
             writer.append(b"recovered").unwrap();
-            let rescan = read_segment(&path).unwrap();
+            let rescan = read_segment(&StdFs, &path).unwrap();
             assert!(!rescan.torn_tail);
             assert_eq!(rescan.records.len(), 10);
             assert_eq!(rescan.records[9], b"recovered");
@@ -372,7 +384,7 @@ mod tests {
     #[test]
     fn corrupt_byte_stops_replay_at_the_previous_record() {
         let path = temp_path("corrupt");
-        let mut writer = WalWriter::create(&path, SyncPolicy::Never).unwrap();
+        let mut writer = WalWriter::create(&StdFs, &path, SyncPolicy::Never).unwrap();
         let mut offsets = vec![0u64];
         for i in 0..5u64 {
             writer.append(&[i as u8; 32]).unwrap();
@@ -384,7 +396,7 @@ mod tests {
         let target = offsets[3] as usize + FRAME_HEADER;
         bytes[target] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let scan = read_segment(&path).unwrap();
+        let scan = read_segment(&StdFs, &path).unwrap();
         assert!(scan.torn_tail);
         assert_eq!(scan.records.len(), 3);
         assert_eq!(scan.valid_len, offsets[3]);
@@ -394,10 +406,54 @@ mod tests {
     #[test]
     fn sync_always_appends() {
         let path = temp_path("sync");
-        let mut writer = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        let mut writer = WalWriter::create(&StdFs, &path, SyncPolicy::Always).unwrap();
         writer.append(b"durable").unwrap();
-        let scan = read_segment(&path).unwrap();
+        let scan = read_segment(&StdFs, &path).unwrap();
         assert_eq!(scan.records.len(), 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_over_fault_fs_loses_only_unsynced_tail() {
+        let fs = FaultFs::new();
+        let path = PathBuf::from("/db/wal-00000001.log");
+        let mut writer = WalWriter::create(&fs, &path, SyncPolicy::Always).unwrap();
+        writer.append(b"one").unwrap();
+        writer.append(b"two").unwrap();
+        // Third append lands in memory only: SyncPolicy::Always syncs it,
+        // so sabotage the sync.
+        fs.fail_nth_sync(1, io::ErrorKind::Other);
+        assert!(writer.append(b"three").is_err());
+        fs.reboot();
+        let scan = read_segment(&fs, &path).unwrap();
+        assert_eq!(scan.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(
+            !scan.torn_tail,
+            "whole-frame loss at reboot, not a torn frame"
+        );
+    }
+
+    #[test]
+    fn torn_write_across_reboot_recovers_valid_prefix() {
+        let fs = FaultFs::new();
+        let path = PathBuf::from("/db/wal-00000001.log");
+        let mut writer = WalWriter::create(&fs, &path, SyncPolicy::Never).unwrap();
+        writer.append(b"alpha").unwrap();
+        // Tear the second frame eight bytes in (header only, no payload).
+        fs.torn_nth_write(1, FRAME_HEADER);
+        assert!(writer.append(b"beta").is_err());
+        // Pretend the kernel flushed the torn image before the machine died.
+        fs.sync_all_files();
+        fs.reboot();
+        let scan = read_segment(&fs, &path).unwrap();
+        assert!(scan.torn_tail, "partial frame must be detected");
+        assert_eq!(scan.records, vec![b"alpha".to_vec()]);
+        // Recovery resumes on the truncated prefix.
+        let mut writer =
+            WalWriter::open_for_append(&fs, &path, scan.valid_len, SyncPolicy::Never).unwrap();
+        writer.append(b"gamma").unwrap();
+        let rescan = read_segment(&fs, &path).unwrap();
+        assert!(!rescan.torn_tail);
+        assert_eq!(rescan.records, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
     }
 }

@@ -13,11 +13,23 @@
 //!
 //! [`Pool`] is the multi-connection form: a fixed set of connections
 //! dealt round-robin, for drivers that want more server-side parallelism
-//! than one socket (= one server thread) can express.
+//! than one socket (= one server thread) can express.  A pool built with
+//! a [`RetryPolicy`] additionally rides out broken members: a failed
+//! `send` reconnects that member under exponential backoff.
+//!
+//! Fault tolerance on the client side is deliberately bounded:
+//! [`ClientOptions`] puts read/write timeouts on the socket so a hung
+//! server surfaces as a `TimedOut`/`WouldBlock` error instead of a stuck
+//! driver thread, and [`Connection::reconnect`] re-dials and resets the
+//! pipeline.  Responses that were in flight when a connection broke are
+//! lost — the protocol has no request IDs to re-associate them — so
+//! reconnection is a *liveness* tool; idempotent traffic (the loadgen's
+//! YCSB mixes) simply re-sends.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::proto::{encode_request, FrameDecoder, Request, Response};
 
@@ -27,9 +39,35 @@ pub const DEFAULT_WINDOW: usize = 32;
 /// Write-buffer size past which `send` flushes even under the window.
 const FLUSH_THRESHOLD: usize = 32 << 10;
 
+/// Connection tuning: pipelining window plus socket timeouts.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// In-flight window (`≥ 1`; `1` degenerates to strict
+    /// request/response).
+    pub window: usize,
+    /// Socket read timeout; `None` blocks forever.  With a timeout, a
+    /// stalled server surfaces as `TimedOut`/`WouldBlock` from `recv`.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            window: DEFAULT_WINDOW,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
 /// A pipelined client connection (see the module docs).
 pub struct Connection {
     stream: TcpStream,
+    /// Resolved peer address, kept for [`Connection::reconnect`].
+    addr: SocketAddr,
+    options: ClientOptions,
     decoder: FrameDecoder,
     write_buf: Vec<u8>,
     ready: VecDeque<Response>,
@@ -37,6 +75,20 @@ pub struct Connection {
     in_flight: usize,
     window: usize,
     chunk: Vec<u8>,
+}
+
+fn resolve<A: ToSocketAddrs>(addr: A) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing"))
+}
+
+fn open_stream(addr: SocketAddr, options: &ClientOptions) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(options.read_timeout)?;
+    stream.set_write_timeout(options.write_timeout)?;
+    Ok(stream)
 }
 
 impl Connection {
@@ -48,17 +100,50 @@ impl Connection {
     /// Connects with an explicit in-flight window (`window ≥ 1`;
     /// `window == 1` degenerates to strict request/response).
     pub fn connect_windowed<A: ToSocketAddrs>(addr: A, window: usize) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Connection::connect_with(
+            addr,
+            ClientOptions {
+                window,
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    /// Connects with full [`ClientOptions`] (window + socket timeouts).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        options: ClientOptions,
+    ) -> std::io::Result<Self> {
+        let addr = resolve(addr)?;
+        let stream = open_stream(addr, &options)?;
         Ok(Connection {
             stream,
+            addr,
+            options,
             decoder: FrameDecoder::new(),
             write_buf: Vec::new(),
             ready: VecDeque::new(),
             in_flight: 0,
-            window: window.max(1),
+            window: options.window.max(1),
             chunk: vec![0u8; 16 << 10],
         })
+    }
+
+    /// Drops the current socket, re-dials the same address with the same
+    /// options, and resets the pipeline (decoder, buffers, in-flight
+    /// accounting).  Responses that were outstanding are lost.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.stream = open_stream(self.addr, &self.options)?;
+        self.decoder = FrameDecoder::new();
+        self.write_buf.clear();
+        self.ready.clear();
+        self.in_flight = 0;
+        Ok(())
+    }
+
+    /// The resolved peer address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// The configured in-flight window.
@@ -220,10 +305,39 @@ fn unexpected(response: &Response) -> std::io::Error {
     )
 }
 
+/// Reconnect-with-backoff policy for [`Pool::send`] on a broken member.
+///
+/// After a send error the pool sleeps `initial`, reconnects the member,
+/// and re-sends; each further attempt doubles the delay up to `max`.
+/// `attempts` bounds the reconnect attempts (0 disables retry).  The
+/// original request is re-sent on the fresh connection, but responses
+/// that were in flight on the broken member are lost — positional
+/// bookkeeping for that member starts over.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Reconnect attempts after the initial failure (0 = no retry).
+    pub attempts: u32,
+    /// Delay before the first reconnect attempt.
+    pub initial: Duration,
+    /// Cap on the doubled delay.
+    pub max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(500),
+        }
+    }
+}
+
 /// A small fixed-size pool of pipelined connections, dealt round-robin.
 pub struct Pool {
     connections: Vec<Connection>,
     next: usize,
+    retry: Option<RetryPolicy>,
 }
 
 impl Pool {
@@ -234,14 +348,37 @@ impl Pool {
         size: usize,
         window: usize,
     ) -> std::io::Result<Self> {
+        Pool::connect_with(
+            addr,
+            size,
+            ClientOptions {
+                window,
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    /// Opens `size` connections with full [`ClientOptions`] each.
+    pub fn connect_with<A: ToSocketAddrs + Copy>(
+        addr: A,
+        size: usize,
+        options: ClientOptions,
+    ) -> std::io::Result<Self> {
         let mut connections = Vec::with_capacity(size.max(1));
         for _ in 0..size.max(1) {
-            connections.push(Connection::connect_windowed(addr, window)?);
+            connections.push(Connection::connect_with(addr, options)?);
         }
         Ok(Pool {
             connections,
             next: 0,
+            retry: None,
         })
+    }
+
+    /// Enables reconnect-with-backoff on send failures (builder style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Number of pooled connections.
@@ -265,8 +402,35 @@ impl Pool {
     pub fn send(&mut self, request: &Request) -> std::io::Result<usize> {
         let i = self.next;
         self.next = (self.next + 1) % self.connections.len();
-        self.connections[i].send(request)?;
-        Ok(i)
+        match self.connections[i].send(request) {
+            Ok(()) => Ok(i),
+            Err(error) => match self.retry {
+                Some(policy) => self.resend(i, request, error, policy),
+                None => Err(error),
+            },
+        }
+    }
+
+    /// Reconnects member `i` under exponential backoff and re-sends
+    /// `request`.  Returns the last error once attempts are exhausted.
+    fn resend(
+        &mut self,
+        i: usize,
+        request: &Request,
+        mut last: std::io::Error,
+        policy: RetryPolicy,
+    ) -> std::io::Result<usize> {
+        let mut delay = policy.initial;
+        for _ in 0..policy.attempts {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(policy.max);
+            let member = &mut self.connections[i];
+            match member.reconnect().and_then(|()| member.send(request)) {
+                Ok(()) => return Ok(i),
+                Err(error) => last = error,
+            }
+        }
+        Err(last)
     }
 
     /// Flushes and drains every member, returning each member's

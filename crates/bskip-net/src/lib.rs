@@ -28,7 +28,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Connection, Pool, DEFAULT_WINDOW};
+pub use client::{ClientOptions, Connection, Pool, RetryPolicy, DEFAULT_WINDOW};
 pub use proto::{
     BatchOp, ErrorCode, FrameDecoder, ProtoError, Request, Response, MAX_BATCH_OPS, MAX_FRAME_LEN,
     MAX_SCAN_LIMIT, MAX_VALUE_LEN,
@@ -218,6 +218,194 @@ mod tests {
             other => panic!("expected error frame, got {other:?}"),
         }
         handle.shutdown();
+    }
+
+    /// Wraps an in-memory index with a switchable degraded flag, standing
+    /// in for an LSM engine whose WAL failed.
+    struct DegradedSwitch {
+        inner: BSkipList<u64, u64>,
+        degraded: std::sync::atomic::AtomicBool,
+    }
+
+    impl bskip_index::ConcurrentIndex<u64, u64> for DegradedSwitch {
+        fn insert(&self, key: u64, value: u64) -> Option<u64> {
+            self.inner.insert(key, value)
+        }
+        fn get(&self, key: &u64) -> Option<u64> {
+            self.inner.get(key)
+        }
+        fn remove(&self, key: &u64) -> Option<u64> {
+            self.inner.remove(key)
+        }
+        fn scan_bounds(
+            &self,
+            lo: std::ops::Bound<u64>,
+            hi: std::ops::Bound<u64>,
+        ) -> bskip_index::Cursor<'_, u64, u64> {
+            self.inner.scan_bounds(lo, hi)
+        }
+        fn len(&self) -> usize {
+            bskip_index::ConcurrentIndex::len(&self.inner)
+        }
+        fn name(&self) -> &'static str {
+            "degraded-switch"
+        }
+        fn degraded(&self) -> bool {
+            self.degraded.load(std::sync::atomic::Ordering::Acquire)
+        }
+    }
+
+    #[test]
+    fn degraded_backend_rejects_writes_with_unavailable() {
+        use std::sync::atomic::Ordering;
+
+        let backend = Arc::new(DegradedSwitch {
+            inner: BSkipList::new(),
+            degraded: std::sync::atomic::AtomicBool::new(false),
+        });
+        let handle =
+            KvServer::bind_shared(backend.clone(), ("127.0.0.1", 0), ServerConfig::default())
+                .expect("bind")
+                .spawn()
+                .expect("spawn");
+        let mut conn = Connection::connect(handle.addr()).expect("connect");
+
+        // Healthy: everything works.
+        conn.ping().expect("ping while healthy");
+        assert_eq!(conn.put(1, 10).unwrap(), None);
+
+        backend.degraded.store(true, Ordering::Release);
+
+        // Mutations and pings now answer Unavailable on a healthy
+        // connection (not a protocol error — the socket stays up).
+        for request in [Request::Ping, Request::put(2, 20), Request::Del { key: 1 }] {
+            match conn.call(&request).unwrap() {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
+                other => panic!("expected Unavailable for {request:?}, got {other:?}"),
+            }
+        }
+        // A batch with any mutating op is rejected whole...
+        let mixed = Request::Batch {
+            ops: vec![
+                BatchOp::Get { key: 1 },
+                BatchOp::Put {
+                    key: 3,
+                    value: 30,
+                    value_len: 8,
+                },
+            ],
+        };
+        match conn.call(&mixed).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // ...but read-only traffic is still served.
+        assert_eq!(conn.get(1).unwrap(), Some(10));
+        assert_eq!(conn.scan(0, 100, 10).unwrap(), vec![(1, 10)]);
+        let read_only = Request::Batch {
+            ops: vec![BatchOp::Get { key: 1 }, BatchOp::Get { key: 99 }],
+        };
+        assert_eq!(
+            conn.call(&read_only).unwrap(),
+            Response::Results {
+                results: vec![Some(10), None],
+            }
+        );
+        let stats = conn.stats().unwrap();
+        let unavailable = stats
+            .iter()
+            .find(|(n, _)| n == "server_unavailable")
+            .map(|(_, v)| *v)
+            .expect("server_unavailable stat");
+        assert_eq!(unavailable, 4);
+
+        // Recovery clears the rejection without reconnecting.
+        backend.degraded.store(false, Ordering::Release);
+        conn.ping().expect("ping after recovery");
+        assert_eq!(conn.put(2, 20).unwrap(), None);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_read_timeout_fires_on_silent_server() {
+        use crate::client::ClientOptions;
+        use std::io::ErrorKind;
+
+        // A listener that accepts and then says nothing.
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || listener.accept().map(|(stream, _)| stream));
+
+        let mut conn = Connection::connect_with(
+            addr,
+            ClientOptions {
+                window: 1,
+                read_timeout: Some(std::time::Duration::from_millis(100)),
+                write_timeout: Some(std::time::Duration::from_millis(100)),
+            },
+        )
+        .expect("connect");
+        let error = conn.call(&Request::Ping).expect_err("must time out");
+        assert!(
+            matches!(error.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock),
+            "expected a timeout, got {error:?}"
+        );
+        drop(sink.join());
+    }
+
+    #[test]
+    fn reconnect_resets_pipeline_against_live_server() {
+        let handle = start_server(ServerConfig::default());
+        let mut conn = Connection::connect(handle.addr()).expect("connect");
+        conn.put(7, 70).unwrap();
+        // Leave a request un-drained, then reconnect: the pipeline resets
+        // (the orphaned response is lost by contract) and the fresh
+        // socket works immediately.
+        conn.send(&Request::Get { key: 7 }).unwrap();
+        assert_eq!(conn.in_flight(), 1);
+        conn.reconnect().expect("reconnect");
+        assert_eq!(conn.in_flight(), 0);
+        assert_eq!(conn.ready(), 0);
+        assert_eq!(conn.get(7).unwrap(), Some(70));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pool_retry_backoff_exhausts_when_server_stays_down() {
+        use crate::client::{ClientOptions, RetryPolicy};
+        use crate::Pool;
+
+        let handle = start_server(ServerConfig::default());
+        let addr = handle.addr();
+        let mut pool = Pool::connect_with(
+            addr,
+            2,
+            ClientOptions {
+                window: 1,
+                ..ClientOptions::default()
+            },
+        )
+        .expect("pool connect")
+        .with_retry(RetryPolicy {
+            attempts: 2,
+            initial: std::time::Duration::from_millis(1),
+            max: std::time::Duration::from_millis(4),
+        });
+        assert_eq!(pool.len(), 2);
+        pool.send(&Request::put(1, 1)).unwrap();
+        handle.shutdown();
+
+        // With the server gone every member eventually fails; the retry
+        // loop reconnects (refused), backs off, and surfaces the last
+        // error instead of panicking or spinning forever.
+        let mut failed = false;
+        for _ in 0..64 {
+            if pool.send(&Request::Ping).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "sends kept succeeding against a dead server");
     }
 
     #[test]

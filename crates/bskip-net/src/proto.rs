@@ -151,6 +151,11 @@ pub enum ErrorCode {
     Malformed,
     /// The server is at its connection cap.
     Busy,
+    /// The backend index is degraded (read-only after an I/O failure):
+    /// the mutation was rejected and the node should be drained.  Unlike
+    /// the other codes this one is *not* a protocol fault — the
+    /// connection stays healthy and reads keep being served.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -159,6 +164,7 @@ impl ErrorCode {
             ErrorCode::Oversized => 1,
             ErrorCode::Malformed => 2,
             ErrorCode::Busy => 3,
+            ErrorCode::Unavailable => 4,
         }
     }
 
@@ -167,6 +173,7 @@ impl ErrorCode {
             1 => Ok(ErrorCode::Oversized),
             2 => Ok(ErrorCode::Malformed),
             3 => Ok(ErrorCode::Busy),
+            4 => Ok(ErrorCode::Unavailable),
             _ => Err(ProtoError::BadField("error code")),
         }
     }
@@ -821,6 +828,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "connection cap reached".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "backend degraded".into(),
             },
         ];
         for response in &responses {

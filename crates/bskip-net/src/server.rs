@@ -87,6 +87,9 @@ pub struct ServerStats {
     pub scans: AtomicU64,
     /// Entries returned across all scans.
     pub scan_entries: AtomicU64,
+    /// Requests answered with an `Unavailable` error frame because the
+    /// backend reported itself degraded.
+    pub unavailable: AtomicU64,
 }
 
 impl ServerStats {
@@ -111,6 +114,7 @@ impl ServerStats {
             .with("server_max_batch", read(&self.max_batch))
             .with("server_scans", read(&self.scans))
             .with("server_scan_entries", read(&self.scan_entries))
+            .with("server_unavailable", read(&self.unavailable))
     }
 
     /// Snapshot as `(name, value)` pairs, in the order they appear in a
@@ -375,15 +379,30 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<(
         // reply descriptor per request.  Non-point requests (Ping, Scan,
         // Stats) are answered inline but do NOT flush the op vector —
         // the whole drained window still executes as one batch.
+        //
+        // A degraded backend (sticky read-only after an I/O failure)
+        // turns every mutation — and Ping, so health checks drain the
+        // node — into an `Unavailable` error frame.  Reads, scans and
+        // stats keep being served off the surviving state.
+        let degraded = shared.index.degraded();
+        let unavailable = |replies: &mut Vec<PendingReply>| {
+            shared.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+            replies.push(PendingReply::Ready(Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "backend degraded: node is read-only".into(),
+            }));
+        };
         let mut ops: Vec<Op<u64, u64>> = Vec::new();
         let mut replies: Vec<PendingReply> = Vec::with_capacity(requests.len());
         for request in requests {
             match request {
+                Request::Ping if degraded => unavailable(&mut replies),
                 Request::Ping => replies.push(PendingReply::Ready(Response::Pong)),
                 Request::Get { key } => {
                     ops.push(Op::get(*key));
                     replies.push(PendingReply::Point);
                 }
+                Request::Put { .. } | Request::Del { .. } if degraded => unavailable(&mut replies),
                 Request::Put { key, value, .. } => {
                     ops.push(Op::insert(*key, *value));
                     replies.push(PendingReply::Point);
@@ -391,6 +410,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<(
                 Request::Del { key } => {
                     ops.push(Op::remove(*key));
                     replies.push(PendingReply::Point);
+                }
+                Request::Batch { ops: batch }
+                    if degraded && batch.iter().any(|op| !matches!(op, BatchOp::Get { .. })) =>
+                {
+                    unavailable(&mut replies)
                 }
                 Request::Batch { ops: batch } => {
                     for op in batch {

@@ -22,8 +22,9 @@ pub use bskip_index::{
     BatchCursor, ConcurrentIndex, ConcurrentIndexExt, Cursor, IndexCursor, IndexStats, Op,
     OpResult, ReclamationStats, ShardPartition, ShardSpec, ShardedIndex,
 };
-pub use bskip_lsm::{LsmConfig, LsmEngine, SyncPolicy};
+pub use bskip_lsm::{FaultFs, LsmConfig, LsmEngine, StdFs, Storage, StorageFile, SyncPolicy};
 pub use bskip_net::{
-    BatchOp, Connection, KvServer, Pool, Request, Response, ServerConfig, SharedIndex,
+    BatchOp, ClientOptions, Connection, KvServer, Pool, Request, Response, RetryPolicy,
+    ServerConfig, SharedIndex,
 };
 pub use bskip_sync::{EbrCollector, EbrGuard, EbrStats};

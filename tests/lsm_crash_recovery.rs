@@ -192,7 +192,7 @@ fn torn_wal_tail_recovers_to_the_last_valid_record() {
         drop(file);
 
         // How many complete frames survived, per the crate's own reader.
-        let survived = bskip_lsm::wal::read_segment(&wal_path)
+        let survived = bskip_lsm::wal::read_segment(&bskip_lsm::StdFs, &wal_path)
             .expect("scan torn segment")
             .records
             .len() as u64;
@@ -249,7 +249,7 @@ fn corrupt_wal_bytes_stop_replay_at_the_last_intact_frame() {
     bytes[victim] ^= 0xFF;
     std::fs::write(&wal_path, &bytes).expect("write corrupted WAL");
 
-    let survived = bskip_lsm::wal::read_segment(&wal_path)
+    let survived = bskip_lsm::wal::read_segment(&bskip_lsm::StdFs, &wal_path)
         .expect("scan corrupted segment")
         .records
         .len() as u64;

@@ -1,0 +1,238 @@
+//! Crash-point torture tests over the fault-injection storage layer.
+//!
+//! The engine runs entirely on [`FaultFs`], the deterministic in-memory
+//! [`Storage`] implementation, under `SyncPolicy::Always` — so every
+//! acknowledged mutation was synced before its `Ok` returned, and the
+//! contract under test is exact: after a simulated power cut at *any*
+//! storage operation, reopening recovers **precisely the acknowledged
+//! prefix** — every operation that returned `Ok`, nothing that errored.
+//!
+//! The main harness enumerates every crash point: a fault-free run counts
+//! the workload's mutating storage operations (appends, syncs, creates,
+//! renames, removes), then the workload replays once per index with a
+//! crash injected at exactly that operation.  The crash is sticky — all
+//! later storage operations fail too, exercising the engine's degraded
+//! mode — then `reboot()` discards unsynced bytes (durable state only)
+//! and the reopened engine is compared against a `BTreeMap` oracle that
+//! recorded acknowledged operations only.
+//!
+//! Satellite sweeps check that no injected `io::ErrorKind` anywhere in
+//! the write/sync stream can panic the engine, and that torn writes
+//! (partial appends surfaced as errors) never leak unacknowledged data
+//! across a process restart.
+
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::ops::Bound;
+use std::path::Path;
+use std::sync::Arc;
+
+use bskip_suite::{ConcurrentIndex, FaultFs, LsmConfig, LsmEngine, Op, SyncPolicy};
+
+fn dir() -> &'static Path {
+    // FaultFs paths are virtual; no real directory is touched.
+    Path::new("/torture")
+}
+
+/// Tiny memtable + `Always` sync: the ~150-op workload crosses several
+/// rotations, flushes and at least one compaction, and every acknowledged
+/// op is durable at acknowledgement time.
+fn config() -> LsmConfig {
+    LsmConfig {
+        memtable_bytes: 1 << 10,
+        sync: SyncPolicy::Always,
+        ..LsmConfig::small()
+    }
+}
+
+fn open(fs: &FaultFs) -> std::io::Result<LsmEngine<u64, u64>> {
+    LsmEngine::open_with(Arc::new(fs.clone()), dir(), config())
+}
+
+/// Deterministic mixed workload: overwrites, deletes and group-committed
+/// batches over a small key space.  Every operation's effect lands in
+/// `oracle` only if the engine acknowledged it; the replay stops at the
+/// first error (after a sticky crash everything else fails too).
+fn apply_workload(engine: &LsmEngine<u64, u64>, oracle: &mut BTreeMap<u64, u64>) {
+    for i in 0..150u64 {
+        let key = (i * 7) % 64;
+        match i % 9 {
+            8 => {
+                let mut ops = vec![
+                    Op::insert(key, i),
+                    Op::insert((key + 1) % 64, i + 1),
+                    Op::remove((key + 2) % 64),
+                    Op::get(key),
+                ];
+                match engine.try_execute(&mut ops) {
+                    Ok(()) => {
+                        oracle.insert(key, i);
+                        oracle.insert((key + 1) % 64, i + 1);
+                        oracle.remove(&((key + 2) % 64));
+                    }
+                    Err(_) => return,
+                }
+            }
+            5 => match engine.try_remove(&key) {
+                Ok(_) => {
+                    oracle.remove(&key);
+                }
+                Err(_) => return,
+            },
+            _ => match engine.try_insert(key, i) {
+                Ok(_) => {
+                    oracle.insert(key, i);
+                }
+                Err(_) => return,
+            },
+        }
+    }
+}
+
+fn contents(engine: &LsmEngine<u64, u64>) -> BTreeMap<u64, u64> {
+    engine
+        .scan_bounds(Bound::Unbounded, Bound::Unbounded)
+        .collect()
+}
+
+/// The tentpole harness: simulate a power cut at **every** mutating
+/// storage operation of the workload, one run per crash point, and verify
+/// the acknowledged-prefix invariant at each.
+#[test]
+fn crash_at_every_storage_op_recovers_the_acknowledged_prefix() {
+    // Pass 1, fault-free: count the mutating storage ops and pin down the
+    // expected final contents.
+    let (total, fault_free) = {
+        let fs = FaultFs::new();
+        let engine = open(&fs).expect("fault-free open");
+        let mut oracle = BTreeMap::new();
+        apply_workload(&engine, &mut oracle);
+        assert_eq!(contents(&engine), oracle, "fault-free run disagrees");
+        assert!(!engine.degraded(), "fault-free run must not degrade");
+        drop(engine);
+        (fs.op_count(), oracle)
+    };
+    assert!(
+        total > 100,
+        "workload too small to be interesting: {total} storage ops"
+    );
+
+    for cut in 0..=total {
+        let fs = FaultFs::new();
+        fs.crash_at_op(cut);
+
+        let mut oracle = BTreeMap::new();
+        if let Ok(engine) = open(&fs) {
+            apply_workload(&engine, &mut oracle);
+            // Reads must keep working no matter where the crash landed.
+            let _ = engine.try_get(&1);
+            let _ = contents(&engine);
+        }
+
+        // Power comes back: unsynced bytes are gone, faults cleared.
+        fs.reboot();
+        let recovered = open(&fs)
+            .unwrap_or_else(|error| panic!("reopen after crash at op {cut} failed: {error}"));
+        assert_eq!(
+            contents(&recovered),
+            oracle,
+            "crash at storage op {cut}/{total}: recovered state must be \
+             exactly the acknowledged prefix"
+        );
+        assert!(!recovered.degraded(), "a reopened engine starts healthy");
+    }
+
+    // Sanity: the last cut (past the end) is equivalent to no crash.
+    let fs = FaultFs::new();
+    fs.crash_at_op(total + 1_000);
+    let engine = open(&fs).expect("open");
+    let mut oracle = BTreeMap::new();
+    apply_workload(&engine, &mut oracle);
+    assert_eq!(oracle, fault_free);
+}
+
+/// No injected `io::ErrorKind`, at any point in the write or sync stream,
+/// may panic the engine — every operation either succeeds or returns an
+/// error, reads stay available, and a reboot+reopen always recovers the
+/// acknowledged prefix.
+#[test]
+fn no_error_kind_panics_the_engine() {
+    let kinds = [
+        ErrorKind::NotFound,
+        ErrorKind::PermissionDenied,
+        ErrorKind::StorageFull,
+        ErrorKind::Interrupted,
+        ErrorKind::UnexpectedEof,
+        ErrorKind::WriteZero,
+        ErrorKind::InvalidData,
+        ErrorKind::TimedOut,
+        ErrorKind::BrokenPipe,
+        ErrorKind::Other,
+    ];
+    for kind in kinds {
+        for nth in [1u64, 3, 9, 27, 81] {
+            for fail_sync in [false, true] {
+                let fs = FaultFs::new();
+                if fail_sync {
+                    fs.fail_nth_sync(nth, kind);
+                } else {
+                    fs.fail_nth_write(nth, kind);
+                }
+                let mut oracle = BTreeMap::new();
+                if let Ok(engine) = open(&fs) {
+                    apply_workload(&engine, &mut oracle);
+                    let _ = engine.try_get(&7);
+                    let _ = contents(&engine);
+                    if engine.degraded() {
+                        // Degradation must come with an error accounted
+                        // somewhere, never silently.
+                        assert!(
+                            engine.write_failures() > 0 || engine.io_errors() > 0,
+                            "{kind:?}/nth={nth}: degraded without counting an error"
+                        );
+                    }
+                }
+                fs.reboot();
+                let recovered = open(&fs).unwrap_or_else(|error| {
+                    panic!("{kind:?}/nth={nth}/sync={fail_sync}: reopen failed: {error}")
+                });
+                assert_eq!(
+                    contents(&recovered),
+                    oracle,
+                    "{kind:?}/nth={nth}/sync={fail_sync}: acknowledged prefix lost"
+                );
+            }
+        }
+    }
+}
+
+/// Torn writes: the `n`th append persists only a prefix of its bytes and
+/// reports failure.  Reopening **without** a reboot (a process restart,
+/// not a power cut — the torn bytes are still in the file) must never
+/// surface unacknowledged data: the WAL reader stops at the torn tail and
+/// flush/compaction roll back cleanly.
+#[test]
+fn torn_writes_never_leak_unacknowledged_data_across_restart() {
+    for nth in 1..=40u64 {
+        for keep in [0usize, 1, 7] {
+            let fs = FaultFs::new();
+            fs.torn_nth_write(nth, keep);
+            let mut oracle = BTreeMap::new();
+            if let Ok(engine) = open(&fs) {
+                apply_workload(&engine, &mut oracle);
+            }
+            // No reboot: live (possibly torn) state is what the restarted
+            // process sees.
+            fs.clear_faults();
+            let recovered = open(&fs).unwrap_or_else(|error| {
+                panic!("torn write {nth}/keep={keep}: reopen failed: {error}")
+            });
+            assert_eq!(
+                contents(&recovered),
+                oracle,
+                "torn write {nth}/keep={keep}: restart must keep exactly \
+                 the acknowledged prefix"
+            );
+        }
+    }
+}
